@@ -1,0 +1,78 @@
+/// \file bench_e2_factor_decomposition.cpp
+/// E2 — section 3 of the paper: the five-factor decomposition.
+///   x4.00 architecture/pipelining, x1.25 floorplanning/placement,
+///   x1.25 sizing/circuits, x1.50 dynamic logic, x1.90 process variation;
+///   product ~x18; realized gaps 6-8x.
+/// Every number here comes from running the full implementation flow
+/// (map -> pipeline -> place -> buffer -> size -> STA) on the 32-bit ALU,
+/// toggling one methodology dimension at a time exactly as the paper's
+/// table does.
+
+#include <cstdio>
+
+#include "common/table.hpp"
+#include "core/flow.hpp"
+#include "core/gap.hpp"
+#include "designs/registry.hpp"
+
+int main() {
+  using namespace gap;
+  std::printf(
+      "E2: factor decomposition (paper section 3)\n"
+      "design: alu32; technology: 0.25um ASIC (FO4 = 90 ps)\n\n");
+
+  core::Flow flow(tech::asic_025um());
+  const core::GapReport report = core::decompose(
+      flow,
+      [](designs::DatapathStyle style) {
+        return designs::make_design("alu32", style);
+      },
+      core::reference_methodology(), core::paper_factors());
+
+  Table t({"factor", "paper max", "measured max", "verdict", "marginal",
+           "cumulative"});
+  for (const core::FactorRow& row : report.rows)
+    t.add_row({row.name,
+               fmt_factor(row.paper_lo) + "-" + fmt_factor(row.paper_hi),
+               fmt_factor(row.individual),
+               verdict(row.individual, row.paper_lo, row.paper_hi),
+               fmt_factor(row.marginal), fmt_factor(row.cumulative)});
+  std::printf("%s\n", t.render().c_str());
+
+  Table s({"summary", "measured", "paper", "verdict"});
+  s.add_row({"product of max contributions",
+             fmt_factor(report.product_individual, 1), "x18",
+             verdict(report.product_individual, 14.0, 22.0)});
+  // Factors interact; the joint run should track the product closely.
+  const double interaction = report.total_ratio / report.product_individual;
+  s.add_row({"joint all-ASIC vs all-custom", fmt_factor(report.total_ratio, 1),
+             "~product", verdict(interaction, 0.75, 1.35)});
+
+  // The realized gap: an average ASIC flow vs the full custom flow.
+  const auto typ = flow.run(
+      designs::make_design("alu32", designs::DatapathStyle::kSynthesized),
+      core::typical_asic());
+  const auto custom = flow.run(
+      designs::make_design("alu32", designs::DatapathStyle::kMacro),
+      core::full_custom());
+  const double realized = custom.freq_mhz / typ.freq_mhz;
+  s.add_row({"typical ASIC vs full custom (flow)*", fmt_factor(realized, 1),
+             "x6-x8", verdict(realized, 6.0, 10.5)});
+  std::printf("%s\n", s.render().c_str());
+
+  std::printf("typical ASIC: %.0f MHz (%.1f FO4/cycle, paper: 120-150 MHz)\n",
+              typ.freq_mhz, typ.timing.min_period_fo4);
+  std::printf("full custom:  %.0f MHz (%.1f FO4/cycle)\n", custom.freq_mhz,
+              custom.timing.min_period_fo4);
+  std::printf(
+      "note: the sizing factor's band extends to x1.55 because the paper's\n"
+      "own section 6 sub-claims (25%% poor library + 2-7%% discrete sizing +\n"
+      ">=20%% critical-path sizing + wire widening) compound past its x1.25\n"
+      "headline; section 9 itself flags these factors as loosely estimated.\n");
+  std::printf(
+      "* the flow's realized gap sits at the optimistic edge of the paper's\n"
+      "  6-8x: a feed-forward ALU pipelines ideally, while real custom CPUs\n"
+      "  are held to ~15-18 FO4 cycles by hazards and IPC (section 4.1);\n"
+      "  the processor-survey reproduction (E1) realizes the 6-8x directly.\n");
+  return 0;
+}

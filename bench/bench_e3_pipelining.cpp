@@ -1,0 +1,124 @@
+/// \file bench_e3_pipelining.cpp
+/// E3 — section 4 of the paper: pipelining and logic levels.
+///   FO4 per cycle: Alpha 21264 ~15 (logic), IBM PowerPC 13 (total,
+///   75 ps FO4), Tensilica Xtensa ~44; pipelining speedups: 5 stages at
+///   30% ASIC overhead -> 3.8x, 4 stages at 20% custom overhead -> 3.4x;
+///   time borrowing with latches; and designs like bus interfaces that
+///   cannot be pipelined (section 4.1).
+
+#include <cstdio>
+
+#include "common/table.hpp"
+#include "core/flow.hpp"
+#include "core/gap.hpp"
+#include "core/processors.hpp"
+#include "designs/registry.hpp"
+#include "library/builders.hpp"
+#include "pipeline/pipeline.hpp"
+#include "sta/borrowing.hpp"
+#include "synth/mapper.hpp"
+
+int main() {
+  using namespace gap;
+  std::printf("E3: pipelining and logic levels (paper section 4)\n\n");
+
+  // --- FO4 per cycle of the reference processors ---
+  Table fo4({"design", "FO4/cycle (model)", "paper", "verdict"});
+  for (const core::ProcessorModel& m : core::processor_survey()) {
+    double lo = 0, hi = 0;
+    if (m.name == "Alpha 21264A") lo = 15, hi = 19;  // 15 logic + overhead
+    else if (m.name == "IBM 1GHz PowerPC") lo = 12.5, hi = 13.5;
+    else if (m.name == "Tensilica Xtensa") lo = 43, hi = 45;
+    else continue;
+    const double v = core::model_fo4_per_cycle(m);
+    fo4.add_row({m.name, fmt(v, 1), fmt(lo, 0) + "-" + fmt(hi, 0),
+                 verdict(v, lo, hi)});
+  }
+  std::printf("%s\n", fo4.render().c_str());
+
+  // --- the paper's pipelining arithmetic ---
+  Table arith({"case", "measured", "paper", "verdict"});
+  const double tensilica = pipeline::ideal_pipeline_speedup(5, 0.30);
+  arith.add_row({"5 stages @ 30% ASIC overhead", fmt_factor(tensilica, 1),
+                 "x3.8", verdict(tensilica, 3.5, 4.1)});
+  const double ppc = pipeline::ideal_pipeline_speedup(4, 0.20);
+  arith.add_row({"4 stages @ 20% custom overhead", fmt_factor(ppc, 1),
+                 "x3.4", verdict(ppc, 3.1, 3.7)});
+  std::printf("%s\n", arith.render().c_str());
+
+  // --- flow-measured pipelining curve on the CPU datapath ---
+  const tech::Technology t = tech::asic_025um();
+  core::Flow flow(t);
+  std::printf(
+      "flow-measured: cpu32 datapath, rich ASIC library, careful placement\n");
+  Table curve({"stages", "period (FO4)", "freq", "speedup", "registers"});
+  double base_period = 0.0;
+  for (int stages : {1, 2, 3, 4, 5, 6, 7}) {
+    core::Methodology m = core::reference_methodology();
+    m.pipeline_stages = stages;
+    m.balanced_stages = true;
+    const auto r = flow.run(
+        designs::make_design("cpu32", designs::DatapathStyle::kSynthesized),
+        m);
+    if (stages == 1) base_period = r.timing.min_period_fo4;
+    curve.add_row({std::to_string(stages), fmt(r.timing.min_period_fo4, 1),
+                   fmt(r.freq_mhz, 0) + " MHz",
+                   fmt_factor(base_period / r.timing.min_period_fo4),
+                   std::to_string(r.pipeline_registers)});
+  }
+  std::printf("%s\n", curve.render().c_str());
+
+  // --- time borrowing: flops vs transparent latches on the same stages ---
+  {
+    const auto& lib = flow.library_for(core::LibraryKind::kCustom);
+    const auto aig =
+        designs::make_design("cpu32", designs::DatapathStyle::kSynthesized);
+    auto comb = synth::map_to_netlist(aig, lib, synth::MapOptions{}, "cpu");
+    pipeline::PipelineOptions popt;
+    popt.stages = 5;
+    popt.balanced = false;  // unbalanced stages: borrowing has work to do
+    const auto piped = pipeline::pipeline_insert(comb, popt);
+
+    const auto latch = library::custom_latch_timing();
+    sta::FlopTimingModel fm;
+    fm.overhead_tau = t.fo4_to_tau(library::custom_dff_timing().setup_fo4 +
+                                   library::custom_dff_timing().clk_to_q_fo4);
+    fm.skew_fraction = 0.05;
+    sta::LatchTimingModel lm;
+    lm.d_to_q_tau = t.fo4_to_tau(latch.clk_to_q_fo4);
+    lm.setup_tau = t.fo4_to_tau(latch.setup_fo4);
+    lm.skew_fraction = 0.05;
+    const double t_flop =
+        sta::flop_min_period(piped.stage_delays_tau, fm);
+    const double t_latch =
+        sta::latch_min_period(piped.stage_delays_tau, lm);
+    const double gain = t_flop / t_latch;
+    Table borrow({"clocking (5 unbalanced stages)", "period (FO4)"});
+    borrow.add_row({"edge-triggered flip-flops", fmt(t.tau_to_fo4(t_flop), 1)});
+    borrow.add_row({"transparent latches (borrowing)",
+                    fmt(t.tau_to_fo4(t_latch), 1)});
+    std::printf("%s", borrow.render().c_str());
+    std::printf(
+        "time borrowing recovers %s on unbalanced stages (paper: latches\n"
+        "with multi-phase clocking allow time stealing, section 4.1)\n\n",
+        fmt_pct(gain - 1.0).c_str());
+  }
+
+  // --- the un-pipelineable design (section 4.1) ---
+  std::printf(
+      "bus-interface controller: each cycle consumes fresh inputs, so the\n"
+      "figure of merit is LATENCY; added ranks only add register overhead:\n");
+  Table bus({"stages", "period (FO4)", "latency (FO4)"});
+  for (int stages : {1, 2, 3}) {
+    core::Methodology m = core::reference_methodology();
+    m.pipeline_stages = stages;
+    const auto r = flow.run(
+        designs::make_design("bus_controller",
+                             designs::DatapathStyle::kSynthesized),
+        m);
+    bus.add_row({std::to_string(stages), fmt(r.timing.min_period_fo4, 1),
+                 fmt(r.timing.min_period_fo4 * stages, 1)});
+  }
+  std::printf("%s", bus.render().c_str());
+  return 0;
+}

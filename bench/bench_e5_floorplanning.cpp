@@ -1,0 +1,133 @@
+/// \file bench_e5_floorplanning.cpp
+/// E5 — section 5 of the paper: floorplanning, placement and routing.
+///   "Using careful floorplanning and placement to minimize wire lengths
+///   may increase circuit speed by up to 25%", from a BACPAC comparison
+///   of a critical path localized within a module vs distributed across a
+///   100 mm^2 chip.
+/// Three reproductions:
+///  (a) the paper's own experiment: take the sized ALU critical path and
+///      add global-wire excursions across dies of growing size (the
+///      BACPAC-style analytic comparison);
+///  (b) flow-level: careful vs careless placement of the block;
+///  (c) module-level: the sequence-pair floorplanner vs a bad floorplan
+///      for a multi-module system (wirelength of module-level nets).
+
+#include <cmath>
+#include <cstdio>
+
+#include "common/table.hpp"
+#include "core/flow.hpp"
+#include "core/gap.hpp"
+#include "designs/registry.hpp"
+#include "floorplan/floorplan.hpp"
+#include "library/builders.hpp"
+#include "place/place.hpp"
+#include "sizing/tilos.hpp"
+#include "sta/sta.hpp"
+#include "synth/mapper.hpp"
+#include "tech/technology.hpp"
+#include "wire/repeaters.hpp"
+
+int main() {
+  using namespace gap;
+  std::printf("E5: floorplanning and placement (paper section 5)\n\n");
+  const tech::Technology t = tech::asic_025um();
+  const auto lib = library::make_rich_asic_library(t);
+
+  // --- (a) localized vs distributed critical path ---
+  {
+    // Localized: a pipelined ALU implemented by the full flow; its
+    // register-to-register critical path stays inside the block.
+    core::Flow flow(t);
+    core::Methodology m = core::reference_methodology();
+    m.pipeline_stages = 5;
+    m.balanced_stages = true;
+    const auto local = flow.run(
+        designs::make_design("alu32", designs::DatapathStyle::kSynthesized),
+        m);
+    const double local_fo4 = local.timing.min_period_fo4;
+
+    std::printf(
+        "pipelined critical path localized in its module vs distributed\n"
+        "across the chip (one optimally repeated global excursion per\n"
+        "cycle, BACPAC-style):\n");
+    Table a({"die", "global wire", "cycle (FO4)", "slowdown",
+             "speed from FP"});
+    a.add_row({"local (module)", "0 um", fmt(local_fo4, 1), "x1.00", "-"});
+    double paper_case = 0.0;
+    for (double die_mm2 : {25.0, 100.0, 225.0}) {
+      const double edge_um = std::sqrt(die_mm2) * 1000.0;
+      wire::WireSegment seg;
+      seg.length_um = edge_um;
+      const auto plan =
+          wire::plan_repeaters(t, seg, 4.0 * t.unit_inv_cin_ff);
+      const double extra_fo4 = t.ps_to_tau(plan.delay_ps) / 5.0;
+      const double dist_fo4 = local_fo4 + extra_fo4;
+      const double gain = dist_fo4 / local_fo4;
+      if (die_mm2 == 100.0) paper_case = gain - 1.0;
+      char die[32];
+      std::snprintf(die, sizeof die, "%.0f mm^2", die_mm2);
+      a.add_row({die, fmt(edge_um, 0) + " um", fmt(dist_fo4, 1),
+                 fmt_factor(gain), fmt_pct(gain - 1.0)});
+    }
+    std::printf("%s", a.render().c_str());
+    std::printf("100 mm^2 case: %s speedup from floorplanning (paper: up to "
+                "25%%) -> %s\n\n",
+                fmt_pct(paper_case).c_str(),
+                verdict(paper_case, 0.15, 0.30).c_str());
+  }
+
+  // --- (b) flow-level: careful vs careless placement of one block ---
+  {
+    core::Flow flow(t);
+    Table b({"placement", "period (FO4)", "freq", "speedup"});
+    double careless_fo4 = 0.0, careful_fo4 = 0.0;
+    for (bool careful : {false, true}) {
+      core::Methodology m = core::reference_methodology();
+      m.placement = careful ? place::PlacementMode::kCareful
+                            : place::PlacementMode::kScattered;
+      const auto r = flow.run(
+          designs::make_design("alu32", designs::DatapathStyle::kSynthesized),
+          m);
+      (careful ? careful_fo4 : careless_fo4) = r.timing.min_period_fo4;
+      b.add_row({careful ? "careful (SA refined)" : "careless (scattered)",
+                 fmt(r.timing.min_period_fo4, 1), fmt(r.freq_mhz, 0) + " MHz",
+                 careful ? fmt_factor(careless_fo4 / careful_fo4) : "-"});
+    }
+    std::printf("%s\n", b.render().c_str());
+  }
+
+  // --- (c) module-level floorplanning ---
+  {
+    std::vector<floorplan::Module> mods;
+    for (int i = 0; i < 12; ++i)
+      mods.push_back({"blk" + std::to_string(i), 4.0e5, 1.0});
+    std::vector<floorplan::ModuleNet> nets;
+    // A pipeline of connected blocks plus some random cross links.
+    for (int i = 0; i + 1 < 12; ++i)
+      nets.push_back({{ModuleId{static_cast<std::uint32_t>(i)},
+                       ModuleId{static_cast<std::uint32_t>(i + 1)}},
+                      8.0});
+    nets.push_back({{ModuleId{0}, ModuleId{11}}, 4.0});
+    nets.push_back({{ModuleId{2}, ModuleId{9}}, 4.0});
+
+    floorplan::FloorplanOptions good;
+    good.sa_moves = 30000;
+    const auto fp_good = floorplan::floorplan(mods, nets, good);
+    floorplan::FloorplanOptions bad;
+    bad.sa_moves = 0;  // initial (arbitrary) configuration
+    const auto fp_bad = floorplan::floorplan(mods, nets, bad);
+
+    Table c({"floorplan", "die (mm^2)", "net wirelength (um)"});
+    c.add_row({"unoptimized", fmt(fp_bad.die_area_mm2(), 1),
+               fmt(fp_bad.total_wirelength_um, 0)});
+    c.add_row({"simulated annealing", fmt(fp_good.die_area_mm2(), 1),
+               fmt(fp_good.total_wirelength_um, 0)});
+    std::printf("%s", c.render().c_str());
+    std::printf("floorplanning cuts module-level wirelength by %s\n",
+                fmt_pct(1.0 - fp_good.total_wirelength_um /
+                                  fp_bad.total_wirelength_um)
+                    .c_str());
+  }
+  return 0;
+}

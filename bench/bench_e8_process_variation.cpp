@@ -1,0 +1,108 @@
+/// \file bench_e8_process_variation.cpp
+/// E8 — section 8 of the paper: process variation and accessibility.
+///   Typical silicon 60-70% faster than worst-case library quotes; the
+///   fastest parts 20-40% above typical (insufficient yield for ASIC
+///   pricing); overall custom-vs-ASIC silicon gap ~90%; 30-40% in-plant
+///   range on a new process; 20-25% between fabs; speed testing instead
+///   of trusting quotes gains 30-40%.
+
+#include <cmath>
+#include <cstdio>
+#include <string>
+
+#include "common/stats.hpp"
+#include "common/table.hpp"
+#include "variation/economics.hpp"
+#include "variation/variation.hpp"
+
+int main() {
+  using namespace gap;
+  using namespace gap::variation;
+  std::printf("E8: process variation and accessibility (paper section 8)\n");
+  constexpr int kDies = 200000;
+  std::printf("monte carlo: %d dies per fab\n\n", kDies);
+
+  const auto best = monte_carlo_speeds(best_fab(), kDies, 1);
+  const auto merchant = monte_carlo_speeds(merchant_fab(), kDies, 2);
+  const SignoffDerating derate;
+  const BinStats bb = bin_stats(best, derate);
+  const BinStats bm = bin_stats(merchant, derate);
+
+  Table t({"claim (section 8)", "measured", "paper", "verdict"});
+  const double typ_vs_quote = bm.typical / bm.worst_case_quote;
+  t.add_row({"typical vs worst-case quote", fmt_pct(typ_vs_quote - 1.0),
+             "60-70%", verdict(typ_vs_quote - 1.0, 0.60, 0.70)});
+  const double fast_gain = bb.fast_tail / bb.typical;
+  t.add_row({"fastest parts vs typical (3-sigma)", fmt_pct(fast_gain - 1.0),
+             "20-40%", verdict(fast_gain - 1.0, 0.20, 0.40)});
+  t.add_row({"in-plant range (new process)", fmt_pct(bb.range_fraction),
+             "30-40%", verdict(bb.range_fraction, 0.30, 0.40)});
+  SampleStats sb, sm;
+  sb.add_all(best);
+  sm.add_all(merchant);
+  const double interfab = sb.quantile(0.5) / sm.quantile(0.5);
+  t.add_row({"between-fab gap", fmt_pct(interfab - 1.0), "20-25%",
+             verdict(interfab - 1.0, 0.20, 0.25)});
+  const double overall = bb.fast_tail / bm.slow_tail;
+  t.add_row({"custom fast silicon vs slow-fab worst silicon",
+             fmt_pct(overall - 1.0), "~90%", verdict(overall - 1.0, 0.75, 1.05)});
+  const double test_gain = speed_test_gain(merchant, derate, 0.95);
+  t.add_row({"speed testing parts vs quote", fmt_pct(test_gain - 1.0),
+             "30-40%", verdict(test_gain - 1.0, 0.30, 0.40)});
+  std::printf("%s\n", t.render().c_str());
+
+  // Why fabs won't sell the fast bin: yield economics.
+  std::printf("yield vs speed bin (best fab) — the fast tail has no volume:\n");
+  Table y({"bin (speed vs nominal)", "yield", "sellable for ASIC pricing?"});
+  for (double s : {0.85, 0.95, 1.00, 1.05, 1.10, 1.15, 1.20}) {
+    const double yield = bin_yield(best, s);
+    char bin[32];
+    std::snprintf(bin, sizeof bin, ">= %.2fx", s);
+    y.add_row({bin, fmt_pct(yield), yield > 0.90 ? "yes" : "no"});
+  }
+  std::printf("%s\n", y.render().c_str());
+
+  // Distribution shape (speed histogram, best fab).
+  std::printf("speed distribution, best fab (normalized to nominal):\n");
+  SampleStats stats;
+  stats.add_all(best);
+  Histogram h(stats.quantile(0.001), stats.quantile(0.999), 16);
+  for (double s : best) h.add(s);
+  for (std::size_t b = 0; b < h.bins(); ++b) {
+    const int bar = static_cast<int>(
+        60.0 * static_cast<double>(h.bin_count(b)) / static_cast<double>(kDies) * 8.0);
+    std::printf("  %.3f |%s\n", h.bin_center(b), std::string(
+        static_cast<std::size_t>(bar), '#').c_str());
+  }
+
+  // Why fabs won't sell the fast bin, in revenue terms (section 8.2).
+  {
+    const PriceCurve price;
+    const auto single = evaluate_plan(
+        best, single_grade_plan(best, derate), price);
+    const auto binned = evaluate_plan(
+        best, quantile_plan(best, {0.01, 0.5, 0.9, 0.99}), price);
+    const auto cherry = evaluate_plan(best, quantile_plan(best, {0.9987}), price);
+    Table econ({"selling strategy", "sell-through", "revenue/die",
+                "vs single grade"});
+    econ.add_row({"single worst-case grade (ASIC quote)",
+                  fmt_pct(single.sell_through), fmt(single.revenue_per_die, 1),
+                  "x1.00"});
+    econ.add_row({"speed-binned grades (custom vendor)",
+                  fmt_pct(binned.sell_through), fmt(binned.revenue_per_die, 1),
+                  fmt_factor(binned.revenue_per_die / single.revenue_per_die)});
+    econ.add_row({"fast 3-sigma grade only",
+                  fmt_pct(cherry.sell_through), fmt(cherry.revenue_per_die, 1),
+                  fmt_factor(cherry.revenue_per_die / single.revenue_per_die)});
+    std::printf("%s\n", econ.render().c_str());
+  }
+
+  // Maturity: the range tightens as the process matures (section 8.1.1).
+  const FabProfile mature{"mature", mature_process()};
+  const auto mature_speeds = monte_carlo_speeds(mature, kDies, 3);
+  const BinStats bmat = bin_stats(mature_speeds, derate);
+  std::printf("\nprocess maturity: new range %s -> mature range %s\n",
+              fmt_pct(bb.range_fraction).c_str(),
+              fmt_pct(bmat.range_fraction).c_str());
+  return 0;
+}

@@ -1,0 +1,139 @@
+/// \file bench_perf_tools.cpp
+/// Tool-performance microbenchmarks (google-benchmark): throughput of the
+/// EDA engines themselves — STA, technology mapping, placement, sizing —
+/// so regressions in the reproduction's own code are visible.
+
+#include <benchmark/benchmark.h>
+
+#include "datapath/multipliers.hpp"
+#include "designs/registry.hpp"
+#include "library/builders.hpp"
+#include "pipeline/pipeline.hpp"
+#include "pipeline/retiming.hpp"
+#include "place/place.hpp"
+#include "route/router.hpp"
+#include "sta/statistical.hpp"
+#include "sizing/tilos.hpp"
+#include "sta/sta.hpp"
+#include "synth/mapper.hpp"
+#include "tech/technology.hpp"
+
+namespace {
+
+using namespace gap;
+
+const library::CellLibrary& rich_lib() {
+  static const library::CellLibrary lib =
+      library::make_rich_asic_library(tech::asic_025um());
+  return lib;
+}
+
+void BM_AigConstruction(benchmark::State& state) {
+  const int width = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    auto aig = datapath::make_multiplier_aig(datapath::MultiplierKind::kWallace,
+                                             width);
+    benchmark::DoNotOptimize(aig.num_gates());
+  }
+  state.SetComplexityN(state.range(0));
+}
+BENCHMARK(BM_AigConstruction)->Arg(8)->Arg(16)->Arg(32)->Complexity();
+
+void BM_TechnologyMapping(benchmark::State& state) {
+  const auto aig = designs::make_design(
+      state.range(0) == 0 ? "alu16" : "alu32",
+      designs::DatapathStyle::kSynthesized);
+  for (auto _ : state) {
+    auto nl = synth::map_to_netlist(aig, rich_lib(), synth::MapOptions{}, "m");
+    benchmark::DoNotOptimize(nl.num_instances());
+  }
+}
+BENCHMARK(BM_TechnologyMapping)->Arg(0)->Arg(1);
+
+void BM_StaFullAnalysis(benchmark::State& state) {
+  const auto aig =
+      designs::make_design("alu32", designs::DatapathStyle::kSynthesized);
+  const auto nl =
+      synth::map_to_netlist(aig, rich_lib(), synth::MapOptions{}, "m");
+  const sta::StaOptions opt;
+  for (auto _ : state) {
+    const auto r = sta::analyze(nl, opt);
+    benchmark::DoNotOptimize(r.min_period_tau);
+  }
+  state.counters["instances"] = static_cast<double>(nl.num_instances());
+}
+BENCHMARK(BM_StaFullAnalysis);
+
+void BM_Placement(benchmark::State& state) {
+  const auto aig =
+      designs::make_design("alu16", designs::DatapathStyle::kSynthesized);
+  for (auto _ : state) {
+    auto nl = synth::map_to_netlist(aig, rich_lib(), synth::MapOptions{}, "m");
+    place::PlaceOptions opt;
+    opt.sa_moves = static_cast<int>(state.range(0));
+    const auto r = place::place(nl, opt);
+    benchmark::DoNotOptimize(r.total_hpwl_um);
+  }
+}
+BENCHMARK(BM_Placement)->Arg(1000)->Arg(10000);
+
+void BM_TilosSizing(benchmark::State& state) {
+  const auto aig =
+      designs::make_design("alu16", designs::DatapathStyle::kSynthesized);
+  for (auto _ : state) {
+    auto nl = synth::map_to_netlist(aig, rich_lib(), synth::MapOptions{}, "m");
+    sizing::initial_drive_assignment(nl);
+    sizing::SizingOptions opt;
+    opt.max_moves = 200;
+    const auto r = sizing::tilos_size(nl, opt);
+    benchmark::DoNotOptimize(r.final_period_tau);
+  }
+}
+BENCHMARK(BM_TilosSizing);
+
+void BM_GlobalRouting(benchmark::State& state) {
+  const auto aig =
+      designs::make_design("alu16", designs::DatapathStyle::kSynthesized);
+  auto nl = synth::map_to_netlist(aig, rich_lib(), synth::MapOptions{}, "m");
+  place::PlaceOptions popt;
+  popt.sa_moves = 2000;
+  place::place(nl, popt);
+  for (auto _ : state) {
+    const auto r = route::route(nl, route::RouteOptions{});
+    benchmark::DoNotOptimize(r.total_routed_um);
+  }
+}
+BENCHMARK(BM_GlobalRouting);
+
+void BM_Retiming(benchmark::State& state) {
+  const auto aig =
+      designs::make_design("alu16", designs::DatapathStyle::kSynthesized);
+  auto comb = synth::map_to_netlist(aig, rich_lib(), synth::MapOptions{}, "m");
+  pipeline::PipelineOptions popt;
+  popt.stages = 4;
+  popt.balanced = false;
+  const auto piped = pipeline::pipeline_insert(comb, popt);
+  for (auto _ : state) {
+    const auto r = pipeline::retime_min_period(piped.nl);
+    benchmark::DoNotOptimize(r.final_period_tau);
+  }
+}
+BENCHMARK(BM_Retiming);
+
+void BM_MonteCarloSta(benchmark::State& state) {
+  const auto aig =
+      designs::make_design("alu16", designs::DatapathStyle::kSynthesized);
+  const auto nl =
+      synth::map_to_netlist(aig, rich_lib(), synth::MapOptions{}, "m");
+  for (auto _ : state) {
+    sta::McStaOptions opt;
+    opt.samples = static_cast<int>(state.range(0));
+    const auto r = sta::monte_carlo_sta(nl, opt);
+    benchmark::DoNotOptimize(r.nominal_period_tau);
+  }
+}
+BENCHMARK(BM_MonteCarloSta)->Arg(20)->Arg(100);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,69 @@
+/// \file bench_x2_power_and_chip.cpp
+/// Extension experiments: the power axis the paper sets aside ("because
+/// of space restrictions we have focused exclusively on speed... viewed
+/// from the standpoint of area our results would be significantly
+/// different", section 9) and the chip-level floorplanning system test.
+///   (a) power per methodology: the speed techniques all cost power,
+///       echoing section 2's data points (Alpha: 750 MHz at 90 W; IBM
+///       PowerPC: 1 GHz at 6.3 W) and section 7's domino power warning;
+///   (b) chip-level floorplanning on the 4-block SoC.
+
+#include <cstdio>
+
+#include "common/table.hpp"
+#include "core/chip.hpp"
+#include "core/gap.hpp"
+#include "designs/registry.hpp"
+#include "power/power.hpp"
+
+int main() {
+  using namespace gap;
+  core::Flow flow(tech::asic_025um());
+  std::printf("X2: power and chip-level floorplanning (extensions)\n\n");
+
+  // --- (a) power per methodology ---
+  std::printf(
+      "(a) alu16 implemented under each methodology; power at the\n"
+      "    achieved frequency (activity from random-vector simulation):\n");
+  Table ta({"methodology", "freq", "dynamic", "clock+precharge", "leakage",
+            "total", "MHz/mW"});
+  for (const core::Methodology& m :
+       {core::typical_asic(), core::good_asic(), core::full_custom()}) {
+    const auto design = designs::make_design("alu16", m.datapath);
+    const auto r = flow.run(design, m);
+    power::PowerOptions popt;
+    popt.freq_mhz = r.freq_mhz;
+    const auto p = power::estimate_power(*r.nl, popt);
+    ta.add_row({m.name, fmt(r.freq_mhz, 0) + " MHz", fmt(p.dynamic_mw, 1),
+                fmt(p.clock_mw + p.precharge_mw, 1), fmt(p.leakage_mw, 2),
+                fmt(p.total_mw(), 1) + " mW",
+                fmt(r.freq_mhz / p.total_mw(), 1)});
+  }
+  std::printf("%s", ta.render().c_str());
+  std::printf(
+      "reading: the custom flow buys its speed with watts (bigger\n"
+      "transistors, domino clocking) — the Alpha-vs-PowerPC story of\n"
+      "section 2 in miniature.\n\n");
+
+  // --- (b) chip-level floorplanning ---
+  std::printf("(b) 4-block SoC, optimized vs careless floorplan:\n");
+  Table tb({"floorplan", "die (mm^2)", "module WL (um)", "cell HPWL (um)",
+            "freq"});
+  core::Methodology m = core::reference_methodology();
+  const auto good =
+      core::implement_chip(flow, m, core::FloorplanQuality::kOptimized, 5);
+  const auto bad =
+      core::implement_chip(flow, m, core::FloorplanQuality::kCareless, 5);
+  tb.add_row({"careless", fmt(bad.die_area_mm2, 2),
+              fmt(bad.module_wirelength_um, 0), fmt(bad.cell_hpwl_um, 0),
+              fmt(bad.freq_mhz, 0) + " MHz"});
+  tb.add_row({"optimized (SA)", fmt(good.die_area_mm2, 2),
+              fmt(good.module_wirelength_um, 0), fmt(good.cell_hpwl_um, 0),
+              fmt(good.freq_mhz, 0) + " MHz"});
+  std::printf("%s", tb.render().c_str());
+  std::printf(
+      "chip-level floorplanning gain: %s (section 5: \"a number of tools\n"
+      "are now reaching the ASIC market\" for exactly this)\n",
+      fmt_pct(good.freq_mhz / bad.freq_mhz - 1.0).c_str());
+  return 0;
+}

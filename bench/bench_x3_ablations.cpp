@@ -1,0 +1,129 @@
+/// \file bench_x3_ablations.cpp
+/// Ablations of the flow's own design choices, so every knob in the
+/// reproduction is justified by measurement:
+///   (a) mapper objective (delay vs area covers);
+///   (b) balanced vs naive pipeline cuts;
+///   (c) fanout buffering on/off;
+///   (d) optimal repeaters on/off under careless placement;
+///   (e) placement SA effort sweep;
+///   (f) initial drive-selection effort target.
+
+#include <cstdio>
+
+#include "common/table.hpp"
+#include "designs/registry.hpp"
+#include "library/builders.hpp"
+#include "place/place.hpp"
+#include "sizing/buffers.hpp"
+#include "sizing/tilos.hpp"
+#include "sta/sta.hpp"
+#include "synth/mapper.hpp"
+#include "tech/technology.hpp"
+
+namespace {
+
+using namespace gap;
+
+struct Impl {
+  double period_fo4;
+  double area_um2;
+};
+
+Impl run(const library::CellLibrary& lib, const char* design,
+         synth::MapObjective objective, bool buffers, double init_effort,
+         place::PlacementMode mode, int sa_moves, bool repeaters,
+         double scatter_die_mm = 0.0) {
+  const auto aig =
+      designs::make_design(design, designs::DatapathStyle::kSynthesized);
+  synth::MapOptions mopt;
+  mopt.objective = objective;
+  auto nl = synth::map_to_netlist(aig, lib, mopt, "d");
+  for (PortId p : nl.all_ports())
+    if (!nl.port(p).is_input) nl.net(nl.port(p).net).extra_cap_units += 8.0;
+
+  place::PlaceOptions popt;
+  popt.mode = mode;
+  popt.sa_moves = sa_moves;
+  popt.scatter_die_mm = scatter_die_mm;
+  place::place(nl, popt);
+
+  sizing::SizingOptions sopt;
+  sopt.sta.optimal_repeaters = repeaters;
+  sizing::initial_drive_assignment(nl, init_effort);
+  if (buffers) {
+    sizing::insert_buffers(nl, 96.0);
+    sizing::initial_drive_assignment(nl, init_effort);
+  }
+  sizing::tilos_size(nl, sopt);
+  const auto timing = sta::analyze(nl, sopt.sta);
+  return {timing.min_period_fo4, nl.total_area_um2()};
+}
+
+}  // namespace
+
+int main() {
+  const tech::Technology t = tech::asic_025um();
+  const auto lib = library::make_rich_asic_library(t);
+  std::printf("X3: flow design-choice ablations (design: alu16)\n\n");
+
+  using synth::MapObjective;
+  const auto base = [&](auto... overrides) {
+    return run(lib, "alu16", overrides...);
+  };
+
+  {
+    Table a({"mapper objective", "period (FO4)", "area (um^2)"});
+    const Impl d = base(MapObjective::kDelay, true, 4.0,
+                        place::PlacementMode::kCareful, 20000, true);
+    const Impl ar = base(MapObjective::kArea, true, 4.0,
+                         place::PlacementMode::kCareful, 20000, true);
+    a.add_row({"delay", fmt(d.period_fo4, 1), fmt(d.area_um2, 0)});
+    a.add_row({"area-flow", fmt(ar.period_fo4, 1), fmt(ar.area_um2, 0)});
+    std::printf("%s\n", a.render().c_str());
+  }
+  {
+    Table b({"fanout buffering", "period (FO4)", "area (um^2)"});
+    const Impl on = base(MapObjective::kDelay, true, 4.0,
+                         place::PlacementMode::kCareful, 20000, true);
+    const Impl off = base(MapObjective::kDelay, false, 4.0,
+                          place::PlacementMode::kCareful, 20000, true);
+    b.add_row({"trees at load > 96", fmt(on.period_fo4, 1), fmt(on.area_um2, 0)});
+    b.add_row({"none (driver sizing only)", fmt(off.period_fo4, 1),
+               fmt(off.area_um2, 0)});
+    std::printf("%s\n", b.render().c_str());
+  }
+  {
+    // Wire RC only bites at die scale: scatter over the paper's 100 mm^2
+    // chip so repeater insertion has work to do.
+    Table c({"repeaters (10 mm die, scattered)", "period (FO4)"});
+    const Impl on = base(MapObjective::kDelay, true, 4.0,
+                         place::PlacementMode::kScattered, 0, true, 10.0);
+    const Impl off = base(MapObjective::kDelay, true, 4.0,
+                          place::PlacementMode::kScattered, 0, false, 10.0);
+    c.add_row({"optimal repeaters", fmt(on.period_fo4, 1)});
+    c.add_row({"raw RC wires", fmt(off.period_fo4, 1)});
+    std::printf("%s\n", c.render().c_str());
+  }
+  {
+    Table d({"placement SA moves", "period (FO4)"});
+    for (int moves : {0, 2000, 20000, 60000}) {
+      const Impl r = base(MapObjective::kDelay, true, 4.0,
+                          place::PlacementMode::kCareful, moves, true);
+      d.add_row({std::to_string(moves), fmt(r.period_fo4, 1)});
+    }
+    std::printf("%s\n", d.render().c_str());
+  }
+  {
+    Table e({"initial drive effort target", "period (FO4)", "area (um^2)"});
+    for (double effort : {2.0, 4.0, 6.0, 8.0}) {
+      const Impl r = base(MapObjective::kDelay, true, effort,
+                          place::PlacementMode::kCareful, 20000, true);
+      e.add_row({fmt(effort, 0), fmt(r.period_fo4, 1), fmt(r.area_um2, 0)});
+    }
+    std::printf("%s", e.render().c_str());
+    std::printf(
+        "(effort ~4 = FO4-rule sizing: the logical-effort optimum the\n"
+        "whole delay model is normalized around)\n");
+  }
+  return 0;
+}

@@ -1,0 +1,78 @@
+/// \file bench_x4_migration.cpp
+/// Extension experiment: technology retargeting (section 8.3).
+///   "ASIC designs are typically easy to migrate between technology
+///   generations... and thus can easily switch to use the best
+///   fabrication plants available" — plus section 2's framing that one
+///   generation is worth ~1.5x and section 8.1.1's 5%-shrink = 18% data
+///   point, and section 8.3's library refreshes within a generation.
+
+#include <cstdio>
+
+#include "common/table.hpp"
+#include "core/migrate.hpp"
+#include "designs/registry.hpp"
+#include "library/builders.hpp"
+#include "sizing/tilos.hpp"
+#include "sta/sta.hpp"
+#include "synth/mapper.hpp"
+#include "tech/scaling.hpp"
+#include "tech/technology.hpp"
+
+int main() {
+  using namespace gap;
+  std::printf("X4: technology migration and scaling (section 8.3)\n\n");
+
+  const auto lib35 = library::make_rich_asic_library(tech::asic_035um());
+  const auto lib25 = library::make_rich_asic_library(tech::asic_025um());
+  const auto lib25r = library::make_rich_asic_library(tech::custom_025um());
+  const auto lib18 = library::make_rich_asic_library(tech::ibm_018um());
+
+  // One netlist, synthesized once in 0.35 um, retargeted everywhere —
+  // the push-button migration the paper contrasts with custom redesign.
+  const auto aig =
+      designs::make_design("alu16", designs::DatapathStyle::kSynthesized);
+  auto src = synth::map_to_netlist(aig, lib35, synth::MapOptions{}, "alu");
+  sizing::initial_drive_assignment(src);
+  sta::StaOptions opt;
+
+  Table t({"process", "FO4", "freq (same netlist)", "vs previous",
+           "paper expectation"});
+  double prev_mhz = 0.0;
+  struct Target {
+    const char* label;
+    const library::CellLibrary* lib;
+    const char* expect;
+  };
+  for (const Target& tgt :
+       {Target{"0.35 um ASIC", &lib35, "-"},
+        Target{"0.25 um ASIC (next generation)", &lib25, "~x1.5/generation"},
+        Target{"0.25 um refreshed lib (Leff 0.15)", &lib25r,
+               "library refresh, ~x1.2"},
+        Target{"0.18 um (next generation)", &lib18, "~x1.5/generation"}}) {
+    const auto migrated = core::migrate(src, *tgt.lib);
+    const auto timing = sta::analyze(migrated.nl, opt);
+    const double mhz = timing.frequency_mhz();
+    t.add_row({tgt.label, fmt(tgt.lib->technology().fo4_ps(), 0) + " ps",
+               fmt(mhz, 0) + " MHz",
+               prev_mhz > 0.0 ? fmt_factor(mhz / prev_mhz) : "-",
+               tgt.expect});
+    prev_mhz = mhz;
+  }
+  std::printf("%s\n", t.render().c_str());
+
+  Table s({"scaling model", "measured", "paper", "verdict"});
+  const double shrink = tech::speed_from_shrink(0.05);
+  s.add_row({"5% optical shrink (Intel 856)", fmt_pct(shrink - 1.0), "18%",
+             verdict(shrink - 1.0, 0.17, 0.19)});
+  const double gap_gens = tech::generations_equivalent(7.0);
+  s.add_row({"6-8x gap in generations", fmt(gap_gens, 1), "~5 (a decade)",
+             verdict(gap_gens, 4.0, 6.0)});
+  std::printf("%s\n", s.render().c_str());
+
+  std::printf(
+      "the asymmetry the paper highlights: this retargeting is one\n"
+      "function call for the ASIC netlist; the custom design would need\n"
+      "transistor resizing and circuit changes (section 8.3), which is\n"
+      "why ASICs can always chase the best available fab.\n");
+  return 0;
+}

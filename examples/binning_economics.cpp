@@ -1,0 +1,80 @@
+/// \file binning_economics.cpp
+/// Domain scenario from section 8 of the paper: you are shipping a
+/// 0.25 um ASIC and must pick a frequency to commit to. The worst-case
+/// library quote is safe but slow; speed-testing parts or moving to a
+/// better fab buys real megahertz. This example quantifies each option
+/// with the Monte Carlo variation model.
+
+#include <cstdio>
+
+#include "common/table.hpp"
+#include "tech/technology.hpp"
+#include "variation/variation.hpp"
+
+int main() {
+  using namespace gap;
+  using namespace gap::variation;
+
+  const tech::Technology t = tech::asic_025um();
+  // A 44-FO4-class design: the Xtensa-like 250 MHz (typical) part.
+  const double nominal_period_ps = 44.0 * t.fo4_ps();
+  const double nominal_mhz = 1.0e6 / nominal_period_ps;
+  std::printf(
+      "scenario: 44-FO4 ASIC in %s -> %.0f MHz at nominal silicon\n\n",
+      t.name.c_str(), nominal_mhz);
+
+  constexpr int kDies = 100000;
+  const SignoffDerating derate;
+
+  Table t1({"strategy", "committed freq", "yield", "vs quote"});
+  for (const FabProfile& fab : {merchant_fab(), best_fab()}) {
+    const auto speeds = monte_carlo_speeds(fab, kDies, 99);
+    const BinStats bins = bin_stats(speeds, derate);
+
+    const double quote_mhz = nominal_mhz * bins.worst_case_quote;
+    t1.add_row({std::string(fab.name) + ": worst-case quote",
+                fmt(quote_mhz, 0) + " MHz", "~100%", "x1.00"});
+
+    for (double yield : {0.99, 0.95, 0.90}) {
+      // Speed-tested: commit to what `yield` of parts reach, keeping the
+      // temperature margin (section 8.3).
+      const double tested =
+          speed_at_yield(speeds, yield) / derate.temperature;
+      const double mhz = nominal_mhz * tested;
+      char label[64];
+      std::snprintf(label, sizeof label, "%s: speed-test @ %.0f%% yield",
+                    fab.name, yield * 100.0);
+      t1.add_row({label, fmt(mhz, 0) + " MHz", fmt_pct(yield, 0),
+                  fmt_factor(tested / bins.worst_case_quote)});
+    }
+  }
+  std::printf("%s\n", t1.render().c_str());
+
+  // How much frequency can be promised per bin, and what fraction of
+  // wafers supports it (the fab's refusal to sell the fast bin).
+  const auto speeds = monte_carlo_speeds(best_fab(), kDies, 7);
+  std::printf("bin planning at the best fab:\n");
+  Table t2({"bin", "freq", "yield", "note"});
+  struct Bin {
+    const char* name;
+    double q;
+    const char* note;
+  };
+  for (const Bin& b : {Bin{"commodity", 0.01, "what ASIC pricing assumes"},
+                       Bin{"median", 0.50, "typical silicon"},
+                       Bin{"fast", 0.99, "custom vendors bin and sell this"},
+                       Bin{"cherry", 0.9987, "3-sigma; no sustainable volume"}}) {
+    SampleStats s;
+    s.add_all(speeds);
+    const double speed = s.quantile(b.q);
+    t2.add_row({b.name, fmt(nominal_mhz * speed, 0) + " MHz",
+                fmt_pct(1.0 - b.q), b.note});
+  }
+  std::printf("%s\n", t2.render().c_str());
+
+  std::printf(
+      "the paper's conclusion in action: worst-case signoff at a merchant\n"
+      "fab leaves ~40-65%% of achievable frequency on the table, which is\n"
+      "most of the x1.90 process factor in the ASIC-custom gap.\n");
+  return 0;
+}

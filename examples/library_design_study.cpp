@@ -1,0 +1,77 @@
+/// \file library_design_study.cpp
+/// Domain scenario: a library team deciding how many drive strengths and
+/// polarities to characterize. Reproduces the question behind the paper's
+/// reference [19] (Keutzer, Kolwicz & Lega, "Impact of Library Size on
+/// the Quality of Automated Synthesis") with the parameterized library
+/// generator: synthesize, buffer and size the same design against
+/// libraries of growing richness and watch speed, area and cell count.
+
+#include <cstdio>
+
+#include "common/table.hpp"
+#include "designs/registry.hpp"
+#include "library/builders.hpp"
+#include "sizing/buffers.hpp"
+#include "sizing/tilos.hpp"
+#include "sta/sta.hpp"
+#include "synth/mapper.hpp"
+#include "tech/technology.hpp"
+
+namespace {
+
+using namespace gap;
+
+struct Result {
+  double period_fo4;
+  double area_um2;
+};
+
+Result implement(const library::CellLibrary& lib) {
+  const auto aig =
+      designs::make_design("alu16", designs::DatapathStyle::kSynthesized);
+  auto nl = synth::map_to_netlist(aig, lib, synth::MapOptions{}, "d");
+  for (PortId p : nl.all_ports())
+    if (!nl.port(p).is_input) nl.net(nl.port(p).net).extra_cap_units += 8.0;
+  sizing::initial_drive_assignment(nl);
+  sizing::insert_buffers(nl, 96.0);
+  sizing::initial_drive_assignment(nl);
+  sizing::SizingOptions sopt;
+  sizing::tilos_size(nl, sopt);
+  const auto timing = sta::analyze(nl, sopt.sta);
+  return {timing.min_period_fo4, nl.total_area_um2()};
+}
+
+}  // namespace
+
+int main() {
+  const tech::Technology t = tech::asic_025um();
+  std::printf(
+      "library design study: alu16 synthesized against libraries of\n"
+      "growing richness (paper reference [19])\n\n");
+
+  gap::Table tab({"library", "cells", "period (FO4)", "area (um^2)"});
+  double baseline = 0.0;
+  for (const library::LibraryRecipe recipe :
+       {library::LibraryRecipe{1, 8.0, false, false},
+        library::LibraryRecipe{1, 32.0, false, false},
+        library::LibraryRecipe{1, 32.0, true, true},
+        library::LibraryRecipe{2, 32.0, true, true},
+        library::LibraryRecipe{3, 32.0, true, true},
+        library::LibraryRecipe{4, 64.0, true, true}}) {
+    const auto lib = library::make_parameterized_library(t, recipe);
+    const Result r = implement(lib);
+    if (baseline == 0.0) baseline = r.period_fo4;
+    tab.add_row({lib.name() + " (max x" + fmt(recipe.max_drive, 0) + ")",
+                 std::to_string(lib.size()), fmt(r.period_fo4, 1),
+                 fmt(r.area_um2, 0)});
+  }
+  std::printf("%s\n", tab.render().c_str());
+  std::printf(
+      "reading: extending the drive range (x8 -> x32) buys real speed; a\n"
+      "polarity-aware mapper makes inverting-only libraries nearly free\n"
+      "(the compound AND/OR cells even lose slightly to nand+polarity\n"
+      "optimization) — section 6.2's point that with appropriate libraries\n"
+      "and synthesis, ASICs \"are not lagging behind custom\" here; and\n"
+      "finer drive ladders converge into the 2-7%% band of [13][11].\n");
+  return 0;
+}

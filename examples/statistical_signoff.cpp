@@ -1,0 +1,84 @@
+/// \file statistical_signoff.cpp
+/// Domain scenario: sign off a design statistically instead of at a
+/// single worst-case corner. Monte Carlo STA samples per-gate (intra-die)
+/// and die-level variation on the real netlist and shows the two effects
+/// section 8.1.1 describes: deep paths *average* per-gate randomness
+/// (spread shrinks with depth) while the max over many near-critical
+/// paths *shifts the mean up* — the basis for the variation model's
+/// intra-die parameters.
+
+#include <cstdio>
+
+#include "common/table.hpp"
+#include "datapath/adders.hpp"
+#include "designs/registry.hpp"
+#include "library/builders.hpp"
+#include "sizing/tilos.hpp"
+#include "sta/statistical.hpp"
+#include "synth/mapper.hpp"
+#include "tech/technology.hpp"
+
+int main() {
+  using namespace gap;
+  const tech::Technology t = tech::asic_025um();
+  const auto lib = library::make_rich_asic_library(t);
+  std::printf(
+      "statistical signoff: Monte Carlo STA, 200 samples, per-gate sigma "
+      "10%%\n\n");
+
+  // Depth sweep: deeper logic averages more.
+  Table depth({"design", "logic depth-ish", "nominal (FO4)", "median (FO4)",
+               "mean shift", "q05-q95 spread"});
+  struct Case {
+    const char* name;
+    datapath::AdderKind kind;
+    int width;
+  };
+  for (const Case& c : {Case{"kogge-stone 16 (shallow)",
+                             datapath::AdderKind::kKoggeStone, 16},
+                        Case{"ripple 8 (medium)", datapath::AdderKind::kRipple,
+                             8},
+                        Case{"ripple 32 (deep)", datapath::AdderKind::kRipple,
+                             32}}) {
+    const auto aig = datapath::make_adder_aig(c.kind, c.width);
+    auto nl = synth::map_to_netlist(aig, lib, synth::MapOptions{}, "d");
+    sizing::initial_drive_assignment(nl);
+    sta::McStaOptions opt;
+    opt.samples = 200;
+    opt.sigma_gate = 0.10;
+    const auto r = sta::monte_carlo_sta(nl, opt);
+    depth.add_row({c.name, std::to_string(c.width),
+                   fmt(t.tau_to_fo4(r.nominal_period_tau), 1),
+                   fmt(t.tau_to_fo4(r.period_tau.quantile(0.5)), 1),
+                   fmt_pct(r.mean_shift()), fmt_pct(r.relative_spread())});
+  }
+  std::printf("%s\n", depth.render().c_str());
+
+  // Intra-die vs die-to-die decomposition on one design.
+  const auto aig =
+      designs::make_design("alu16", designs::DatapathStyle::kSynthesized);
+  auto nl = synth::map_to_netlist(aig, lib, synth::MapOptions{}, "alu");
+  sizing::initial_drive_assignment(nl);
+  Table decomp({"variation", "median (FO4)", "q05-q95 spread"});
+  struct V {
+    const char* name;
+    double gate, die;
+  };
+  for (const V& v : {V{"intra-die only (10% gate)", 0.10, 0.0},
+                     V{"die-to-die only (7%)", 0.0, 0.07},
+                     V{"both", 0.10, 0.07}}) {
+    sta::McStaOptions opt;
+    opt.samples = 200;
+    opt.sigma_gate = v.gate;
+    opt.sigma_die = v.die;
+    const auto r = sta::monte_carlo_sta(nl, opt);
+    decomp.add_row({v.name, fmt(t.tau_to_fo4(r.period_tau.quantile(0.5)), 1),
+                    fmt_pct(r.relative_spread())});
+  }
+  std::printf("%s\n", decomp.render().c_str());
+  std::printf(
+      "reading: die-level variation passes straight through to the bins\n"
+      "(section 8's 30-40%% range), while per-gate randomness mostly\n"
+      "cancels along deep ASIC paths — a mean shift, not a spread.\n");
+  return 0;
+}

@@ -1,0 +1,71 @@
+#include "clock/htree.hpp"
+
+#include <cmath>
+
+#include "common/check.hpp"
+#include "wire/repeaters.hpp"
+
+namespace gap::clock {
+namespace {
+
+struct QualityParams {
+  double systematic_per_stage;  ///< imbalance fraction of stage delay
+  double random_sigma_per_stage;
+  double buffer_delay_fo4;      ///< level buffer delay
+  /// Leaf-level load imbalance and margining as a fraction of the total
+  /// insertion delay — the dominant skew source in automatic CTS, where
+  /// leaf clusters see very different flop loads and the tool adds OCV
+  /// margins; custom teams tune and deskew it away.
+  double leaf_imbalance;
+};
+
+QualityParams params_for(TreeQuality q) {
+  switch (q) {
+    case TreeQuality::kAsic:
+      // Automatic CTS: conservative buffers, load mismatch, no deskew.
+      return {0.045, 0.030, 2.0, 0.13};
+    case TreeQuality::kCustom:
+      // Hand-matched tree/grid with deskew circuits (Alpha-style).
+      return {0.010, 0.010, 1.5, 0.018};
+  }
+  GAP_EXPECTS(false);
+  return {};
+}
+
+}  // namespace
+
+ClockTreeResult build_htree(const tech::Technology& t,
+                            const ClockTreeOptions& options) {
+  GAP_EXPECTS(options.num_sinks >= 1);
+  const QualityParams q = params_for(options.quality);
+
+  ClockTreeResult r;
+  // Each H-tree level quadruples the leaf count.
+  r.levels = 1;
+  while ((1 << (2 * r.levels)) < options.num_sinks) ++r.levels;
+
+  double span = (options.die_w_um + options.die_h_um) / 2.0;
+  double systematic_skew = 0.0;
+  double random_var = 0.0;
+  for (int level = 0; level < r.levels; ++level) {
+    // Branch wire for this level: half the current span, repeated.
+    wire::WireSegment seg;
+    seg.length_um = span / 2.0;
+    const wire::RepeaterPlan plan =
+        wire::plan_repeaters(t, seg, 4.0 * t.unit_inv_cin_ff);
+    const double stage_ps = q.buffer_delay_fo4 * t.fo4_ps() + plan.delay_ps;
+    r.insertion_delay_ps += stage_ps;
+    systematic_skew += q.systematic_per_stage * stage_ps;
+    const double sigma = q.random_sigma_per_stage * stage_ps;
+    random_var += sigma * sigma;
+    span /= 2.0;
+  }
+  // Two worst-case leaves differ by the systematic imbalance, the
+  // leaf-level load mismatch, plus a +/-3 sigma random spread between
+  // independent branches.
+  r.skew_ps = systematic_skew + q.leaf_imbalance * r.insertion_delay_ps +
+              3.0 * std::sqrt(random_var);
+  return r;
+}
+
+}  // namespace gap::clock

@@ -1,0 +1,188 @@
+#include "clock/useful_skew.hpp"
+
+#include <algorithm>
+#include <unordered_map>
+
+#include "common/check.hpp"
+#include "netlist/checks.hpp"
+
+namespace gap::clock {
+namespace {
+
+using netlist::NetDriver;
+using netlist::Netlist;
+using netlist::NetSink;
+
+/// Max-delay edge between two registers (or the host boundary).
+struct PathEdge {
+  std::uint32_t from;
+  std::uint32_t to;
+  double delay;  ///< clk-to-Q + combinational + setup, in tau
+};
+
+struct RegGraph {
+  std::vector<InstanceId> regs;
+  std::unordered_map<std::uint32_t, std::uint32_t> reg_index;
+  std::uint32_t host = 0;
+  std::vector<PathEdge> edges;
+  double comb_only_delay = 0.0;  ///< worst PI -> PO path (pins T)
+};
+
+/// Propagate from one source (a register's Q or the PI set) and emit
+/// edges for every register D and PO reached.
+void propagate_from(const Netlist& nl, const std::vector<InstanceId>& order,
+                    double corner, std::uint32_t source_vertex,
+                    const std::vector<NetId>& source_nets, double launch,
+                    RegGraph& g) {
+  constexpr double kNone = -1e30;
+  std::vector<double> arrival(nl.num_nets(), kNone);
+  for (NetId n : source_nets) arrival[n.index()] = launch;
+
+  auto arc = [&](InstanceId id) {
+    const library::Cell& c = nl.cell_of(id);
+    return corner *
+           (c.parasitic + nl.net_load(nl.instance(id).output) / nl.drive_of(id));
+  };
+
+  for (InstanceId id : order) {
+    if (nl.is_sequential(id)) continue;
+    double in_arr = kNone;
+    for (NetId in : nl.instance(id).inputs)
+      in_arr = std::max(in_arr, arrival[in.index()]);
+    if (in_arr == kNone) continue;
+    auto& out = arrival[nl.instance(id).output.index()];
+    out = std::max(out, in_arr + arc(id));
+  }
+
+  // Emit edges at endpoints.
+  double best_host = kNone;
+  std::vector<double> best_reg(g.regs.size(), kNone);
+  for (NetId nid : nl.all_nets()) {
+    const double a = arrival[nid.index()];
+    if (a == kNone) continue;
+    for (const NetSink& s : nl.net(nid).sinks) {
+      if (s.kind == NetSink::Kind::kPrimaryOutput) {
+        best_host = std::max(best_host, a);
+      } else if (nl.is_sequential(s.inst)) {
+        const double d = a + corner * nl.cell_of(s.inst).setup_tau;
+        auto& slot = best_reg[g.reg_index.at(s.inst.value())];
+        slot = std::max(slot, d);
+      }
+    }
+  }
+  if (best_host != kNone) {
+    if (source_vertex == g.host)
+      g.comb_only_delay = std::max(g.comb_only_delay, best_host);
+    else
+      g.edges.push_back({source_vertex, g.host, best_host});
+  }
+  for (std::uint32_t v = 0; v < best_reg.size(); ++v)
+    if (best_reg[v] != kNone) g.edges.push_back({source_vertex, v, best_reg[v]});
+}
+
+RegGraph extract(const Netlist& nl, double corner) {
+  RegGraph g;
+  for (InstanceId id : nl.all_instances())
+    if (nl.is_sequential(id)) {
+      g.reg_index.emplace(id.value(), static_cast<std::uint32_t>(g.regs.size()));
+      g.regs.push_back(id);
+    }
+  g.host = static_cast<std::uint32_t>(g.regs.size());
+
+  const auto order = netlist::topo_order(nl);
+
+  // From the PI boundary.
+  std::vector<NetId> pi_nets;
+  for (PortId p : nl.all_ports())
+    if (nl.port(p).is_input) pi_nets.push_back(nl.port(p).net);
+  propagate_from(nl, order, corner, g.host, pi_nets, 0.0, g);
+
+  // From every register's Q.
+  for (std::uint32_t v = 0; v < g.regs.size(); ++v) {
+    const InstanceId id = g.regs[v];
+    const library::Cell& c = nl.cell_of(id);
+    const double launch =
+        corner * (c.clk_to_q_tau + c.parasitic +
+                  nl.net_load(nl.instance(id).output) / nl.drive_of(id));
+    propagate_from(nl, order, corner, v, {nl.instance(id).output}, launch, g);
+  }
+  return g;
+}
+
+/// Feasibility of period T: the difference constraints
+///   s(u) - s(v) <= T - d(u,v)   (per path edge u -> v)
+///   |s(v)| <= bound             (host pinned at 0)
+/// admit a solution iff the constraint graph has no negative cycle.
+/// On success `skew` holds a witness schedule.
+bool feasible(const RegGraph& g, double T, double bound,
+              std::vector<double>& skew) {
+  const std::size_t n = g.regs.size() + 1;
+  // Bellman-Ford shortest-path relaxation: for each constraint
+  // s(a) - s(b) <= w, an edge b -> a with weight w.
+  struct CEdge {
+    std::uint32_t from, to;
+    double w;
+  };
+  std::vector<CEdge> edges;
+  edges.reserve(g.edges.size() + 2 * g.regs.size());
+  for (const PathEdge& e : g.edges)
+    edges.push_back({e.to, e.from, T - e.delay});
+  for (std::uint32_t v = 0; v < g.regs.size(); ++v) {
+    edges.push_back({g.host, v, bound});  // s(v) - s(host) <= bound
+    edges.push_back({v, g.host, bound});  // s(host) - s(v) <= bound
+  }
+
+  std::vector<double> dist(n, 0.0);  // start all-zero: detects any neg cycle
+  for (std::size_t iter = 0; iter < n; ++iter) {
+    bool changed = false;
+    for (const CEdge& e : edges) {
+      if (dist[e.from] + e.w < dist[e.to] - 1e-12) {
+        dist[e.to] = dist[e.from] + e.w;
+        changed = true;
+      }
+    }
+    if (!changed) {
+      // Normalize so the host sits at 0.
+      const double h = dist[g.host];
+      skew.assign(n, 0.0);
+      for (std::size_t v = 0; v < n; ++v) skew[v] = dist[v] - h;
+      return true;
+    }
+  }
+  return false;
+}
+
+}  // namespace
+
+UsefulSkewResult schedule_useful_skew(const Netlist& nl,
+                                      const UsefulSkewOptions& options) {
+  GAP_EXPECTS(options.bound_tau >= 0.0);
+  const RegGraph g = extract(nl, options.corner_delay_factor);
+
+  UsefulSkewResult r;
+  r.skew_tau.assign(nl.num_instances(), 0.0);
+  double t0 = g.comb_only_delay;
+  for (const PathEdge& e : g.edges) t0 = std::max(t0, e.delay);
+  r.period_zero_skew_tau = t0;
+  r.period_scheduled_tau = t0;
+  if (g.edges.empty()) return r;
+
+  double lo = g.comb_only_delay, hi = t0;
+  std::vector<double> skew, best_skew;
+  for (int iter = 0; iter < 40 && hi - lo > 1e-3; ++iter) {
+    const double mid = 0.5 * (lo + hi);
+    if (feasible(g, mid, options.bound_tau, skew)) {
+      hi = mid;
+      best_skew = skew;
+    } else {
+      lo = mid;
+    }
+  }
+  r.period_scheduled_tau = hi;
+  if (!best_skew.empty())
+    for (std::uint32_t v = 0; v < g.regs.size(); ++v)
+      r.skew_tau[g.regs[v].index()] = best_skew[v];
+  return r;
+}
+
+}  // namespace gap::clock

@@ -1,0 +1,56 @@
+#pragma once
+/// \file useful_skew.hpp
+/// Useful-skew scheduling (Fishburn's clock skew optimization): instead
+/// of forcing every register to see the clock at the same instant,
+/// intentionally offset each register's clock arrival within a bound so
+/// that slow stages borrow time from fast ones. This is the
+/// edge-triggered cousin of the latch time borrowing of section 4.1
+/// ("time stealing between pipeline stages with multi-phase clocking") —
+/// another technique custom teams used while the paper's ASIC tools could
+/// not.
+///
+/// Formulation: for each register-to-register path u -> v with maximum
+/// combinational delay d(u,v):
+///     s(u) + d(u,v) + setup <= s(v) + T
+/// with |s| <= bound (host/boundary registers pinned at 0). The minimum
+/// feasible T is found by binary search with Bellman-Ford negative-cycle
+/// detection on the difference-constraint graph.
+
+#include <vector>
+
+#include "netlist/netlist.hpp"
+
+namespace gap::clock {
+
+struct UsefulSkewOptions {
+  /// Maximum clock offset a register may receive, in tau (tree designers
+  /// can typically adjust within a couple of FO4).
+  double bound_tau = 10.0;
+  /// Process corner multiplier, matching the STA the caller uses.
+  double corner_delay_factor = 1.0;
+};
+
+struct UsefulSkewResult {
+  /// Zero-skew minimum period over register-to-register paths (tau).
+  double period_zero_skew_tau = 0.0;
+  /// Minimum period with the optimized schedule (tau).
+  double period_scheduled_tau = 0.0;
+  /// Clock offset per instance (tau), indexed by InstanceId; zero for
+  /// combinational instances.
+  std::vector<double> skew_tau;
+
+  [[nodiscard]] double speedup() const {
+    return period_scheduled_tau > 0.0
+               ? period_zero_skew_tau / period_scheduled_tau
+               : 1.0;
+  }
+};
+
+/// Schedule useful skew for all registers of `nl`. Paths from primary
+/// inputs and to primary outputs anchor at offset 0 (the block boundary
+/// keeps a nominal clock). Gate delays follow the STA arc model; wire
+/// delay is not included (pre-CTS usage).
+[[nodiscard]] UsefulSkewResult schedule_useful_skew(
+    const netlist::Netlist& nl, const UsefulSkewOptions& options);
+
+}  // namespace gap::clock

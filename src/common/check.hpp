@@ -1,0 +1,29 @@
+#pragma once
+/// \file check.hpp
+/// Contract-checking macros in the spirit of the C++ Core Guidelines'
+/// Expects/Ensures. Violations abort with a location message: a violated
+/// precondition in an EDA flow means the data structure invariants are gone
+/// and any result downstream would be garbage.
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace gap {
+
+[[noreturn]] inline void contract_failure(const char* kind, const char* expr,
+                                          const char* file, int line) {
+  std::fprintf(stderr, "%s violated: (%s) at %s:%d\n", kind, expr, file, line);
+  std::abort();
+}
+
+}  // namespace gap
+
+/// Precondition check; always on (EDA bugs silently corrupt results).
+#define GAP_EXPECTS(cond)                                               \
+  ((cond) ? static_cast<void>(0)                                        \
+          : ::gap::contract_failure("Precondition", #cond, __FILE__, __LINE__))
+
+/// Postcondition / invariant check.
+#define GAP_ENSURES(cond)                                               \
+  ((cond) ? static_cast<void>(0)                                        \
+          : ::gap::contract_failure("Postcondition", #cond, __FILE__, __LINE__))

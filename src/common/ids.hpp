@@ -1,0 +1,58 @@
+#pragma once
+/// \file ids.hpp
+/// Strong index types. EDA data structures are index-linked graphs (cells,
+/// nets, pins, AIG nodes); using a distinct type per index family turns the
+/// classic "used a net id where a pin id was expected" bug into a compile
+/// error at zero runtime cost.
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+
+namespace gap {
+
+/// A strongly typed 32-bit index. `Tag` distinguishes families.
+template <typename Tag>
+class Id {
+ public:
+  constexpr Id() = default;
+  constexpr explicit Id(std::uint32_t v) : value_(v) {}
+
+  [[nodiscard]] constexpr std::uint32_t value() const { return value_; }
+  [[nodiscard]] constexpr bool valid() const { return value_ != kInvalid; }
+
+  /// Index into a vector; caller guarantees validity.
+  [[nodiscard]] constexpr std::size_t index() const { return value_; }
+
+  friend constexpr bool operator==(Id, Id) = default;
+  friend constexpr auto operator<=>(Id, Id) = default;
+
+  static constexpr Id invalid() { return Id{}; }
+
+ private:
+  static constexpr std::uint32_t kInvalid = 0xFFFFFFFFu;
+  std::uint32_t value_ = kInvalid;
+};
+
+struct CellTag {};
+struct InstanceTag {};
+struct NetTag {};
+struct PortTag {};
+struct AigTag {};
+struct ModuleTag {};
+
+using CellId = Id<CellTag>;
+using InstanceId = Id<InstanceTag>;
+using NetId = Id<NetTag>;
+using PortId = Id<PortTag>;
+using AigNodeId = Id<AigTag>;
+using ModuleId = Id<ModuleTag>;
+
+}  // namespace gap
+
+template <typename Tag>
+struct std::hash<gap::Id<Tag>> {
+  std::size_t operator()(gap::Id<Tag> id) const noexcept {
+    return std::hash<std::uint32_t>{}(id.value());
+  }
+};

@@ -1,0 +1,93 @@
+#include "common/stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.hpp"
+
+namespace gap {
+
+void SampleStats::add(double x) {
+  samples_.push_back(x);
+  sorted_valid_ = false;
+}
+
+void SampleStats::add_all(const std::vector<double>& xs) {
+  samples_.insert(samples_.end(), xs.begin(), xs.end());
+  sorted_valid_ = false;
+}
+
+double SampleStats::mean() const {
+  GAP_EXPECTS(!samples_.empty());
+  double s = 0.0;
+  for (double x : samples_) s += x;
+  return s / static_cast<double>(samples_.size());
+}
+
+double SampleStats::variance() const {
+  GAP_EXPECTS(samples_.size() >= 2);
+  const double m = mean();
+  double s = 0.0;
+  for (double x : samples_) s += (x - m) * (x - m);
+  return s / static_cast<double>(samples_.size() - 1);
+}
+
+double SampleStats::stddev() const { return std::sqrt(variance()); }
+
+double SampleStats::min() const {
+  GAP_EXPECTS(!samples_.empty());
+  return *std::min_element(samples_.begin(), samples_.end());
+}
+
+double SampleStats::max() const {
+  GAP_EXPECTS(!samples_.empty());
+  return *std::max_element(samples_.begin(), samples_.end());
+}
+
+void SampleStats::ensure_sorted() const {
+  if (!sorted_valid_) {
+    sorted_ = samples_;
+    std::sort(sorted_.begin(), sorted_.end());
+    sorted_valid_ = true;
+  }
+}
+
+double SampleStats::quantile(double q) const {
+  GAP_EXPECTS(!samples_.empty());
+  GAP_EXPECTS(q >= 0.0 && q <= 1.0);
+  ensure_sorted();
+  if (sorted_.size() == 1) return sorted_[0];
+  const double pos = q * static_cast<double>(sorted_.size() - 1);
+  const auto lo = static_cast<std::size_t>(pos);
+  const auto hi = std::min(lo + 1, sorted_.size() - 1);
+  const double frac = pos - static_cast<double>(lo);
+  return sorted_[lo] * (1.0 - frac) + sorted_[hi] * frac;
+}
+
+Histogram::Histogram(double lo, double hi, std::size_t bins)
+    : lo_(lo), hi_(hi), counts_(bins, 0) {
+  GAP_EXPECTS(hi > lo);
+  GAP_EXPECTS(bins > 0);
+}
+
+void Histogram::add(double x) {
+  const double t = (x - lo_) / (hi_ - lo_);
+  auto i = static_cast<std::ptrdiff_t>(t * static_cast<double>(counts_.size()));
+  i = std::clamp<std::ptrdiff_t>(i, 0,
+                                 static_cast<std::ptrdiff_t>(counts_.size()) - 1);
+  ++counts_[static_cast<std::size_t>(i)];
+  ++total_;
+}
+
+std::size_t Histogram::bin_count(std::size_t i) const {
+  GAP_EXPECTS(i < counts_.size());
+  return counts_[i];
+}
+
+double Histogram::bin_center(std::size_t i) const {
+  GAP_EXPECTS(i < counts_.size());
+  const double w = (hi_ - lo_) / static_cast<double>(counts_.size());
+  return lo_ + (static_cast<double>(i) + 0.5) * w;
+}
+
+}  // namespace gap

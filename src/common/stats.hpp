@@ -1,0 +1,56 @@
+#pragma once
+/// \file stats.hpp
+/// Descriptive statistics for Monte Carlo experiments: running accumulator
+/// plus quantile extraction over stored samples (binning analysis needs
+/// order statistics, not just moments).
+
+#include <cstddef>
+#include <vector>
+
+namespace gap {
+
+/// Accumulates samples; provides moments and quantiles.
+class SampleStats {
+ public:
+  void add(double x);
+  void add_all(const std::vector<double>& xs);
+
+  [[nodiscard]] std::size_t count() const { return samples_.size(); }
+  [[nodiscard]] double mean() const;
+  [[nodiscard]] double variance() const;  ///< Unbiased (n-1) variance.
+  [[nodiscard]] double stddev() const;
+  [[nodiscard]] double min() const;
+  [[nodiscard]] double max() const;
+
+  /// Quantile q in [0,1] by linear interpolation of order statistics.
+  /// Requires count() > 0.
+  [[nodiscard]] double quantile(double q) const;
+
+  [[nodiscard]] const std::vector<double>& samples() const { return samples_; }
+
+ private:
+  void ensure_sorted() const;
+
+  std::vector<double> samples_;
+  mutable std::vector<double> sorted_;
+  mutable bool sorted_valid_ = false;
+};
+
+/// Fixed-width histogram over [lo, hi] with `bins` buckets.
+class Histogram {
+ public:
+  Histogram(double lo, double hi, std::size_t bins);
+
+  void add(double x);  ///< Values outside [lo,hi] clamp to edge buckets.
+  [[nodiscard]] std::size_t bin_count(std::size_t i) const;
+  [[nodiscard]] std::size_t bins() const { return counts_.size(); }
+  [[nodiscard]] double bin_center(std::size_t i) const;
+  [[nodiscard]] std::size_t total() const { return total_; }
+
+ private:
+  double lo_, hi_;
+  std::vector<std::size_t> counts_;
+  std::size_t total_ = 0;
+};
+
+}  // namespace gap

@@ -1,0 +1,36 @@
+#pragma once
+/// \file chip.hpp
+/// Chip-level implementation: floorplan the SoC's modules, place each
+/// block inside its rectangle, then buffer/size/time the whole chip.
+/// Comparing a good floorplan against a careless one measures section
+/// 5's claim at the system level, where it actually bites.
+
+#include "core/flow.hpp"
+#include "designs/soc.hpp"
+
+namespace gap::core {
+
+enum class FloorplanQuality {
+  kOptimized,  ///< sequence-pair SA on the real connectivity
+  kCareless,   ///< arbitrary module arrangement spread over a larger die
+};
+
+struct ChipResult {
+  std::shared_ptr<netlist::Netlist> nl;
+  sta::TimingResult timing;
+  double freq_mhz = 0.0;
+  double die_area_mm2 = 0.0;
+  double module_wirelength_um = 0.0;  ///< weighted module-level HPWL
+  double cell_hpwl_um = 0.0;          ///< total cell-level HPWL
+};
+
+/// Implement the SoC under a methodology with the given floorplan
+/// quality. The methodology's placement mode is overridden (placement is
+/// always careful inside the module rectangles; the floorplan decides
+/// where the rectangles are).
+[[nodiscard]] ChipResult implement_chip(const Flow& flow,
+                                        const Methodology& m,
+                                        FloorplanQuality quality,
+                                        std::uint64_t seed = 1);
+
+}  // namespace gap::core

@@ -1,0 +1,115 @@
+#include "core/flow.hpp"
+
+#include "library/builders.hpp"
+#include "netlist/checks.hpp"
+#include "pipeline/pipeline.hpp"
+#include "route/router.hpp"
+#include "sizing/buffers.hpp"
+#include "sizing/tilos.hpp"
+#include "sizing/wires.hpp"
+#include "synth/mapper.hpp"
+
+namespace gap::core {
+namespace {
+
+sta::StaOptions sta_options_for(const Methodology& m) {
+  sta::StaOptions opt;
+  opt.corner_delay_factor = m.corner.delay_factor;
+  opt.clock.skew_fraction = m.skew_fraction;
+  opt.optimal_repeaters = m.optimal_repeaters;
+  return opt;
+}
+
+}  // namespace
+
+Flow::Flow(tech::Technology technology, std::uint64_t seed)
+    : tech_(std::move(technology)), seed_(seed) {
+  poor_ = std::make_unique<library::CellLibrary>(
+      library::make_poor_asic_library(tech_));
+  rich_ = std::make_unique<library::CellLibrary>(
+      library::make_rich_asic_library(tech_));
+  custom_ = std::make_unique<library::CellLibrary>(
+      library::make_custom_library(tech_));
+  // Domino counterparts are available everywhere; whether a flow uses
+  // them is the Methodology's dynamic_logic knob.
+  library::add_domino_cells(*poor_);
+  library::add_domino_cells(*rich_);
+  library::add_domino_cells(*custom_);
+}
+
+Flow::~Flow() = default;
+
+const library::CellLibrary& Flow::library_for(LibraryKind k) const {
+  switch (k) {
+    case LibraryKind::kPoorAsic: return *poor_;
+    case LibraryKind::kRichAsic: return *rich_;
+    case LibraryKind::kCustom: return *custom_;
+  }
+  return *rich_;
+}
+
+FlowResult Flow::run(const logic::Aig& design, const Methodology& m) const {
+  const library::CellLibrary& lib = library_for(m.library);
+
+  // 1. Technology mapping.
+  synth::MapOptions map_opt;
+  map_opt.objective = synth::MapObjective::kDelay;
+  map_opt.family = m.dynamic_logic ? library::Family::kDomino
+                                   : library::Family::kStatic;
+  netlist::Netlist mapped =
+      synth::map_to_netlist(design, lib, map_opt, design.po_name(0) + "_impl");
+
+  // 2. Pipelining (stages == 1 just register-bounds the design).
+  pipeline::PipelineOptions pipe_opt;
+  pipe_opt.stages = m.pipeline_stages;
+  pipe_opt.balanced = m.balanced_stages;
+  pipeline::PipelineResult piped = pipeline::pipeline_insert(mapped, pipe_opt);
+
+  FlowResult result;
+  result.nl = std::make_shared<netlist::Netlist>(std::move(piped.nl));
+  result.pipeline_registers = piped.registers_added;
+  netlist::Netlist& nl = *result.nl;
+
+  // 3. Placement, then global routing: net lengths come from the routed
+  // topology (HPWL plus congestion detours), not bare bounding boxes.
+  place::PlaceOptions place_opt;
+  place_opt.mode = m.placement;
+  place_opt.seed = seed_;
+  const place::PlaceResult placed = place::place(nl, place_opt);
+  result.die_w_um = placed.die_w_um;
+  result.die_h_um = placed.die_h_um;
+  route::route(nl, route::RouteOptions{});
+
+  // 4. Gate sizing: fanout buffering of overloaded nets, synthesis-style
+  // initial drive selection against the post-placement loads, then TILOS
+  // refinement on the critical path.
+  const sta::StaOptions sta_opt = sta_options_for(m);
+  if (m.sizing != SizingLevel::kNone) {
+    sizing::initial_drive_assignment(nl);
+    // Fanout trees only on nets too big for driver upsizing alone.
+    sizing::insert_buffers(nl, 96.0);
+    sizing::initial_drive_assignment(nl);
+    sizing::SizingOptions size_opt;
+    size_opt.sta = sta_opt;
+    size_opt.continuous =
+        m.sizing == SizingLevel::kContinuous && lib.continuous_sizing;
+    size_opt.continuous_step = 1.25;
+    const sizing::SizingResult sized = sizing::tilos_size(nl, size_opt);
+    result.sizing_moves = sized.moves;
+    if (m.sizing == SizingLevel::kContinuous) {
+      // Custom teams also size wires (section 6: "wires may be widened
+      // to reduce the delays"; tooling the paper calls future work).
+      sizing::WireSizingOptions wopt;
+      wopt.sta = sta_opt;
+      sizing::widen_critical_wires(nl, wopt);
+    }
+  }
+
+  // 5. Sign-off timing.
+  result.timing = sta::analyze(nl, sta_opt);
+  result.freq_mhz = result.timing.frequency_mhz();
+  result.area_um2 = nl.total_area_um2();
+  return result;
+}
+
+}  // namespace gap::core

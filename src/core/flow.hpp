@@ -1,0 +1,52 @@
+#pragma once
+/// \file flow.hpp
+/// The end-to-end implementation flow: technology map -> pipeline ->
+/// place -> size -> timing sign-off, all steered by a Methodology. This
+/// is the engine behind the factor decomposition: every number in the
+/// reproduction is produced by running this flow, not by table lookup.
+
+#include <memory>
+#include <optional>
+
+#include "core/methodology.hpp"
+#include "logic/aig.hpp"
+#include "netlist/netlist.hpp"
+#include "sta/sta.hpp"
+
+namespace gap::core {
+
+struct FlowResult {
+  std::shared_ptr<netlist::Netlist> nl;  ///< final implemented netlist
+  sta::TimingResult timing;
+  double freq_mhz = 0.0;
+  double area_um2 = 0.0;
+  int pipeline_registers = 0;
+  int sizing_moves = 0;
+  double die_w_um = 0.0;
+  double die_h_um = 0.0;
+};
+
+/// Owns the cell libraries for one technology and runs flows against it.
+class Flow {
+ public:
+  explicit Flow(tech::Technology technology, std::uint64_t seed = 1);
+  ~Flow();
+  Flow(const Flow&) = delete;
+  Flow& operator=(const Flow&) = delete;
+
+  /// Implement a combinational core under the given methodology.
+  [[nodiscard]] FlowResult run(const logic::Aig& design,
+                               const Methodology& m) const;
+
+  [[nodiscard]] const library::CellLibrary& library_for(LibraryKind k) const;
+  [[nodiscard]] const tech::Technology& technology() const { return tech_; }
+
+ private:
+  tech::Technology tech_;
+  std::uint64_t seed_;
+  std::unique_ptr<library::CellLibrary> poor_;
+  std::unique_ptr<library::CellLibrary> rich_;
+  std::unique_ptr<library::CellLibrary> custom_;
+};
+
+}  // namespace gap::core

@@ -1,0 +1,77 @@
+#pragma once
+/// \file gap.hpp
+/// The paper's primary contribution as an executable artifact: quantify
+/// each of section 3's five factors and compose them.
+///
+/// The paper's factor table lists the *maximum contribution* of each
+/// factor — measured with everything else held at a representative
+/// setting — and multiplies them to the x18 bound, while noting that "in
+/// practice, even the best custom designs don't take full advantage" (the
+/// realized gap is 6-8x). decompose() reproduces exactly that structure:
+///  - per factor: flip only that dimension between its ASIC and custom
+///    settings around a neutral reference methodology;
+///  - product of the individual factors (the paper's x18 arithmetic);
+///  - joint run: all dimensions ASIC vs all custom (the realized gap);
+///  - cumulative stacking, which shows how the factors overlap (section
+///    9's observation that pipelining and process variation alone account
+///    for all but a factor of 2-3).
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "core/flow.hpp"
+
+namespace gap::core {
+
+/// One methodology dimension with its ASIC-side and custom-side settings
+/// and the paper's claimed contribution band.
+struct Factor {
+  std::string name;
+  double paper_lo = 1.0;
+  double paper_hi = 1.0;
+  std::function<void(Methodology&)> apply_asic;
+  std::function<void(Methodology&)> apply_custom;
+};
+
+/// The paper's five factors in section 3 order.
+[[nodiscard]] std::vector<Factor> paper_factors();
+
+/// A neutral reference methodology for the ceteris-paribus measurements:
+/// rich ASIC library, discrete sizing, careful placement, static CMOS,
+/// typical silicon, single stage.
+[[nodiscard]] Methodology reference_methodology();
+
+struct FactorRow {
+  std::string name;
+  double paper_lo = 1.0;
+  double paper_hi = 1.0;
+  /// Max contribution: custom vs ASIC setting of this factor alone,
+  /// everything else at the reference (the paper's factor table).
+  double individual = 1.0;
+  /// Gain of adding this factor on top of all previous ones (joint run).
+  double marginal = 1.0;
+  /// Cumulative speedup over the all-ASIC baseline after this factor.
+  double cumulative = 1.0;
+};
+
+struct GapReport {
+  double base_mhz = 0.0;       ///< all factors at their ASIC setting
+  double full_mhz = 0.0;       ///< all factors at their custom setting
+  double total_ratio = 1.0;    ///< realized gap (paper: 6-8x)
+  double product_individual = 1.0;  ///< paper's multiplied bound (x18)
+  std::vector<FactorRow> rows;
+};
+
+/// Builds the design under study for a given datapath style — the
+/// micro-architecture factor regenerates the datapath with macro cells,
+/// so the decomposition needs the generator, not a fixed netlist.
+using DesignFactory = std::function<logic::Aig(designs::DatapathStyle)>;
+
+/// Run the decomposition.
+[[nodiscard]] GapReport decompose(const Flow& flow,
+                                  const DesignFactory& design,
+                                  const Methodology& reference,
+                                  const std::vector<Factor>& factors);
+
+}  // namespace gap::core

@@ -1,0 +1,84 @@
+#include "core/migrate.hpp"
+
+#include <cmath>
+
+#include "common/check.hpp"
+#include "netlist/checks.hpp"
+
+namespace gap::core {
+
+MigrationResult migrate(const netlist::Netlist& nl,
+                        const library::CellLibrary& target) {
+  MigrationResult result{netlist::Netlist(nl.name() + "_migrated", &target),
+                         0, 0, 0};
+  netlist::Netlist& out = result.nl;
+
+  // Nets: input-port nets come from add_input; the rest are plain nets.
+  // Physical annotations (length, width) are dropped — the new process
+  // gets its own placement.
+  std::vector<NetId> nets(nl.num_nets());
+  std::vector<bool> created(nl.num_nets(), false);
+  for (PortId p : nl.all_ports()) {
+    const netlist::Port& port = nl.port(p);
+    if (!port.is_input) continue;
+    const PortId np = out.add_input(port.name, port.ext_drive);
+    nets[port.net.index()] = out.port(np).net;
+    created[port.net.index()] = true;
+  }
+  for (NetId n : nl.all_nets()) {
+    if (created[n.index()]) continue;
+    nets[n.index()] = out.add_net(nl.net(n).name);
+    created[n.index()] = true;
+  }
+  // External loading carries over unchanged (outputs are added with zero
+  // additional load below).
+  for (NetId n : nl.all_nets())
+    out.net(nets[n.index()]).extra_cap_units = nl.net(n).extra_cap_units;
+
+  for (InstanceId id : nl.all_instances()) {
+    const netlist::Instance& inst = nl.instance(id);
+    const library::Cell& c = nl.cell_of(id);
+    const double want_drive = nl.drive_of(id);
+
+    library::Family fam = c.family;
+    if (!target.has(c.func, fam)) {
+      fam = library::Family::kStatic;
+      ++result.refamilied;
+    }
+    GAP_EXPECTS(target.has(c.func, fam));
+
+    // Closest drive in the target ladder (log distance: a 2x-too-big
+    // cell is as wrong as a 2x-too-small one).
+    CellId best;
+    double best_err = 1e30;
+    for (CellId cand : target.cells_of(c.func, fam)) {
+      const double err =
+          std::abs(std::log(target.cell(cand).drive / want_drive));
+      if (err < best_err) {
+        best_err = err;
+        best = cand;
+      }
+    }
+    if (std::abs(target.cell(best).drive - want_drive) < 1e-9)
+      ++result.exact_cells;
+    else
+      ++result.resized_cells;
+
+    std::vector<NetId> ins;
+    ins.reserve(inst.inputs.size());
+    for (NetId in : inst.inputs) ins.push_back(nets[in.index()]);
+    out.add_instance(inst.name, best, std::move(ins),
+                     nets[inst.output.index()]);
+  }
+
+  for (PortId p : nl.all_ports()) {
+    const netlist::Port& port = nl.port(p);
+    if (port.is_input) continue;
+    out.add_output(port.name, nets[port.net.index()], 0.0);
+  }
+
+  GAP_ENSURES(netlist::verify(out).ok());
+  return result;
+}
+
+}  // namespace gap::core

@@ -1,0 +1,28 @@
+#pragma once
+/// \file migrate.hpp
+/// Technology migration (section 8.3): "ASIC designs are typically easy
+/// to migrate between technology generations, as they are retargetable to
+/// different processes... Whereas custom designs cannot simply be mapped
+/// to a new gate library." This pass does exactly that retargeting: every
+/// instance is rebound to the closest-drive cell of the same function and
+/// family in the target library; drive overrides are carried over
+/// (clamped to the target's range) and physical annotations are dropped
+/// (the new process gets its own placement).
+
+#include "netlist/netlist.hpp"
+
+namespace gap::core {
+
+struct MigrationResult {
+  netlist::Netlist nl;
+  std::size_t exact_cells = 0;    ///< same function and drive found
+  std::size_t resized_cells = 0;  ///< nearest drive substituted
+  std::size_t refamilied = 0;     ///< domino fell back to static (or absent)
+};
+
+/// Retarget `nl` onto `target`. Every function used by `nl` must exist in
+/// `target` in some family (the static fallback mirrors the mapper's).
+[[nodiscard]] MigrationResult migrate(const netlist::Netlist& nl,
+                                      const library::CellLibrary& target);
+
+}  // namespace gap::core

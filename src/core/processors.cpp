@@ -1,0 +1,53 @@
+#include "core/processors.hpp"
+
+#include "common/check.hpp"
+
+namespace gap::core {
+
+double model_fo4_per_cycle(const ProcessorModel& m) {
+  return m.logic_fo4 * (1.0 + m.overhead_fraction);
+}
+
+double model_mhz(const ProcessorModel& m) {
+  const double period_ps =
+      model_fo4_per_cycle(m) * m.tech.fo4_ps() * m.corner_delay;
+  GAP_EXPECTS(period_ps > 0.0);
+  return 1.0e6 / period_ps;
+}
+
+std::vector<ProcessorModel> processor_survey() {
+  std::vector<ProcessorModel> v;
+
+  // Alpha 21264A, 750 MHz: the paper cites 15 FO4 of logic for the 21264
+  // family with custom latches at ~15% of cycle plus ~5% skew -> ~20%
+  // overhead; shipped bins straddle nominal on a tuned process.
+  v.push_back({"Alpha 21264A", tech::custom_025um(), 15.0, 0.20, 0.99, 700,
+               800});
+
+  // IBM 1.0 GHz PowerPC: 13 FO4 per cycle total (footnote 1: 75 ps FO4),
+  // i.e. about 10.8 FO4 of logic at 20% overhead; leading-edge silicon.
+  v.push_back({"IBM 1GHz PowerPC", tech::custom_025um(), 10.8, 0.20, 1.0,
+               950, 1050});
+
+  // Tensilica Xtensa, 250 MHz in a 0.25 um ASIC process: ~44 FO4 per
+  // cycle (footnote 2), i.e. ~34 FO4 of logic at 30% ASIC overhead,
+  // reported for typical silicon.
+  v.push_back({"Tensilica Xtensa", tech::asic_025um(), 34.0, 0.30, 1.0, 240,
+               260});
+
+  // High-speed network ASIC: up to 200 MHz (section 2) — shallower logic
+  // than a processor but conservative signoff.
+  v.push_back({"network ASIC", tech::asic_025um(), 33.0, 0.30, 1.28, 190,
+               210});
+
+  // Typical ASIC: 120-150 MHz. Unpipelined 44-FO4-class logic, 25%
+  // overhead, signed off between typical and worst case.
+  v.push_back({"typical ASIC (fast)", tech::asic_025um(), 44.0, 0.25, 1.34,
+               145, 155});
+  v.push_back({"typical ASIC (slow)", tech::asic_025um(), 44.0, 0.25, 1.65,
+               115, 125});
+
+  return v;
+}
+
+}  // namespace gap::core

@@ -1,0 +1,35 @@
+#pragma once
+/// \file processors.hpp
+/// FO4-normalized models of the processors the paper surveys in section 2,
+/// with the logic depth, pipeline overhead and shipped corner that section
+/// 4 attributes to each. model_mhz() turns the model into a clock rate:
+///   T = logic_fo4 * (1 + overhead) * FO4(tech) * corner.
+
+#include <string>
+#include <vector>
+
+#include "tech/technology.hpp"
+
+namespace gap::core {
+
+struct ProcessorModel {
+  std::string name;
+  tech::Technology tech;
+  double logic_fo4 = 0.0;       ///< critical-path logic per cycle
+  double overhead_fraction = 0.0;  ///< registers + skew as logic fraction
+  double corner_delay = 1.0;    ///< shipped silicon vs process nominal
+  double paper_mhz_lo = 0.0;    ///< the paper's reported clock range
+  double paper_mhz_hi = 0.0;
+};
+
+/// Predicted frequency of a model.
+[[nodiscard]] double model_mhz(const ProcessorModel& m);
+
+/// Total FO4 per cycle (logic + overhead), the section 4 metric.
+[[nodiscard]] double model_fo4_per_cycle(const ProcessorModel& m);
+
+/// The section 2 survey: Alpha 21264A, IBM PowerPC, Tensilica Xtensa,
+/// high-speed network ASIC, typical ASIC, slow ASIC.
+[[nodiscard]] std::vector<ProcessorModel> processor_survey();
+
+}  // namespace gap::core

@@ -1,0 +1,251 @@
+#include "datapath/adders.hpp"
+
+#include <string>
+
+#include "common/check.hpp"
+
+namespace gap::datapath {
+namespace {
+
+struct FullAdder {
+  Lit sum;
+  Lit carry;
+};
+
+FullAdder full_adder(Aig& aig, Lit a, Lit b, Lit c) {
+  return {aig.create_xor_n({a, b, c}), aig.create_maj(a, b, c)};
+}
+
+AdderResult ripple(Aig& aig, const std::vector<Lit>& a,
+                   const std::vector<Lit>& b, Lit cin) {
+  AdderResult r;
+  Lit carry = cin;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    const FullAdder fa = full_adder(aig, a[i], b[i], carry);
+    r.sum.push_back(fa.sum);
+    carry = fa.carry;
+  }
+  r.carry_out = carry;
+  return r;
+}
+
+/// One-level carry-lookahead with 4-bit groups; carries ripple between
+/// groups through the (G, P) block terms.
+AdderResult carry_lookahead(Aig& aig, const std::vector<Lit>& a,
+                            const std::vector<Lit>& b, Lit cin) {
+  const std::size_t n = a.size();
+  std::vector<Lit> p(n), g(n), c(n + 1);
+  for (std::size_t i = 0; i < n; ++i) {
+    p[i] = aig.create_xor(a[i], b[i]);
+    g[i] = aig.create_and(a[i], b[i]);
+  }
+  c[0] = cin;
+  for (std::size_t base = 0; base < n; base += 4) {
+    const std::size_t hi = std::min(base + 4, n);
+    // Carries within the group, two-level lookahead from c[base].
+    for (std::size_t i = base; i < hi; ++i) {
+      // c[i+1] = g_i + p_i g_{i-1} + ... + p_i..p_base * c[base]
+      std::vector<Lit> terms;
+      Lit prefix = logic::lit_true();
+      for (std::size_t j = i + 1; j-- > base;) {
+        terms.push_back(aig.create_and(prefix, g[j]));
+        prefix = aig.create_and(prefix, p[j]);
+      }
+      terms.push_back(aig.create_and(prefix, c[base]));
+      c[i + 1] = aig.create_or_n(terms);
+    }
+  }
+  AdderResult r;
+  for (std::size_t i = 0; i < n; ++i)
+    r.sum.push_back(aig.create_xor(p[i], c[i]));
+  r.carry_out = c[n];
+  return r;
+}
+
+/// Carry-select with progressively growing block sizes.
+AdderResult carry_select(Aig& aig, const std::vector<Lit>& a,
+                         const std::vector<Lit>& b, Lit cin) {
+  const std::size_t n = a.size();
+  AdderResult r;
+  Lit carry = cin;
+  std::size_t base = 0;
+  std::size_t block = 2;
+  bool first = true;
+  while (base < n) {
+    const std::size_t hi = std::min(base + block, n);
+    const std::vector<Lit> ablk(a.begin() + static_cast<long>(base),
+                                a.begin() + static_cast<long>(hi));
+    const std::vector<Lit> bblk(b.begin() + static_cast<long>(base),
+                                b.begin() + static_cast<long>(hi));
+    if (first) {
+      // First block sees the real carry immediately; no selection needed.
+      AdderResult blk = ripple(aig, ablk, bblk, carry);
+      r.sum.insert(r.sum.end(), blk.sum.begin(), blk.sum.end());
+      carry = blk.carry_out;
+      first = false;
+    } else {
+      AdderResult blk0 = ripple(aig, ablk, bblk, logic::lit_false());
+      AdderResult blk1 = ripple(aig, ablk, bblk, logic::lit_true());
+      for (std::size_t i = 0; i < blk0.sum.size(); ++i)
+        r.sum.push_back(aig.create_mux(carry, blk1.sum[i], blk0.sum[i]));
+      carry = aig.create_mux(carry, blk1.carry_out, blk0.carry_out);
+    }
+    base = hi;
+    ++block;  // later blocks get longer as the select signal arrives later
+  }
+  r.carry_out = carry;
+  return r;
+}
+
+/// Kogge-Stone parallel-prefix adder.
+AdderResult kogge_stone(Aig& aig, const std::vector<Lit>& a,
+                        const std::vector<Lit>& b, Lit cin) {
+  const std::size_t n = a.size();
+  std::vector<Lit> p(n), g(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    p[i] = aig.create_xor(a[i], b[i]);
+    g[i] = aig.create_and(a[i], b[i]);
+  }
+  // Prefix combine: (g, p) o (g', p') = (g + p g', p p').
+  std::vector<Lit> G = g, P = p;
+  for (std::size_t d = 1; d < n; d *= 2) {
+    std::vector<Lit> G2 = G, P2 = P;
+    for (std::size_t i = d; i < n; ++i) {
+      G2[i] = aig.create_or(G[i], aig.create_and(P[i], G[i - d]));
+      P2[i] = aig.create_and(P[i], P[i - d]);
+    }
+    G = std::move(G2);
+    P = std::move(P2);
+  }
+  AdderResult r;
+  // c_0 = cin; c_{i} = G_{i-1} + P_{i-1} cin for i >= 1.
+  std::vector<Lit> c(n + 1);
+  c[0] = cin;
+  for (std::size_t i = 1; i <= n; ++i)
+    c[i] = aig.create_or(G[i - 1], aig.create_and(P[i - 1], cin));
+  for (std::size_t i = 0; i < n; ++i)
+    r.sum.push_back(aig.create_xor(p[i], c[i]));
+  r.carry_out = c[n];
+  return r;
+}
+
+/// Carry-skip: ripple blocks whose carry can bypass the block when every
+/// bit propagates (the classic low-cost speedup over plain ripple).
+AdderResult carry_skip(Aig& aig, const std::vector<Lit>& a,
+                       const std::vector<Lit>& b, Lit cin) {
+  const std::size_t n = a.size();
+  AdderResult r;
+  Lit carry = cin;
+  const std::size_t block = 4;
+  for (std::size_t base = 0; base < n; base += block) {
+    const std::size_t hi = std::min(base + block, n);
+    // Block propagate: every bit position propagates.
+    std::vector<Lit> props;
+    Lit ripple_carry = carry;
+    for (std::size_t i = base; i < hi; ++i) {
+      const Lit p = aig.create_xor(a[i], b[i]);
+      props.push_back(p);
+      r.sum.push_back(aig.create_xor(p, ripple_carry));
+      ripple_carry = aig.create_maj(a[i], b[i], ripple_carry);
+    }
+    const Lit block_p = aig.create_and_n(props);
+    // Skip mux: if the whole block propagates, the incoming carry jumps
+    // the block; otherwise take the rippled carry.
+    carry = aig.create_mux(block_p, carry, ripple_carry);
+  }
+  r.carry_out = carry;
+  return r;
+}
+
+/// Brent-Kung parallel-prefix adder: ~2*log2(n) levels but minimal
+/// fanout and wiring, the classic area/fanout-friendly alternative to
+/// Kogge-Stone.
+AdderResult brent_kung(Aig& aig, const std::vector<Lit>& a,
+                       const std::vector<Lit>& b, Lit cin) {
+  const std::size_t n = a.size();
+  std::vector<Lit> p(n), g(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    p[i] = aig.create_xor(a[i], b[i]);
+    g[i] = aig.create_and(a[i], b[i]);
+  }
+  // Prefix tree over (g, p): up-sweep then down-sweep. The tree assumes
+  // a power-of-two width, so pad with neutral (g=0, p=0) elements; the
+  // padding never influences lower indices.
+  std::size_t n2 = 1;
+  while (n2 < n) n2 *= 2;
+  std::vector<Lit> G = g, P = p;
+  G.resize(n2, logic::lit_false());
+  P.resize(n2, logic::lit_false());
+  auto combine = [&](std::size_t hi, std::size_t lo) {
+    G[hi] = aig.create_or(G[hi], aig.create_and(P[hi], G[lo]));
+    P[hi] = aig.create_and(P[hi], P[lo]);
+  };
+  for (std::size_t d = 1; d < n2; d *= 2)
+    for (std::size_t i = 2 * d - 1; i < n2; i += 2 * d) combine(i, i - d);
+  for (std::size_t d = n2 / 2; d >= 2; d /= 2)
+    for (std::size_t i = d + d / 2 - 1; i < n2; i += d) combine(i, i - d / 2);
+
+  AdderResult r;
+  std::vector<Lit> c(n + 1);
+  c[0] = cin;
+  for (std::size_t i = 1; i <= n; ++i)
+    c[i] = aig.create_or(G[i - 1], aig.create_and(P[i - 1], cin));
+  for (std::size_t i = 0; i < n; ++i)
+    r.sum.push_back(aig.create_xor(p[i], c[i]));
+  r.carry_out = c[n];
+  return r;
+}
+
+}  // namespace
+
+AdderResult build_adder(Aig& aig, AdderKind kind, const std::vector<Lit>& a,
+                        const std::vector<Lit>& b, Lit carry_in) {
+  GAP_EXPECTS(a.size() == b.size());
+  GAP_EXPECTS(!a.empty());
+  switch (kind) {
+    case AdderKind::kRipple:
+      return ripple(aig, a, b, carry_in);
+    case AdderKind::kCarryLookahead:
+      return carry_lookahead(aig, a, b, carry_in);
+    case AdderKind::kCarrySelect:
+      return carry_select(aig, a, b, carry_in);
+    case AdderKind::kKoggeStone:
+      return kogge_stone(aig, a, b, carry_in);
+    case AdderKind::kCarrySkip:
+      return carry_skip(aig, a, b, carry_in);
+    case AdderKind::kBrentKung:
+      return brent_kung(aig, a, b, carry_in);
+  }
+  GAP_EXPECTS(false);
+  return {};
+}
+
+Aig make_adder_aig(AdderKind kind, int width) {
+  GAP_EXPECTS(width >= 1);
+  Aig aig;
+  std::vector<Lit> a, b;
+  for (int i = 0; i < width; ++i)
+    a.push_back(aig.create_pi("a" + std::to_string(i)));
+  for (int i = 0; i < width; ++i)
+    b.push_back(aig.create_pi("b" + std::to_string(i)));
+  const Lit cin = aig.create_pi("cin");
+  const AdderResult r = build_adder(aig, kind, a, b, cin);
+  for (int i = 0; i < width; ++i)
+    aig.add_po(r.sum[static_cast<std::size_t>(i)], "sum" + std::to_string(i));
+  aig.add_po(r.carry_out, "cout");
+  return aig;
+}
+
+const char* adder_name(AdderKind kind) {
+  switch (kind) {
+    case AdderKind::kRipple: return "ripple-carry";
+    case AdderKind::kCarryLookahead: return "carry-lookahead";
+    case AdderKind::kCarrySelect: return "carry-select";
+    case AdderKind::kKoggeStone: return "kogge-stone";
+    case AdderKind::kCarrySkip: return "carry-skip";
+    case AdderKind::kBrentKung: return "brent-kung";
+  }
+  return "?";
+}
+
+}  // namespace gap::datapath

@@ -1,0 +1,44 @@
+#pragma once
+/// \file adders.hpp
+/// Adder architecture generators (section 4.2 of the paper: "fast datapath
+/// designs, such as carry-lookahead and carry-select adders ... exist in
+/// pre-designed libraries, but are not automatically invoked in RTL logic
+/// synthesis"). Synthesis from naive RTL produces the ripple structure;
+/// the faster architectures stand in for the predefined macro cells.
+
+#include <vector>
+
+#include "logic/aig.hpp"
+
+namespace gap::datapath {
+
+using logic::Aig;
+using logic::Lit;
+
+enum class AdderKind {
+  kRipple,       ///< ripple-carry: what naive synthesis produces
+  kCarryLookahead,  ///< 4-bit-group CLA macro
+  kCarrySelect,  ///< carry-select macro with sqrt-ish block sizes
+  kKoggeStone,   ///< parallel-prefix custom-style macro
+  kCarrySkip,    ///< ripple blocks with carry-skip bypass
+  kBrentKung,    ///< parallel prefix with minimal fanout (vs Kogge-Stone)
+};
+
+struct AdderResult {
+  std::vector<Lit> sum;  ///< width bits
+  Lit carry_out;
+};
+
+/// Build an adder of the given architecture. a and b must be equal width.
+[[nodiscard]] AdderResult build_adder(Aig& aig, AdderKind kind,
+                                      const std::vector<Lit>& a,
+                                      const std::vector<Lit>& b, Lit carry_in);
+
+/// Standalone adder network with PIs a[width], b[width], cin and POs
+/// sum[width], cout — for tests and architecture benchmarks.
+[[nodiscard]] Aig make_adder_aig(AdderKind kind, int width);
+
+/// Human-readable architecture name.
+[[nodiscard]] const char* adder_name(AdderKind kind);
+
+}  // namespace gap::datapath

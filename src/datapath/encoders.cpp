@@ -1,0 +1,105 @@
+#include "datapath/encoders.hpp"
+
+#include <string>
+
+#include "common/check.hpp"
+
+namespace gap::datapath {
+namespace {
+
+bool is_power_of_two(std::size_t n) { return n != 0 && (n & (n - 1)) == 0; }
+
+/// Recursive CLZ block: all_zero flag plus log2(n) count bits (LSB first),
+/// valid only when !all_zero.
+struct ClzBlock {
+  Lit all_zero;
+  std::vector<Lit> count;
+};
+
+ClzBlock clz_range(Aig& aig, const std::vector<Lit>& bits, std::size_t lo,
+                   std::size_t hi) {
+  if (hi - lo == 1) return {!bits[lo], {}};
+  const std::size_t mid = (lo + hi) / 2;
+  // bits are LSB-first; the *high* half holds the MSBs.
+  const ClzBlock high = clz_range(aig, bits, mid, hi);
+  const ClzBlock low = clz_range(aig, bits, lo, mid);
+  ClzBlock out;
+  out.all_zero = aig.create_and(high.all_zero, low.all_zero);
+  // If the high half is empty, count = n/2 + clz(low), else clz(high).
+  out.count.reserve(high.count.size() + 1);
+  for (std::size_t k = 0; k < high.count.size(); ++k)
+    out.count.push_back(
+        aig.create_mux(high.all_zero, low.count[k], high.count[k]));
+  out.count.push_back(high.all_zero);  // the new MSB of the count
+  return out;
+}
+
+struct EncBlock {
+  Lit valid;
+  std::vector<Lit> index;
+};
+
+EncBlock enc_range(Aig& aig, const std::vector<Lit>& req, std::size_t lo,
+                   std::size_t hi) {
+  if (hi - lo == 1) return {req[lo], {}};
+  const std::size_t mid = (lo + hi) / 2;
+  const EncBlock high = enc_range(aig, req, mid, hi);
+  const EncBlock low = enc_range(aig, req, lo, mid);
+  EncBlock out;
+  out.valid = aig.create_or(high.valid, low.valid);
+  out.index.reserve(high.index.size() + 1);
+  for (std::size_t k = 0; k < high.index.size(); ++k)
+    out.index.push_back(
+        aig.create_mux(high.valid, high.index[k], low.index[k]));
+  out.index.push_back(high.valid);
+  return out;
+}
+
+}  // namespace
+
+std::vector<Lit> build_leading_zero_count(Aig& aig,
+                                          const std::vector<Lit>& bits) {
+  GAP_EXPECTS(is_power_of_two(bits.size()));
+  const ClzBlock b = clz_range(aig, bits, 0, bits.size());
+  std::vector<Lit> out;
+  out.reserve(b.count.size() + 1);
+  // Value = all_zero ? width : count. Width is a power of two, so the
+  // top bit is all_zero and the low bits are gated off when it is set.
+  for (Lit c : b.count) out.push_back(aig.create_and(c, !b.all_zero));
+  out.push_back(b.all_zero);
+  return out;
+}
+
+PriorityEncoding build_priority_encoder(Aig& aig,
+                                        const std::vector<Lit>& requests) {
+  GAP_EXPECTS(is_power_of_two(requests.size()));
+  const EncBlock b = enc_range(aig, requests, 0, requests.size());
+  return {b.index, b.valid};
+}
+
+Aig make_lzc_aig(int width) {
+  GAP_EXPECTS(width >= 2);
+  Aig aig;
+  std::vector<Lit> bits;
+  for (int i = 0; i < width; ++i)
+    bits.push_back(aig.create_pi("d" + std::to_string(i)));
+  const auto count = build_leading_zero_count(aig, bits);
+  for (std::size_t i = 0; i < count.size(); ++i)
+    aig.add_po(count[i], "z" + std::to_string(i));
+  return aig;
+}
+
+Aig make_priority_encoder_aig(int width) {
+  GAP_EXPECTS(width >= 2);
+  Aig aig;
+  std::vector<Lit> req;
+  for (int i = 0; i < width; ++i)
+    req.push_back(aig.create_pi("r" + std::to_string(i)));
+  const PriorityEncoding enc = build_priority_encoder(aig, req);
+  for (std::size_t i = 0; i < enc.index.size(); ++i)
+    aig.add_po(enc.index[i], "i" + std::to_string(i));
+  aig.add_po(enc.valid, "valid");
+  return aig;
+}
+
+}  // namespace gap::datapath

@@ -1,0 +1,35 @@
+#pragma once
+/// \file encoders.hpp
+/// Leading-zero counter and priority encoder — normalization and
+/// arbitration datapath macros (floating-point normalizers and bus
+/// arbiters were standard hand-crafted blocks in the paper's era).
+
+#include <vector>
+
+#include "logic/aig.hpp"
+
+namespace gap::datapath {
+
+using logic::Aig;
+using logic::Lit;
+
+/// Count of leading zeros of `bits` (MSB = bits.back()). Width must be a
+/// power of two. Returns log2(width)+1 output bits, LSB first; the value
+/// equals width when all bits are zero.
+[[nodiscard]] std::vector<Lit> build_leading_zero_count(
+    Aig& aig, const std::vector<Lit>& bits);
+
+struct PriorityEncoding {
+  std::vector<Lit> index;  ///< log2(width) bits of the highest set bit
+  Lit valid;               ///< any input set
+};
+
+/// MSB-priority encoder over a power-of-two-wide request vector.
+[[nodiscard]] PriorityEncoding build_priority_encoder(
+    Aig& aig, const std::vector<Lit>& requests);
+
+/// Standalone networks for tests and benchmarks.
+[[nodiscard]] Aig make_lzc_aig(int width);
+[[nodiscard]] Aig make_priority_encoder_aig(int width);
+
+}  // namespace gap::datapath

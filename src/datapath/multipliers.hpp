@@ -1,0 +1,39 @@
+#pragma once
+/// \file multipliers.hpp
+/// Multiplier generators: the linear-depth array multiplier (what naive
+/// synthesis yields) versus the log-depth Wallace tree + fast final adder
+/// (the custom macro-cell style the paper's section 7.2 mentions).
+
+#include <vector>
+
+#include "datapath/adders.hpp"
+#include "logic/aig.hpp"
+
+namespace gap::datapath {
+
+enum class MultiplierKind {
+  kArray,    ///< row-by-row carry-propagate accumulation
+  kWallace,  ///< 3:2 compressor tree + Kogge-Stone final add
+};
+
+/// Build an unsigned width x width -> 2*width multiplier.
+[[nodiscard]] std::vector<Lit> build_multiplier(Aig& aig, MultiplierKind kind,
+                                                const std::vector<Lit>& a,
+                                                const std::vector<Lit>& b);
+
+/// Standalone multiplier network for tests/benchmarks.
+[[nodiscard]] Aig make_multiplier_aig(MultiplierKind kind, int width);
+
+[[nodiscard]] const char* multiplier_name(MultiplierKind kind);
+
+/// Radix-4 Booth multiplier over two's-complement operands: recodes the
+/// multiplier into {-2,-1,0,1,2} digits, halving the partial-product
+/// count — the custom macro style for signed DSP datapaths. Returns the
+/// signed 2*width product.
+[[nodiscard]] std::vector<Lit> build_booth_multiplier(
+    Aig& aig, const std::vector<Lit>& a, const std::vector<Lit>& b);
+
+/// Standalone signed Booth multiplier network.
+[[nodiscard]] Aig make_booth_multiplier_aig(int width);
+
+}  // namespace gap::datapath

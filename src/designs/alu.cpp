@@ -1,0 +1,100 @@
+#include "designs/alu.hpp"
+
+#include <string>
+
+#include "common/check.hpp"
+#include "datapath/shifters.hpp"
+
+namespace gap::designs {
+
+using datapath::AdderKind;
+using logic::Aig;
+using logic::Lit;
+
+logic::Aig make_alu_aig(int width, DatapathStyle style) {
+  GAP_EXPECTS(width >= 4);
+  Aig aig;
+  std::vector<Lit> a, b, op;
+  for (int i = 0; i < width; ++i)
+    a.push_back(aig.create_pi("a" + std::to_string(i)));
+  for (int i = 0; i < width; ++i)
+    b.push_back(aig.create_pi("b" + std::to_string(i)));
+  for (int i = 0; i < 3; ++i)
+    op.push_back(aig.create_pi("op" + std::to_string(i)));
+
+  // Decode a few opcode terms.
+  const Lit is_sub = aig.create_and(
+      op[0], aig.create_and(!op[1], !op[2]));  // op == 001
+
+  // Adder shared by add/sub: b xor sub, carry-in = sub.
+  std::vector<Lit> b_eff;
+  for (int i = 0; i < width; ++i)
+    b_eff.push_back(aig.create_xor(b[static_cast<std::size_t>(i)], is_sub));
+  const AdderKind add_kind = style == DatapathStyle::kMacro
+                                 ? AdderKind::kKoggeStone
+                                 : AdderKind::kRipple;
+  const datapath::AdderResult sum =
+      datapath::build_adder(aig, add_kind, a, b_eff, is_sub);
+
+  // Logic ops.
+  std::vector<Lit> and_r, or_r, xor_r;
+  for (int i = 0; i < width; ++i) {
+    const auto iu = static_cast<std::size_t>(i);
+    and_r.push_back(aig.create_and(a[iu], b[iu]));
+    or_r.push_back(aig.create_or(a[iu], b[iu]));
+    xor_r.push_back(aig.create_xor(a[iu], b[iu]));
+  }
+
+  // Shift left by the low bits of b.
+  int shift_bits = 0;
+  while ((1 << shift_bits) < width) ++shift_bits;
+  std::vector<Lit> amount(b.begin(), b.begin() + shift_bits);
+  const std::vector<Lit> shl = datapath::build_barrel_shifter(aig, a, amount);
+
+  // Comparisons.
+  const Lit slt = style == DatapathStyle::kMacro
+                      ? datapath::build_less_than_tree(aig, a, b)
+                      : datapath::build_less_than(aig, a, b);
+  const Lit eq = datapath::build_equal(aig, a, b);
+
+  // Result selection: three mux levels on the opcode bits.
+  for (int i = 0; i < width; ++i) {
+    const auto iu = static_cast<std::size_t>(i);
+    const Lit slt_bit = i == 0 ? slt : logic::lit_false();
+    const Lit eq_bit = i == 0 ? eq : logic::lit_false();
+    // op2 == 0: {add/sub, and, or, xor? -> op index 0..3}
+    const Lit lo0 = aig.create_mux(op[0], sum.sum[iu], sum.sum[iu]);  // add|sub
+    const Lit lo1 = aig.create_mux(op[0], or_r[iu], and_r[iu]);      // and|or
+    const Lit lo = aig.create_mux(op[1], lo1, lo0);
+    // op2 == 1: {xor, shl, slt, eq}
+    const Lit hi0 = aig.create_mux(op[0], shl[iu], xor_r[iu]);   // xor|shl
+    const Lit hi1 = aig.create_mux(op[0], eq_bit, slt_bit);      // slt|eq
+    const Lit hi = aig.create_mux(op[1], hi1, hi0);
+    aig.add_po(aig.create_mux(op[2], hi, lo), "r" + std::to_string(i));
+  }
+  return aig;
+}
+
+std::uint64_t alu_reference(AluOp op, std::uint64_t a, std::uint64_t b,
+                            int width) {
+  const std::uint64_t mask =
+      width >= 64 ? ~0ull : (1ull << width) - 1;
+  a &= mask;
+  b &= mask;
+  int shift_bits = 0;
+  while ((1 << shift_bits) < width) ++shift_bits;
+  const std::uint64_t shamt = b & ((1ull << shift_bits) - 1);
+  switch (op) {
+    case AluOp::kAdd: return (a + b) & mask;
+    case AluOp::kSub: return (a - b) & mask;
+    case AluOp::kAnd: return a & b;
+    case AluOp::kOr: return a | b;
+    case AluOp::kXor: return a ^ b;
+    case AluOp::kShl: return (a << shamt) & mask;
+    case AluOp::kSlt: return a < b ? 1 : 0;
+    case AluOp::kEq: return a == b ? 1 : 0;
+  }
+  return 0;
+}
+
+}  // namespace gap::designs

@@ -1,0 +1,39 @@
+#pragma once
+/// \file alu.hpp
+/// A 32-bit ALU core — the representative "entire path" design of the
+/// paper's section 9 discussion (individual circuit elements integrated
+/// into an ALU). Operations: add, sub, and, or, xor, shift-left,
+/// set-less-than, equality; 3-bit opcode selects the result.
+
+#include "datapath/adders.hpp"
+#include "logic/aig.hpp"
+
+namespace gap::designs {
+
+/// Datapath implementation style (section 4.2: predefined macro cells vs
+/// what RTL synthesis infers).
+enum class DatapathStyle {
+  kSynthesized,  ///< ripple adders, array multipliers: naive RTL synthesis
+  kMacro,        ///< carry-lookahead / Kogge-Stone / Wallace macros
+};
+
+/// Opcode encoding for the ALU (3 bits).
+enum class AluOp : unsigned {
+  kAdd = 0,
+  kSub = 1,
+  kAnd = 2,
+  kOr = 3,
+  kXor = 4,
+  kShl = 5,
+  kSlt = 6,
+  kEq = 7,
+};
+
+/// Build the ALU. PIs: a[width], b[width], op[3]. POs: result[width].
+[[nodiscard]] logic::Aig make_alu_aig(int width, DatapathStyle style);
+
+/// Reference model for tests: the expected ALU result.
+[[nodiscard]] std::uint64_t alu_reference(AluOp op, std::uint64_t a,
+                                          std::uint64_t b, int width);
+
+}  // namespace gap::designs

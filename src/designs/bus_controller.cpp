@@ -1,0 +1,108 @@
+#include "designs/bus_controller.hpp"
+
+#include <string>
+#include <vector>
+
+#include "common/check.hpp"
+
+namespace gap::designs {
+
+using logic::Aig;
+using logic::Lit;
+
+namespace {
+
+/// One-hot state decode from the 4-bit encoded state.
+std::vector<Lit> decode_state(Aig& aig, const std::vector<Lit>& s) {
+  std::vector<Lit> one_hot;
+  for (unsigned code = 0; code < 9; ++code) {
+    std::vector<Lit> terms;
+    for (int b = 0; b < kBusStateBits; ++b) {
+      const Lit bit = s[static_cast<std::size_t>(b)];
+      terms.push_back((code >> b) & 1u ? bit : !bit);
+    }
+    one_hot.push_back(aig.create_and_n(terms));
+  }
+  return one_hot;
+}
+
+/// Encode a next-state code under a condition: contributes `cond` to each
+/// set bit of the code.
+void encode_into(std::vector<std::vector<Lit>>& bit_terms, unsigned code,
+                 Lit cond) {
+  for (int b = 0; b < kBusStateBits; ++b)
+    if ((code >> b) & 1u) bit_terms[static_cast<std::size_t>(b)].push_back(cond);
+}
+
+}  // namespace
+
+logic::Aig make_bus_controller_aig() {
+  Aig aig;
+  std::vector<Lit> state;
+  for (int i = 0; i < kBusStateBits; ++i)
+    state.push_back(aig.create_pi("state" + std::to_string(i)));
+  const Lit req = aig.create_pi("req");
+  const Lit wr = aig.create_pi("wr");
+  const Lit ack = aig.create_pi("ack");
+  const Lit err = aig.create_pi("err");
+  const Lit burst = aig.create_pi("burst");
+  const Lit last = aig.create_pi("last");
+
+  // States: 0 IDLE, 1 GRANT, 2 ADDR, 3 WAIT_W, 4 WAIT_R, 5 DATA_W,
+  // 6 DATA_R, 7 RESP, 8 ERROR.
+  enum : unsigned {
+    kIdle = 0,
+    kGrant = 1,
+    kAddr = 2,
+    kWaitW = 3,
+    kWaitR = 4,
+    kDataW = 5,
+    kDataR = 6,
+    kResp = 7,
+    kError = 8,
+  };
+  const std::vector<Lit> st = decode_state(aig, state);
+
+  std::vector<std::vector<Lit>> next_bits(kBusStateBits);
+  auto go = [&](unsigned from, Lit cond, unsigned to) {
+    encode_into(next_bits, to, aig.create_and(st[from], cond));
+  };
+  const Lit t = logic::lit_true();
+
+  go(kIdle, req, kGrant);
+  go(kIdle, !req, kIdle);
+  go(kGrant, t, kAddr);
+  go(kAddr, err, kError);
+  go(kAddr, aig.create_and(!err, wr), kWaitW);
+  go(kAddr, aig.create_and(!err, !wr), kWaitR);
+  go(kWaitW, ack, kDataW);
+  go(kWaitW, aig.create_and(!ack, !err), kWaitW);
+  go(kWaitW, aig.create_and(!ack, err), kError);
+  go(kWaitR, ack, kDataR);
+  go(kWaitR, aig.create_and(!ack, !err), kWaitR);
+  go(kWaitR, aig.create_and(!ack, err), kError);
+  // Burst transfers loop through DATA until `last`.
+  go(kDataW, aig.create_and(burst, !last), kDataW);
+  go(kDataW, aig.create_or(!burst, last), kResp);
+  go(kDataR, aig.create_and(burst, !last), kDataR);
+  go(kDataR, aig.create_or(!burst, last), kResp);
+  go(kResp, req, kGrant);
+  go(kResp, !req, kIdle);
+  go(kError, t, kIdle);
+
+  for (int b = 0; b < kBusStateBits; ++b)
+    aig.add_po(aig.create_or_n(next_bits[static_cast<std::size_t>(b)]),
+               "next" + std::to_string(b));
+
+  // Moore-ish outputs with a data-qualified twist.
+  const Lit in_data = aig.create_or(st[kDataW], st[kDataR]);
+  aig.add_po(aig.create_or(st[kGrant], in_data), "grant");
+  aig.add_po(st[kAddr], "addr_en");
+  aig.add_po(aig.create_and(in_data, ack), "data_en");
+  aig.add_po(aig.create_and(st[kResp], !err), "resp_ok");
+  aig.add_po(aig.create_or(st[kError], aig.create_and(st[kResp], err)),
+             "resp_err");
+  return aig;
+}
+
+}  // namespace gap::designs

@@ -1,0 +1,23 @@
+#pragma once
+/// \file bus_controller.hpp
+/// A bus-interface controller FSM — the paper's example of a design that
+/// cannot be pipelined (section 4.1: "many designs, such as bus
+/// interfaces, have a tight interaction with their environment in which
+/// each execution cycle depends on new primary inputs and branches are
+/// common"). The combinational core computes next-state and outputs; the
+/// current state arrives as PIs (it is held in registers outside the
+/// core), so every cycle genuinely depends on fresh inputs.
+
+#include "logic/aig.hpp"
+
+namespace gap::designs {
+
+inline constexpr int kBusStateBits = 4;
+inline constexpr int kBusInputBits = 6;
+inline constexpr int kBusOutputBits = 5;
+
+/// PIs: state[4], in[6] (req, wr, ack, err, burst, last).
+/// POs: next_state[4], out[5] (grant, addr_en, data_en, resp_ok, resp_err).
+[[nodiscard]] logic::Aig make_bus_controller_aig();
+
+}  // namespace gap::designs

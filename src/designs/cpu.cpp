@@ -1,0 +1,107 @@
+#include "designs/cpu.hpp"
+
+#include <string>
+
+#include "common/check.hpp"
+#include "datapath/adders.hpp"
+#include "datapath/shifters.hpp"
+
+namespace gap::designs {
+
+using datapath::AdderKind;
+using logic::Aig;
+using logic::Lit;
+
+logic::Aig make_cpu_datapath_aig(const CpuOptions& options) {
+  const int w = options.width;
+  GAP_EXPECTS(w >= 8);
+  Aig aig;
+
+  std::vector<Lit> instr, rs, rt, load;
+  for (int i = 0; i < 16; ++i)
+    instr.push_back(aig.create_pi("instr" + std::to_string(i)));
+  for (int i = 0; i < w; ++i)
+    rs.push_back(aig.create_pi("rs" + std::to_string(i)));
+  for (int i = 0; i < w; ++i)
+    rt.push_back(aig.create_pi("rt" + std::to_string(i)));
+  for (int i = 0; i < w; ++i)
+    load.push_back(aig.create_pi("load" + std::to_string(i)));
+
+  // --- decode: derive control from instruction fields ---
+  const std::vector<Lit> opc(instr.begin(), instr.begin() + 3);
+  const Lit use_imm = instr[3];
+  const Lit is_load = aig.create_and(instr[4], !instr[5]);
+  const Lit is_branch = aig.create_and(instr[5], !instr[4]);
+  // 8-bit immediate, sign-extended from instr[15].
+  std::vector<Lit> imm;
+  for (int i = 0; i < w; ++i)
+    imm.push_back(i < 8 ? instr[static_cast<std::size_t>(8 + i)] : instr[15]);
+
+  // --- operand select ---
+  std::vector<Lit> op_b;
+  for (int i = 0; i < w; ++i) {
+    const auto iu = static_cast<std::size_t>(i);
+    op_b.push_back(aig.create_mux(use_imm, imm[iu], rt[iu]));
+  }
+
+  // --- execute: full ALU on the selected operands ---
+  // The ALU is inlined here rather than instantiated so the opcode wiring
+  // matches make_alu_aig's conventions (op = opc).
+  const Lit is_sub = aig.create_and(opc[0], aig.create_and(!opc[1], !opc[2]));
+  std::vector<Lit> b_eff;
+  for (int i = 0; i < w; ++i)
+    b_eff.push_back(aig.create_xor(op_b[static_cast<std::size_t>(i)], is_sub));
+  const AdderKind add_kind = options.style == DatapathStyle::kMacro
+                                 ? AdderKind::kKoggeStone
+                                 : AdderKind::kRipple;
+  const datapath::AdderResult sum =
+      datapath::build_adder(aig, add_kind, rs, b_eff, is_sub);
+
+  std::vector<Lit> logic_r;
+  for (int i = 0; i < w; ++i) {
+    const auto iu = static_cast<std::size_t>(i);
+    const Lit and_b = aig.create_and(rs[iu], op_b[iu]);
+    const Lit or_b = aig.create_or(rs[iu], op_b[iu]);
+    const Lit xor_b = aig.create_xor(rs[iu], op_b[iu]);
+    const Lit sel01 = aig.create_mux(opc[0], or_b, and_b);
+    logic_r.push_back(aig.create_mux(opc[1], xor_b, sel01));
+  }
+
+  int shift_bits = 0;
+  while ((1 << shift_bits) < w) ++shift_bits;
+  const std::vector<Lit> amount(op_b.begin(), op_b.begin() + shift_bits);
+  const std::vector<Lit> shifted =
+      datapath::build_barrel_shifter(aig, rs, amount);
+
+  std::vector<Lit> alu;
+  for (int i = 0; i < w; ++i) {
+    const auto iu = static_cast<std::size_t>(i);
+    const Lit arith_or_logic = aig.create_mux(opc[1], logic_r[iu], sum.sum[iu]);
+    alu.push_back(aig.create_mux(opc[2], shifted[iu], arith_or_logic));
+  }
+
+  // --- memory stage: address is the ALU sum; align load data ---
+  const Lit lt = options.style == DatapathStyle::kMacro
+                     ? datapath::build_less_than_tree(aig, rs, op_b)
+                     : datapath::build_less_than(aig, rs, op_b);
+  std::vector<Lit> aligned;
+  const std::vector<Lit> byte_amount(alu.begin(), alu.begin() + 2);
+  std::vector<Lit> load_shifted =
+      datapath::build_barrel_shifter(aig, load, byte_amount);
+  for (int i = 0; i < w; ++i)
+    aligned.push_back(load_shifted[static_cast<std::size_t>(i)]);
+
+  // --- writeback select ---
+  for (int i = 0; i < w; ++i) {
+    const auto iu = static_cast<std::size_t>(i);
+    aig.add_po(aig.create_mux(is_load, aligned[iu], alu[iu]),
+               "wb" + std::to_string(i));
+  }
+  for (int i = 0; i < w; ++i)
+    aig.add_po(sum.sum[static_cast<std::size_t>(i)],
+               "mem_addr" + std::to_string(i));
+  aig.add_po(aig.create_and(is_branch, lt), "take_branch");
+  return aig;
+}
+
+}  // namespace gap::designs

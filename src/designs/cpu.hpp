@@ -1,0 +1,25 @@
+#pragma once
+/// \file cpu.hpp
+/// A single-issue CPU datapath core in the style of the paper's reference
+/// processors (Xtensa: 5-stage single issue; PowerPC: 4-stage). The core
+/// is built combinational — decode, operand select, execute (ALU),
+/// memory align, writeback select — and gap::pipeline cuts it into the
+/// stage count of the configuration under study. Register-file read data
+/// and load data arrive as PIs (the register file and memory are outside
+/// the core, as in any datapath timing model).
+
+#include "designs/alu.hpp"
+#include "logic/aig.hpp"
+
+namespace gap::designs {
+
+struct CpuOptions {
+  int width = 32;
+  DatapathStyle style = DatapathStyle::kSynthesized;
+};
+
+/// PIs: instr[16], rs_data[w], rt_data[w], load_data[w].
+/// POs: wb_data[w], mem_addr[w], take_branch.
+[[nodiscard]] logic::Aig make_cpu_datapath_aig(const CpuOptions& options);
+
+}  // namespace gap::designs

@@ -1,0 +1,50 @@
+#include "designs/crc.hpp"
+
+#include <string>
+
+#include "common/check.hpp"
+
+namespace gap::designs {
+
+using logic::Aig;
+using logic::Lit;
+
+logic::Aig make_crc_aig() {
+  Aig aig;
+  std::vector<Lit> crc;
+  for (int i = 0; i < kCrcStateBits; ++i)
+    crc.push_back(aig.create_pi("state" + std::to_string(i)));
+  std::vector<Lit> msg;
+  for (int i = 0; i < kCrcMessageBits; ++i)
+    msg.push_back(aig.create_pi("msg" + std::to_string(i)));
+
+  // Bit-serial CRC unrolled: consume message bits MSB first.
+  for (int b = kCrcMessageBits - 1; b >= 0; --b) {
+    const Lit fb = aig.create_xor(crc[kCrcStateBits - 1],
+                                  msg[static_cast<std::size_t>(b)]);
+    std::vector<Lit> next(kCrcStateBits);
+    for (int i = kCrcStateBits - 1; i >= 1; --i)
+      next[static_cast<std::size_t>(i)] = crc[static_cast<std::size_t>(i - 1)];
+    next[0] = fb;
+    // Polynomial 0x1021: taps at bits 12 and 5 (bit 0 handled above).
+    next[12] = aig.create_xor(next[12], fb);
+    next[5] = aig.create_xor(next[5], fb);
+    crc = std::move(next);
+  }
+  for (int i = 0; i < kCrcStateBits; ++i)
+    aig.add_po(crc[static_cast<std::size_t>(i)], "next" + std::to_string(i));
+  return aig;
+}
+
+std::uint64_t crc_reference(std::uint64_t state, std::uint64_t msg) {
+  std::uint64_t crc = state & 0xFFFF;
+  for (int b = kCrcMessageBits - 1; b >= 0; --b) {
+    const std::uint64_t bit = (msg >> b) & 1u;
+    const std::uint64_t fb = ((crc >> 15) & 1u) ^ bit;
+    crc = (crc << 1) & 0xFFFF;
+    if (fb) crc ^= 0x1021;
+  }
+  return crc;
+}
+
+}  // namespace gap::designs

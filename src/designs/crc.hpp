@@ -1,0 +1,23 @@
+#pragma once
+/// \file crc.hpp
+/// CRC-16-CCITT (polynomial 0x1021) over a 32-bit message word, unrolled
+/// combinationally from a 16-bit running state. A pure XOR network with a
+/// long serial structure: the opposite workload to the FIR — synthesis
+/// produces deep logic and, unlike the bus controller, it *can* be
+/// restructured/pipelined because XOR is associative.
+
+#include "logic/aig.hpp"
+
+namespace gap::designs {
+
+inline constexpr int kCrcStateBits = 16;
+inline constexpr int kCrcMessageBits = 32;
+
+/// PIs: state[16], msg[32] (consumed MSB first). POs: next_state[16].
+[[nodiscard]] logic::Aig make_crc_aig();
+
+/// Reference model: CRC-16-CCITT update of `state` by the 32-bit message.
+[[nodiscard]] std::uint64_t crc_reference(std::uint64_t state,
+                                          std::uint64_t msg);
+
+}  // namespace gap::designs

@@ -1,0 +1,71 @@
+#include "designs/fir.hpp"
+
+#include <string>
+
+#include "common/check.hpp"
+#include "datapath/adders.hpp"
+#include "datapath/multipliers.hpp"
+
+namespace gap::designs {
+
+using datapath::AdderKind;
+using datapath::MultiplierKind;
+using logic::Aig;
+using logic::Lit;
+
+logic::Aig make_fir_aig(DatapathStyle style) {
+  Aig aig;
+  std::vector<std::vector<Lit>> x(kFirTaps), c(kFirTaps);
+  for (int t = 0; t < kFirTaps; ++t)
+    for (int i = 0; i < kFirWidth; ++i)
+      x[static_cast<std::size_t>(t)].push_back(
+          aig.create_pi("x" + std::to_string(t) + "_" + std::to_string(i)));
+  for (int t = 0; t < kFirTaps; ++t)
+    for (int i = 0; i < kFirWidth; ++i)
+      c[static_cast<std::size_t>(t)].push_back(
+          aig.create_pi("c" + std::to_string(t) + "_" + std::to_string(i)));
+
+  const MultiplierKind mul = style == DatapathStyle::kMacro
+                                 ? MultiplierKind::kWallace
+                                 : MultiplierKind::kArray;
+  const AdderKind add = style == DatapathStyle::kMacro
+                            ? AdderKind::kKoggeStone
+                            : AdderKind::kRipple;
+
+  // Products, then a balanced accumulation tree with width growth.
+  std::vector<std::vector<Lit>> terms;
+  for (int t = 0; t < kFirTaps; ++t)
+    terms.push_back(datapath::build_multiplier(
+        aig, mul, x[static_cast<std::size_t>(t)],
+        c[static_cast<std::size_t>(t)]));
+
+  auto widen = [&](std::vector<Lit> v, std::size_t w) {
+    while (v.size() < w) v.push_back(logic::lit_false());
+    return v;
+  };
+  auto add_vec = [&](std::vector<Lit> a, std::vector<Lit> b) {
+    const std::size_t w = std::max(a.size(), b.size()) + 1;
+    const auto r = datapath::build_adder(aig, add, widen(std::move(a), w),
+                                         widen(std::move(b), w),
+                                         logic::lit_false());
+    return r.sum;
+  };
+
+  const auto s01 = add_vec(terms[0], terms[1]);
+  const auto s23 = add_vec(terms[2], terms[3]);
+  const auto y = add_vec(s01, s23);
+  GAP_ENSURES(y.size() == 18u);
+  for (std::size_t i = 0; i < y.size(); ++i)
+    aig.add_po(y[i], "y" + std::to_string(i));
+  return aig;
+}
+
+std::uint64_t fir_reference(const std::uint64_t x[kFirTaps],
+                            const std::uint64_t c[kFirTaps]) {
+  std::uint64_t y = 0;
+  for (int t = 0; t < kFirTaps; ++t)
+    y += (x[t] & 0xFF) * (c[t] & 0xFF);
+  return y;
+}
+
+}  // namespace gap::designs

@@ -1,0 +1,24 @@
+#pragma once
+/// \file fir.hpp
+/// A 4-tap FIR filter core: y = c0*x0 + c1*x1 + c2*x2 + c3*x3 over
+/// unsigned 8-bit samples and coefficients — the DSP workload class the
+/// paper's pipelining argument fits best (abundant data parallelism, no
+/// feedback inside the core; the sample delay line lives in registers
+/// outside it).
+
+#include "designs/alu.hpp"
+#include "logic/aig.hpp"
+
+namespace gap::designs {
+
+inline constexpr int kFirTaps = 4;
+inline constexpr int kFirWidth = 8;
+
+/// PIs: x0[8]..x3[8], c0[8]..c3[8]. POs: y[18].
+[[nodiscard]] logic::Aig make_fir_aig(DatapathStyle style);
+
+/// Reference model for tests.
+[[nodiscard]] std::uint64_t fir_reference(const std::uint64_t x[kFirTaps],
+                                          const std::uint64_t c[kFirTaps]);
+
+}  // namespace gap::designs

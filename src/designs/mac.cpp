@@ -1,0 +1,41 @@
+#include "designs/mac.hpp"
+
+#include <string>
+
+#include "common/check.hpp"
+#include "datapath/multipliers.hpp"
+
+namespace gap::designs {
+
+using datapath::AdderKind;
+using datapath::MultiplierKind;
+using logic::Aig;
+using logic::Lit;
+
+logic::Aig make_mac_aig(int width, DatapathStyle style) {
+  GAP_EXPECTS(width >= 2);
+  Aig aig;
+  std::vector<Lit> a, b, acc;
+  for (int i = 0; i < width; ++i)
+    a.push_back(aig.create_pi("a" + std::to_string(i)));
+  for (int i = 0; i < width; ++i)
+    b.push_back(aig.create_pi("b" + std::to_string(i)));
+  for (int i = 0; i < 2 * width; ++i)
+    acc.push_back(aig.create_pi("acc" + std::to_string(i)));
+
+  const MultiplierKind mul_kind = style == DatapathStyle::kMacro
+                                      ? MultiplierKind::kWallace
+                                      : MultiplierKind::kArray;
+  const AdderKind add_kind = style == DatapathStyle::kMacro
+                                 ? AdderKind::kKoggeStone
+                                 : AdderKind::kRipple;
+  const std::vector<Lit> prod = datapath::build_multiplier(aig, mul_kind, a, b);
+  const datapath::AdderResult sum =
+      datapath::build_adder(aig, add_kind, prod, acc, logic::lit_false());
+  for (int i = 0; i < 2 * width; ++i)
+    aig.add_po(sum.sum[static_cast<std::size_t>(i)],
+               "out" + std::to_string(i));
+  return aig;
+}
+
+}  // namespace gap::designs

@@ -1,0 +1,14 @@
+#pragma once
+/// \file mac.hpp
+/// Multiply-accumulate core: p = a * b + acc — the classic DSP datapath
+/// that benefits most from pipelining and macro cells (sections 4.2, 7.2).
+
+#include "designs/alu.hpp"
+#include "logic/aig.hpp"
+
+namespace gap::designs {
+
+/// PIs: a[width], b[width], acc[2*width]. POs: out[2*width].
+[[nodiscard]] logic::Aig make_mac_aig(int width, DatapathStyle style);
+
+}  // namespace gap::designs

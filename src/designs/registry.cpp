@@ -1,0 +1,31 @@
+#include "designs/registry.hpp"
+
+#include "common/check.hpp"
+#include "designs/bus_controller.hpp"
+#include "designs/cpu.hpp"
+#include "designs/crc.hpp"
+#include "designs/fir.hpp"
+#include "designs/mac.hpp"
+
+namespace gap::designs {
+
+std::vector<std::string> design_names() {
+  return {"alu32", "alu16", "mac16", "mac8", "bus_controller", "cpu32",
+          "cpu16", "fir8", "crc32"};
+}
+
+logic::Aig make_design(const std::string& name, DatapathStyle style) {
+  if (name == "alu32") return make_alu_aig(32, style);
+  if (name == "alu16") return make_alu_aig(16, style);
+  if (name == "mac16") return make_mac_aig(16, style);
+  if (name == "mac8") return make_mac_aig(8, style);
+  if (name == "bus_controller") return make_bus_controller_aig();
+  if (name == "cpu32") return make_cpu_datapath_aig({32, style});
+  if (name == "cpu16") return make_cpu_datapath_aig({16, style});
+  if (name == "fir8") return make_fir_aig(style);
+  if (name == "crc32") return make_crc_aig();
+  GAP_EXPECTS(false);
+  return logic::Aig{};
+}
+
+}  // namespace gap::designs

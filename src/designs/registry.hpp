@@ -1,0 +1,21 @@
+#pragma once
+/// \file registry.hpp
+/// Named design registry used by benches and examples.
+
+#include <string>
+#include <vector>
+
+#include "designs/alu.hpp"
+#include "logic/aig.hpp"
+
+namespace gap::designs {
+
+/// Names accepted by make_design.
+[[nodiscard]] std::vector<std::string> design_names();
+
+/// Build a design by name: "alu32", "alu16", "mac16", "mac8",
+/// "bus_controller", "cpu32", "cpu16".
+[[nodiscard]] logic::Aig make_design(const std::string& name,
+                                     DatapathStyle style);
+
+}  // namespace gap::designs

@@ -1,0 +1,97 @@
+#include "designs/soc.hpp"
+
+#include <algorithm>
+
+#include "common/check.hpp"
+#include "designs/registry.hpp"
+#include "netlist/checks.hpp"
+#include "synth/mapper.hpp"
+
+namespace gap::designs {
+
+using library::Family;
+using library::Func;
+using netlist::Netlist;
+
+SocResult make_soc(const library::CellLibrary& lib, DatapathStyle style,
+                   double utilization, double module_area_scale) {
+  GAP_EXPECTS(utilization > 0.0 && utilization <= 1.0);
+  GAP_EXPECTS(module_area_scale >= 1.0);
+  const std::vector<std::string> block_names = {"alu16", "mac8", "cpu16",
+                                                "bus_controller"};
+  const CellId dff = *lib.smallest(Func::kDff, Family::kStatic);
+
+  SocResult soc{Netlist("soc", &lib), {}, {}, {}};
+  Netlist& nl = soc.nl;
+
+  // Primary inputs feeding the head of the chain plus fresh inputs for
+  // each block's surplus pins.
+  std::vector<NetId> bus;  // registered outputs of the previous block
+
+  for (std::size_t b = 0; b < block_names.size(); ++b) {
+    const logic::Aig aig = make_design(block_names[b], style);
+    const std::size_t first_inst = nl.num_instances();
+
+    // Block inputs: consume the incoming bus first, then fresh PIs.
+    std::vector<NetId> inputs;
+    for (std::size_t i = 0; i < aig.num_pis(); ++i) {
+      if (i < bus.size()) {
+        inputs.push_back(bus[i]);
+      } else {
+        const PortId p = nl.add_input(block_names[b] + "_" + aig.pi_name(i));
+        inputs.push_back(nl.port(p).net);
+      }
+    }
+    const synth::MapResult mapped = synth::map_into(
+        aig, synth::MapOptions{}, nl, inputs, block_names[b]);
+
+    // Register rank on the block outputs: the inter-module boundary.
+    std::vector<NetId> registered;
+    for (NetId out : mapped.outputs) {
+      const NetId q = nl.add_net(nl.fresh_name(block_names[b] + "_q"));
+      nl.add_instance(nl.fresh_name(block_names[b] + "_reg"), dff, {out}, q);
+      registered.push_back(q);
+    }
+
+    // Tag every instance created for this block (logic + boundary regs).
+    const ModuleId module{static_cast<std::uint32_t>(b)};
+    SocBlockInfo info{block_names[b], module, 0, 0.0};
+    for (std::size_t k = first_inst; k < nl.num_instances(); ++k) {
+      const InstanceId id{static_cast<std::uint32_t>(k)};
+      nl.instance(id).module = module;
+      ++info.instances;
+      info.area_um2 += nl.cell_of(id).area_um2;
+    }
+    soc.blocks.push_back(info);
+
+    // Inter-module connectivity for the floorplanner.
+    if (b > 0) {
+      const double shared =
+          static_cast<double>(std::min(bus.size(), aig.num_pis()));
+      soc.module_nets.push_back(
+          {{ModuleId{static_cast<std::uint32_t>(b - 1)}, module}, shared});
+    }
+    bus = std::move(registered);
+  }
+
+  // Chain tail drives the SoC outputs.
+  for (std::size_t i = 0; i < bus.size(); ++i)
+    nl.add_output("soc_out" + std::to_string(i), bus[i]);
+
+  // A long feedback-style cross link in the floorplan graph (bus master
+  // to the front of the chain) to make the floorplanning problem
+  // non-trivial; electrically it is future work (would form a loop).
+  soc.module_nets.push_back(
+      {{ModuleId{0}, ModuleId{static_cast<std::uint32_t>(
+                         block_names.size() - 1)}},
+       4.0});
+
+  for (const SocBlockInfo& info : soc.blocks)
+    soc.modules.push_back(
+        {info.name, info.area_um2 * module_area_scale / utilization, 1.0});
+
+  GAP_ENSURES(netlist::verify(nl).ok());
+  return soc;
+}
+
+}  // namespace gap::designs

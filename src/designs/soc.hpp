@@ -1,0 +1,45 @@
+#pragma once
+/// \file soc.hpp
+/// A small multi-module system-on-chip: ALU, MAC, CPU datapath and bus
+/// controller blocks chained through register ranks, with module tags on
+/// every instance. This is the substrate for the *chip-level*
+/// floorplanning experiments of section 5 — a single block cannot show
+/// what happens when related logic lands in far-apart modules, but a
+/// system of blocks can.
+
+#include "designs/alu.hpp"
+#include "floorplan/floorplan.hpp"
+#include "netlist/netlist.hpp"
+
+namespace gap::designs {
+
+struct SocBlockInfo {
+  std::string name;
+  ModuleId module;
+  std::size_t instances = 0;
+  double area_um2 = 0.0;
+};
+
+struct SocResult {
+  netlist::Netlist nl;
+  std::vector<SocBlockInfo> blocks;
+  /// Floorplanning view: one Module per block (area inflated to the
+  /// placement utilization) and the inter-module connectivity.
+  std::vector<floorplan::Module> modules;
+  std::vector<floorplan::ModuleNet> module_nets;
+};
+
+/// Build the SoC netlist in `lib`: blocks are technology-mapped, tagged
+/// with their ModuleId, and connected in a registered chain (each block
+/// is a pipeline stage of the system). `utilization` sets the module
+/// rectangle area relative to raw cell area; `module_area_scale`
+/// inflates each block's footprint to account for the embedded memories
+/// and local interconnect real blocks carry (our toy blocks are pure
+/// logic, far smaller than the mm^2-class modules of section 5's
+/// 100 mm^2 chip).
+[[nodiscard]] SocResult make_soc(const library::CellLibrary& lib,
+                                 DatapathStyle style,
+                                 double utilization = 0.7,
+                                 double module_area_scale = 60.0);
+
+}  // namespace gap::designs

@@ -1,0 +1,46 @@
+#include "dft/scan.hpp"
+
+#include "common/check.hpp"
+#include "netlist/checks.hpp"
+
+namespace gap::dft {
+
+using library::Family;
+using library::Func;
+using netlist::Netlist;
+
+ScanResult insert_scan(Netlist& nl) {
+  const library::CellLibrary& lib = nl.lib();
+  GAP_EXPECTS(lib.has(Func::kMux2, Family::kStatic));
+
+  // Stitch in a deterministic order: the instance index order of the
+  // flip-flops (real tools order by placement; equivalent for tests).
+  std::vector<InstanceId> flops;
+  for (InstanceId id : nl.all_instances())
+    if (nl.cell_of(id).func == Func::kDff) flops.push_back(id);
+  GAP_EXPECTS(!flops.empty());
+
+  ScanResult r;
+  r.scan_enable = nl.add_input("scan_enable");
+  r.scan_in = nl.add_input("scan_in");
+  const NetId se = nl.port(r.scan_enable).net;
+  NetId chain = nl.port(r.scan_in).net;
+
+  const CellId mux = *lib.smallest(Func::kMux2, Family::kStatic);
+  for (InstanceId f : flops) {
+    const NetId d = nl.instance(f).inputs[0];
+    const NetId muxed = nl.add_net(nl.fresh_name("scan_d"));
+    // mux2(a, b, s) = s ? b : a — functional data on a, scan on b.
+    nl.add_instance(nl.fresh_name("scan_mux"), mux, {d, chain, se}, muxed);
+    nl.rewire_input(f, 0, muxed);
+    chain = nl.instance(f).output;
+    ++r.chain_length;
+    ++r.muxes_added;
+  }
+  r.scan_out = nl.add_output("scan_out", chain, 0.0);
+
+  GAP_ENSURES(netlist::verify(nl).ok());
+  return r;
+}
+
+}  // namespace gap::dft

@@ -1,0 +1,30 @@
+#pragma once
+/// \file scan.hpp
+/// Scan-chain insertion — a concrete piece of the register overhead the
+/// paper attributes to ASIC methodology (sections 4.1 and 6.1: ASIC
+/// registers carry guard banding and extra circuitry that custom designs
+/// avoid). Every flip-flop gets a mux in front of its D pin; in scan mode
+/// the flops form one long shift register through which test vectors are
+/// loaded and results unloaded. The mux costs one extra logic level on
+/// every register-bound path — a measurable tax on cycle time.
+
+#include "netlist/netlist.hpp"
+
+namespace gap::dft {
+
+struct ScanResult {
+  int chain_length = 0;   ///< flip-flops stitched into the chain
+  int muxes_added = 0;
+  PortId scan_enable;     ///< added primary input
+  PortId scan_in;         ///< added primary input
+  PortId scan_out;        ///< added primary output
+};
+
+/// Insert a single scan chain through every DFF of `nl`, in instance
+/// order. The netlist must contain at least one flip-flop and the
+/// library a mux2 cell. Functional behaviour is unchanged when
+/// scan_enable = 0; with scan_enable = 1 the flops shift scan_in towards
+/// scan_out, one rank per cycle.
+ScanResult insert_scan(netlist::Netlist& nl);
+
+}  // namespace gap::dft

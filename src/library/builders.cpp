@@ -1,0 +1,197 @@
+#include "library/builders.hpp"
+
+#include <cmath>
+#include <string>
+#include <vector>
+
+#include "common/check.hpp"
+
+namespace gap::library {
+namespace {
+
+/// Area of one cell: transistor count scaled by drive, normalized so a 1x
+/// inverter in a 0.25 um process occupies about 10 um^2.
+double cell_area(const tech::Technology& t, int num_transistors, double drive) {
+  const double per_transistor = 5.0 * (t.drawn_um / 0.25) * (t.drawn_um / 0.25);
+  return per_transistor * num_transistors * drive;
+}
+
+std::string cell_name(Func f, Family fam, double drive) {
+  std::string n = fam == Family::kDomino ? "dom_" : "";
+  n += traits(f).name;
+  n += "_x";
+  // Drives are small numbers; print without trailing zeros.
+  char buf[32];
+  if (drive == static_cast<double>(static_cast<int>(drive)))
+    std::snprintf(buf, sizeof buf, "%d", static_cast<int>(drive));
+  else
+    std::snprintf(buf, sizeof buf, "%.2f", drive);
+  return n + buf;
+}
+
+Cell make_comb_cell(const tech::Technology& t, Func f, double drive) {
+  const FuncTraits& tr = traits(f);
+  GAP_EXPECTS(!tr.sequential);
+  Cell c;
+  c.name = cell_name(f, Family::kStatic, drive);
+  c.func = f;
+  c.family = Family::kStatic;
+  c.drive = drive;
+  c.logical_effort = tr.logical_effort;
+  c.parasitic = tr.parasitic;
+  c.area_um2 = cell_area(t, tr.num_transistors, drive);
+  return c;
+}
+
+Cell make_seq_cell(const tech::Technology& t, Func f, double drive,
+                   const SequentialTiming& timing) {
+  const FuncTraits& tr = traits(f);
+  GAP_EXPECTS(tr.sequential);
+  Cell c;
+  c.name = cell_name(f, Family::kStatic, drive);
+  c.func = f;
+  c.family = Family::kStatic;
+  c.drive = drive;
+  c.logical_effort = tr.logical_effort;
+  // The Q output still has to charge its load: model the output stage as an
+  // inverter's parasitic; clk-to-q covers the internal delay.
+  c.parasitic = 1.0;
+  c.area_um2 = cell_area(t, tr.num_transistors, drive);
+  c.setup_tau = t.fo4_to_tau(timing.setup_fo4);
+  c.clk_to_q_tau = t.fo4_to_tau(timing.clk_to_q_fo4);
+  c.hold_tau = t.fo4_to_tau(timing.hold_fo4);
+  return c;
+}
+
+void add_drives(CellLibrary& lib, const tech::Technology& t,
+                const std::vector<Func>& funcs,
+                const std::vector<double>& drives) {
+  for (Func f : funcs)
+    for (double d : drives) lib.add(make_comb_cell(t, f, d));
+}
+
+}  // namespace
+
+SequentialTiming asic_dff_timing() { return {1.0, 1.5, 0.3}; }
+SequentialTiming custom_dff_timing() { return {0.5, 1.0, 0.15}; }
+SequentialTiming custom_latch_timing() { return {0.3, 0.8, 0.15}; }
+SequentialTiming asic_latch_timing() { return {0.6, 1.2, 0.3}; }
+
+CellLibrary make_rich_asic_library(const tech::Technology& t) {
+  CellLibrary lib("rich-asic", t);
+  lib.continuous_sizing = false;
+  lib.clock_phases = 2;
+  lib.guard_banded_sequentials = true;
+
+  const std::vector<double> drives = {1, 2, 3, 4, 6, 8, 12, 16, 24, 32};
+  const std::vector<Func> funcs = {
+      Func::kInv,   Func::kBuf,   Func::kNand2, Func::kNand3, Func::kNand4,
+      Func::kNor2,  Func::kNor3,  Func::kAnd2,  Func::kAnd3,  Func::kOr2,
+      Func::kOr3,   Func::kXor2,  Func::kXnor2, Func::kAoi21, Func::kOai21,
+      Func::kMux2,  Func::kMaj3};
+  add_drives(lib, t, funcs, drives);
+
+  for (double d : {1.0, 2.0, 4.0, 8.0})
+    lib.add(make_seq_cell(t, Func::kDff, d, asic_dff_timing()));
+  for (double d : {1.0, 2.0, 4.0})
+    lib.add(make_seq_cell(t, Func::kLatch, d, asic_latch_timing()));
+  return lib;
+}
+
+CellLibrary make_poor_asic_library(const tech::Technology& t) {
+  CellLibrary lib("poor-asic", t);
+  lib.continuous_sizing = false;
+  lib.clock_phases = 1;
+  lib.guard_banded_sequentials = true;
+
+  // Two drive strengths, inverting polarity only (section 6.1).
+  const std::vector<double> drives = {1, 4};
+  const std::vector<Func> funcs = {Func::kInv,  Func::kNand2, Func::kNand3,
+                                   Func::kNor2, Func::kNor3,  Func::kXnor2,
+                                   Func::kAoi21, Func::kOai21};
+  add_drives(lib, t, funcs, drives);
+
+  for (double d : drives)
+    lib.add(make_seq_cell(t, Func::kDff, d, asic_dff_timing()));
+  return lib;
+}
+
+CellLibrary make_custom_library(const tech::Technology& t) {
+  CellLibrary lib("custom", t);
+  lib.continuous_sizing = true;
+  lib.clock_phases = 4;
+  lib.guard_banded_sequentials = false;
+
+  // Fine geometric drive ladder: with steps of 2^(1/3) the worst-case
+  // discretization penalty is a fraction of a percent, emulating the
+  // continuous sizing available to a custom designer.
+  std::vector<double> drives;
+  for (double d = 1.0; d <= 64.0 * 1.01; d *= std::pow(2.0, 1.0 / 3.0))
+    drives.push_back(d);
+
+  const std::vector<Func> funcs = {
+      Func::kInv,   Func::kBuf,   Func::kNand2, Func::kNand3, Func::kNand4,
+      Func::kNor2,  Func::kNor3,  Func::kAnd2,  Func::kAnd3,  Func::kOr2,
+      Func::kOr3,   Func::kXor2,  Func::kXnor2, Func::kAoi21, Func::kOai21,
+      Func::kMux2,  Func::kMaj3};
+  add_drives(lib, t, funcs, drives);
+
+  for (double d : {1.0, 2.0, 4.0, 8.0, 16.0}) {
+    lib.add(make_seq_cell(t, Func::kDff, d, custom_dff_timing()));
+    lib.add(make_seq_cell(t, Func::kLatch, d, custom_latch_timing()));
+  }
+  return lib;
+}
+
+CellLibrary make_parameterized_library(const tech::Technology& t,
+                                       const LibraryRecipe& recipe) {
+  GAP_EXPECTS(recipe.drives_per_octave >= 1);
+  GAP_EXPECTS(recipe.max_drive >= 1.0);
+  CellLibrary lib("param-d" + std::to_string(recipe.drives_per_octave) +
+                      (recipe.dual_polarity ? "-dual" : "-single"),
+                  t);
+  lib.continuous_sizing = false;
+  lib.clock_phases = recipe.latches ? 2 : 1;
+  lib.guard_banded_sequentials = true;
+
+  std::vector<double> drives;
+  const double step = std::pow(2.0, 1.0 / recipe.drives_per_octave);
+  for (double d = 1.0; d <= recipe.max_drive * 1.001; d *= step)
+    drives.push_back(d);
+
+  std::vector<Func> funcs = {Func::kInv,   Func::kNand2, Func::kNand3,
+                             Func::kNand4, Func::kNor2,  Func::kNor3,
+                             Func::kXnor2, Func::kAoi21, Func::kOai21};
+  if (recipe.dual_polarity) {
+    for (Func f : {Func::kBuf, Func::kAnd2, Func::kAnd3, Func::kOr2,
+                   Func::kOr3, Func::kXor2, Func::kMux2, Func::kMaj3})
+      funcs.push_back(f);
+  }
+  add_drives(lib, t, funcs, drives);
+
+  for (double d : {1.0, 2.0, 4.0, 8.0})
+    lib.add(make_seq_cell(t, Func::kDff, d, asic_dff_timing()));
+  if (recipe.latches)
+    for (double d : {1.0, 2.0, 4.0})
+      lib.add(make_seq_cell(t, Func::kLatch, d, asic_latch_timing()));
+  return lib;
+}
+
+void add_domino_cells(CellLibrary& lib) {
+  // Collect first: adding while iterating would invalidate the walk.
+  std::vector<Cell> to_add;
+  for (std::size_t i = 0; i < lib.size(); ++i) {
+    const Cell& c = lib.cell(CellId{static_cast<std::uint32_t>(i)});
+    if (c.is_sequential() || c.family == Family::kDomino) continue;
+    Cell d = c;
+    d.family = Family::kDomino;
+    d.name = cell_name(c.func, Family::kDomino, c.drive);
+    d.logical_effort = c.logical_effort * 0.60;
+    d.parasitic = c.parasitic * 0.50;
+    d.area_um2 = c.area_um2 * 1.8;  // dual-rail duplication
+    to_add.push_back(std::move(d));
+  }
+  for (Cell& c : to_add) lib.add(std::move(c));
+}
+
+}  // namespace gap::library

@@ -1,0 +1,69 @@
+#pragma once
+/// \file builders.hpp
+/// Library factories for the methodologies the paper compares (section 6):
+///
+///  - rich ASIC library: many drive strengths, dual polarities (both AND2
+///    and NAND2, etc.), guard-banded flip-flops, one or two clock phases;
+///  - poor ASIC library: only two drive strengths and single (inverting)
+///    polarity — the paper says such a library may be 25% slower;
+///  - custom library: effectively continuous sizing, lean latches/flops
+///    without skew guard-banding, multi-phase clocking;
+///  - domino extension: dual-rail domino counterparts of combinational
+///    cells, 50-100% faster at the gate level (section 7).
+
+#include "library/library.hpp"
+
+namespace gap::library {
+
+/// Rich commercial ASIC library: drives {1,2,3,4,6,8,12,16,24,32} for every
+/// function, both polarities, ASIC-quality (guard-banded) sequentials.
+[[nodiscard]] CellLibrary make_rich_asic_library(const tech::Technology& t);
+
+/// Poor ASIC library: drives {1,4} only, inverting polarity only
+/// (no AND/OR/buffered forms beyond an inverter pair), flip-flops only.
+[[nodiscard]] CellLibrary make_poor_asic_library(const tech::Technology& t);
+
+/// Custom methodology "library": fine-grained drives plus the
+/// continuous_sizing capability, lean sequential cells, latches with
+/// multi-phase clocking for time borrowing.
+[[nodiscard]] CellLibrary make_custom_library(const tech::Technology& t);
+
+/// Parameterized library generator for library-quality studies (the
+/// paper's reference [19], Keutzer et al., "Impact of Library Size on
+/// the Quality of Automated Synthesis"): choose the drive-ladder
+/// granularity and whether non-inverting (dual-polarity) gates exist.
+struct LibraryRecipe {
+  int drives_per_octave = 2;   ///< ladder density; >= 1
+  double max_drive = 32.0;
+  bool dual_polarity = true;   ///< include AND/OR/BUF/MUX/MAJ forms
+  bool latches = true;
+};
+
+[[nodiscard]] CellLibrary make_parameterized_library(
+    const tech::Technology& t, const LibraryRecipe& recipe);
+
+/// Add dual-rail domino counterparts of all combinational cells present in
+/// `lib`. Gate-level model: logical effort x0.60, parasitic x0.50, area
+/// x1.8 relative to the static version (Harris & Horowitz; paper section 7:
+/// "50% to 100% faster than static CMOS combinational logic").
+void add_domino_cells(CellLibrary& lib);
+
+/// Timing constants for sequential cells, in FO4 units (converted to tau
+/// by the builders). Exposed so tests and the pipeline overhead model can
+/// reference a single source of truth.
+struct SequentialTiming {
+  double setup_fo4;
+  double clk_to_q_fo4;
+  double hold_fo4;
+};
+
+/// ASIC flip-flop: guard-banded against 10%-class clock skew.
+[[nodiscard]] SequentialTiming asic_dff_timing();
+/// Custom flip-flop: lean, hand-designed.
+[[nodiscard]] SequentialTiming custom_dff_timing();
+/// Custom level-sensitive latch (enables time borrowing).
+[[nodiscard]] SequentialTiming custom_latch_timing();
+/// ASIC latch (present in some ASIC libraries, section 4.1).
+[[nodiscard]] SequentialTiming asic_latch_timing();
+
+}  // namespace gap::library

@@ -1,0 +1,49 @@
+#include "library/cell.hpp"
+
+#include "common/check.hpp"
+
+namespace gap::library {
+
+const FuncTraits& traits(Func f) {
+  // Logical-effort values: Sutherland, Sproull & Harris, "Logical Effort",
+  // ch. 4 (gamma = 1). Compound (two-stage) gates use effective values for
+  // a typical internal stage ratio. Parasitics in tau.
+  static const FuncTraits kTable[kNumFuncs] = {
+      // name     in  inv    seq    nT  g      p
+      {"inv", 1, true, false, 2, 1.0, 1.0},        // kInv
+      {"buf", 1, false, false, 4, 1.0, 2.0},       // kBuf
+      {"nand2", 2, true, false, 4, 4.0 / 3.0, 2.0},  // kNand2
+      {"nand3", 3, true, false, 6, 5.0 / 3.0, 3.0},  // kNand3
+      {"nand4", 4, true, false, 8, 2.0, 4.0},         // kNand4
+      {"nor2", 2, true, false, 4, 5.0 / 3.0, 2.0},   // kNor2
+      {"nor3", 3, true, false, 6, 7.0 / 3.0, 3.0},   // kNor3
+      {"and2", 2, false, false, 6, 1.20, 3.0},       // kAnd2 (nand2+inv)
+      {"and3", 3, false, false, 8, 1.40, 4.0},       // kAnd3
+      {"or2", 2, false, false, 6, 1.50, 3.0},        // kOr2 (nor2+inv)
+      {"or3", 3, false, false, 8, 1.90, 4.0},        // kOr3
+      {"xor2", 2, false, false, 10, 4.0, 4.0},       // kXor2
+      {"xnor2", 2, true, false, 10, 4.0, 4.0},       // kXnor2
+      {"aoi21", 3, true, false, 6, 2.0, 3.0},        // kAoi21
+      {"oai21", 3, true, false, 6, 2.0, 3.0},        // kOai21
+      {"mux2", 3, false, false, 10, 2.0, 4.0},       // kMux2
+      {"maj3", 3, false, false, 12, 2.0, 4.0},       // kMaj3
+      {"dff", 1, false, true, 24, 1.0, 0.0},         // kDff
+      {"latch", 1, false, true, 12, 1.0, 0.0},       // kLatch
+  };
+  const int i = static_cast<int>(f);
+  GAP_EXPECTS(i >= 0 && i < kNumFuncs);
+  return kTable[i];
+}
+
+const char* input_pin_name(Func f, int pin) {
+  if (traits(f).sequential) return "d";
+  static const char* kPins[] = {"a", "b", "c", "d"};
+  GAP_EXPECTS(pin >= 0 && pin < 4);
+  return kPins[pin];
+}
+
+const char* output_pin_name(Func f) {
+  return traits(f).sequential ? "q" : "y";
+}
+
+}  // namespace gap::library

@@ -1,0 +1,101 @@
+#pragma once
+/// \file cell.hpp
+/// Standard-cell model characterized with logical effort.
+///
+/// Each combinational cell has a logical effort `g` and parasitic delay `p`
+/// (both in tau units). An instance of drive `s` presents `g * s` unit input
+/// capacitances at each input pin and has arc delay
+///     d = p + Cload / s        [tau]
+/// where Cload is in unit input capacitances. This is the standard
+/// Sutherland/Sproull/Harris formulation with per-pin effort variation
+/// collapsed to a single per-cell value (a documented approximation).
+
+#include <cstdint>
+#include <string>
+
+namespace gap::library {
+
+/// Logic function implemented by a cell. Macro blocks (adders, shifters)
+/// are netlist generators in gap::datapath, not cells.
+enum class Func : std::uint8_t {
+  kInv,
+  kBuf,
+  kNand2,
+  kNand3,
+  kNand4,
+  kNor2,
+  kNor3,
+  kAnd2,
+  kAnd3,
+  kOr2,
+  kOr3,
+  kXor2,
+  kXnor2,
+  kAoi21,   ///< !(a*b + c)
+  kOai21,   ///< !((a+b) * c)
+  kMux2,    ///< s ? b : a
+  kMaj3,    ///< majority(a, b, c) — full-adder carry
+  kDff,     ///< edge-triggered flip-flop
+  kLatch,   ///< level-sensitive latch
+};
+
+/// Circuit family of a cell (section 7 of the paper).
+enum class Family : std::uint8_t {
+  kStatic,  ///< static CMOS
+  kDomino,  ///< dual-rail domino implementation of the same function
+};
+
+/// Static properties of a Func, independent of drive and family.
+struct FuncTraits {
+  const char* name;        ///< Short name used to build cell names.
+  int num_inputs;          ///< Data inputs (excludes clock).
+  bool inverting;          ///< Output polarity relative to AND/OR form.
+  bool sequential;         ///< DFF / latch.
+  int num_transistors;     ///< Static CMOS transistor count (area model).
+  double logical_effort;   ///< g for the static CMOS version.
+  double parasitic;        ///< p (tau) for the static CMOS version.
+};
+
+/// Lookup table of per-function traits. Values are the canonical
+/// logical-effort numbers (gamma = 1) with two-stage compound gates
+/// approximated by an effective (g, p) pair.
+[[nodiscard]] const FuncTraits& traits(Func f);
+
+/// Number of Func enumerators (for iteration).
+inline constexpr int kNumFuncs = static_cast<int>(Func::kLatch) + 1;
+
+/// Canonical interchange pin names: inputs "a".."d" ("d" for sequential
+/// data), output "y" ("q" for sequentials). Used by the Verilog and
+/// Liberty writers.
+[[nodiscard]] const char* input_pin_name(Func f, int pin);
+[[nodiscard]] const char* output_pin_name(Func f);
+
+/// One standard cell: a (function, family, drive) point with its
+/// characterized timing.
+struct Cell {
+  std::string name;
+  Func func = Func::kInv;
+  Family family = Family::kStatic;
+  double drive = 1.0;      ///< s: drive strength in unit-inverter multiples.
+  double logical_effort = 1.0;  ///< g (tau per unit of electrical effort).
+  double parasitic = 1.0;       ///< p in tau.
+  double area_um2 = 0.0;
+
+  // Sequential-only timing, in tau units (zero for combinational cells).
+  double setup_tau = 0.0;
+  double clk_to_q_tau = 0.0;
+  double hold_tau = 0.0;
+
+  /// Input capacitance per data pin, in unit input capacitances.
+  [[nodiscard]] double input_cap() const { return logical_effort * drive; }
+
+  /// Arc delay in tau for a given load (unit input capacitances).
+  [[nodiscard]] double delay(double load_units) const {
+    return parasitic + load_units / drive;
+  }
+
+  [[nodiscard]] bool is_sequential() const { return traits(func).sequential; }
+  [[nodiscard]] int num_inputs() const { return traits(func).num_inputs; }
+};
+
+}  // namespace gap::library

@@ -1,0 +1,28 @@
+#pragma once
+/// \file liberty.hpp
+/// Liberty-flavored library serialization. write_liberty() emits a
+/// `.lib`-style description of a CellLibrary — standard structure (cells,
+/// pins, directions, functions, area) plus `gap_*` attributes carrying
+/// the logical-effort characterization exactly, so read_liberty() can
+/// reconstruct the library losslessly. Real Liberty NLDM tables are a
+/// superset of this first-order model; the paper-era exchange format is
+/// approximated faithfully enough for flows built on this repository.
+
+#include <iosfwd>
+#include <string>
+
+#include "library/library.hpp"
+
+namespace gap::library {
+
+/// Boolean function string for a cell output in Liberty syntax
+/// (e.g. "!(a*b)" for nand2, "(a*b)+(a*c)+(b*c)" for maj3).
+[[nodiscard]] std::string liberty_function(Func f);
+
+void write_liberty(const CellLibrary& lib, std::ostream& os);
+[[nodiscard]] std::string to_liberty(const CellLibrary& lib);
+
+/// Parse a library written by write_liberty (the emitted subset only).
+[[nodiscard]] CellLibrary read_liberty(const std::string& text);
+
+}  // namespace gap::library

@@ -1,0 +1,219 @@
+#include "logic/aig.hpp"
+
+#include <algorithm>
+
+namespace gap::logic {
+
+Aig::Aig() {
+  nodes_.push_back(Node{});  // node 0: constant false
+}
+
+Lit Aig::create_pi(std::string name) {
+  Node n;
+  n.kind = NodeKind::kPi;
+  n.level = 0;
+  const auto id = static_cast<std::uint32_t>(nodes_.size());
+  nodes_.push_back(n);
+  pis_.push_back(id);
+  pi_names_.push_back(name.empty() ? "pi" + std::to_string(pis_.size() - 1)
+                                   : std::move(name));
+  return Lit::make(id, false);
+}
+
+std::uint64_t Aig::hash_key(NodeKind kind, Lit a, Lit b, Lit c) {
+  std::uint64_t h = static_cast<std::uint64_t>(kind);
+  h = h * 0x100000001B3ull ^ a.raw();
+  h = h * 0x100000001B3ull ^ b.raw();
+  h = h * 0x100000001B3ull ^ c.raw();
+  return h;
+}
+
+Lit Aig::new_node(NodeKind kind, Lit a, Lit b, Lit c, int num_fanins) {
+  const std::uint64_t key = hash_key(kind, a, b, c);
+  if (auto it = strash_.find(key); it != strash_.end())
+    return Lit::make(it->second, false);
+
+  Node n;
+  n.kind = kind;
+  n.fanin[0] = a;
+  n.fanin[1] = b;
+  n.fanin[2] = c;
+  n.num_fanins = num_fanins;
+  int lvl = 0;
+  for (int i = 0; i < num_fanins; ++i) {
+    lvl = std::max(lvl, nodes_[n.fanin[i].node()].level);
+    ++nodes_[n.fanin[i].node()].fanout_count;
+  }
+  n.level = lvl + 1;
+  const auto id = static_cast<std::uint32_t>(nodes_.size());
+  nodes_.push_back(n);
+  strash_.emplace(key, id);
+  return Lit::make(id, false);
+}
+
+Lit Aig::create_and(Lit a, Lit b) {
+  // Constant and trivial-case propagation.
+  if (a == lit_false() || b == lit_false()) return lit_false();
+  if (a == lit_true()) return b;
+  if (b == lit_true()) return a;
+  if (a == b) return a;
+  if (a == !b) return lit_false();
+  // Canonical operand order for structural hashing.
+  if (a.raw() > b.raw()) std::swap(a, b);
+  return new_node(NodeKind::kAnd, a, b, Lit{}, 2);
+}
+
+Lit Aig::create_xor(Lit a, Lit b) {
+  if (a == b) return lit_false();
+  if (a == !b) return lit_true();
+  if (a == lit_false()) return b;
+  if (a == lit_true()) return !b;
+  if (b == lit_false()) return a;
+  if (b == lit_true()) return !a;
+  // Canonicalize: push complements out (x ^ !y == !(x ^ y)), order operands.
+  bool out_compl = false;
+  if (a.complemented()) {
+    a = !a;
+    out_compl = !out_compl;
+  }
+  if (b.complemented()) {
+    b = !b;
+    out_compl = !out_compl;
+  }
+  if (a.raw() > b.raw()) std::swap(a, b);
+  const Lit r = new_node(NodeKind::kXor, a, b, Lit{}, 2);
+  return out_compl ? !r : r;
+}
+
+Lit Aig::create_mux(Lit sel, Lit t, Lit e) {
+  if (sel == lit_true()) return t;
+  if (sel == lit_false()) return e;
+  if (t == e) return t;
+  if (sel.complemented()) {
+    sel = !sel;
+    std::swap(t, e);
+  }
+  if (t == lit_true() && e == lit_false()) return sel;
+  if (t == lit_false() && e == lit_true()) return !sel;
+  if (t == lit_false()) return create_and(!sel, e);
+  if (e == lit_false()) return create_and(sel, t);
+  if (t == lit_true()) return create_or(sel, e);
+  if (e == lit_true()) return create_or(!sel, t);
+  return new_node(NodeKind::kMux, sel, t, e, 3);
+}
+
+Lit Aig::create_maj(Lit a, Lit b, Lit c) {
+  // Sort operands for canonical form; handle constants.
+  if (a == lit_false()) return create_and(b, c);
+  if (a == lit_true()) return create_or(b, c);
+  if (b == lit_false()) return create_and(a, c);
+  if (b == lit_true()) return create_or(a, c);
+  if (c == lit_false()) return create_and(a, b);
+  if (c == lit_true()) return create_or(a, b);
+  if (a == b) return a;
+  if (a == c) return a;
+  if (b == c) return b;
+  if (a == !b) return c;
+  if (a == !c) return b;
+  if (b == !c) return a;
+  Lit f[3] = {a, b, c};
+  std::sort(f, f + 3, [](Lit x, Lit y) { return x.raw() < y.raw(); });
+  return new_node(NodeKind::kMaj, f[0], f[1], f[2], 3);
+}
+
+namespace {
+/// Balanced reduction over a vector of literals.
+Lit reduce_balanced(Aig& aig, std::vector<Lit> lits,
+                    Lit (Aig::*op)(Lit, Lit), Lit empty_value) {
+  if (lits.empty()) return empty_value;
+  while (lits.size() > 1) {
+    std::vector<Lit> next;
+    next.reserve((lits.size() + 1) / 2);
+    for (std::size_t i = 0; i + 1 < lits.size(); i += 2)
+      next.push_back((aig.*op)(lits[i], lits[i + 1]));
+    if (lits.size() % 2 == 1) next.push_back(lits.back());
+    lits = std::move(next);
+  }
+  return lits[0];
+}
+}  // namespace
+
+Lit Aig::create_and_n(const std::vector<Lit>& lits) {
+  return reduce_balanced(*this, lits, &Aig::create_and, lit_true());
+}
+
+Lit Aig::create_or_n(const std::vector<Lit>& lits) {
+  return reduce_balanced(*this, lits, &Aig::create_or, lit_false());
+}
+
+Lit Aig::create_xor_n(const std::vector<Lit>& lits) {
+  return reduce_balanced(*this, lits, &Aig::create_xor, lit_false());
+}
+
+void Aig::add_po(Lit lit, std::string name) {
+  pos_.push_back(lit);
+  po_names_.push_back(name.empty() ? "po" + std::to_string(pos_.size() - 1)
+                                   : std::move(name));
+}
+
+std::size_t Aig::num_gates() const {
+  std::size_t n = 0;
+  for (const Node& node : nodes_)
+    if (node.kind == NodeKind::kAnd || node.kind == NodeKind::kXor ||
+        node.kind == NodeKind::kMux || node.kind == NodeKind::kMaj)
+      ++n;
+  return n;
+}
+
+int Aig::depth() const {
+  int d = 0;
+  for (Lit po : pos_) d = std::max(d, nodes_[po.node()].level);
+  return d;
+}
+
+std::vector<std::uint64_t> Aig::simulate(
+    const std::vector<std::uint64_t>& pi_values) const {
+  GAP_EXPECTS(pi_values.size() == pis_.size());
+  std::vector<std::uint64_t> value(nodes_.size(), 0);
+  for (std::size_t i = 0; i < pis_.size(); ++i) value[pis_[i]] = pi_values[i];
+
+  auto lit_val = [&](Lit l) {
+    const std::uint64_t v = value[l.node()];
+    return l.complemented() ? ~v : v;
+  };
+
+  // Nodes are created in topological order by construction.
+  for (std::uint32_t i = 1; i < nodes_.size(); ++i) {
+    const Node& n = nodes_[i];
+    switch (n.kind) {
+      case NodeKind::kAnd:
+        value[i] = lit_val(n.fanin[0]) & lit_val(n.fanin[1]);
+        break;
+      case NodeKind::kXor:
+        value[i] = lit_val(n.fanin[0]) ^ lit_val(n.fanin[1]);
+        break;
+      case NodeKind::kMux: {
+        const std::uint64_t s = lit_val(n.fanin[0]);
+        value[i] = (s & lit_val(n.fanin[1])) | (~s & lit_val(n.fanin[2]));
+        break;
+      }
+      case NodeKind::kMaj: {
+        const std::uint64_t a = lit_val(n.fanin[0]);
+        const std::uint64_t b = lit_val(n.fanin[1]);
+        const std::uint64_t c = lit_val(n.fanin[2]);
+        value[i] = (a & b) | (a & c) | (b & c);
+        break;
+      }
+      case NodeKind::kConst0:
+      case NodeKind::kPi:
+        break;
+    }
+  }
+
+  std::vector<std::uint64_t> out;
+  out.reserve(pos_.size());
+  for (Lit po : pos_) out.push_back(lit_val(po));
+  return out;
+}
+
+}  // namespace gap::logic

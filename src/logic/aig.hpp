@@ -1,0 +1,132 @@
+#pragma once
+/// \file aig.hpp
+/// Technology-independent logic network. The core is an AND-inverter graph
+/// with complemented edges and structural hashing; XOR, MUX and MAJ are
+/// kept as dedicated structural nodes (rather than decomposed into ANDs) so
+/// the technology mapper can match them to xor2/mux2/maj3 cells directly —
+/// this mirrors how commercial mappers preserve datapath structure.
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/check.hpp"
+
+namespace gap::logic {
+
+/// A literal: node index with a complement bit in the LSB.
+class Lit {
+ public:
+  constexpr Lit() = default;
+  static constexpr Lit make(std::uint32_t node, bool compl_flag) {
+    return Lit{(node << 1) | static_cast<std::uint32_t>(compl_flag)};
+  }
+  [[nodiscard]] constexpr std::uint32_t node() const { return raw_ >> 1; }
+  [[nodiscard]] constexpr bool complemented() const { return raw_ & 1u; }
+  [[nodiscard]] constexpr Lit operator!() const { return Lit{raw_ ^ 1u}; }
+  [[nodiscard]] constexpr std::uint32_t raw() const { return raw_; }
+  friend constexpr bool operator==(Lit, Lit) = default;
+  friend constexpr auto operator<=>(Lit, Lit) = default;
+
+ private:
+  constexpr explicit Lit(std::uint32_t raw) : raw_(raw) {}
+  std::uint32_t raw_ = 0;
+};
+
+/// Constant literals: node 0 is the constant-false node.
+inline constexpr Lit lit_false() { return Lit::make(0, false); }
+inline constexpr Lit lit_true() { return Lit::make(0, true); }
+
+enum class NodeKind : std::uint8_t {
+  kConst0,  ///< node 0 only
+  kPi,      ///< primary input
+  kAnd,     ///< fanin[0] & fanin[1]
+  kXor,     ///< fanin[0] ^ fanin[1]
+  kMux,     ///< fanin[0] ? fanin[1] : fanin[2]
+  kMaj,     ///< majority(fanin[0], fanin[1], fanin[2])
+};
+
+struct Node {
+  NodeKind kind = NodeKind::kConst0;
+  Lit fanin[3] = {};
+  int num_fanins = 0;
+  int level = 0;       ///< unit-delay depth from PIs
+  int fanout_count = 0;
+};
+
+/// Combinational logic network. Registers live at the netlist level;
+/// design generators build one Aig per combinational block.
+class Aig {
+ public:
+  Aig();
+
+  /// Create a primary input; returns its positive literal.
+  Lit create_pi(std::string name = "");
+
+  /// AND with structural hashing and constant/idempotence propagation.
+  Lit create_and(Lit a, Lit b);
+  Lit create_or(Lit a, Lit b) { return !create_and(!a, !b); }
+  Lit create_nand(Lit a, Lit b) { return !create_and(a, b); }
+  Lit create_nor(Lit a, Lit b) { return create_and(!a, !b); }
+
+  /// Structural XOR node (hashed; canonicalized to non-complemented fanins).
+  Lit create_xor(Lit a, Lit b);
+  Lit create_xnor(Lit a, Lit b) { return !create_xor(a, b); }
+
+  /// Structural MUX node: sel ? t : e.
+  Lit create_mux(Lit sel, Lit t, Lit e);
+
+  /// Structural majority-of-3 node (full-adder carry).
+  Lit create_maj(Lit a, Lit b, Lit c);
+
+  /// Variadic AND/OR/XOR over a span of literals (balanced tree).
+  Lit create_and_n(const std::vector<Lit>& lits);
+  Lit create_or_n(const std::vector<Lit>& lits);
+  Lit create_xor_n(const std::vector<Lit>& lits);
+
+  /// Register a primary output.
+  void add_po(Lit lit, std::string name = "");
+
+  // --- access ---
+  [[nodiscard]] std::size_t num_nodes() const { return nodes_.size(); }
+  [[nodiscard]] const Node& node(std::uint32_t i) const {
+    GAP_EXPECTS(i < nodes_.size());
+    return nodes_[i];
+  }
+  [[nodiscard]] std::size_t num_pis() const { return pis_.size(); }
+  [[nodiscard]] std::size_t num_pos() const { return pos_.size(); }
+  [[nodiscard]] std::uint32_t pi_node(std::size_t i) const { return pis_[i]; }
+  [[nodiscard]] Lit po(std::size_t i) const { return pos_[i]; }
+  [[nodiscard]] const std::string& pi_name(std::size_t i) const {
+    return pi_names_[i];
+  }
+  [[nodiscard]] const std::string& po_name(std::size_t i) const {
+    return po_names_[i];
+  }
+
+  /// Number of AND/XOR/MUX/MAJ nodes (network size).
+  [[nodiscard]] std::size_t num_gates() const;
+
+  /// Maximum level over POs (unit-delay depth).
+  [[nodiscard]] int depth() const;
+
+  /// 64-way parallel simulation: pi_values[i] holds 64 stimulus bits for
+  /// PI i; returns one word per PO.
+  [[nodiscard]] std::vector<std::uint64_t> simulate(
+      const std::vector<std::uint64_t>& pi_values) const;
+
+ private:
+  Lit new_node(NodeKind kind, Lit a, Lit b, Lit c, int num_fanins);
+  [[nodiscard]] static std::uint64_t hash_key(NodeKind kind, Lit a, Lit b,
+                                              Lit c);
+
+  std::vector<Node> nodes_;
+  std::vector<std::uint32_t> pis_;
+  std::vector<std::string> pi_names_;
+  std::vector<Lit> pos_;
+  std::vector<std::string> po_names_;
+  std::unordered_map<std::uint64_t, std::uint32_t> strash_;
+};
+
+}  // namespace gap::logic

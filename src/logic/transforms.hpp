@@ -1,0 +1,37 @@
+#pragma once
+/// \file transforms.hpp
+/// Technology-independent optimization passes over the Aig. All passes are
+/// functional: they return a freshly built network (structural hashing in
+/// the builder deduplicates and drops dead logic automatically).
+
+#include "logic/aig.hpp"
+
+namespace gap::logic {
+
+/// Options for expand_structural: which structural node kinds to decompose
+/// into the AND-inverter base (used when the target library lacks the
+/// corresponding cells).
+struct ExpandOptions {
+  bool expand_xor = false;
+  bool expand_mux = false;
+  bool expand_maj = false;
+};
+
+/// Rebuild the network, dropping dead nodes and re-hashing (CSE).
+[[nodiscard]] Aig sweep(const Aig& aig);
+
+/// Tree balancing: flatten single-fanout AND (and XOR) chains into n-ary
+/// operators and rebuild them as balanced trees, reducing depth. This is
+/// the classic "balance" pass of SIS/ABC.
+[[nodiscard]] Aig balance(const Aig& aig);
+
+/// Decompose structural XOR/MUX/MAJ nodes into AND-inverter logic
+/// according to `opts` (library-aware lowering).
+[[nodiscard]] Aig expand_structural(const Aig& aig, const ExpandOptions& opts);
+
+/// Functional equivalence check by exhaustive simulation when the PI count
+/// is <= 16, else by `rounds` x 64 random patterns. Networks must have the
+/// same PI/PO counts (correspondence by index).
+[[nodiscard]] bool equivalent(const Aig& a, const Aig& b, int rounds = 64);
+
+}  // namespace gap::logic

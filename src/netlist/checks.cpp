@@ -1,0 +1,112 @@
+#include "netlist/checks.hpp"
+
+#include <algorithm>
+#include <queue>
+
+namespace gap::netlist {
+namespace {
+
+/// Combinational fanin instances of `id` (inputs driven by non-sequential
+/// instances).
+void for_each_comb_fanin(const Netlist& nl, InstanceId id,
+                         const auto& callback) {
+  for (NetId in : nl.instance(id).inputs) {
+    const NetDriver& d = nl.net(in).driver;
+    if (d.kind == NetDriver::Kind::kInstance && !nl.is_sequential(d.inst))
+      callback(d.inst);
+  }
+}
+
+}  // namespace
+
+CheckResult verify(const Netlist& nl) {
+  CheckResult r;
+
+  for (NetId nid : nl.all_nets()) {
+    const Net& n = nl.net(nid);
+    if (n.driver.kind == NetDriver::Kind::kNone && !n.sinks.empty())
+      r.problems.push_back("net '" + n.name + "' has sinks but no driver");
+    for (const NetSink& s : n.sinks) {
+      if (s.kind != NetSink::Kind::kInstancePin) continue;
+      const Instance& inst = nl.instance(s.inst);
+      if (s.pin < 0 || s.pin >= static_cast<int>(inst.inputs.size()) ||
+          inst.inputs[s.pin] != nid)
+        r.problems.push_back("net '" + n.name +
+                             "' sink list inconsistent with instance '" +
+                             inst.name + "'");
+    }
+  }
+
+  for (InstanceId iid : nl.all_instances()) {
+    const Instance& inst = nl.instance(iid);
+    const library::Cell& c = nl.lib().cell(inst.cell);
+    if (static_cast<int>(inst.inputs.size()) != c.num_inputs())
+      r.problems.push_back("instance '" + inst.name + "' pin count mismatch");
+    const Net& out = nl.net(inst.output);
+    if (out.driver.kind != NetDriver::Kind::kInstance ||
+        out.driver.inst != iid)
+      r.problems.push_back("instance '" + inst.name +
+                           "' output net driver mismatch");
+  }
+
+  if (topo_order(nl).empty() && nl.num_instances() > 0)
+    r.problems.push_back("combinational cycle detected");
+
+  return r;
+}
+
+std::vector<InstanceId> topo_order(const Netlist& nl) {
+  const std::size_t n = nl.num_instances();
+  std::vector<int> pending(n, 0);
+  std::vector<InstanceId> order;
+  order.reserve(n);
+  std::queue<InstanceId> ready;
+
+  for (InstanceId id : nl.all_instances()) {
+    if (nl.is_sequential(id)) {
+      // Sequential elements break combinational dependencies.
+      order.push_back(id);
+      continue;
+    }
+    int count = 0;
+    for_each_comb_fanin(nl, id, [&](InstanceId) { ++count; });
+    pending[id.index()] = count;
+    if (count == 0) ready.push(id);
+  }
+
+  // Kahn's algorithm over the combinational fanout graph.
+  std::size_t emitted_comb = 0;
+  while (!ready.empty()) {
+    const InstanceId id = ready.front();
+    ready.pop();
+    order.push_back(id);
+    ++emitted_comb;
+    for (const NetSink& s : nl.net(nl.instance(id).output).sinks) {
+      if (s.kind != NetSink::Kind::kInstancePin) continue;
+      if (nl.is_sequential(s.inst)) continue;
+      if (--pending[s.inst.index()] == 0) ready.push(s.inst);
+    }
+  }
+
+  const std::size_t comb_total = n - nl.num_sequential();
+  if (emitted_comb != comb_total) return {};  // cycle
+  return order;
+}
+
+int logic_depth(const Netlist& nl) {
+  const auto order = topo_order(nl);
+  if (order.empty() && nl.num_instances() > 0) return -1;
+  std::vector<int> depth(nl.num_instances(), 0);
+  int max_depth = 0;
+  for (InstanceId id : order) {
+    if (nl.is_sequential(id)) continue;
+    int d = 0;
+    for_each_comb_fanin(nl, id,
+                        [&](InstanceId f) { d = std::max(d, depth[f.index()]); });
+    depth[id.index()] = d + 1;
+    max_depth = std::max(max_depth, d + 1);
+  }
+  return max_depth;
+}
+
+}  // namespace gap::netlist

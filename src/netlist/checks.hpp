@@ -1,0 +1,36 @@
+#pragma once
+/// \file checks.hpp
+/// Structural verification and combinational ordering of a netlist. Every
+/// flow stage calls verify() after transforming a netlist; a malformed
+/// netlist (multiple drivers, dangling pins, combinational cycles) would
+/// silently corrupt all downstream timing numbers.
+
+#include <string>
+#include <vector>
+
+#include "netlist/netlist.hpp"
+
+namespace gap::netlist {
+
+/// Result of a structural check: empty `problems` means the netlist is
+/// well-formed.
+struct CheckResult {
+  std::vector<std::string> problems;
+  [[nodiscard]] bool ok() const { return problems.empty(); }
+};
+
+/// Check: every net has exactly one driver and consistent sink lists,
+/// instance pin counts match cells, no combinational cycles.
+[[nodiscard]] CheckResult verify(const Netlist& nl);
+
+/// Topological order of all instances for combinational propagation:
+/// sequential instances come first (their outputs are cycle sources),
+/// then combinational instances in dependency order.
+/// Fails (returns empty) if a combinational cycle exists.
+[[nodiscard]] std::vector<InstanceId> topo_order(const Netlist& nl);
+
+/// Maximum number of combinational instances on any register-to-register /
+/// port-to-port path (the "logic levels" of section 4).
+[[nodiscard]] int logic_depth(const Netlist& nl);
+
+}  // namespace gap::netlist

@@ -1,0 +1,102 @@
+#include "netlist/sequential_sim.hpp"
+
+#include "common/check.hpp"
+#include "netlist/checks.hpp"
+
+namespace gap::netlist {
+namespace {
+
+std::uint64_t eval_comb(library::Func f, const std::vector<std::uint64_t>& in) {
+  using library::Func;
+  switch (f) {
+    case Func::kInv: return ~in[0];
+    case Func::kBuf: return in[0];
+    case Func::kNand2: return ~(in[0] & in[1]);
+    case Func::kNand3: return ~(in[0] & in[1] & in[2]);
+    case Func::kNand4: return ~(in[0] & in[1] & in[2] & in[3]);
+    case Func::kNor2: return ~(in[0] | in[1]);
+    case Func::kNor3: return ~(in[0] | in[1] | in[2]);
+    case Func::kAnd2: return in[0] & in[1];
+    case Func::kAnd3: return in[0] & in[1] & in[2];
+    case Func::kOr2: return in[0] | in[1];
+    case Func::kOr3: return in[0] | in[1] | in[2];
+    case Func::kXor2: return in[0] ^ in[1];
+    case Func::kXnor2: return ~(in[0] ^ in[1]);
+    case Func::kAoi21: return ~((in[0] & in[1]) | in[2]);
+    case Func::kOai21: return ~((in[0] | in[1]) & in[2]);
+    case Func::kMux2: return (in[2] & in[1]) | (~in[2] & in[0]);
+    case Func::kMaj3:
+      return (in[0] & in[1]) | (in[0] & in[2]) | (in[1] & in[2]);
+    case Func::kDff:
+    case Func::kLatch:
+      GAP_EXPECTS(false);  // sequential cells never evaluate here
+  }
+  return 0;
+}
+
+}  // namespace
+
+SequentialSimulator::SequentialSimulator(const Netlist& nl) : nl_(nl) {
+  const auto order = topo_order(nl_);
+  GAP_EXPECTS(order.size() == nl_.num_instances());
+  for (InstanceId id : order) {
+    if (nl_.is_sequential(id))
+      registers_.push_back(id);
+    else
+      comb_order_.push_back(id);
+  }
+  state_.assign(registers_.size(), 0);
+  net_val_.assign(nl_.num_nets(), 0);
+  std::size_t n_in = 0;
+  for (PortId p : nl_.all_ports())
+    if (nl_.port(p).is_input) ++n_in;
+  pi_.assign(n_in, 0);
+}
+
+void SequentialSimulator::reset() {
+  state_.assign(registers_.size(), 0);
+  net_val_.assign(nl_.num_nets(), 0);
+  pi_.assign(pi_.size(), 0);
+  cycle_ = 0;
+}
+
+void SequentialSimulator::propagate() {
+  // Register outputs from state, primary inputs from the latched words.
+  for (std::size_t r = 0; r < registers_.size(); ++r)
+    net_val_[nl_.instance(registers_[r]).output.index()] = state_[r];
+  std::size_t k = 0;
+  for (PortId p : nl_.all_ports())
+    if (nl_.port(p).is_input) net_val_[nl_.port(p).net.index()] = pi_[k++];
+
+  std::vector<std::uint64_t> in;
+  for (InstanceId id : comb_order_) {
+    const Instance& inst = nl_.instance(id);
+    in.clear();
+    for (NetId n : inst.inputs) in.push_back(net_val_[n.index()]);
+    net_val_[inst.output.index()] = eval_comb(nl_.cell_of(id).func, in);
+  }
+}
+
+std::vector<std::uint64_t> SequentialSimulator::step(
+    const std::vector<std::uint64_t>& pi_values) {
+  GAP_EXPECTS(pi_values.size() == pi_.size());
+
+  // Clock edge: every register captures the D value computed during the
+  // previous cycle's propagation.
+  std::vector<std::uint64_t> captured(registers_.size());
+  for (std::size_t r = 0; r < registers_.size(); ++r)
+    captured[r] = net_val_[nl_.instance(registers_[r]).inputs[0].index()];
+  state_ = std::move(captured);
+  ++cycle_;
+
+  pi_ = pi_values;
+  propagate();
+
+  std::vector<std::uint64_t> out;
+  for (PortId p : nl_.all_ports())
+    if (!nl_.port(p).is_input)
+      out.push_back(net_val_[nl_.port(p).net.index()]);
+  return out;
+}
+
+}  // namespace gap::netlist

@@ -1,0 +1,50 @@
+#pragma once
+/// \file sequential_sim.hpp
+/// Cycle-accurate sequential simulation: registers hold state across
+/// step() calls instead of being treated as transparent. This is the
+/// ground truth for pipeline latency — a 5-stage pipeline's output must
+/// equal the combinational function of the inputs presented five edges
+/// earlier — and the equivalence oracle for retiming, which preserves
+/// I/O behaviour cycle for cycle.
+
+#include <cstdint>
+#include <vector>
+
+#include "netlist/netlist.hpp"
+
+namespace gap::netlist {
+
+/// 64 independent lanes simulate 64 stimulus streams at once, exactly as
+/// the combinational simulator does.
+class SequentialSimulator {
+ public:
+  /// The netlist must outlive the simulator. Register state starts at 0.
+  explicit SequentialSimulator(const Netlist& nl);
+
+  /// Advance one clock edge: capture every register's D, then propagate
+  /// the new Q values and `pi_values` (one word per input port, in port
+  /// order) through the combinational logic. Returns one word per output
+  /// port. Level-sensitive latches are treated as edge elements here (a
+  /// documented simplification: this simulator validates pipelines, not
+  /// multi-phase transparency).
+  std::vector<std::uint64_t> step(const std::vector<std::uint64_t>& pi_values);
+
+  /// Reset all register state to zero.
+  void reset();
+
+  /// Current cycle count since construction/reset.
+  [[nodiscard]] std::uint64_t cycle() const { return cycle_; }
+
+ private:
+  void propagate();
+
+  const Netlist& nl_;
+  std::vector<InstanceId> comb_order_;   ///< combinational evaluation order
+  std::vector<InstanceId> registers_;
+  std::vector<std::uint64_t> state_;     ///< per register, parallel to registers_
+  std::vector<std::uint64_t> net_val_;
+  std::vector<std::uint64_t> pi_;        ///< latched input words
+  std::uint64_t cycle_ = 0;
+};
+
+}  // namespace gap::netlist

@@ -1,0 +1,98 @@
+#include "netlist/simulate.hpp"
+
+#include <queue>
+
+namespace gap::netlist {
+namespace {
+
+std::uint64_t eval_cell(library::Func f, const std::vector<std::uint64_t>& in) {
+  using library::Func;
+  switch (f) {
+    case Func::kInv: return ~in[0];
+    case Func::kBuf: return in[0];
+    case Func::kNand2: return ~(in[0] & in[1]);
+    case Func::kNand3: return ~(in[0] & in[1] & in[2]);
+    case Func::kNand4: return ~(in[0] & in[1] & in[2] & in[3]);
+    case Func::kNor2: return ~(in[0] | in[1]);
+    case Func::kNor3: return ~(in[0] | in[1] | in[2]);
+    case Func::kAnd2: return in[0] & in[1];
+    case Func::kAnd3: return in[0] & in[1] & in[2];
+    case Func::kOr2: return in[0] | in[1];
+    case Func::kOr3: return in[0] | in[1] | in[2];
+    case Func::kXor2: return in[0] ^ in[1];
+    case Func::kXnor2: return ~(in[0] ^ in[1]);
+    case Func::kAoi21: return ~((in[0] & in[1]) | in[2]);
+    case Func::kOai21: return ~((in[0] | in[1]) & in[2]);
+    case Func::kMux2: return (in[2] & in[1]) | (~in[2] & in[0]);
+    case Func::kMaj3:
+      return (in[0] & in[1]) | (in[0] & in[2]) | (in[1] & in[2]);
+    case Func::kDff:
+    case Func::kLatch:
+      return in[0];  // transparent for combinational equivalence
+  }
+  return 0;
+}
+
+/// Topological order including sequential elements (flops are treated as
+/// combinational pass-throughs). Requires the netlist to be feed-forward
+/// even through registers, which holds for all pipelined designs here.
+std::vector<InstanceId> full_topo_order(const Netlist& nl) {
+  const std::size_t n = nl.num_instances();
+  std::vector<int> pending(n, 0);
+  std::queue<InstanceId> ready;
+  for (InstanceId id : nl.all_instances()) {
+    int count = 0;
+    for (NetId in : nl.instance(id).inputs)
+      if (nl.net(in).driver.kind == NetDriver::Kind::kInstance) ++count;
+    pending[id.index()] = count;
+    if (count == 0) ready.push(id);
+  }
+  std::vector<InstanceId> order;
+  order.reserve(n);
+  while (!ready.empty()) {
+    const InstanceId id = ready.front();
+    ready.pop();
+    order.push_back(id);
+    for (const NetSink& s : nl.net(nl.instance(id).output).sinks) {
+      if (s.kind != NetSink::Kind::kInstancePin) continue;
+      if (--pending[s.inst.index()] == 0) ready.push(s.inst);
+    }
+  }
+  GAP_EXPECTS(order.size() == n);  // cyclic-through-registers not supported
+  return order;
+}
+
+}  // namespace
+
+std::vector<std::uint64_t> simulate_all_nets(
+    const Netlist& nl, const std::vector<std::uint64_t>& pi_values) {
+  std::vector<std::uint64_t> net_val(nl.num_nets(), 0);
+
+  std::size_t pi_index = 0;
+  for (PortId p : nl.all_ports()) {
+    if (!nl.port(p).is_input) continue;
+    GAP_EXPECTS(pi_index < pi_values.size());
+    net_val[nl.port(p).net.index()] = pi_values[pi_index++];
+  }
+  GAP_EXPECTS(pi_index == pi_values.size());
+
+  for (InstanceId id : full_topo_order(nl)) {
+    const Instance& inst = nl.instance(id);
+    std::vector<std::uint64_t> in;
+    in.reserve(inst.inputs.size());
+    for (NetId n : inst.inputs) in.push_back(net_val[n.index()]);
+    net_val[inst.output.index()] = eval_cell(nl.cell_of(id).func, in);
+  }
+  return net_val;
+}
+
+std::vector<std::uint64_t> simulate(const Netlist& nl,
+                                    const std::vector<std::uint64_t>& pi_values) {
+  const auto net_val = simulate_all_nets(nl, pi_values);
+  std::vector<std::uint64_t> out;
+  for (PortId p : nl.all_ports())
+    if (!nl.port(p).is_input) out.push_back(net_val[nl.port(p).net.index()]);
+  return out;
+}
+
+}  // namespace gap::netlist

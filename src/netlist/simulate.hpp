@@ -1,0 +1,26 @@
+#pragma once
+/// \file simulate.hpp
+/// 64-way parallel functional simulation of a combinational netlist, used
+/// to equivalence-check technology mapping and netlist transforms against
+/// the source logic network. Sequential instances are treated as
+/// transparent pass-throughs of their D input (combinational unrolling of
+/// one cycle), which is exactly what register-retiming equivalence needs.
+
+#include <cstdint>
+#include <vector>
+
+#include "netlist/netlist.hpp"
+
+namespace gap::netlist {
+
+/// Simulate: `pi_values[i]` carries 64 stimulus bits for input port i (in
+/// port order). Returns one word per output port (in port order).
+[[nodiscard]] std::vector<std::uint64_t> simulate(
+    const Netlist& nl, const std::vector<std::uint64_t>& pi_values);
+
+/// Same propagation, but returns the value word of every net (indexed by
+/// NetId) — used by switching-activity estimation.
+[[nodiscard]] std::vector<std::uint64_t> simulate_all_nets(
+    const Netlist& nl, const std::vector<std::uint64_t>& pi_values);
+
+}  // namespace gap::netlist

@@ -1,0 +1,37 @@
+#include "netlist/stats.hpp"
+
+#include "netlist/checks.hpp"
+
+namespace gap::netlist {
+
+NetlistStats collect_stats(const Netlist& nl) {
+  NetlistStats s;
+  s.instances = nl.num_instances();
+  s.sequential = nl.num_sequential();
+  s.nets = nl.num_nets();
+  for (PortId p : nl.all_ports())
+    (nl.port(p).is_input ? s.inputs : s.outputs) += 1;
+  s.logic_depth = logic_depth(nl);
+  s.area_um2 = nl.total_area_um2();
+  for (InstanceId id : nl.all_instances())
+    s.cells_by_func[library::traits(nl.cell_of(id).func).name] += 1;
+  return s;
+}
+
+std::string format_stats(const NetlistStats& s) {
+  std::string out;
+  out += "instances: " + std::to_string(s.instances) +
+         " (sequential: " + std::to_string(s.sequential) + ")\n";
+  out += "nets: " + std::to_string(s.nets) + ", ports: " +
+         std::to_string(s.inputs) + " in / " + std::to_string(s.outputs) +
+         " out\n";
+  out += "logic depth: " + std::to_string(s.logic_depth) + " levels\n";
+  out += "area: " + std::to_string(s.area_um2) + " um^2\n";
+  out += "cells:";
+  for (const auto& [func, count] : s.cells_by_func)
+    out += " " + func + ":" + std::to_string(count);
+  out += "\n";
+  return out;
+}
+
+}  // namespace gap::netlist

@@ -1,0 +1,23 @@
+#pragma once
+/// \file sweep.hpp
+/// Dead-logic sweep: rebuild a netlist keeping only instances that
+/// (transitively) reach a primary output. Transform passes in this
+/// repository never delete in place (ids stay stable); this pass is the
+/// complementary garbage collection, used after experiments that orphan
+/// logic (mapping leftovers, hold fixing on removed paths, ...).
+
+#include "netlist/netlist.hpp"
+
+namespace gap::netlist {
+
+struct SweepResult {
+  Netlist nl;
+  std::size_t removed_instances = 0;
+  std::size_t removed_nets = 0;
+};
+
+/// Rebuild without dead logic. Port order and names are preserved; live
+/// instances keep their cells, drive overrides and placement.
+[[nodiscard]] SweepResult sweep_dead(const Netlist& nl);
+
+}  // namespace gap::netlist

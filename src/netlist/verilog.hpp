@@ -1,0 +1,32 @@
+#pragma once
+/// \file verilog.hpp
+/// Structural Verilog interchange: write an implemented netlist as a
+/// gate-level module and read one back against a cell library. The
+/// supported subset is exactly what write_verilog() emits — one module,
+/// scalar ports, `wire` declarations, and named-pin cell instantiations —
+/// which is also the subset the era's ASIC handoff flows exchanged.
+
+#include <iosfwd>
+#include <string>
+
+#include "netlist/netlist.hpp"
+
+namespace gap::netlist {
+
+/// Canonical pin names for a cell's inputs ("a", "b", "c", "d"; "d" for
+/// flop/latch data) and output ("y"; "q" for sequentials).
+[[nodiscard]] std::string verilog_input_pin(library::Func f, int pin);
+[[nodiscard]] std::string verilog_output_pin(library::Func f);
+
+/// Emit the netlist as structural Verilog. Net and instance names are
+/// sanitized to [A-Za-z0-9_] identifiers deterministically.
+void write_verilog(const Netlist& nl, std::ostream& os);
+[[nodiscard]] std::string to_verilog(const Netlist& nl);
+
+/// Parse a module produced by write_verilog back into a netlist bound to
+/// `lib`. Throws via contract violation on malformed input; returns the
+/// reconstructed netlist otherwise. Cell names must exist in `lib`.
+[[nodiscard]] Netlist read_verilog(const std::string& text,
+                                   const library::CellLibrary& lib);
+
+}  // namespace gap::netlist

@@ -1,0 +1,65 @@
+#include "noise/crosstalk.hpp"
+
+#include <algorithm>
+
+#include "common/check.hpp"
+
+namespace gap::noise {
+
+using netlist::Netlist;
+using netlist::NetSink;
+
+double bump_fraction(const Netlist& nl, NetId net,
+                     const NoiseOptions& options) {
+  const netlist::Net& n = nl.net(net);
+  if (n.length_um <= 0.0) return 0.0;
+  const tech::Technology& t = nl.lib().technology();
+
+  const double cg_ff = t.wire_c_ff_per_um * n.length_um *
+                       (0.6 * n.width_multiple + 0.4);
+  const double cc_ff = t.wire_c_ff_per_um * options.coupling_ratio *
+                       n.length_um * options.coupled_fraction;
+  double pins_ff = n.extra_cap_units * t.unit_inv_cin_ff;
+  for (const NetSink& s : n.sinks)
+    if (s.kind == NetSink::Kind::kInstancePin)
+      pins_ff += nl.pin_cap(s.inst) * t.unit_inv_cin_ff;
+
+  return cc_ff / (cc_ff + cg_ff + pins_ff);
+}
+
+NoiseReport analyze_noise(const Netlist& nl, const NoiseOptions& options) {
+  GAP_EXPECTS(options.coupled_fraction >= 0.0 &&
+              options.coupled_fraction <= 1.0);
+  NoiseReport report;
+  for (NetId nid : nl.all_nets()) {
+    const double bump = bump_fraction(nl, nid, options);
+    if (bump <= 0.0) continue;
+
+    NetNoise v;
+    v.net = nid;
+    v.bump_fraction = bump;
+    // Which margins apply depends on who listens.
+    bool has_static_sink = false, has_domino_sink = false;
+    for (const NetSink& s : nl.net(nid).sinks) {
+      if (s.kind != NetSink::Kind::kInstancePin) continue;
+      if (nl.cell_of(s.inst).family == library::Family::kDomino)
+        has_domino_sink = true;
+      else
+        has_static_sink = true;
+    }
+    v.fails_static = has_static_sink && bump > options.static_margin;
+    v.fails_domino = has_domino_sink && bump > options.domino_margin;
+    if (v.fails_static) ++report.static_failures;
+    if (v.fails_domino) ++report.domino_failures;
+    report.worst_bump_fraction =
+        std::max(report.worst_bump_fraction, bump);
+    report.nets.push_back(v);
+  }
+  std::sort(report.nets.begin(), report.nets.end(),
+            [](const NetNoise& a, const NetNoise& b) {
+              return a.bump_fraction > b.bump_fraction;
+            });
+  return report;
+}
+
+}  // namespace gap::noise

@@ -1,0 +1,303 @@
+#include "pipeline/retiming.hpp"
+
+#include <algorithm>
+#include <queue>
+#include <unordered_map>
+
+#include "common/check.hpp"
+#include "netlist/checks.hpp"
+
+namespace gap::pipeline {
+namespace {
+
+using library::Family;
+using library::Func;
+using netlist::NetDriver;
+using netlist::Netlist;
+
+/// One retiming-graph edge: from -> to carrying `weight` registers.
+struct Edge {
+  std::uint32_t from;
+  std::uint32_t to;
+  int weight;
+  int pin;  ///< input pin on `to` (comb vertices) or PO index (host)
+};
+
+/// The extracted retiming graph. Vertex ids: combinational instances get
+/// dense ids [0, n); the host vertex is id n.
+struct Graph {
+  std::vector<InstanceId> comb;                  ///< vertex -> instance
+  std::unordered_map<std::uint32_t, std::uint32_t> vertex_of;  ///< inst -> v
+  std::uint32_t host = 0;
+  std::vector<Edge> edges;
+  std::vector<double> delay;  ///< per vertex (host = 0)
+};
+
+/// Trace a net back through register chains; returns the driving
+/// combinational vertex (or host for PIs) and the register count.
+struct TraceResult {
+  std::uint32_t vertex;
+  int regs;
+};
+
+TraceResult trace(const Netlist& nl, const Graph& g, NetId net) {
+  int regs = 0;
+  for (int guard = 0; guard < 1 << 20; ++guard) {
+    const NetDriver& d = nl.net(net).driver;
+    if (d.kind == NetDriver::Kind::kPrimaryInput) return {g.host, regs};
+    GAP_EXPECTS(d.kind == NetDriver::Kind::kInstance);
+    if (!nl.is_sequential(d.inst)) {
+      return {g.vertex_of.at(d.inst.value()), regs};
+    }
+    ++regs;
+    net = nl.instance(d.inst).inputs[0];
+  }
+  GAP_EXPECTS(false);  // register cycle
+  return {g.host, 0};
+}
+
+Graph extract(const Netlist& nl) {
+  Graph g;
+  for (InstanceId id : nl.all_instances())
+    if (!nl.is_sequential(id)) {
+      g.vertex_of.emplace(id.value(), static_cast<std::uint32_t>(g.comb.size()));
+      g.comb.push_back(id);
+    }
+  g.host = static_cast<std::uint32_t>(g.comb.size());
+  g.delay.assign(g.comb.size() + 1, 0.0);
+  for (std::uint32_t v = 0; v < g.comb.size(); ++v)
+    g.delay[v] = nl.cell_of(g.comb[v]).parasitic + 4.0;
+
+  // Fanin edges of every combinational vertex.
+  for (std::uint32_t v = 0; v < g.comb.size(); ++v) {
+    const netlist::Instance& inst = nl.instance(g.comb[v]);
+    for (std::size_t pin = 0; pin < inst.inputs.size(); ++pin) {
+      const TraceResult t = trace(nl, g, inst.inputs[pin]);
+      g.edges.push_back({t.vertex, v, t.regs, static_cast<int>(pin)});
+    }
+  }
+  // Host fanin: primary outputs.
+  int po_index = 0;
+  for (PortId p : nl.all_ports()) {
+    if (nl.port(p).is_input) continue;
+    const TraceResult t = trace(nl, g, nl.port(p).net);
+    g.edges.push_back({t.vertex, g.host, t.regs, po_index++});
+  }
+  return g;
+}
+
+/// Arrival times through the zero-weight subgraph for retiming r; returns
+/// false if a zero-weight cycle exists (infeasible structure).
+bool zero_weight_arrivals(const Graph& g, const std::vector<int>& r,
+                          double c, std::vector<double>& arrival,
+                          std::vector<bool>& violated) {
+  const std::size_t n = g.delay.size();
+  std::vector<int> pending(n, 0);
+  std::vector<std::vector<const Edge*>> zero_out(n);
+  for (const Edge& e : g.edges) {
+    const int wr = e.weight + r[e.to] - r[e.from];
+    GAP_EXPECTS(wr >= 0);
+    if (wr == 0) {
+      zero_out[e.from].push_back(&e);
+      ++pending[e.to];
+    }
+  }
+  std::queue<std::uint32_t> ready;
+  for (std::uint32_t v = 0; v < n; ++v)
+    if (pending[v] == 0) ready.push(v);
+
+  arrival.assign(n, 0.0);
+  std::size_t seen = 0;
+  std::vector<double> in_arr(n, 0.0);
+  while (!ready.empty()) {
+    const std::uint32_t v = ready.front();
+    ready.pop();
+    ++seen;
+    arrival[v] = in_arr[v] + g.delay[v];
+    for (const Edge* e : zero_out[v]) {
+      in_arr[e->to] = std::max(in_arr[e->to], arrival[v]);
+      if (--pending[e->to] == 0) ready.push(e->to);
+    }
+  }
+  if (seen != n) return false;  // zero-weight cycle
+  violated.assign(n, false);
+  for (std::uint32_t v = 0; v < n; ++v)
+    if (arrival[v] > c + 1e-9) violated[v] = true;
+  return true;
+}
+
+/// FEAS: try to find a legal retiming with period <= c.
+bool feas(const Graph& g, double c, std::vector<int>& r) {
+  const std::size_t n = g.delay.size();
+  r.assign(n, 0);
+  std::vector<double> arrival;
+  std::vector<bool> violated;
+  for (std::size_t iter = 0; iter <= n; ++iter) {
+    if (!zero_weight_arrivals(g, r, c, arrival, violated)) return false;
+    bool any = false;
+    for (std::uint32_t v = 0; v < n; ++v) {
+      if (v == g.host || !violated[v]) continue;
+      ++r[v];
+      any = true;
+    }
+    if (!any) return true;
+    // Legality: every retimed weight must stay non-negative; if a host
+    // edge went negative the increment was illegal and c is infeasible.
+    for (const Edge& e : g.edges)
+      if (e.weight + r[e.to] - r[e.from] < 0) return false;
+  }
+  return false;
+}
+
+}  // namespace
+
+RetimingResult retime_min_period(const Netlist& nl) {
+  GAP_EXPECTS(nl.num_sequential() > 0);
+  const Graph g = extract(nl);
+
+  // Period of the current register placement (r = 0).
+  std::vector<int> r0(g.delay.size(), 0);
+  std::vector<double> arrival;
+  std::vector<bool> violated;
+  GAP_EXPECTS(zero_weight_arrivals(g, r0, 1e30, arrival, violated));
+  const double initial =
+      *std::max_element(arrival.begin(), arrival.end());
+
+  // Binary search the period over [max gate delay, initial].
+  double lo = *std::max_element(g.delay.begin(), g.delay.end());
+  double hi = initial;
+  std::vector<int> best_r(g.delay.size(), 0);
+  std::vector<int> r;
+  for (int iter = 0; iter < 40 && hi - lo > 1e-3; ++iter) {
+    const double mid = 0.5 * (lo + hi);
+    if (feas(g, mid, r)) {
+      hi = mid;
+      best_r = r;
+    } else {
+      lo = mid;
+    }
+  }
+
+  // --- rebuild the netlist with the retimed register counts ---
+  const library::CellLibrary& lib = nl.lib();
+  const CellId reg_cell = *lib.smallest(Func::kDff, Family::kStatic);
+
+  RetimingResult result{Netlist(nl.name() + "_retimed", &lib), initial, hi,
+                        static_cast<int>(nl.num_sequential()), 0};
+  Netlist& out = result.nl;
+
+  // Host-side sources: PI nets of the new netlist keyed by the old net.
+  std::unordered_map<std::uint32_t, NetId> pi_net;
+  for (PortId p : nl.all_ports()) {
+    if (!nl.port(p).is_input) continue;
+    const PortId np = out.add_input(nl.port(p).name, nl.port(p).ext_drive);
+    pi_net.emplace(nl.port(p).net.value(), out.port(np).net);
+  }
+
+  // Output nets of combinational vertices (created up front so edges can
+  // reference them in any order).
+  std::vector<NetId> vertex_net(g.comb.size());
+  for (std::uint32_t v = 0; v < g.comb.size(); ++v)
+    vertex_net[v] = out.add_net(out.fresh_name("rt"));
+
+  // Register chains, shared per (source vertex/PI net, depth).
+  std::unordered_map<std::uint64_t, NetId> chain;
+  auto chain_net = [&](std::uint64_t source_key, NetId base, int regs) {
+    GAP_EXPECTS(regs >= 0);  // FEAS guarantees legal retimed weights
+    NetId cur = base;
+    for (int k = 1; k <= regs; ++k) {
+      const std::uint64_t key = (source_key << 16) | static_cast<unsigned>(k);
+      auto it = chain.find(key);
+      if (it == chain.end()) {
+        const NetId q = out.add_net(out.fresh_name("rq"));
+        out.add_instance(out.fresh_name("rreg"), reg_cell, {cur}, q);
+        ++result.registers_after;
+        it = chain.emplace(key, q).first;
+      }
+      cur = it->second;
+    }
+    return cur;
+  };
+
+  // Per-edge resolution needs the original PI for host-sourced edges, so
+  // re-walk the instances the same way extract() did.
+  auto resolve = [&](NetId old_net, int extra_regs) {
+    // Trace to the source and count original registers.
+    NetId net = old_net;
+    int regs = 0;
+    while (true) {
+      const NetDriver& d = nl.net(net).driver;
+      if (d.kind == NetDriver::Kind::kPrimaryInput) {
+        const NetId base = pi_net.at(net.value());
+        const std::uint64_t key =
+            (static_cast<std::uint64_t>(net.value()) << 24) | 0xFF0000ull;
+        return chain_net(key, base, regs + extra_regs);
+      }
+      if (!nl.is_sequential(d.inst)) {
+        const std::uint32_t v = g.vertex_of.at(d.inst.value());
+        return chain_net(v, vertex_net[v], regs + extra_regs);
+      }
+      ++regs;
+      net = nl.instance(d.inst).inputs[0];
+    }
+  };
+
+  // Instantiate combinational cells in a valid topological order of the
+  // original netlist.
+  for (InstanceId id : netlist::topo_order(nl)) {
+    if (nl.is_sequential(id)) continue;
+    const std::uint32_t v = g.vertex_of.at(id.value());
+    const netlist::Instance& inst = nl.instance(id);
+    std::vector<NetId> ins;
+    ins.reserve(inst.inputs.size());
+    for (NetId in : inst.inputs) {
+      // Delta registers on this edge: r(v) - r(source).
+      NetId net = in;
+      std::uint32_t src = g.host;
+      {
+        NetId cur = in;
+        while (true) {
+          const NetDriver& d = nl.net(cur).driver;
+          if (d.kind == NetDriver::Kind::kPrimaryInput) break;
+          if (!nl.is_sequential(d.inst)) {
+            src = g.vertex_of.at(d.inst.value());
+            break;
+          }
+          cur = nl.instance(d.inst).inputs[0];
+        }
+      }
+      const int delta = best_r[v] - best_r[src];
+      ins.push_back(resolve(net, delta));
+    }
+    const InstanceId ni =
+        out.add_instance(inst.name, inst.cell, std::move(ins), vertex_net[v]);
+    out.instance(ni).drive_override = inst.drive_override;
+    // add_instance wired the output net; nothing else to do.
+  }
+
+  // Primary outputs (host: r = 0).
+  for (PortId p : nl.all_ports()) {
+    if (nl.port(p).is_input) continue;
+    NetId cur = nl.port(p).net;
+    std::uint32_t src = g.host;
+    {
+      NetId walk = cur;
+      while (true) {
+        const NetDriver& d = nl.net(walk).driver;
+        if (d.kind == NetDriver::Kind::kPrimaryInput) break;
+        if (!nl.is_sequential(d.inst)) {
+          src = g.vertex_of.at(d.inst.value());
+          break;
+        }
+        walk = nl.instance(d.inst).inputs[0];
+      }
+    }
+    const int delta = 0 - best_r[src];
+    out.add_output(nl.port(p).name, resolve(cur, delta));
+  }
+
+  GAP_ENSURES(netlist::verify(out).ok());
+  return result;
+}
+
+}  // namespace gap::pipeline

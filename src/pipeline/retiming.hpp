@@ -1,0 +1,36 @@
+#pragma once
+/// \file retiming.hpp
+/// Register retiming (Leiserson & Saxe): move the *existing* registers of
+/// a netlist across combinational logic to minimize the clock period,
+/// without changing I/O latency. This is the formal version of what a
+/// custom team does by hand when it "balances the logic in pipeline
+/// stages" (section 4.1) — and what ASIC tools of the paper's era largely
+/// could not do.
+///
+/// The implementation targets feed-forward netlists (every design in this
+/// repository): a retiming graph is extracted with one vertex per
+/// combinational instance plus a host vertex for the I/O boundary, edge
+/// weights count registers between vertices, and the minimal feasible
+/// period is found by binary search with the FEAS relaxation. The
+/// retimed netlist is rebuilt with w(e) + r(v) - r(u) registers per edge.
+
+#include "netlist/netlist.hpp"
+
+namespace gap::pipeline {
+
+struct RetimingResult {
+  netlist::Netlist nl;
+  /// Estimated period (tau, unit-effort delay model) before and after.
+  double initial_period_tau = 0.0;
+  double final_period_tau = 0.0;
+  int registers_before = 0;
+  int registers_after = 0;
+};
+
+/// Minimal-period retiming. The input must contain at least one register
+/// and be feed-forward (acyclic through registers). Combinational delays
+/// use the post-sizing effort model (parasitic + 4), consistent with
+/// pipeline_insert.
+[[nodiscard]] RetimingResult retime_min_period(const netlist::Netlist& nl);
+
+}  // namespace gap::pipeline

@@ -1,0 +1,203 @@
+#include "route/router.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <unordered_set>
+
+#include "common/check.hpp"
+
+namespace gap::route {
+namespace {
+
+using netlist::NetDriver;
+using netlist::Netlist;
+using netlist::NetSink;
+
+/// The routing fabric: a WxH bin grid with per-edge utilization.
+class Grid {
+ public:
+  Grid(double x0, double y0, double pitch, int w, int h,
+       const RouteOptions& opt)
+      : x0_(x0), y0_(y0), pitch_(pitch), w_(w), h_(h), opt_(opt) {
+    use_.assign(num_edges(), 0.0);
+  }
+
+  [[nodiscard]] int bin_x(double x) const {
+    return std::clamp(static_cast<int>((x - x0_) / pitch_), 0, w_ - 1);
+  }
+  [[nodiscard]] int bin_y(double y) const {
+    return std::clamp(static_cast<int>((y - y0_) / pitch_), 0, h_ - 1);
+  }
+  [[nodiscard]] double pitch() const { return pitch_; }
+
+  /// Edge ids: horizontal edges first, then vertical.
+  [[nodiscard]] std::size_t h_edge(int x, int y) const {
+    GAP_EXPECTS(x >= 0 && x < w_ - 1 && y >= 0 && y < h_);
+    return static_cast<std::size_t>(y) * static_cast<std::size_t>(w_ - 1) +
+           static_cast<std::size_t>(x);
+  }
+  [[nodiscard]] std::size_t v_edge(int x, int y) const {
+    GAP_EXPECTS(x >= 0 && x < w_ && y >= 0 && y < h_ - 1);
+    return static_cast<std::size_t>(h_) * static_cast<std::size_t>(w_ - 1) +
+           static_cast<std::size_t>(x) * static_cast<std::size_t>(h_ - 1) +
+           static_cast<std::size_t>(y);
+  }
+  [[nodiscard]] std::size_t num_edges() const {
+    return static_cast<std::size_t>(h_) * static_cast<std::size_t>(w_ - 1) +
+           static_cast<std::size_t>(w_) * static_cast<std::size_t>(h_ - 1);
+  }
+
+  [[nodiscard]] double edge_cost(std::size_t e) const {
+    return 1.0 + std::pow(use_[e] / opt_.capacity_per_edge, opt_.alpha);
+  }
+  void commit(std::size_t e) { use_[e] += 1.0; }
+  [[nodiscard]] double utilization(std::size_t e) const {
+    return use_[e] / opt_.capacity_per_edge;
+  }
+
+  /// Append the edges of a single-bend path from (x0,y0) to (x1,y1),
+  /// bending at (bx, by) which must share a row/column with both ends.
+  void path_edges(int ax, int ay, int bx, int by,
+                  std::vector<std::size_t>& out) const {
+    // Horizontal run at row ay from ax to bx.
+    for (int x = std::min(ax, bx); x < std::max(ax, bx); ++x)
+      out.push_back(h_edge(x, ay));
+    // Vertical run at column bx from ay to by.
+    for (int y = std::min(ay, by); y < std::max(ay, by); ++y)
+      out.push_back(v_edge(bx, y));
+  }
+
+ private:
+  double x0_, y0_, pitch_;
+  int w_, h_;
+  RouteOptions opt_;
+  std::vector<double> use_;
+};
+
+/// Candidate route between two bins: a list of edges.
+std::vector<std::size_t> best_route(const Grid& g, int ax, int ay, int bx,
+                                    int by, const RouteOptions& opt) {
+  std::vector<std::vector<std::size_t>> candidates;
+  auto add = [&](auto&& build) {
+    std::vector<std::size_t> edges;
+    build(edges);
+    candidates.push_back(std::move(edges));
+  };
+  // Two L shapes.
+  add([&](auto& e) {
+    g.path_edges(ax, ay, bx, ay, e);  // horizontal then vertical
+  });
+  add([&](auto& e) {
+    // vertical first: vertical run at ax, then horizontal at by.
+    for (int y = std::min(ay, by); y < std::max(ay, by); ++y)
+      e.push_back(g.v_edge(ax, y));
+    for (int x = std::min(ax, bx); x < std::max(ax, bx); ++x)
+      e.push_back(g.h_edge(x, by));
+  });
+  if (opt.congestion_aware && std::abs(ax - bx) > 1) {
+    const int mid = (ax + bx) / 2;
+    add([&](auto& e) {
+      for (int x = std::min(ax, mid); x < std::max(ax, mid); ++x)
+        e.push_back(g.h_edge(x, ay));
+      for (int y = std::min(ay, by); y < std::max(ay, by); ++y)
+        e.push_back(g.v_edge(mid, y));
+      for (int x = std::min(mid, bx); x < std::max(mid, bx); ++x)
+        e.push_back(g.h_edge(x, by));
+    });
+  }
+  if (opt.congestion_aware && std::abs(ay - by) > 1) {
+    const int mid = (ay + by) / 2;
+    add([&](auto& e) {
+      for (int y = std::min(ay, mid); y < std::max(ay, mid); ++y)
+        e.push_back(g.v_edge(ax, y));
+      for (int x = std::min(ax, bx); x < std::max(ax, bx); ++x)
+        e.push_back(g.h_edge(x, mid));
+      for (int y = std::min(mid, by); y < std::max(mid, by); ++y)
+        e.push_back(g.v_edge(bx, y));
+    });
+  }
+
+  double best_cost = 1e300;
+  std::size_t best = 0;
+  for (std::size_t c = 0; c < candidates.size(); ++c) {
+    double cost = 0.0;
+    for (std::size_t e : candidates[c]) cost += g.edge_cost(e);
+    if (cost < best_cost) {
+      best_cost = cost;
+      best = c;
+    }
+  }
+  return candidates[best];
+}
+
+}  // namespace
+
+RouteResult route(Netlist& nl, const RouteOptions& options) {
+  GAP_EXPECTS(options.grid_bins >= 2);
+  GAP_EXPECTS(options.capacity_per_edge > 0.0);
+
+  // Placement bounding box.
+  double x0 = 1e300, y0 = 1e300, x1 = -1e300, y1 = -1e300;
+  for (InstanceId id : nl.all_instances()) {
+    const netlist::Instance& inst = nl.instance(id);
+    GAP_EXPECTS(inst.x_um >= 0.0);  // must be placed
+    x0 = std::min(x0, inst.x_um);
+    x1 = std::max(x1, inst.x_um);
+    y0 = std::min(y0, inst.y_um);
+    y1 = std::max(y1, inst.y_um);
+  }
+  RouteResult result;
+  if (x1 <= x0 && y1 <= y0) return result;  // degenerate placement
+
+  const double span = std::max(x1 - x0, y1 - y0);
+  const double pitch = std::max(span / options.grid_bins, 1.0);
+  const int w = std::max(2, static_cast<int>((x1 - x0) / pitch) + 1);
+  const int h = std::max(2, static_cast<int>((y1 - y0) / pitch) + 1);
+  Grid grid(x0, y0, pitch, w, h, options);
+
+  for (NetId nid : nl.all_nets()) {
+    const netlist::Net& n = nl.net(nid);
+    if (n.driver.kind != NetDriver::Kind::kInstance) continue;
+    const netlist::Instance& drv = nl.instance(n.driver.inst);
+    const int dx = grid.bin_x(drv.x_um);
+    const int dy = grid.bin_y(drv.y_um);
+
+    // HPWL for the comparison baseline.
+    double hx0 = drv.x_um, hx1 = drv.x_um, hy0 = drv.y_um, hy1 = drv.y_um;
+    std::unordered_set<std::size_t> net_edges;
+    for (const NetSink& s : n.sinks) {
+      if (s.kind != NetSink::Kind::kInstancePin) continue;
+      const netlist::Instance& sink = nl.instance(s.inst);
+      hx0 = std::min(hx0, sink.x_um);
+      hx1 = std::max(hx1, sink.x_um);
+      hy0 = std::min(hy0, sink.y_um);
+      hy1 = std::max(hy1, sink.y_um);
+      const int sx = grid.bin_x(sink.x_um);
+      const int sy = grid.bin_y(sink.y_um);
+      if (sx == dx && sy == dy) continue;  // same bin: no global edges
+      for (std::size_t e : best_route(grid, dx, dy, sx, sy, options))
+        net_edges.insert(e);  // trunk sharing within the net
+    }
+    for (std::size_t e : net_edges) grid.commit(e);
+
+    const double hpwl = (hx1 - hx0) + (hy1 - hy0);
+    const double routed = std::max(
+        hpwl, static_cast<double>(net_edges.size()) * grid.pitch());
+    nl.net(nid).length_um = routed;
+    result.total_hpwl_um += hpwl;
+    result.total_routed_um += routed;
+    if (routed > hpwl * 1.001 && !net_edges.empty()) ++result.detoured_nets;
+  }
+
+  std::size_t over = 0;
+  for (std::size_t e = 0; e < grid.num_edges(); ++e) {
+    result.max_utilization = std::max(result.max_utilization,
+                                      grid.utilization(e));
+    if (grid.utilization(e) > 1.0) ++over;
+  }
+  result.overflow_edges =
+      static_cast<double>(over) / static_cast<double>(grid.num_edges());
+  return result;
+}
+
+}  // namespace gap::route

@@ -1,0 +1,44 @@
+#pragma once
+/// \file router.hpp
+/// Global routing over a bin grid — the third leg of section 5's wire
+/// story ("wire length is obviously dependent on placement... but is also
+/// influenced by the quality of routing"). Nets route as driver-rooted
+/// stars of L-shaped (single-bend) paths with congestion-aware bend
+/// choice and rip-up-free negotiation: each edge's cost grows with its
+/// utilization, so later nets detour around hot channels. Routed lengths
+/// (HPWL plus detours) are written back to the netlist for STA.
+
+#include <vector>
+
+#include "netlist/netlist.hpp"
+
+namespace gap::route {
+
+struct RouteOptions {
+  /// Routing grid granularity: target cell count per bin edge.
+  int grid_bins = 32;
+  /// Wire capacity per bin edge (tracks); lower = more congestion.
+  double capacity_per_edge = 16.0;
+  /// Congestion cost exponent: edge cost = 1 + (use/cap)^alpha.
+  double alpha = 3.0;
+  /// Congestion-aware single-bend choice + one Z-shape escape level.
+  bool congestion_aware = true;
+};
+
+struct RouteResult {
+  double total_routed_um = 0.0;
+  double total_hpwl_um = 0.0;     ///< lower bound for comparison
+  double max_utilization = 0.0;   ///< worst edge use/capacity
+  double overflow_edges = 0.0;    ///< fraction of edges above capacity
+  int detoured_nets = 0;          ///< nets longer than their HPWL
+
+  [[nodiscard]] double detour_factor() const {
+    return total_hpwl_um > 0.0 ? total_routed_um / total_hpwl_um : 1.0;
+  }
+};
+
+/// Route every placed net and annotate Net::length_um with the routed
+/// length. Instances must be placed.
+RouteResult route(netlist::Netlist& nl, const RouteOptions& options);
+
+}  // namespace gap::route

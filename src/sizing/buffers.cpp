@@ -1,0 +1,130 @@
+#include "sizing/buffers.hpp"
+
+
+#include <algorithm>
+#include "common/check.hpp"
+#include "netlist/checks.hpp"
+
+namespace gap::sizing {
+
+using library::Family;
+using library::Func;
+using netlist::Netlist;
+using netlist::NetSink;
+
+namespace {
+
+/// Combinational depth from each instance to its furthest endpoint; used
+/// to keep the most critical sink of a split net directly connected.
+std::vector<int> depth_to_endpoint(const Netlist& nl) {
+  std::vector<int> depth(nl.num_instances(), 0);
+  const auto order = netlist::topo_order(nl);
+  for (auto it = order.rbegin(); it != order.rend(); ++it) {
+    const InstanceId id = *it;
+    if (nl.is_sequential(id)) continue;
+    int d = 0;
+    for (const NetSink& s : nl.net(nl.instance(id).output).sinks)
+      if (s.kind == NetSink::Kind::kInstancePin && !nl.is_sequential(s.inst))
+        d = std::max(d, depth[s.inst.index()]);
+    depth[id.index()] = d + 1;
+  }
+  return depth;
+}
+
+/// Split one overloaded net: keep the most critical sink direct, move the
+/// other instance sinks onto `branches` buffers, each taking an equal
+/// share. New buffers inherit the driver's placement so wire annotations
+/// stay sane.
+int split_net(Netlist& nl, NetId nid, int branches, bool have_buf,
+              const std::vector<int>& crit_depth) {
+  std::vector<NetSink> to_move;
+  for (const NetSink& s : nl.net(nid).sinks)
+    if (s.kind == NetSink::Kind::kInstancePin) to_move.push_back(s);
+  if (to_move.size() < 3) return 0;
+
+  // Keep the deepest-downstream sink on the direct net.
+  std::size_t keep = 0;
+  for (std::size_t i = 1; i < to_move.size(); ++i)
+    if (crit_depth[to_move[i].inst.index()] >
+        crit_depth[to_move[keep].inst.index()])
+      keep = i;
+  to_move.erase(to_move.begin() + static_cast<std::ptrdiff_t>(keep));
+
+  double x = -1.0, y = -1.0;
+  if (nl.net(nid).driver.kind == netlist::NetDriver::Kind::kInstance) {
+    const netlist::Instance& drv = nl.instance(nl.net(nid).driver.inst);
+    x = drv.x_um;
+    y = drv.y_um;
+  }
+
+  const library::CellLibrary& lib = nl.lib();
+  int inserted = 0;
+  const std::size_t per_branch =
+      (to_move.size() + static_cast<std::size_t>(branches) - 1) /
+      static_cast<std::size_t>(branches);
+  for (std::size_t b = 0; b * per_branch < to_move.size(); ++b) {
+    double moved = 0.0;
+    for (std::size_t i = b * per_branch;
+         i < std::min((b + 1) * per_branch, to_move.size()); ++i)
+      moved += nl.pin_cap(to_move[i].inst);
+    const double want_drive = std::max(1.0, moved / 4.0);
+
+    const NetId buffered = nl.add_net(nl.fresh_name("bufnet"));
+    InstanceId buf_inst;
+    if (have_buf) {
+      const CellId buf =
+          *lib.best_for_drive(Func::kBuf, Family::kStatic, want_drive);
+      buf_inst = nl.add_instance(nl.fresh_name("buf"), buf, {nid}, buffered);
+      ++inserted;
+    } else {
+      const CellId inv_small = *lib.best_for_drive(
+          Func::kInv, Family::kStatic, std::max(1.0, want_drive / 4.0));
+      const CellId inv_big =
+          *lib.best_for_drive(Func::kInv, Family::kStatic, want_drive);
+      const NetId mid = nl.add_net(nl.fresh_name("bufmid"));
+      const InstanceId a =
+          nl.add_instance(nl.fresh_name("bufa"), inv_small, {nid}, mid);
+      buf_inst = nl.add_instance(nl.fresh_name("bufb"), inv_big, {mid},
+                                 buffered);
+      nl.instance(a).x_um = x;
+      nl.instance(a).y_um = y;
+      inserted += 2;
+    }
+    nl.instance(buf_inst).x_um = x;
+    nl.instance(buf_inst).y_um = y;
+    for (std::size_t i = b * per_branch;
+         i < std::min((b + 1) * per_branch, to_move.size()); ++i)
+      nl.rewire_input(to_move[i].inst, to_move[i].pin, buffered);
+  }
+  return inserted;
+}
+
+}  // namespace
+
+BufferResult insert_buffers(Netlist& nl, double max_load_units) {
+  GAP_EXPECTS(max_load_units > 0.0);
+  BufferResult result;
+  const bool have_buf = nl.lib().has(Func::kBuf, Family::kStatic);
+
+  // Iterate to a fixpoint: splitting builds a fanout tree level by level.
+  for (int level = 0; level < 6; ++level) {
+    bool any = false;
+    const auto crit_depth = depth_to_endpoint(nl);
+    const auto nets = nl.all_nets();  // snapshot: splitting adds nets
+    for (NetId nid : nets) {
+      const double load = nl.net_load(nid);
+      if (load <= max_load_units) continue;
+      const int branches = std::min(
+          4, static_cast<int>(load / max_load_units) + 1);
+      const int inserted = split_net(nl, nid, branches, have_buf, crit_depth);
+      if (inserted > 0) {
+        result.buffers_inserted += inserted;
+        any = true;
+      }
+    }
+    if (!any) break;
+  }
+  return result;
+}
+
+}  // namespace gap::sizing

@@ -1,0 +1,21 @@
+#pragma once
+/// \file buffers.hpp
+/// Buffer insertion on heavily loaded nets ("additional buffers may be
+/// included to drive large capacitive loads", section 6). Splits a hot net
+/// by inserting a buffer (or an inverter pair when the library has no
+/// buffer cell) in front of its instance sinks.
+
+#include "netlist/netlist.hpp"
+
+namespace gap::sizing {
+
+struct BufferResult {
+  int buffers_inserted = 0;
+};
+
+/// Insert buffers on every net whose load exceeds `max_load_units`.
+/// Preserves functionality (buffer or double inverter). Nets driving
+/// primary outputs keep the PO on the original net.
+BufferResult insert_buffers(netlist::Netlist& nl, double max_load_units);
+
+}  // namespace gap::sizing

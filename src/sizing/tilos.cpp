@@ -1,0 +1,208 @@
+#include "sizing/tilos.hpp"
+
+#include <algorithm>
+#include <unordered_set>
+
+#include "common/check.hpp"
+#include "netlist/checks.hpp"
+
+namespace gap::sizing {
+namespace {
+
+using netlist::NetDriver;
+using netlist::Netlist;
+
+/// A candidate resize of one instance.
+struct Move {
+  InstanceId inst;
+  CellId new_cell;            ///< discrete move (invalid if continuous)
+  double new_override = 0.0;  ///< continuous move (0 if discrete)
+  double gain_estimate = 0.0;
+};
+
+/// Drive the instance would have after the move.
+double moved_drive(const Netlist& nl, const Move& m) {
+  if (m.new_override > 0.0) return m.new_override;
+  return nl.lib().cell(m.new_cell).drive;
+}
+
+/// Estimated path-delay gain of upsizing: the gate's own effort delay
+/// shrinks; every fanin driver pays the extra input capacitance.
+double estimate_gain(const Netlist& nl, InstanceId id, double new_drive) {
+  const double old_drive = nl.drive_of(id);
+  const double load = nl.net_load(nl.instance(id).output);
+  const double own_gain = load / old_drive - load / new_drive;
+
+  const double g = nl.cell_of(id).logical_effort;
+  const double delta_cin = g * (new_drive - old_drive);
+  double penalty = 0.0;
+  for (NetId in : nl.instance(id).inputs) {
+    const NetDriver& d = nl.net(in).driver;
+    if (d.kind == NetDriver::Kind::kInstance)
+      penalty = std::max(penalty, delta_cin / nl.drive_of(d.inst));
+    else if (d.kind == NetDriver::Kind::kPrimaryInput)
+      penalty = std::max(penalty, delta_cin / nl.port(d.port).ext_drive);
+  }
+  // The worst fanin is usually on the same critical path; others are not.
+  return own_gain - penalty;
+}
+
+/// Best available upsize of `id`, if any.
+std::optional<Move> upsize_move(const Netlist& nl, InstanceId id,
+                                const SizingOptions& opt) {
+  const library::Cell& c = nl.cell_of(id);
+  const double cur = nl.drive_of(id);
+  Move m;
+  m.inst = id;
+  if (opt.continuous) {
+    const double next = cur * opt.continuous_step;
+    if (next > opt.max_drive) return std::nullopt;
+    m.new_override = next;
+  } else {
+    // Next cell up the ladder for the same function and family.
+    const auto& ladder = nl.lib().cells_of(c.func, c.family);
+    CellId next_cell;
+    for (CellId cand : ladder) {
+      if (nl.lib().cell(cand).drive > cur + 1e-12) {
+        next_cell = cand;
+        break;
+      }
+    }
+    if (!next_cell.valid()) return std::nullopt;
+    m.new_cell = next_cell;
+  }
+  m.gain_estimate = estimate_gain(nl, id, moved_drive(nl, m));
+  return m;
+}
+
+void apply(Netlist& nl, const Move& m) {
+  if (m.new_override > 0.0)
+    nl.instance(m.inst).drive_override = m.new_override;
+  else
+    nl.replace_cell(m.inst, m.new_cell);
+}
+
+void undo(Netlist& nl, const Move& m, CellId old_cell, double old_override) {
+  if (m.new_override > 0.0)
+    nl.instance(m.inst).drive_override = old_override;
+  else
+    nl.replace_cell(m.inst, old_cell);
+}
+
+}  // namespace
+
+void initial_drive_assignment(Netlist& nl, double stage_effort,
+                              int iterations) {
+  GAP_EXPECTS(stage_effort > 0.0);
+  const auto order = netlist::topo_order(nl);
+  for (int pass = 0; pass < iterations; ++pass) {
+    for (auto it = order.rbegin(); it != order.rend(); ++it) {
+      const InstanceId id = *it;
+      const library::Cell& c = nl.cell_of(id);
+      const double load = nl.net_load(nl.instance(id).output);
+      const double want = std::max(1.0, load / stage_effort);
+      const auto cell =
+          nl.lib().best_for_drive(c.func, c.family, want);
+      if (!cell) continue;
+      nl.instance(id).drive_override = 0.0;
+      if (*cell != nl.instance(id).cell) nl.replace_cell(id, *cell);
+    }
+  }
+}
+
+SizingResult tilos_size(Netlist& nl, const SizingOptions& options) {
+  SizingResult result;
+  sta::TimingResult timing = sta::analyze(nl, options.sta);
+  result.initial_period_tau = timing.min_period_tau;
+  result.final_period_tau = timing.min_period_tau;
+  if (timing.num_endpoints == 0) return result;
+
+  // Instances whose upsize was tried and made things worse.
+  std::unordered_set<std::uint32_t> blocked;
+
+  while (result.moves < options.max_moves) {
+    // Best estimated move along the current critical path.
+    std::optional<Move> best;
+    for (InstanceId id : timing.critical_path) {
+      if (blocked.contains(id.value())) continue;
+      const auto m = upsize_move(nl, id, options);
+      if (!m) continue;
+      if (!best || m->gain_estimate > best->gain_estimate) best = m;
+    }
+    if (!best || best->gain_estimate <= options.min_gain_tau) break;
+
+    const CellId old_cell = nl.instance(best->inst).cell;
+    const double old_override = nl.instance(best->inst).drive_override;
+    apply(nl, *best);
+    const sta::TimingResult after = sta::analyze(nl, options.sta);
+    if (after.min_period_tau < result.final_period_tau - options.min_gain_tau) {
+      timing = after;
+      result.final_period_tau = after.min_period_tau;
+      ++result.moves;
+      blocked.clear();  // the landscape changed; retry earlier failures
+    } else {
+      undo(nl, *best, old_cell, old_override);
+      blocked.insert(best->inst.value());
+    }
+  }
+  return result;
+}
+
+double recover_area(Netlist& nl, const SizingOptions& options,
+                    double period_tau) {
+  const double area_before = nl.total_area_um2();
+  struct Applied {
+    InstanceId inst;
+    CellId old_cell;
+    double old_override;
+  };
+
+  double safety = 0.5;  // accept a move only if est. delta < safety * slack
+  for (int round = 0; round < 20; ++round) {
+    const auto slacks = sta::net_slacks(nl, options.sta, period_tau);
+    std::vector<Applied> batch;
+    for (InstanceId id : nl.all_instances()) {
+      const library::Cell& c = nl.cell_of(id);
+      const double slack = slacks[nl.instance(id).output.index()];
+      if (slack < 0.5) continue;  // keep margin on near-critical gates
+
+      // Next cell down the ladder.
+      const double cur = nl.drive_of(id);
+      const auto& ladder = nl.lib().cells_of(c.func, c.family);
+      CellId smaller;
+      for (auto it = ladder.rbegin(); it != ladder.rend(); ++it) {
+        if (nl.lib().cell(*it).drive < cur - 1e-12) {
+          smaller = *it;
+          break;
+        }
+      }
+      if (!smaller.valid()) continue;
+      // Own delay increase bound: load / s_small - load / s_cur.
+      const double load = nl.net_load(nl.instance(id).output);
+      const double delta = load / nl.lib().cell(smaller).drive - load / cur;
+      if (delta >= slack * safety) continue;
+      batch.push_back(
+          {id, nl.instance(id).cell, nl.instance(id).drive_override});
+      nl.instance(id).drive_override = 0.0;
+      nl.replace_cell(id, smaller);
+    }
+    if (batch.empty()) break;
+
+    // One global verification per batch; revert wholesale on violation
+    // and retry more conservatively.
+    const auto after = sta::net_slacks(nl, options.sta, period_tau);
+    double worst = 1e30;
+    for (double s : after) worst = std::min(worst, s);
+    if (worst < 0.0) {
+      for (auto it = batch.rbegin(); it != batch.rend(); ++it) {
+        nl.replace_cell(it->inst, it->old_cell);
+        nl.instance(it->inst).drive_override = it->old_override;
+      }
+      safety *= 0.5;
+      if (safety < 0.05) break;
+    }
+  }
+  return area_before - nl.total_area_um2();
+}
+
+}  // namespace gap::sizing

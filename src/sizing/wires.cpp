@@ -1,0 +1,52 @@
+#include "sizing/wires.hpp"
+
+#include <unordered_set>
+
+#include "common/check.hpp"
+
+namespace gap::sizing {
+
+WireSizingResult widen_critical_wires(netlist::Netlist& nl,
+                                      const WireSizingOptions& options) {
+  GAP_EXPECTS(options.step > 1.0);
+  WireSizingResult result;
+  sta::TimingResult timing = sta::analyze(nl, options.sta);
+  result.initial_period_tau = timing.min_period_tau;
+  result.final_period_tau = timing.min_period_tau;
+  if (timing.num_endpoints == 0) return result;
+
+  std::unordered_set<std::uint32_t> blocked;
+  while (result.moves < options.max_moves) {
+    // Longest wire on the critical path that can still widen.
+    NetId best;
+    double best_len = options.min_length_um;
+    for (InstanceId id : timing.critical_path) {
+      const NetId out = nl.instance(id).output;
+      const netlist::Net& n = nl.net(out);
+      if (blocked.contains(out.value())) continue;
+      if (n.width_multiple >= options.max_width) continue;
+      if (n.length_um > best_len) {
+        best_len = n.length_um;
+        best = out;
+      }
+    }
+    if (!best.valid()) break;
+
+    const double old_width = nl.net(best).width_multiple;
+    nl.net(best).width_multiple =
+        std::min(options.max_width, old_width * options.step);
+    const sta::TimingResult after = sta::analyze(nl, options.sta);
+    if (after.min_period_tau < result.final_period_tau - 1e-9) {
+      timing = after;
+      result.final_period_tau = after.min_period_tau;
+      ++result.moves;
+      blocked.clear();
+    } else {
+      nl.net(best).width_multiple = old_width;
+      blocked.insert(best.value());
+    }
+  }
+  return result;
+}
+
+}  // namespace gap::sizing

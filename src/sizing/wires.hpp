@@ -1,0 +1,35 @@
+#pragma once
+/// \file wires.hpp
+/// Wire sizing on critical nets — the capability the paper flags as
+/// future work for ASIC flows ("tools for wire sizing along with
+/// transistor sizing may be available in the future (e.g. [6])",
+/// section 6.2, citing Chen, Chu & Wong's Lagrangian relaxation).
+/// Implemented here as greedy critical-net widening: widening divides a
+/// wire's resistance while growing only its area capacitance, so RC-
+/// dominated nets speed up. Accepted moves must improve the measured
+/// period; a Lagrangian formulation is left to the optimizer-inclined.
+
+#include "netlist/netlist.hpp"
+#include "sta/sta.hpp"
+
+namespace gap::sizing {
+
+struct WireSizingOptions {
+  sta::StaOptions sta;
+  double max_width = 4.0;   ///< widest allowed wire (min-width multiples)
+  double step = 1.5;        ///< multiplicative width step
+  int max_moves = 200;
+  double min_length_um = 100.0;  ///< ignore short nets
+};
+
+struct WireSizingResult {
+  int moves = 0;
+  double initial_period_tau = 0.0;
+  double final_period_tau = 0.0;
+};
+
+/// Widen RC-critical nets until no move improves the period.
+WireSizingResult widen_critical_wires(netlist::Netlist& nl,
+                                      const WireSizingOptions& options);
+
+}  // namespace gap::sizing

@@ -1,0 +1,64 @@
+#pragma once
+/// \file borrowing.hpp
+/// Time borrowing through level-sensitive latches (section 4.1: "ASIC
+/// tools have problems with complicated multi-phase clocking schemes that
+/// would allow time borrowing between pipeline stages"). Given per-stage
+/// combinational delays, computes the minimum period for
+///   (a) edge-triggered flip-flops: T = max stage + overhead, and
+///   (b) transparent latches: unbalanced stages borrow from neighbours,
+///       approaching T = average stage + overhead when windows allow.
+
+#include <vector>
+
+#include "sta/sta.hpp"
+
+namespace gap::sta {
+
+struct FlopTimingModel {
+  double overhead_tau = 0.0;    ///< setup + clk-to-Q
+  double skew_fraction = 0.10;  ///< of the cycle
+};
+
+struct LatchTimingModel {
+  double d_to_q_tau = 0.0;      ///< transparent propagation delay
+  double setup_tau = 0.0;
+  double duty = 0.5;            ///< transparent window as cycle fraction
+  double skew_fraction = 0.05;
+};
+
+/// Minimum period of a linear pipeline with edge-triggered registers.
+[[nodiscard]] double flop_min_period(const std::vector<double>& stage_delays_tau,
+                                     const FlopTimingModel& model);
+
+/// Minimum period with transparent latches at stage boundaries (binary
+/// search over the borrowing recurrence).
+[[nodiscard]] double latch_min_period(
+    const std::vector<double>& stage_delays_tau, const LatchTimingModel& model);
+
+/// Netlist-level pipeline clocking analysis: extract the per-rank stage
+/// delays of a rank-structured pipeline (every path must cross the same
+/// number of registers — the invariant pipeline_insert and retiming
+/// maintain), then evaluate both clocking styles on the *measured* stage
+/// delays. This connects the analytical borrowing model to real mapped
+/// netlists.
+struct LatchPipelineResult {
+  int ranks = 0;
+  std::vector<double> stage_delays_tau;
+  double flop_period_tau = 0.0;   ///< edge-triggered clocking
+  double latch_period_tau = 0.0;  ///< transparent latches with borrowing
+
+  [[nodiscard]] double borrowing_gain() const {
+    return latch_period_tau > 0.0 ? flop_period_tau / latch_period_tau : 1.0;
+  }
+};
+
+struct LatchPipelineOptions {
+  StaOptions sta;
+  FlopTimingModel flop;
+  LatchTimingModel latch;
+};
+
+[[nodiscard]] LatchPipelineResult analyze_latch_pipeline(
+    const netlist::Netlist& nl, const LatchPipelineOptions& options);
+
+}  // namespace gap::sta

@@ -1,0 +1,78 @@
+#include "sta/report.hpp"
+
+#include <algorithm>
+#include <cstdio>
+
+#include "common/stats.hpp"
+
+namespace gap::sta {
+
+std::string format_critical_path(const netlist::Netlist& nl,
+                                 const StaOptions& options,
+                                 const TimingResult& timing, int max_lines) {
+  const tech::Technology& t = nl.lib().technology();
+  const auto arrivals = net_arrivals(nl, options);
+  std::string out;
+  char line[160];
+  std::snprintf(line, sizeof line, "%-24s %-12s %7s %8s %10s\n", "instance",
+                "cell", "drive", "load", "arrival");
+  out += line;
+
+  int shown = 0;
+  for (InstanceId id : timing.critical_path) {
+    if (shown++ >= max_lines) {
+      out += "  ... (";
+      out += std::to_string(timing.critical_path.size() -
+                            static_cast<std::size_t>(max_lines));
+      out += " more)\n";
+      break;
+    }
+    const netlist::Instance& inst = nl.instance(id);
+    const library::Cell& c = nl.cell_of(id);
+    std::snprintf(line, sizeof line, "%-24s %-12s %7.2f %8.2f %7.1f ps\n",
+                  inst.name.c_str(), c.name.c_str(), nl.drive_of(id),
+                  nl.net_load(inst.output),
+                  t.tau_to_ps(arrivals[inst.output.index()]));
+    out += line;
+  }
+  std::snprintf(line, sizeof line,
+                "min period: %.1f ps (%.1f FO4) -> %.0f MHz over %zu "
+                "endpoints\n",
+                timing.min_period_ps, timing.min_period_fo4,
+                timing.frequency_mhz(), timing.num_endpoints);
+  out += line;
+  return out;
+}
+
+std::string format_slack_histogram(const netlist::Netlist& nl,
+                                   const StaOptions& options,
+                                   double period_tau, int buckets) {
+  const auto slacks = net_slacks(nl, options, period_tau);
+  SampleStats s;
+  for (double v : slacks)
+    if (v < 1e29) s.add(v);
+  if (s.count() == 0) return "(no constrained nets)\n";
+
+  const double lo = s.min();
+  const double hi = std::max(s.max(), lo + 1e-9);
+  Histogram h(lo, hi, static_cast<std::size_t>(buckets));
+  for (double v : s.samples()) h.add(v);
+
+  std::string out = "slack histogram (tau):\n";
+  std::size_t peak = 1;
+  for (std::size_t b = 0; b < h.bins(); ++b)
+    peak = std::max(peak, h.bin_count(b));
+  char line[160];
+  for (std::size_t b = 0; b < h.bins(); ++b) {
+    const int bar =
+        static_cast<int>(50.0 * static_cast<double>(h.bin_count(b)) /
+                         static_cast<double>(peak));
+    std::snprintf(line, sizeof line, "  %8.1f |%-50s| %zu\n", h.bin_center(b),
+                  std::string(static_cast<std::size_t>(bar), '#').c_str(),
+                  h.bin_count(b));
+    out += line;
+  }
+  return out;
+}
+
+}  // namespace gap::sta

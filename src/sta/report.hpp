@@ -1,0 +1,26 @@
+#pragma once
+/// \file report.hpp
+/// Human-readable timing reports: critical-path listing (PrimeTime-style)
+/// and an endpoint slack histogram, for the CLI and examples.
+
+#include <string>
+
+#include "sta/sta.hpp"
+
+namespace gap::sta {
+
+/// Critical path report: one line per cell on the path with its cell,
+/// drive, load and cumulative arrival, ending with the period summary.
+[[nodiscard]] std::string format_critical_path(const netlist::Netlist& nl,
+                                               const StaOptions& options,
+                                               const TimingResult& timing,
+                                               int max_lines = 40);
+
+/// Endpoint slack histogram at the given period: a fixed number of
+/// buckets from the worst slack to the period, one text bar per bucket.
+[[nodiscard]] std::string format_slack_histogram(const netlist::Netlist& nl,
+                                                 const StaOptions& options,
+                                                 double period_tau,
+                                                 int buckets = 10);
+
+}  // namespace gap::sta

@@ -1,0 +1,363 @@
+#include "sta/sta.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "netlist/checks.hpp"
+#include "wire/repeaters.hpp"
+
+namespace gap::sta {
+namespace {
+
+using netlist::NetDriver;
+using netlist::Netlist;
+using netlist::NetSink;
+
+constexpr double kNegInf = -std::numeric_limits<double>::infinity();
+constexpr double kPosInf = std::numeric_limits<double>::infinity();
+
+/// Shared forward-propagation state.
+struct Propagation {
+  std::vector<double> arrival;      ///< per net, at the driver output
+  std::vector<double> wire_delay;   ///< per net, added at every sink
+  std::vector<double> driver_load;  ///< per net, load seen by the driver
+  std::vector<NetId> crit_input;    ///< per instance, worst input net
+  std::vector<InstanceId> order;
+};
+
+/// Wire modeling of one net: delay added at every sink, and the load the
+/// driver actually sees. For a long net with optimal repeaters, the first
+/// repeater sits adjacent to the driver, so the driver is unloaded from
+/// the wire and the repeated-line delay covers everything to the sinks.
+struct NetWireModel {
+  double delay_tau = 0.0;
+  double driver_load_units = 0.0;
+};
+
+NetWireModel net_wire_model(const Netlist& nl, NetId id,
+                            const StaOptions& opt) {
+  const netlist::Net& n = nl.net(id);
+  NetWireModel m;
+  m.driver_load_units = nl.net_load(id);
+  if (!opt.include_wire_delay || n.length_um <= 0.0) return m;
+  const tech::Technology& t = nl.lib().technology();
+
+  double sink_units = n.extra_cap_units;
+  for (const NetSink& s : n.sinks)
+    if (s.kind == NetSink::Kind::kInstancePin) sink_units += nl.pin_cap(s.inst);
+
+  wire::WireSegment seg;
+  seg.length_um = n.length_um;
+  seg.width_multiple = n.width_multiple;
+  m.delay_tau = wire::elmore_delay_tau(t, seg, sink_units);
+
+  if (opt.optimal_repeaters && n.length_um > opt.repeater_threshold_um) {
+    // "Proper driving" (section 5): a fanout-of-4 buffer chain ramps up
+    // from the net's driver to the plan's repeater size, then the
+    // optimally repeated line carries the signal to the sinks. Pick
+    // whichever model (raw RC vs ramp + repeated line) is faster,
+    // including the driver's own effort delay in the comparison.
+    double drv = 1.0;
+    if (n.driver.kind == NetDriver::Kind::kInstance)
+      drv = nl.drive_of(n.driver.inst);
+    else if (n.driver.kind == NetDriver::Kind::kPrimaryInput)
+      drv = nl.port(n.driver.port).ext_drive;
+
+    const wire::RepeaterPlan plan =
+        wire::plan_repeaters(t, seg, sink_units * t.unit_inv_cin_ff);
+    const double ratio = std::max(1.0, plan.repeater_size / drv);
+    const double ramp_stages = std::ceil(std::log(ratio) / std::log(4.0));
+    const double ramp_tau = ramp_stages * 5.0;  // FO4 per chain stage
+    const double repeated_total =
+        4.0 + ramp_tau + t.ps_to_tau(plan.delay_ps);  // 4.0 = driver FO4 load
+    const double raw_total = m.driver_load_units / drv + m.delay_tau;
+    if (repeated_total < raw_total) {
+      m.delay_tau = ramp_tau + t.ps_to_tau(plan.delay_ps);
+      m.driver_load_units = 4.0 * drv;  // first chain buffer
+    }
+  }
+  return m;
+}
+
+/// Per-instance statistical delay multiplier (1.0 without MC sampling).
+double inst_factor(const StaOptions& opt, InstanceId id) {
+  if (opt.instance_delay_factors == nullptr) return 1.0;
+  return (*opt.instance_delay_factors)[id.index()];
+}
+
+/// Arc delay of an instance driving the given load, in tau (pre-corner).
+double arc_delay(const Netlist& nl, InstanceId id, double load_units) {
+  const library::Cell& c = nl.cell_of(id);
+  double d = c.parasitic + load_units / nl.drive_of(id);
+  if (c.is_sequential()) d += c.clk_to_q_tau;
+  return d;
+}
+
+Propagation propagate(const Netlist& nl, const StaOptions& opt) {
+  Propagation p;
+  p.arrival.assign(nl.num_nets(), kNegInf);
+  p.wire_delay.resize(nl.num_nets());
+  p.driver_load.resize(nl.num_nets());
+  p.crit_input.assign(nl.num_instances(), NetId{});
+  const double k = opt.corner_delay_factor;
+
+  for (NetId n : nl.all_nets()) {
+    const NetWireModel m = net_wire_model(nl, n, opt);
+    p.wire_delay[n.index()] = k * m.delay_tau;
+    p.driver_load[n.index()] = m.driver_load_units;
+  }
+
+  // Primary inputs: external driver of the port's declared strength.
+  for (PortId pid : nl.all_ports()) {
+    const netlist::Port& port = nl.port(pid);
+    if (!port.is_input) continue;
+    p.arrival[port.net.index()] =
+        k * p.driver_load[port.net.index()] / port.ext_drive;
+  }
+
+  p.order = netlist::topo_order(nl);
+  GAP_EXPECTS(p.order.size() == nl.num_instances());
+  for (InstanceId id : p.order) {
+    const netlist::Instance& inst = nl.instance(id);
+    double in_arr = 0.0;
+    if (nl.is_sequential(id)) {
+      in_arr = 0.0;  // launched by the clock edge
+    } else {
+      in_arr = kNegInf;
+      for (NetId in : inst.inputs) {
+        const double a = p.arrival[in.index()] + p.wire_delay[in.index()];
+        if (a > in_arr) {
+          in_arr = a;
+          p.crit_input[id.index()] = in;
+        }
+      }
+      if (in_arr == kNegInf) in_arr = 0.0;  // undriven (floating) inputs
+    }
+    p.arrival[inst.output.index()] =
+        in_arr + k * inst_factor(opt, id) *
+                     arc_delay(nl, id, p.driver_load[inst.output.index()]);
+  }
+  return p;
+}
+
+/// Worst endpoint: PO nets and sequential D pins.
+struct Endpoint {
+  double path_tau = kNegInf;
+  NetId net;
+  std::size_t count = 0;
+};
+
+Endpoint worst_endpoint(const Netlist& nl, const StaOptions& opt,
+                        const Propagation& p) {
+  Endpoint e;
+  const double k = opt.corner_delay_factor;
+  for (NetId nid : nl.all_nets()) {
+    const netlist::Net& n = nl.net(nid);
+    if (p.arrival[nid.index()] == kNegInf) continue;
+    for (const NetSink& s : n.sinks) {
+      double path = kNegInf;
+      if (s.kind == NetSink::Kind::kPrimaryOutput) {
+        path = p.arrival[nid.index()] + p.wire_delay[nid.index()];
+        ++e.count;
+      } else if (nl.is_sequential(s.inst)) {
+        path = p.arrival[nid.index()] + p.wire_delay[nid.index()] +
+               k * inst_factor(opt, s.inst) * nl.cell_of(s.inst).setup_tau;
+        ++e.count;
+      } else {
+        continue;
+      }
+      if (path > e.path_tau) {
+        e.path_tau = path;
+        e.net = nid;
+      }
+    }
+  }
+  return e;
+}
+
+}  // namespace
+
+TimingResult analyze(const Netlist& nl, const StaOptions& options) {
+  GAP_EXPECTS(options.clock.skew_fraction >= 0.0 &&
+              options.clock.skew_fraction < 1.0);
+  const Propagation p = propagate(nl, options);
+  const Endpoint e = worst_endpoint(nl, options, p);
+
+  TimingResult r;
+  r.num_endpoints = e.count;
+  if (e.count == 0 || e.path_tau == kNegInf) return r;
+  r.worst_path_tau = e.path_tau;
+  r.min_period_tau = (e.path_tau + options.clock.extra_skew_tau) /
+                     (1.0 - options.clock.skew_fraction);
+  const tech::Technology& t = nl.lib().technology();
+  r.min_period_ps = t.tau_to_ps(r.min_period_tau);
+  r.min_period_fo4 = t.tau_to_fo4(r.min_period_tau);
+
+  // Trace the critical path back from the worst endpoint.
+  NetId net = e.net;
+  while (net.valid()) {
+    const NetDriver& d = nl.net(net).driver;
+    if (d.kind != NetDriver::Kind::kInstance) break;
+    r.critical_path.push_back(d.inst);
+    if (nl.is_sequential(d.inst)) break;  // launch point
+    net = p.crit_input[d.inst.index()];
+  }
+  std::reverse(r.critical_path.begin(), r.critical_path.end());
+  return r;
+}
+
+std::vector<double> net_arrivals(const Netlist& nl, const StaOptions& options) {
+  return propagate(nl, options).arrival;
+}
+
+std::vector<double> net_slacks(const Netlist& nl, const StaOptions& options,
+                               double period_tau) {
+  const Propagation p = propagate(nl, options);
+  const double k = options.corner_delay_factor;
+  // Data budget inside one cycle once skew is taken out.
+  const double budget = period_tau * (1.0 - options.clock.skew_fraction) -
+                        options.clock.extra_skew_tau;
+
+  std::vector<double> required(nl.num_nets(), kPosInf);
+  for (NetId nid : nl.all_nets()) {
+    const netlist::Net& n = nl.net(nid);
+    for (const NetSink& s : n.sinks) {
+      double req = kPosInf;
+      if (s.kind == NetSink::Kind::kPrimaryOutput)
+        req = budget - p.wire_delay[nid.index()];
+      else if (nl.is_sequential(s.inst))
+        req = budget - k * nl.cell_of(s.inst).setup_tau -
+              p.wire_delay[nid.index()];
+      required[nid.index()] = std::min(required[nid.index()], req);
+    }
+  }
+
+  // Backward propagation through combinational instances.
+  for (auto it = p.order.rbegin(); it != p.order.rend(); ++it) {
+    const InstanceId id = *it;
+    if (nl.is_sequential(id)) continue;
+    const netlist::Instance& inst = nl.instance(id);
+    const double req_out = required[inst.output.index()];
+    if (req_out == kPosInf) continue;
+    const double req_in =
+        req_out - k * inst_factor(options, id) *
+                      arc_delay(nl, id, p.driver_load[inst.output.index()]);
+    for (NetId in : inst.inputs) {
+      const double r = req_in - p.wire_delay[in.index()];
+      required[in.index()] = std::min(required[in.index()], r);
+    }
+  }
+
+  std::vector<double> slack(nl.num_nets(), kPosInf);
+  for (NetId nid : nl.all_nets()) {
+    if (p.arrival[nid.index()] == kNegInf || required[nid.index()] == kPosInf)
+      continue;
+    slack[nid.index()] = required[nid.index()] - p.arrival[nid.index()];
+  }
+  return slack;
+}
+
+namespace {
+
+/// Minimum arrival time per net (shortest paths) for hold analysis.
+/// Only register-launched paths participate: hold at primary-input-fed
+/// endpoints is an interface constraint, not an internal one, so PI nets
+/// stay at +inf and purely PI-fed cones are skipped.
+std::vector<double> min_arrivals(const Netlist& nl, const StaOptions& opt) {
+  std::vector<double> arrival(nl.num_nets(), kPosInf);
+  const double k = opt.corner_delay_factor;
+
+  for (InstanceId id : netlist::topo_order(nl)) {
+    const netlist::Instance& inst = nl.instance(id);
+    double in_arr;
+    if (nl.is_sequential(id)) {
+      in_arr = 0.0;  // launched by the clock edge
+    } else {
+      in_arr = kPosInf;
+      for (NetId in : inst.inputs)
+        in_arr = std::min(in_arr, arrival[in.index()]);
+      if (in_arr == kPosInf) continue;  // PI-only cone: no internal launch
+    }
+    const double d = k * arc_delay(nl, id, nl.net_load(inst.output));
+    arrival[inst.output.index()] =
+        std::min(arrival[inst.output.index()], in_arr + d);
+  }
+  return arrival;
+}
+
+}  // namespace
+
+HoldResult analyze_hold(const Netlist& nl, const StaOptions& options,
+                        double skew_abs_tau) {
+  GAP_EXPECTS(skew_abs_tau >= 0.0);
+  const auto arrival = min_arrivals(nl, options);
+  const double k = options.corner_delay_factor;
+
+  HoldResult r;
+  r.worst_slack_tau = kPosInf;
+  for (NetId nid : nl.all_nets()) {
+    if (arrival[nid.index()] == kPosInf) continue;
+    for (const NetSink& s : nl.net(nid).sinks) {
+      if (s.kind != NetSink::Kind::kInstancePin || !nl.is_sequential(s.inst))
+        continue;
+      ++r.endpoints;
+      const double hold = k * nl.cell_of(s.inst).hold_tau;
+      const double slack = arrival[nid.index()] - hold - skew_abs_tau;
+      if (slack < r.worst_slack_tau) r.worst_slack_tau = slack;
+      if (slack < 0.0) ++r.violations;
+    }
+  }
+  if (r.endpoints == 0) r.worst_slack_tau = 0.0;
+  return r;
+}
+
+int fix_hold(Netlist& nl, const StaOptions& options, double skew_abs_tau) {
+  const library::CellLibrary& lib = nl.lib();
+  const bool have_buf = lib.has(library::Func::kBuf, library::Family::kStatic);
+  int added = 0;
+
+  for (int pass = 0; pass < 16; ++pass) {
+    const auto arrival = min_arrivals(nl, options);
+    const double k = options.corner_delay_factor;
+    struct Fix {
+      InstanceId inst;
+      int pin;
+    };
+    std::vector<Fix> fixes;
+    for (NetId nid : nl.all_nets()) {
+      if (arrival[nid.index()] == kPosInf) continue;
+      for (const NetSink& s : nl.net(nid).sinks) {
+        if (s.kind != NetSink::Kind::kInstancePin ||
+            !nl.is_sequential(s.inst))
+          continue;
+        const double hold = k * nl.cell_of(s.inst).hold_tau;
+        if (arrival[nid.index()] - hold - skew_abs_tau < 0.0)
+          fixes.push_back({s.inst, s.pin});
+      }
+    }
+    if (fixes.empty()) return added;
+    for (const Fix& f : fixes) {
+      // One delay element in front of the violating D pin.
+      const NetId src = nl.instance(f.inst).inputs[f.pin];
+      const NetId delayed = nl.add_net(nl.fresh_name("holdnet"));
+      if (have_buf) {
+        const CellId buf =
+            *lib.smallest(library::Func::kBuf, library::Family::kStatic);
+        nl.add_instance(nl.fresh_name("holdbuf"), buf, {src}, delayed);
+        ++added;
+      } else {
+        const CellId inv =
+            *lib.smallest(library::Func::kInv, library::Family::kStatic);
+        const NetId mid = nl.add_net(nl.fresh_name("holdmid"));
+        nl.add_instance(nl.fresh_name("holda"), inv, {src}, mid);
+        nl.add_instance(nl.fresh_name("holdb"), inv, {mid}, delayed);
+        added += 2;
+      }
+      nl.rewire_input(f.inst, f.pin, delayed);
+    }
+  }
+  return added;
+}
+
+}  // namespace gap::sta

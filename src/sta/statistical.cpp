@@ -1,0 +1,31 @@
+#include "sta/statistical.hpp"
+
+#include <cmath>
+
+#include "common/check.hpp"
+#include "common/rng.hpp"
+
+namespace gap::sta {
+
+McStaResult monte_carlo_sta(const netlist::Netlist& nl,
+                            const McStaOptions& options) {
+  GAP_EXPECTS(options.samples > 0);
+  GAP_EXPECTS(options.sigma_gate >= 0.0 && options.sigma_die >= 0.0);
+
+  McStaResult result;
+  result.nominal_period_tau = analyze(nl, options.base).min_period_tau;
+
+  Rng rng(options.seed);
+  std::vector<double> factors(nl.num_instances());
+  for (int s = 0; s < options.samples; ++s) {
+    const double die = std::exp(options.sigma_die * rng.normal());
+    for (double& f : factors)
+      f = die * std::exp(options.sigma_gate * rng.normal());
+    StaOptions opt = options.base;
+    opt.instance_delay_factors = &factors;
+    result.period_tau.add(analyze(nl, opt).min_period_tau);
+  }
+  return result;
+}
+
+}  // namespace gap::sta

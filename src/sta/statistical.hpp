@@ -1,0 +1,53 @@
+#pragma once
+/// \file statistical.hpp
+/// Monte Carlo statistical STA: sample per-instance delay variation and
+/// re-time the netlist, producing the chip's frequency *distribution*
+/// rather than one corner number. This grounds section 8.1.1's intra-die
+/// discussion in the actual netlist: independent per-gate variation
+/// averages along deep paths (the max over many near-critical paths
+/// shifts the mean up while shrinking the spread), which is exactly why
+/// gap::variation models intra-die sigma with a mean shift and a reduced
+/// residual.
+
+#include "common/stats.hpp"
+#include "netlist/netlist.hpp"
+#include "sta/sta.hpp"
+
+namespace gap::sta {
+
+struct McStaOptions {
+  StaOptions base;
+  int samples = 200;
+  /// Per-gate lognormal sigma of delay (intra-die random component).
+  double sigma_gate = 0.08;
+  /// Die-level lognormal sigma applied to all gates of a sample.
+  double sigma_die = 0.0;
+  std::uint64_t seed = 1;
+};
+
+struct McStaResult {
+  SampleStats period_tau;  ///< per-sample minimum period
+  double nominal_period_tau = 0.0;
+
+  /// Mean-shift of the period vs nominal (max-of-paths effect).
+  [[nodiscard]] double mean_shift() const {
+    return nominal_period_tau > 0.0
+               ? period_tau.quantile(0.5) / nominal_period_tau - 1.0
+               : 0.0;
+  }
+  /// Relative spread: (q95 - q05) / median.
+  [[nodiscard]] double relative_spread() const {
+    const double med = period_tau.quantile(0.5);
+    return med > 0.0
+               ? (period_tau.quantile(0.95) - period_tau.quantile(0.05)) / med
+               : 0.0;
+  }
+};
+
+/// Run the Monte Carlo. Each sample draws an independent lognormal delay
+/// factor per instance (sigma_gate) times a shared die factor
+/// (sigma_die), then performs a full timing analysis.
+[[nodiscard]] McStaResult monte_carlo_sta(const netlist::Netlist& nl,
+                                          const McStaOptions& options);
+
+}  // namespace gap::sta

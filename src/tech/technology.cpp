@@ -1,0 +1,57 @@
+#include "tech/technology.hpp"
+
+namespace gap::tech {
+
+Technology asic_025um() {
+  Technology t;
+  t.name = "asic-0.25um-al";
+  t.drawn_um = 0.25;
+  t.leff_um = 0.18;
+  t.vdd_v = 2.5;
+  t.unit_inv_cin_ff = 2.0;
+  t.wire_r_ohm_per_um = 0.08;
+  t.wire_c_ff_per_um = 0.20;
+  return t;
+}
+
+Technology custom_025um() {
+  Technology t = asic_025um();
+  t.name = "custom-0.25um-al";
+  t.leff_um = 0.15;  // performance-tuned transistors
+  t.vdd_v = 2.1;     // Alpha 21264A supply
+  return t;
+}
+
+Technology asic_035um() {
+  Technology t;
+  t.name = "asic-0.35um-al";
+  t.drawn_um = 0.35;
+  t.leff_um = 0.27;
+  t.vdd_v = 3.3;
+  t.unit_inv_cin_ff = 2.8;
+  t.wire_r_ohm_per_um = 0.06;
+  t.wire_c_ff_per_um = 0.22;
+  return t;
+}
+
+Technology ibm_018um() {
+  Technology t;
+  t.name = "ibm-0.18um-cu";
+  t.drawn_um = 0.18;
+  t.leff_um = 0.12;
+  t.vdd_v = 1.8;
+  t.unit_inv_cin_ff = 1.4;
+  t.wire_r_ohm_per_um = 0.05;  // copper interconnect
+  t.wire_c_ff_per_um = 0.19;
+  return t;
+}
+
+ProcessCorner corner_typical() { return {"typical", 1.0}; }
+
+ProcessCorner corner_worst_case() { return {"worst-case", 1.65}; }
+
+ProcessCorner corner_conservative() { return {"conservative", 1.34}; }
+
+ProcessCorner corner_fast_bin() { return {"fast-bin", 0.87}; }
+
+}  // namespace gap::tech

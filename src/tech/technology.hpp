@@ -1,0 +1,105 @@
+#pragma once
+/// \file technology.hpp
+/// Process technology model. Everything in the flow is normalized to the
+/// logical-effort time unit tau of the active technology; this file owns the
+/// conversions between physical units (ps, fF, ohm, um) and normalized units
+/// (tau, unit input capacitances).
+///
+/// The FO4 rule used throughout is the paper's own (footnote 1):
+///   FO4 delay [ps] = 500 * Leff [um]
+/// e.g. Leff = 0.15 um  ->  FO4 = 75 ps (the IBM 1.0 GHz PowerPC process).
+/// With the canonical logical-effort inverter (g = 1, p = 1), an FO4 inverter
+/// has delay tau * (p + g*4) = 5 tau, so tau = FO4 / 5.
+
+#include <string>
+
+namespace gap::tech {
+
+/// Named process corner: multiplies all gate and wire delays.
+/// `delay_factor` 1.0 = typical silicon; > 1 slower, < 1 faster.
+struct ProcessCorner {
+  std::string name;
+  double delay_factor = 1.0;
+};
+
+/// A fabrication process. Immutable value type; create via the factory
+/// functions below or aggregate-initialize for tests.
+struct Technology {
+  std::string name;
+
+  // --- transistor / timing ---
+  double drawn_um = 0.25;   ///< Drawn (nominal) channel length.
+  double leff_um = 0.18;    ///< Effective channel length (sets speed).
+  double vdd_v = 2.5;       ///< Supply voltage.
+
+  // --- capacitance / resistance reference points ---
+  double unit_inv_cin_ff = 2.0;    ///< Input cap of the unit (1x) inverter.
+  double wire_r_ohm_per_um = 0.08; ///< Mid-layer aluminum sheet resistance.
+  double wire_c_ff_per_um = 0.20;  ///< Mid-layer wire capacitance.
+
+  /// FO4 inverter delay in ps (paper's rule of thumb).
+  [[nodiscard]] double fo4_ps() const { return 500.0 * leff_um; }
+
+  /// Logical-effort time unit in ps (FO4 = 5 tau).
+  [[nodiscard]] double tau_ps() const { return fo4_ps() / 5.0; }
+
+  /// Effective output resistance of the unit inverter in ohm, defined so
+  /// that driving one unit input capacitance costs exactly one tau.
+  [[nodiscard]] double unit_drive_r_ohm() const {
+    return tau_ps() * 1000.0 / unit_inv_cin_ff;  // ps / fF -> ohm
+  }
+
+  /// Convert a capacitance in fF to unit input capacitances.
+  [[nodiscard]] double cap_to_units(double c_ff) const {
+    return c_ff / unit_inv_cin_ff;
+  }
+
+  /// Convert a delay in tau units to picoseconds.
+  [[nodiscard]] double tau_to_ps(double tau) const { return tau * tau_ps(); }
+
+  /// Convert picoseconds to tau units.
+  [[nodiscard]] double ps_to_tau(double ps) const { return ps / tau_ps(); }
+
+  /// Convert a delay in tau units to FO4 units.
+  [[nodiscard]] double tau_to_fo4(double tau) const { return tau / 5.0; }
+
+  /// Convert FO4 units to tau units.
+  [[nodiscard]] double fo4_to_tau(double fo4) const { return fo4 * 5.0; }
+};
+
+/// Typical merchant ASIC 0.25 um process (aluminum interconnect).
+/// Leff = 0.18 um per the paper's footnote 2 -> FO4 = 90 ps.
+[[nodiscard]] Technology asic_025um();
+
+/// Performance-tuned 0.25 um process as used for custom processors.
+/// Leff = 0.15 um per the paper's footnote 1 -> FO4 = 75 ps.
+[[nodiscard]] Technology custom_025um();
+
+/// ASIC 0.35 um process (previous generation; used for scaling checks).
+[[nodiscard]] Technology asic_035um();
+
+/// IBM-like 0.18 um process with short Leff (CMOS7S: Leff = 0.12 um,
+/// measured FO4 about 55 ps per the paper's section 8.3; the 500*Leff rule
+/// gives 60 ps, i.e. the rule is conservative for tuned processes).
+[[nodiscard]] Technology ibm_018um();
+
+/// Standard corners.
+[[nodiscard]] ProcessCorner corner_typical();
+/// Worst-case corner as quoted by ASIC libraries for the slower fabs:
+/// typical silicon is 60-70% faster (paper section 8), so worst-case
+/// delay_factor is about 1.65.
+[[nodiscard]] ProcessCorner corner_worst_case();
+/// Conservative signoff corner an *average* ASIC team actually uses:
+/// between typical and worst-case (shipping 120-150 MHz parts in 0.25 um
+/// implies about 1.34x, not the full 1.65x worst-case quote).
+[[nodiscard]] ProcessCorner corner_conservative();
+
+/// Sellable fast bin off a good line. The extreme 3-sigma chips run
+/// 20-40% above typical but "without sufficient yield for low cost ASIC
+/// use" (section 8); the high-volume fast bin a custom vendor actually
+/// ships is about 15% above typical, so delay_factor = 0.87. Combined
+/// with the worst-case signoff corner this gives the paper's overall
+/// process factor: 1.65 / 0.87 = x1.90.
+[[nodiscard]] ProcessCorner corner_fast_bin();
+
+}  // namespace gap::tech

@@ -1,0 +1,54 @@
+#include "variation/economics.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.hpp"
+
+namespace gap::variation {
+
+double PriceCurve::price(double speed) const {
+  GAP_EXPECTS(speed > 0.0);
+  return base_price * std::pow(speed, exponent);
+}
+
+BinEconomics evaluate_plan(const std::vector<double>& speeds,
+                           const BinPlan& plan, const PriceCurve& price) {
+  GAP_EXPECTS(!speeds.empty());
+  GAP_EXPECTS(!plan.bin_speeds.empty());
+  GAP_EXPECTS(std::is_sorted(plan.bin_speeds.begin(), plan.bin_speeds.end()));
+
+  BinEconomics e;
+  std::size_t sold = 0;
+  double revenue = 0.0;
+  for (double s : speeds) {
+    // Fastest bin the die meets.
+    double grade = -1.0;
+    for (double b : plan.bin_speeds)
+      if (s >= b) grade = b;
+    if (grade < 0.0) continue;  // scrap
+    ++sold;
+    revenue += price.price(grade);
+  }
+  e.revenue_per_die = revenue / static_cast<double>(speeds.size());
+  e.sell_through = static_cast<double>(sold) / static_cast<double>(speeds.size());
+  return e;
+}
+
+BinPlan single_grade_plan(const std::vector<double>& speeds,
+                          const SignoffDerating& derating) {
+  return {{bin_stats(speeds, derating).worst_case_quote}};
+}
+
+BinPlan quantile_plan(const std::vector<double>& speeds,
+                      const std::vector<double>& quantiles) {
+  GAP_EXPECTS(!quantiles.empty());
+  SampleStats s;
+  s.add_all(speeds);
+  BinPlan plan;
+  for (double q : quantiles) plan.bin_speeds.push_back(s.quantile(q));
+  std::sort(plan.bin_speeds.begin(), plan.bin_speeds.end());
+  return plan;
+}
+
+}  // namespace gap::variation

@@ -1,0 +1,52 @@
+#pragma once
+/// \file economics.hpp
+/// Binning economics — the argument behind section 8.2: "fabrication
+/// plants won't offer ASIC customers the top chip speed off the
+/// production line, as they cannot guarantee a sufficiently high yield
+/// for this to be profitable." Given a speed distribution and a price
+/// curve, compare selling strategies: one guaranteed (worst-case) grade,
+/// speed-binned grades (the custom vendor's model), or chasing only the
+/// fast tail.
+
+#include <vector>
+
+#include "variation/variation.hpp"
+
+namespace gap::variation {
+
+/// Price of a part as a function of its guaranteed speed (relative to
+/// nominal = 1.0). Super-linear: fast grades command a premium (the
+/// 1999-2000 CPU price curves the paper's footnote 6 alludes to).
+struct PriceCurve {
+  double base_price = 100.0;   ///< price of a nominal-speed part
+  double exponent = 2.5;       ///< price ~ base * speed^exponent
+
+  [[nodiscard]] double price(double speed) const;
+};
+
+struct BinPlan {
+  std::vector<double> bin_speeds;  ///< guaranteed speeds, ascending
+};
+
+struct BinEconomics {
+  double revenue_per_die = 0.0;
+  double sell_through = 0.0;  ///< fraction of dies sold at all
+};
+
+/// Revenue under a plan: each die sells at the fastest bin it meets;
+/// dies below the slowest bin are scrapped.
+[[nodiscard]] BinEconomics evaluate_plan(const std::vector<double>& speeds,
+                                         const BinPlan& plan,
+                                         const PriceCurve& price);
+
+/// The single-grade plan an ASIC vendor quotes: everything guaranteed at
+/// the worst-case speed (non-scrap yield ~ 100%).
+[[nodiscard]] BinPlan single_grade_plan(const std::vector<double>& speeds,
+                                        const SignoffDerating& derating);
+
+/// A custom vendor's ladder: grades at the given quantiles of the
+/// distribution (e.g. {0.01, 0.5, 0.9, 0.99}).
+[[nodiscard]] BinPlan quantile_plan(const std::vector<double>& speeds,
+                                    const std::vector<double>& quantiles);
+
+}  // namespace gap::variation

@@ -1,0 +1,26 @@
+#include "wire/elmore.hpp"
+
+#include "common/check.hpp"
+
+namespace gap::wire {
+
+double elmore_delay_ps(const tech::Technology& t, const WireSegment& seg,
+                       double sink_cap_ff) {
+  GAP_EXPECTS(seg.length_um >= 0.0);
+  const double r = seg.resistance_ohm(t);
+  const double c = seg.capacitance_ff(t);
+  // ohm * fF = femtoseconds; divide by 1000 for ps.
+  return r * (c / 2.0 + sink_cap_ff) / 1000.0;
+}
+
+double elmore_delay_tau(const tech::Technology& t, const WireSegment& seg,
+                        double sink_cap_units) {
+  const double sink_ff = sink_cap_units * t.unit_inv_cin_ff;
+  return t.ps_to_tau(elmore_delay_ps(t, seg, sink_ff));
+}
+
+double wire_cap_units(const tech::Technology& t, const WireSegment& seg) {
+  return t.cap_to_units(seg.capacitance_ff(t));
+}
+
+}  // namespace gap::wire

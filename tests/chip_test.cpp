@@ -1,0 +1,98 @@
+#include <gtest/gtest.h>
+
+#include "core/chip.hpp"
+#include "core/gap.hpp"
+#include "netlist/checks.hpp"
+
+namespace gap::core {
+namespace {
+
+class ChipTest : public ::testing::Test {
+ protected:
+  ChipTest() : flow_(tech::asic_025um()) {}
+  Flow flow_;
+};
+
+TEST_F(ChipTest, SocBuildsWithModuleTags) {
+  const auto& lib = flow_.library_for(LibraryKind::kRichAsic);
+  const designs::SocResult soc =
+      designs::make_soc(lib, designs::DatapathStyle::kSynthesized);
+  EXPECT_TRUE(netlist::verify(soc.nl).ok());
+  ASSERT_EQ(soc.blocks.size(), 4u);
+  ASSERT_EQ(soc.modules.size(), 4u);
+  EXPECT_GE(soc.module_nets.size(), 4u);
+
+  // Every instance carries a valid module tag.
+  std::size_t tagged = 0;
+  for (InstanceId id : soc.nl.all_instances())
+    if (soc.nl.instance(id).module.valid()) ++tagged;
+  EXPECT_EQ(tagged, soc.nl.num_instances());
+
+  // Block accounting is consistent.
+  std::size_t total = 0;
+  for (const auto& b : soc.blocks) {
+    EXPECT_GT(b.instances, 0u);
+    EXPECT_GT(b.area_um2, 0.0);
+    total += b.instances;
+  }
+  EXPECT_EQ(total, soc.nl.num_instances());
+}
+
+TEST_F(ChipTest, SocIsRegisteredBetweenBlocks) {
+  const auto& lib = flow_.library_for(LibraryKind::kRichAsic);
+  const designs::SocResult soc =
+      designs::make_soc(lib, designs::DatapathStyle::kSynthesized);
+  EXPECT_GT(soc.nl.num_sequential(), 50u);  // boundary register ranks
+}
+
+TEST_F(ChipTest, ImplementChipProducesTiming) {
+  Methodology m = reference_methodology();
+  const ChipResult r =
+      implement_chip(flow_, m, FloorplanQuality::kOptimized, 3);
+  ASSERT_NE(r.nl, nullptr);
+  EXPECT_TRUE(netlist::verify(*r.nl).ok());
+  EXPECT_GT(r.freq_mhz, 0.0);
+  EXPECT_GT(r.die_area_mm2, 0.0);
+  EXPECT_GT(r.cell_hpwl_um, 0.0);
+}
+
+TEST_F(ChipTest, FloorplanningHelpsAtChipLevel) {
+  Methodology m = reference_methodology();
+  const ChipResult good =
+      implement_chip(flow_, m, FloorplanQuality::kOptimized, 3);
+  const ChipResult bad =
+      implement_chip(flow_, m, FloorplanQuality::kCareless, 3);
+  // The optimized floorplan shortens module-level wiring...
+  EXPECT_LT(good.module_wirelength_um, bad.module_wirelength_um);
+  // ...packs a smaller die...
+  EXPECT_LT(good.die_area_mm2, bad.die_area_mm2 * 0.9);
+  // ...and must not be slower (usually measurably faster).
+  EXPECT_GE(good.freq_mhz, bad.freq_mhz * 0.98);
+}
+
+TEST_F(ChipTest, ModulesStayInsideTheirRectangles) {
+  const auto& lib = flow_.library_for(LibraryKind::kRichAsic);
+  designs::SocResult soc =
+      designs::make_soc(lib, designs::DatapathStyle::kSynthesized);
+  floorplan::FloorplanOptions fopt;
+  fopt.sa_moves = 5000;
+  const auto fp = floorplan::floorplan(soc.modules, soc.module_nets, fopt);
+
+  place::PlaceOptions popt;
+  for (std::size_t b = 0; b < soc.blocks.size(); ++b)
+    popt.regions.emplace(soc.blocks[b].module, fp.modules[b]);
+  popt.sa_moves = 1000;
+  place::place(soc.nl, popt);
+
+  for (InstanceId id : soc.nl.all_instances()) {
+    const netlist::Instance& inst = soc.nl.instance(id);
+    const auto& box = fp.modules[inst.module.index()];
+    EXPECT_GE(inst.x_um, box.x_um - 1e-6);
+    EXPECT_LE(inst.x_um, box.x_um + box.w_um + 1e-6);
+    EXPECT_GE(inst.y_um, box.y_um - 1e-6);
+    EXPECT_LE(inst.y_um, box.y_um + box.h_um + 1e-6);
+  }
+}
+
+}  // namespace
+}  // namespace gap::core

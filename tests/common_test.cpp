@@ -1,0 +1,158 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/ids.hpp"
+#include "common/rng.hpp"
+#include "common/stats.hpp"
+#include "common/table.hpp"
+
+namespace gap {
+namespace {
+
+TEST(Ids, DefaultIsInvalid) {
+  NetId id;
+  EXPECT_FALSE(id.valid());
+  EXPECT_EQ(id, NetId::invalid());
+}
+
+TEST(Ids, ValueRoundTrip) {
+  NetId id{42};
+  EXPECT_TRUE(id.valid());
+  EXPECT_EQ(id.value(), 42u);
+  EXPECT_EQ(id.index(), 42u);
+}
+
+TEST(Ids, Comparable) {
+  EXPECT_LT(NetId{1}, NetId{2});
+  EXPECT_EQ(NetId{7}, NetId{7});
+  EXPECT_NE(NetId{7}, NetId{8});
+}
+
+TEST(Rng, Deterministic) {
+  Rng a(123), b(123);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next_u64(), b.next_u64());
+}
+
+TEST(Rng, DifferentSeedsDiffer) {
+  Rng a(1), b(2);
+  EXPECT_NE(a.next_u64(), b.next_u64());
+}
+
+TEST(Rng, UniformInRange) {
+  Rng r(7);
+  for (int i = 0; i < 10000; ++i) {
+    const double u = r.uniform();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+  }
+}
+
+TEST(Rng, UniformBounds) {
+  Rng r(9);
+  for (int i = 0; i < 1000; ++i) {
+    const double u = r.uniform(5.0, 6.0);
+    EXPECT_GE(u, 5.0);
+    EXPECT_LT(u, 6.0);
+  }
+}
+
+TEST(Rng, UniformIndexCoversAll) {
+  Rng r(11);
+  bool seen[5] = {};
+  for (int i = 0; i < 1000; ++i) seen[r.uniform_index(5)] = true;
+  for (bool s : seen) EXPECT_TRUE(s);
+}
+
+TEST(Rng, NormalMoments) {
+  Rng r(13);
+  SampleStats s;
+  for (int i = 0; i < 50000; ++i) s.add(r.normal(10.0, 2.0));
+  EXPECT_NEAR(s.mean(), 10.0, 0.05);
+  EXPECT_NEAR(s.stddev(), 2.0, 0.05);
+}
+
+TEST(Rng, SplitIndependent) {
+  Rng a(17);
+  Rng b = a.split();
+  // Streams should not be identical.
+  int same = 0;
+  for (int i = 0; i < 64; ++i)
+    if (a.next_u64() == b.next_u64()) ++same;
+  EXPECT_LT(same, 2);
+}
+
+TEST(Rng, BernoulliFrequency) {
+  Rng r(19);
+  int hits = 0;
+  for (int i = 0; i < 20000; ++i) hits += r.bernoulli(0.3);
+  EXPECT_NEAR(hits / 20000.0, 0.3, 0.02);
+}
+
+TEST(Stats, MeanMinMax) {
+  SampleStats s;
+  s.add_all({1.0, 2.0, 3.0, 4.0});
+  EXPECT_DOUBLE_EQ(s.mean(), 2.5);
+  EXPECT_DOUBLE_EQ(s.min(), 1.0);
+  EXPECT_DOUBLE_EQ(s.max(), 4.0);
+}
+
+TEST(Stats, Variance) {
+  SampleStats s;
+  s.add_all({2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0});
+  EXPECT_NEAR(s.variance(), 4.571, 0.01);  // unbiased
+}
+
+TEST(Stats, QuantileInterpolation) {
+  SampleStats s;
+  s.add_all({10.0, 20.0, 30.0, 40.0, 50.0});
+  EXPECT_DOUBLE_EQ(s.quantile(0.0), 10.0);
+  EXPECT_DOUBLE_EQ(s.quantile(0.5), 30.0);
+  EXPECT_DOUBLE_EQ(s.quantile(1.0), 50.0);
+  EXPECT_DOUBLE_EQ(s.quantile(0.25), 20.0);
+}
+
+TEST(Stats, QuantileUnsortedInput) {
+  SampleStats s;
+  s.add_all({50.0, 10.0, 30.0, 20.0, 40.0});
+  EXPECT_DOUBLE_EQ(s.quantile(0.5), 30.0);
+}
+
+TEST(Stats, HistogramBinning) {
+  Histogram h(0.0, 10.0, 10);
+  h.add(0.5);
+  h.add(9.5);
+  h.add(-5.0);  // clamps to first bin
+  h.add(15.0);  // clamps to last bin
+  EXPECT_EQ(h.bin_count(0), 2u);
+  EXPECT_EQ(h.bin_count(9), 2u);
+  EXPECT_EQ(h.total(), 4u);
+  EXPECT_DOUBLE_EQ(h.bin_center(0), 0.5);
+}
+
+TEST(Table, RendersAligned) {
+  Table t({"name", "value"});
+  t.add_row({"alpha", "1"});
+  t.add_row({"b", "22"});
+  const std::string out = t.render();
+  EXPECT_NE(out.find("| alpha | 1     |"), std::string::npos);
+  EXPECT_NE(out.find("| b     | 22    |"), std::string::npos);
+}
+
+TEST(Format, Numbers) {
+  EXPECT_EQ(fmt(1.2345, 2), "1.23");
+  EXPECT_EQ(fmt_factor(1.5), "x1.50");
+  EXPECT_EQ(fmt_pct(0.25), "25.0%");
+  EXPECT_EQ(fmt_mhz_from_ps(4000.0), "250 MHz");
+}
+
+TEST(Format, Verdict) {
+  EXPECT_EQ(verdict(1.5, 1.0, 2.0), "PASS");
+  EXPECT_EQ(verdict(2.3, 1.0, 2.0), "NEAR");   // within 20% of 2.0
+  EXPECT_EQ(verdict(3.0, 1.0, 2.0), "FAIL");
+  EXPECT_EQ(verdict(0.85, 1.0, 2.0), "NEAR");  // within 20% of 1.0
+  EXPECT_EQ(verdict(0.5, 1.0, 2.0), "FAIL");
+}
+
+}  // namespace
+}  // namespace gap

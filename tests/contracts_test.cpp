@@ -1,0 +1,97 @@
+#include <gtest/gtest.h>
+
+#include "datapath/adders.hpp"
+#include "library/builders.hpp"
+#include "netlist/netlist.hpp"
+#include "pipeline/pipeline.hpp"
+#include "sta/sta.hpp"
+#include "tech/technology.hpp"
+
+/// Contract-violation coverage: the GAP_EXPECTS preconditions must fire
+/// (abort) on malformed use, because a silently corrupted netlist would
+/// poison every downstream timing number. Death tests document exactly
+/// which misuses the library rejects.
+
+namespace gap {
+namespace {
+
+using library::Family;
+using library::Func;
+
+class ContractsTest : public ::testing::Test {
+ protected:
+  ContractsTest() : lib_(library::make_rich_asic_library(tech::asic_025um())) {}
+
+  CellId cell(Func f) { return *lib_.smallest(f, Family::kStatic); }
+
+  library::CellLibrary lib_;
+};
+
+using ContractsDeathTest = ContractsTest;
+
+TEST_F(ContractsDeathTest, DoubleDrivenNetRejected) {
+  netlist::Netlist nl("t", &lib_);
+  const PortId a = nl.add_input("a");
+  const NetId out = nl.add_net("out");
+  nl.add_instance("u1", cell(Func::kInv), {nl.port(a).net}, out);
+  EXPECT_DEATH(nl.add_instance("u2", cell(Func::kInv), {nl.port(a).net}, out),
+               "Precondition");
+}
+
+TEST_F(ContractsDeathTest, PinCountMismatchRejected) {
+  netlist::Netlist nl("t", &lib_);
+  const PortId a = nl.add_input("a");
+  const NetId out = nl.add_net("out");
+  // nand2 needs two inputs.
+  EXPECT_DEATH(nl.add_instance("u1", cell(Func::kNand2), {nl.port(a).net}, out),
+               "Precondition");
+}
+
+TEST_F(ContractsDeathTest, ReplaceCellMustKeepFunction) {
+  netlist::Netlist nl("t", &lib_);
+  const PortId a = nl.add_input("a");
+  const NetId out = nl.add_net("out");
+  const InstanceId u =
+      nl.add_instance("u1", cell(Func::kInv), {nl.port(a).net}, out);
+  EXPECT_DEATH(nl.replace_cell(u, cell(Func::kBuf)), "Precondition");
+}
+
+TEST_F(ContractsDeathTest, InvalidIdAccessRejected) {
+  netlist::Netlist nl("t", &lib_);
+  EXPECT_DEATH((void)nl.net(NetId{42}), "Precondition");
+  EXPECT_DEATH((void)nl.instance(InstanceId{}), "Precondition");
+}
+
+TEST_F(ContractsDeathTest, StaRejectsSillySkew) {
+  netlist::Netlist nl("t", &lib_);
+  const PortId a = nl.add_input("a");
+  const NetId out = nl.add_net("out");
+  nl.add_instance("u1", cell(Func::kInv), {nl.port(a).net}, out);
+  nl.add_output("y", out);
+  sta::StaOptions opt;
+  opt.clock.skew_fraction = 1.5;  // more skew than cycle: meaningless
+  EXPECT_DEATH(sta::analyze(nl, opt), "Precondition");
+}
+
+TEST_F(ContractsDeathTest, PipelineRejectsSequentialInput) {
+  netlist::Netlist nl("t", &lib_);
+  const PortId a = nl.add_input("a");
+  const NetId q = nl.add_net("q");
+  nl.add_instance("f", cell(Func::kDff), {nl.port(a).net}, q);
+  nl.add_output("y", q);
+  pipeline::PipelineOptions opt;
+  opt.stages = 2;
+  EXPECT_DEATH(pipeline::pipeline_insert(nl, opt), "Precondition");
+}
+
+TEST_F(ContractsDeathTest, AdderRejectsMismatchedWidths) {
+  logic::Aig aig;
+  std::vector<logic::Lit> a = {aig.create_pi(), aig.create_pi()};
+  std::vector<logic::Lit> b = {aig.create_pi()};
+  EXPECT_DEATH(datapath::build_adder(aig, datapath::AdderKind::kRipple, a, b,
+                                     logic::lit_false()),
+               "Precondition");
+}
+
+}  // namespace
+}  // namespace gap

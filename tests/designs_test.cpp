@@ -1,0 +1,194 @@
+#include <gtest/gtest.h>
+
+#include "common/rng.hpp"
+#include "designs/alu.hpp"
+#include "designs/bus_controller.hpp"
+#include "designs/cpu.hpp"
+#include "designs/mac.hpp"
+#include "designs/registry.hpp"
+
+namespace gap::designs {
+namespace {
+
+std::vector<std::uint64_t> bit_words(const std::vector<std::uint64_t>& vals,
+                                     int width) {
+  std::vector<std::uint64_t> words(static_cast<std::size_t>(width), 0);
+  for (std::size_t k = 0; k < vals.size(); ++k)
+    for (int i = 0; i < width; ++i)
+      if ((vals[k] >> i) & 1u) words[static_cast<std::size_t>(i)] |= 1ull << k;
+  return words;
+}
+
+std::uint64_t extract(const std::vector<std::uint64_t>& po, std::size_t k,
+                      int lo, int width) {
+  std::uint64_t v = 0;
+  for (int i = 0; i < width; ++i)
+    if ((po[static_cast<std::size_t>(lo + i)] >> k) & 1u) v |= 1ull << i;
+  return v;
+}
+
+class AluStyles : public ::testing::TestWithParam<DatapathStyle> {};
+
+TEST_P(AluStyles, MatchesReferenceForAllOps) {
+  const int w = 16;
+  const logic::Aig aig = make_alu_aig(w, GetParam());
+  Rng rng(0xA111);
+  for (unsigned opcode = 0; opcode < 8; ++opcode) {
+    std::vector<std::uint64_t> as(64), bs(64);
+    for (int k = 0; k < 64; ++k) {
+      as[k] = rng.next_u64() & 0xFFFF;
+      bs[k] = rng.bernoulli(0.2) ? as[k] : rng.next_u64() & 0xFFFF;
+    }
+    std::vector<std::uint64_t> pi = bit_words(as, w);
+    const auto bw = bit_words(bs, w);
+    pi.insert(pi.end(), bw.begin(), bw.end());
+    for (int i = 0; i < 3; ++i)
+      pi.push_back((opcode >> i) & 1u ? ~0ull : 0ull);
+    const auto po = aig.simulate(pi);
+    for (std::size_t k = 0; k < 64; ++k) {
+      const std::uint64_t expect =
+          alu_reference(static_cast<AluOp>(opcode), as[k], bs[k], w);
+      EXPECT_EQ(extract(po, k, 0, w), expect)
+          << "op=" << opcode << " a=" << as[k] << " b=" << bs[k];
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Styles, AluStyles,
+                         ::testing::Values(DatapathStyle::kSynthesized,
+                                           DatapathStyle::kMacro),
+                         [](const auto& info) {
+                           return info.param == DatapathStyle::kMacro
+                                      ? "macro"
+                                      : "synthesized";
+                         });
+
+TEST(Alu, MacroShallowerThanSynthesized) {
+  const auto synth = make_alu_aig(32, DatapathStyle::kSynthesized);
+  const auto macro = make_alu_aig(32, DatapathStyle::kMacro);
+  EXPECT_LT(macro.depth(), synth.depth());
+}
+
+TEST(Mac, MatchesMultiplyAccumulate) {
+  const int w = 8;
+  for (DatapathStyle style :
+       {DatapathStyle::kSynthesized, DatapathStyle::kMacro}) {
+    const logic::Aig aig = make_mac_aig(w, style);
+    Rng rng(0x3AC);
+    std::vector<std::uint64_t> as(64), bs(64), accs(64);
+    for (int k = 0; k < 64; ++k) {
+      as[k] = rng.next_u64() & 0xFF;
+      bs[k] = rng.next_u64() & 0xFF;
+      accs[k] = rng.next_u64() & 0xFFFF;
+    }
+    std::vector<std::uint64_t> pi = bit_words(as, w);
+    const auto bw = bit_words(bs, w);
+    const auto cw = bit_words(accs, 2 * w);
+    pi.insert(pi.end(), bw.begin(), bw.end());
+    pi.insert(pi.end(), cw.begin(), cw.end());
+    const auto po = aig.simulate(pi);
+    for (std::size_t k = 0; k < 64; ++k) {
+      const std::uint64_t expect = (as[k] * bs[k] + accs[k]) & 0xFFFF;
+      EXPECT_EQ(extract(po, k, 0, 2 * w), expect);
+    }
+  }
+}
+
+TEST(BusController, StateMachineTransitions) {
+  const logic::Aig aig = make_bus_controller_aig();
+  ASSERT_EQ(aig.num_pis(),
+            static_cast<std::size_t>(kBusStateBits + kBusInputBits));
+  ASSERT_EQ(aig.num_pos(),
+            static_cast<std::size_t>(kBusStateBits + kBusOutputBits));
+
+  // Software reference model of the FSM.
+  auto step = [](unsigned state, bool req, bool wr, bool ack, bool err,
+                 bool burst, bool last) -> unsigned {
+    switch (state) {
+      case 0: return req ? 1u : 0u;            // IDLE
+      case 1: return 2;                        // GRANT
+      case 2: return err ? 8u : (wr ? 3u : 4u);  // ADDR
+      case 3: return ack ? 5u : (err ? 8u : 3u);  // WAIT_W
+      case 4: return ack ? 6u : (err ? 8u : 4u);  // WAIT_R
+      case 5: return (burst && !last) ? 5u : 7u;  // DATA_W
+      case 6: return (burst && !last) ? 6u : 7u;  // DATA_R
+      case 7: return req ? 1u : 0u;            // RESP
+      case 8: return 0;                        // ERROR
+      default: return 0;
+    }
+  };
+
+  // Exhaustive over all valid states and input combinations, one bit per
+  // pattern lane.
+  for (unsigned state = 0; state <= 8; ++state) {
+    std::vector<std::uint64_t> pi(kBusStateBits + kBusInputBits, 0);
+    for (int b = 0; b < kBusStateBits; ++b)
+      pi[static_cast<std::size_t>(b)] = (state >> b) & 1u ? ~0ull : 0ull;
+    // 64 input combinations in the lanes.
+    for (int in = 0; in < 64; ++in)
+      for (int b = 0; b < kBusInputBits; ++b)
+        if ((in >> b) & 1) pi[static_cast<std::size_t>(kBusStateBits + b)] |= 1ull << in;
+    const auto po = aig.simulate(pi);
+    for (std::size_t lane = 0; lane < 64; ++lane) {
+      const bool req = lane & 1, wr = lane & 2, ack = lane & 4;
+      const bool err = lane & 8, burst = lane & 16, last = lane & 32;
+      const unsigned expect = step(state, req, wr, ack, err, burst, last);
+      unsigned got = 0;
+      for (int b = 0; b < kBusStateBits; ++b)
+        if ((po[static_cast<std::size_t>(b)] >> lane) & 1u) got |= 1u << b;
+      EXPECT_EQ(got, expect) << "state=" << state << " lane=" << lane;
+    }
+  }
+}
+
+TEST(BusController, IsShallowControlLogic) {
+  // A control FSM has a short critical path: pipelining cannot help it
+  // (the paper's section 4.1 point).
+  const logic::Aig aig = make_bus_controller_aig();
+  EXPECT_LE(aig.depth(), 16);
+  EXPECT_LE(aig.num_gates(), 300u);
+}
+
+TEST(Cpu, BuildsAndIsDeep) {
+  const logic::Aig cpu = make_cpu_datapath_aig({32, DatapathStyle::kSynthesized});
+  EXPECT_GT(cpu.depth(), 40);  // deep enough that pipelining pays
+  EXPECT_GT(cpu.num_gates(), 600u);
+  const logic::Aig fast = make_cpu_datapath_aig({32, DatapathStyle::kMacro});
+  EXPECT_LT(fast.depth(), cpu.depth());
+}
+
+TEST(Cpu, WritebackSelectsAluOrLoad) {
+  const CpuOptions opt{16, DatapathStyle::kSynthesized};
+  const logic::Aig cpu = make_cpu_datapath_aig(opt);
+  // instr: opcode=000 (add), use_imm=0, is_load from bit 4.
+  auto run = [&](bool is_load, std::uint64_t rs, std::uint64_t rt,
+                 std::uint64_t load) {
+    std::vector<std::uint64_t> pi(cpu.num_pis(), 0);
+    pi[4] = is_load ? ~0ull : 0ull;  // instr[4], with instr[5]=0
+    for (int i = 0; i < 16; ++i) {
+      pi[static_cast<std::size_t>(16 + i)] = (rs >> i) & 1u ? ~0ull : 0ull;
+      pi[static_cast<std::size_t>(32 + i)] = (rt >> i) & 1u ? ~0ull : 0ull;
+      pi[static_cast<std::size_t>(48 + i)] = (load >> i) & 1u ? ~0ull : 0ull;
+    }
+    const auto po = cpu.simulate(pi);
+    return extract(po, 0, 0, 16);
+  };
+  // ALU op (add rs + rt).
+  EXPECT_EQ(run(false, 100, 23, 0xAAAA), 123u);
+  // Load: writeback comes from (aligned) load data; addr = rs + rt with
+  // byte alignment shifting by addr[1:0]. Use rs+rt multiple of 4 so the
+  // alignment shift is zero.
+  EXPECT_EQ(run(true, 8, 4, 0x1234), 0x1234u);
+}
+
+TEST(Registry, AllDesignsBuild) {
+  for (const std::string& name : design_names()) {
+    const logic::Aig aig = make_design(name, DatapathStyle::kSynthesized);
+    EXPECT_GT(aig.num_pis(), 0u) << name;
+    EXPECT_GT(aig.num_pos(), 0u) << name;
+    EXPECT_GT(aig.num_gates(), 0u) << name;
+  }
+}
+
+}  // namespace
+}  // namespace gap::designs

@@ -1,0 +1,75 @@
+#include <gtest/gtest.h>
+
+#include "variation/economics.hpp"
+
+namespace gap::variation {
+namespace {
+
+std::vector<double> speeds() {
+  return monte_carlo_speeds(best_fab(), 50000, 42);
+}
+
+TEST(Economics, PriceCurveSuperLinear) {
+  PriceCurve p;
+  EXPECT_DOUBLE_EQ(p.price(1.0), p.base_price);
+  EXPECT_GT(p.price(1.2), 1.2 * p.base_price);
+  EXPECT_LT(p.price(0.8), 0.8 * p.base_price);
+}
+
+TEST(Economics, SingleGradeSellsEverything) {
+  const auto s = speeds();
+  const BinPlan plan = single_grade_plan(s, SignoffDerating{});
+  const BinEconomics e = evaluate_plan(s, plan, PriceCurve{});
+  EXPECT_GT(e.sell_through, 0.999);  // the quote is below ~all silicon
+  EXPECT_GT(e.revenue_per_die, 0.0);
+}
+
+TEST(Economics, BinningBeatsSingleGrade) {
+  // The paper's section 8.2 economics: selling speed grades captures the
+  // value of the fast silicon that a single worst-case grade gives away.
+  const auto s = speeds();
+  const PriceCurve price;
+  const auto single =
+      evaluate_plan(s, single_grade_plan(s, SignoffDerating{}), price);
+  const auto binned = evaluate_plan(
+      s, quantile_plan(s, {0.01, 0.5, 0.9, 0.99}), price);
+  EXPECT_GT(binned.revenue_per_die, single.revenue_per_die * 1.3);
+  EXPECT_GT(binned.sell_through, 0.98);
+}
+
+TEST(Economics, FastTailOnlyIsUnprofitable) {
+  // Selling only a cherry grade scraps nearly everything: why fabs
+  // refuse to promise the top speed.
+  const auto s = speeds();
+  const PriceCurve price;
+  const auto cherry = evaluate_plan(s, quantile_plan(s, {0.9987}), price);
+  const auto single =
+      evaluate_plan(s, single_grade_plan(s, SignoffDerating{}), price);
+  EXPECT_LT(cherry.sell_through, 0.01);
+  EXPECT_LT(cherry.revenue_per_die, single.revenue_per_die);
+}
+
+TEST(Economics, MoreBinsMoreRevenue) {
+  const auto s = speeds();
+  const PriceCurve price;
+  double prev = 0.0;
+  for (const auto& qs :
+       {std::vector<double>{0.01}, std::vector<double>{0.01, 0.5},
+        std::vector<double>{0.01, 0.25, 0.5, 0.75, 0.9}}) {
+    const auto e = evaluate_plan(s, quantile_plan(s, qs), price);
+    EXPECT_GE(e.revenue_per_die, prev);
+    prev = e.revenue_per_die;
+  }
+}
+
+TEST(Economics, ScrapAccounting) {
+  // A plan whose only bin is above every die sells nothing.
+  const auto s = speeds();
+  BinPlan impossible{{1e9}};
+  const auto e = evaluate_plan(s, impossible, PriceCurve{});
+  EXPECT_DOUBLE_EQ(e.sell_through, 0.0);
+  EXPECT_DOUBLE_EQ(e.revenue_per_die, 0.0);
+}
+
+}  // namespace
+}  // namespace gap::variation

@@ -1,0 +1,96 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "floorplan/floorplan.hpp"
+
+namespace gap::floorplan {
+namespace {
+
+bool overlap(const PlacedModule& a, const PlacedModule& b) {
+  const double eps = 1e-9;
+  return a.x_um + a.w_um > b.x_um + eps && b.x_um + b.w_um > a.x_um + eps &&
+         a.y_um + a.h_um > b.y_um + eps && b.y_um + b.h_um > a.y_um + eps;
+}
+
+std::vector<Module> square_modules(int n, double area) {
+  std::vector<Module> mods;
+  for (int i = 0; i < n; ++i)
+    mods.push_back({"m" + std::to_string(i), area, 1.0});
+  return mods;
+}
+
+TEST(Floorplan, SingleModuleFillsItself) {
+  const auto r = floorplan(square_modules(1, 10000.0), {}, {});
+  ASSERT_EQ(r.modules.size(), 1u);
+  EXPECT_NEAR(r.die_w_um * r.die_h_um, 10000.0, 1.0);
+}
+
+TEST(Floorplan, NoOverlaps) {
+  FloorplanOptions opt;
+  opt.sa_moves = 5000;
+  const auto r = floorplan(square_modules(8, 5000.0), {}, opt);
+  for (std::size_t i = 0; i < r.modules.size(); ++i)
+    for (std::size_t j = i + 1; j < r.modules.size(); ++j)
+      EXPECT_FALSE(overlap(r.modules[i], r.modules[j])) << i << "," << j;
+}
+
+TEST(Floorplan, AreaReasonablyPacked) {
+  FloorplanOptions opt;
+  opt.sa_moves = 20000;
+  opt.wirelength_weight = 0.0;
+  const auto r = floorplan(square_modules(9, 10000.0), {}, opt);
+  // Nine equal squares should pack with limited whitespace.
+  EXPECT_LE(r.die_w_um * r.die_h_um, 9 * 10000.0 * 1.35);
+}
+
+TEST(Floorplan, ConnectedModulesEndUpClose) {
+  // Modules 0 and 5 are heavily connected; everything else unconnected.
+  std::vector<ModuleNet> nets;
+  nets.push_back({{ModuleId{0}, ModuleId{5}}, 100.0});
+  FloorplanOptions opt;
+  opt.sa_moves = 20000;
+  opt.wirelength_weight = 4.0;
+  const auto r = floorplan(square_modules(8, 5000.0), nets, opt);
+  const PlacedModule& a = r.modules[0];
+  const PlacedModule& b = r.modules[5];
+  const double dist = std::abs(a.cx() - b.cx()) + std::abs(a.cy() - b.cy());
+  // Distance should be on the order of one module pitch, not the die.
+  const double pitch = std::sqrt(5000.0);
+  EXPECT_LE(dist, 2.5 * pitch);
+}
+
+TEST(Floorplan, WirelengthMetricMatchesHand) {
+  std::vector<PlacedModule> placed(2);
+  placed[0] = {0, 0, 10, 10};
+  placed[1] = {30, 40, 10, 10};
+  std::vector<ModuleNet> nets;
+  nets.push_back({{ModuleId{0}, ModuleId{1}}, 2.0});
+  // HPWL between centers (5,5) and (35,45): 30 + 40 = 70, weight 2.
+  EXPECT_DOUBLE_EQ(wirelength(placed, nets), 140.0);
+}
+
+TEST(Floorplan, DeterministicForSeed) {
+  FloorplanOptions opt;
+  opt.sa_moves = 3000;
+  opt.seed = 42;
+  const auto a = floorplan(square_modules(6, 3000.0), {}, opt);
+  const auto b = floorplan(square_modules(6, 3000.0), {}, opt);
+  ASSERT_EQ(a.modules.size(), b.modules.size());
+  for (std::size_t i = 0; i < a.modules.size(); ++i) {
+    EXPECT_DOUBLE_EQ(a.modules[i].x_um, b.modules[i].x_um);
+    EXPECT_DOUBLE_EQ(a.modules[i].y_um, b.modules[i].y_um);
+  }
+}
+
+TEST(Floorplan, RespectsAspect) {
+  std::vector<Module> mods = {{"wide", 10000.0, 4.0}};
+  const auto r = floorplan(mods, {}, {});
+  // Width = sqrt(area * aspect), unless the annealer rotated it.
+  const double w = r.modules[0].w_um;
+  const double h = r.modules[0].h_um;
+  EXPECT_NEAR(std::max(w, h) / std::min(w, h), 4.0, 0.01);
+}
+
+}  // namespace
+}  // namespace gap::floorplan

@@ -1,0 +1,114 @@
+#include <gtest/gtest.h>
+
+#include "common/rng.hpp"
+#include "datapath/adders.hpp"
+#include "library/builders.hpp"
+#include "netlist/checks.hpp"
+#include "netlist/simulate.hpp"
+#include "pipeline/pipeline.hpp"
+#include "sta/sta.hpp"
+#include "synth/mapper.hpp"
+#include "tech/technology.hpp"
+
+namespace gap::sta {
+namespace {
+
+using datapath::AdderKind;
+using library::Family;
+using library::Func;
+
+class HoldTest : public ::testing::Test {
+ protected:
+  HoldTest() : lib_(library::make_rich_asic_library(tech::asic_025um())) {}
+
+  /// Shift register: flop -> flop directly (the classic hold hazard).
+  netlist::Netlist shift_register(int n) {
+    netlist::Netlist nl("sr", &lib_);
+    const PortId d = nl.add_input("d");
+    const CellId dff = *lib_.smallest(Func::kDff, Family::kStatic);
+    NetId prev = nl.port(d).net;
+    for (int i = 0; i < n; ++i) {
+      const NetId q = nl.add_net("q" + std::to_string(i));
+      nl.add_instance("f" + std::to_string(i), dff, {prev}, q);
+      prev = q;
+    }
+    nl.add_output("q", prev);
+    return nl;
+  }
+
+  library::CellLibrary lib_;
+};
+
+TEST_F(HoldTest, CleanWithoutSkew) {
+  auto nl = shift_register(4);
+  const HoldResult r = analyze_hold(nl, StaOptions{}, /*skew_abs_tau=*/0.0);
+  EXPECT_EQ(r.violations, 0u);
+  EXPECT_GT(r.worst_slack_tau, 0.0);
+  // Register-launched endpoints only: the first flop is fed by the PI
+  // (interface hold is the board's problem).
+  EXPECT_EQ(r.endpoints, 3u);
+}
+
+TEST_F(HoldTest, LargeSkewCreatesViolations) {
+  auto nl = shift_register(4);
+  // Direct flop-to-flop min path: clkq + p + load/drive ~ 9-10 tau;
+  // a larger skew uncertainty must violate hold.
+  const HoldResult r = analyze_hold(nl, StaOptions{}, 20.0);
+  EXPECT_GT(r.violations, 0u);
+  EXPECT_LT(r.worst_slack_tau, 0.0);
+}
+
+TEST_F(HoldTest, FixHoldInsertsDelaysAndCleans) {
+  auto nl = shift_register(4);
+  const double skew = 20.0;
+  ASSERT_GT(analyze_hold(nl, StaOptions{}, skew).violations, 0u);
+  const int added = fix_hold(nl, StaOptions{}, skew);
+  EXPECT_GT(added, 0);
+  EXPECT_EQ(analyze_hold(nl, StaOptions{}, skew).violations, 0u);
+  EXPECT_TRUE(netlist::verify(nl).ok());
+}
+
+TEST_F(HoldTest, FixHoldPreservesFunction) {
+  auto nl = shift_register(3);
+  auto fixed = shift_register(3);
+  fix_hold(fixed, StaOptions{}, 20.0);
+  Rng rng(0xF1);
+  for (int round = 0; round < 8; ++round) {
+    const std::uint64_t v = rng.next_u64();
+    EXPECT_EQ(netlist::simulate(nl, {v}), netlist::simulate(fixed, {v}));
+  }
+}
+
+TEST_F(HoldTest, PipelinedAdderHoldCleanAtCustomSkew) {
+  const auto aig = datapath::make_adder_aig(AdderKind::kRipple, 16);
+  auto comb = synth::map_to_netlist(aig, lib_, synth::MapOptions{}, "d");
+  pipeline::PipelineOptions popt;
+  popt.stages = 3;
+  auto nl = pipeline::pipeline_insert(comb, popt).nl;
+  // 5% of a ~20 FO4 cycle ~ 5 tau of absolute skew.
+  const HoldResult r = analyze_hold(nl, StaOptions{}, 5.0);
+  EXPECT_GT(r.endpoints, 0u);
+  EXPECT_LT(r.endpoints, nl.num_sequential());  // first rank is PI-fed
+  EXPECT_GE(r.worst_slack_tau, 0.0);
+}
+
+TEST_F(HoldTest, GuardBandedFlopsTolerateMoreSkew) {
+  // The paper's section 4.1: ASIC registers are guard-banded to tolerate
+  // skew. The ASIC flop's hold requirement is larger than the custom
+  // latch's, but ASIC clocking budgets (10%) are also larger; verify the
+  // model orders the hold requirements as the paper describes.
+  const auto asic = library::asic_dff_timing();
+  const auto custom = library::custom_dff_timing();
+  EXPECT_GT(asic.hold_fo4, custom.hold_fo4);
+}
+
+TEST_F(HoldTest, NoSequentialsNoEndpoints) {
+  const auto aig = datapath::make_adder_aig(AdderKind::kRipple, 4);
+  auto nl = synth::map_to_netlist(aig, lib_, synth::MapOptions{}, "d");
+  const HoldResult r = analyze_hold(nl, StaOptions{}, 5.0);
+  EXPECT_EQ(r.endpoints, 0u);
+  EXPECT_EQ(r.violations, 0u);
+}
+
+}  // namespace
+}  // namespace gap::sta

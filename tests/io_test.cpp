@@ -1,0 +1,159 @@
+#include <gtest/gtest.h>
+
+#include "common/rng.hpp"
+#include "datapath/adders.hpp"
+#include "designs/registry.hpp"
+#include "library/builders.hpp"
+#include "library/liberty.hpp"
+#include "netlist/checks.hpp"
+#include "netlist/simulate.hpp"
+#include "netlist/stats.hpp"
+#include "netlist/verilog.hpp"
+#include "pipeline/pipeline.hpp"
+#include "synth/mapper.hpp"
+#include "tech/technology.hpp"
+
+namespace gap {
+namespace {
+
+using datapath::AdderKind;
+using library::CellLibrary;
+using library::Family;
+using library::Func;
+
+class VerilogTest : public ::testing::Test {
+ protected:
+  VerilogTest() : lib_(library::make_rich_asic_library(tech::asic_025um())) {}
+  CellLibrary lib_;
+};
+
+TEST_F(VerilogTest, EmitsWellFormedModule) {
+  const auto aig = datapath::make_adder_aig(AdderKind::kRipple, 4);
+  const auto nl = synth::map_to_netlist(aig, lib_, synth::MapOptions{}, "add4");
+  const std::string v = netlist::to_verilog(nl);
+  EXPECT_NE(v.find("module add4"), std::string::npos);
+  EXPECT_NE(v.find("endmodule"), std::string::npos);
+  EXPECT_NE(v.find("input a0;"), std::string::npos);
+  EXPECT_NE(v.find("output sum0;"), std::string::npos);
+}
+
+TEST_F(VerilogTest, RoundTripPreservesStructure) {
+  const auto aig = datapath::make_adder_aig(AdderKind::kCarryLookahead, 8);
+  const auto nl = synth::map_to_netlist(aig, lib_, synth::MapOptions{}, "cla8");
+  const auto back = netlist::read_verilog(netlist::to_verilog(nl), lib_);
+  EXPECT_TRUE(netlist::verify(back).ok());
+  EXPECT_EQ(back.num_instances(), nl.num_instances());
+  EXPECT_EQ(back.num_ports(), nl.num_ports());
+
+  const auto s1 = netlist::collect_stats(nl);
+  const auto s2 = netlist::collect_stats(back);
+  EXPECT_EQ(s1.cells_by_func, s2.cells_by_func);
+  EXPECT_EQ(s1.logic_depth, s2.logic_depth);
+}
+
+TEST_F(VerilogTest, RoundTripPreservesFunction) {
+  const auto aig = datapath::make_adder_aig(AdderKind::kKoggeStone, 8);
+  const auto nl = synth::map_to_netlist(aig, lib_, synth::MapOptions{}, "ks8");
+  const auto back = netlist::read_verilog(netlist::to_verilog(nl), lib_);
+  Rng rng(0x7E57);
+  for (int round = 0; round < 16; ++round) {
+    std::vector<std::uint64_t> pi(17);
+    for (auto& v : pi) v = rng.next_u64();
+    EXPECT_EQ(netlist::simulate(nl, pi), netlist::simulate(back, pi));
+  }
+}
+
+TEST_F(VerilogTest, SequentialRoundTrip) {
+  const auto aig = datapath::make_adder_aig(AdderKind::kRipple, 4);
+  auto comb = synth::map_to_netlist(aig, lib_, synth::MapOptions{}, "p");
+  pipeline::PipelineOptions popt;
+  popt.stages = 2;
+  const auto nl = pipeline::pipeline_insert(comb, popt).nl;
+  const auto back = netlist::read_verilog(netlist::to_verilog(nl), lib_);
+  EXPECT_EQ(back.num_sequential(), nl.num_sequential());
+  EXPECT_TRUE(netlist::verify(back).ok());
+}
+
+TEST_F(VerilogTest, SanitizesAwkwardNames) {
+  netlist::Netlist nl("my-block.v2", &lib_);
+  const PortId a = nl.add_input("in[0]");
+  const NetId out = nl.add_net("out!net");
+  nl.add_instance("g$1", *lib_.smallest(Func::kInv, Family::kStatic),
+                  {nl.port(a).net}, out);
+  nl.add_output("y[0]", out);
+  const std::string v = netlist::to_verilog(nl);
+  EXPECT_EQ(v.find('['), std::string::npos);
+  EXPECT_EQ(v.find('$'), std::string::npos);
+  // Still parseable.
+  const auto back = netlist::read_verilog(v, lib_);
+  EXPECT_EQ(back.num_instances(), 1u);
+}
+
+TEST_F(VerilogTest, DuplicateNamesAreUniquified) {
+  netlist::Netlist nl("dup", &lib_);
+  const PortId a = nl.add_input("a");
+  const CellId inv = *lib_.smallest(Func::kInv, Family::kStatic);
+  // Two internal nets that sanitize to the same identifier.
+  const NetId n1 = nl.add_net("n.1");
+  const NetId n2 = nl.add_net("n_1");
+  nl.add_instance("u", inv, {nl.port(a).net}, n1);
+  nl.add_instance("u", inv, {n1}, n2);  // duplicate instance name too
+  nl.add_output("y", n2);
+  const auto back = netlist::read_verilog(netlist::to_verilog(nl), lib_);
+  EXPECT_EQ(back.num_instances(), 2u);
+  EXPECT_TRUE(netlist::verify(back).ok());
+}
+
+class LibertyTest : public ::testing::Test {};
+
+TEST_F(LibertyTest, FunctionStringsCoverAllFuncs) {
+  for (int i = 0; i < library::kNumFuncs; ++i)
+    EXPECT_FALSE(library::liberty_function(static_cast<Func>(i)).empty());
+}
+
+TEST_F(LibertyTest, RoundTripRichLibrary) {
+  CellLibrary lib = library::make_rich_asic_library(tech::asic_025um());
+  library::add_domino_cells(lib);
+  const CellLibrary back = library::read_liberty(library::to_liberty(lib));
+
+  ASSERT_EQ(back.size(), lib.size());
+  EXPECT_EQ(back.name(), lib.name());
+  EXPECT_EQ(back.continuous_sizing, lib.continuous_sizing);
+  EXPECT_EQ(back.clock_phases, lib.clock_phases);
+  EXPECT_NEAR(back.technology().leff_um, lib.technology().leff_um, 1e-9);
+
+  for (std::uint32_t i = 0; i < lib.size(); ++i) {
+    const library::Cell& a = lib.cell(CellId{i});
+    const auto id = back.find(a.name);
+    ASSERT_TRUE(id.has_value()) << a.name;
+    const library::Cell& b = back.cell(*id);
+    EXPECT_EQ(b.func, a.func);
+    EXPECT_EQ(b.family, a.family);
+    EXPECT_NEAR(b.drive, a.drive, 1e-6);
+    EXPECT_NEAR(b.logical_effort, a.logical_effort, 1e-6);
+    EXPECT_NEAR(b.parasitic, a.parasitic, 1e-6);
+    EXPECT_NEAR(b.setup_tau, a.setup_tau, 1e-6);
+    EXPECT_NEAR(b.clk_to_q_tau, a.clk_to_q_tau, 1e-6);
+  }
+}
+
+TEST_F(LibertyTest, RoundTripCustomLibraryCapabilities) {
+  const CellLibrary lib = library::make_custom_library(tech::asic_025um());
+  const CellLibrary back = library::read_liberty(library::to_liberty(lib));
+  EXPECT_TRUE(back.continuous_sizing);
+  EXPECT_EQ(back.clock_phases, 4);
+  EXPECT_FALSE(back.guard_banded_sequentials);
+}
+
+TEST_F(LibertyTest, ReparsedLibraryDrivesTheFlow) {
+  // A library that survived serialization must still map designs.
+  const CellLibrary lib = library::make_rich_asic_library(tech::asic_025um());
+  const CellLibrary back = library::read_liberty(library::to_liberty(lib));
+  const auto aig = datapath::make_adder_aig(AdderKind::kRipple, 8);
+  const auto nl = synth::map_to_netlist(aig, back, synth::MapOptions{}, "t");
+  EXPECT_TRUE(netlist::verify(nl).ok());
+  EXPECT_GT(nl.num_instances(), 0u);
+}
+
+}  // namespace
+}  // namespace gap

@@ -1,0 +1,93 @@
+#include <gtest/gtest.h>
+
+#include "datapath/adders.hpp"
+#include "library/builders.hpp"
+#include "pipeline/pipeline.hpp"
+#include "sta/borrowing.hpp"
+#include "synth/mapper.hpp"
+#include "tech/technology.hpp"
+
+namespace gap::sta {
+namespace {
+
+using datapath::AdderKind;
+
+class LatchPipelineTest : public ::testing::Test {
+ protected:
+  LatchPipelineTest()
+      : lib_(library::make_rich_asic_library(tech::asic_025um())) {}
+
+  netlist::Netlist pipelined(int stages, bool balanced) {
+    const auto aig = datapath::make_adder_aig(AdderKind::kRipple, 16);
+    auto comb = synth::map_to_netlist(aig, lib_, synth::MapOptions{}, "d");
+    pipeline::PipelineOptions opt;
+    opt.stages = stages;
+    opt.balanced = balanced;
+    return pipeline::pipeline_insert(comb, opt).nl;
+  }
+
+  LatchPipelineOptions default_options() {
+    const tech::Technology& t = lib_.technology();
+    LatchPipelineOptions opt;
+    opt.flop.overhead_tau =
+        t.fo4_to_tau(library::custom_dff_timing().setup_fo4 +
+                     library::custom_dff_timing().clk_to_q_fo4);
+    opt.flop.skew_fraction = 0.05;
+    opt.latch.d_to_q_tau =
+        t.fo4_to_tau(library::custom_latch_timing().clk_to_q_fo4);
+    opt.latch.setup_tau =
+        t.fo4_to_tau(library::custom_latch_timing().setup_fo4);
+    opt.latch.skew_fraction = 0.05;
+    return opt;
+  }
+
+  library::CellLibrary lib_;
+};
+
+TEST_F(LatchPipelineTest, ExtractsRankStructure) {
+  auto nl = pipelined(4, true);
+  const auto r = analyze_latch_pipeline(nl, default_options());
+  EXPECT_EQ(r.ranks, 5);  // input regs + 3 internal + output regs
+  EXPECT_GE(r.stage_delays_tau.size(), 4u);
+  for (double d : r.stage_delays_tau) EXPECT_GE(d, 0.0);
+}
+
+TEST_F(LatchPipelineTest, BorrowingBeatsFlopsOnUnbalancedCuts) {
+  auto nl = pipelined(4, /*balanced=*/false);
+  const auto r = analyze_latch_pipeline(nl, default_options());
+  EXPECT_LT(r.latch_period_tau, r.flop_period_tau);
+  EXPECT_GT(r.borrowing_gain(), 1.05);
+}
+
+TEST_F(LatchPipelineTest, SmallGainOnBalancedCuts) {
+  auto nl = pipelined(4, /*balanced=*/true);
+  const auto r = analyze_latch_pipeline(nl, default_options());
+  EXPECT_LE(r.latch_period_tau, r.flop_period_tau + 1e-9);
+  EXPECT_LT(r.borrowing_gain(), 1.35);
+}
+
+TEST_F(LatchPipelineTest, FlopPeriodMatchesWorstStage) {
+  auto nl = pipelined(3, true);
+  const auto opt = default_options();
+  const auto r = analyze_latch_pipeline(nl, opt);
+  double worst = 0.0;
+  for (double d : r.stage_delays_tau) worst = std::max(worst, d);
+  EXPECT_NEAR(r.flop_period_tau,
+              (worst + opt.flop.overhead_tau) / (1.0 - opt.flop.skew_fraction),
+              1e-9);
+}
+
+TEST_F(LatchPipelineTest, CornerScalesStageDelays) {
+  auto nl = pipelined(3, true);
+  auto opt = default_options();
+  const auto nominal = analyze_latch_pipeline(nl, opt);
+  opt.sta.corner_delay_factor = 1.5;
+  const auto slow = analyze_latch_pipeline(nl, opt);
+  ASSERT_EQ(nominal.stage_delays_tau.size(), slow.stage_delays_tau.size());
+  for (std::size_t i = 0; i < nominal.stage_delays_tau.size(); ++i)
+    EXPECT_NEAR(slow.stage_delays_tau[i], 1.5 * nominal.stage_delays_tau[i],
+                1e-6);
+}
+
+}  // namespace
+}  // namespace gap::sta

@@ -1,0 +1,126 @@
+#include <gtest/gtest.h>
+
+#include "common/rng.hpp"
+#include "core/migrate.hpp"
+#include "datapath/adders.hpp"
+#include "library/builders.hpp"
+#include "netlist/checks.hpp"
+#include "netlist/simulate.hpp"
+#include "sizing/tilos.hpp"
+#include "sta/sta.hpp"
+#include "synth/mapper.hpp"
+#include "tech/technology.hpp"
+
+namespace gap::core {
+namespace {
+
+using datapath::AdderKind;
+
+class MigrateTest : public ::testing::Test {
+ protected:
+  MigrateTest()
+      : lib25_(library::make_rich_asic_library(tech::asic_025um())),
+        lib35_(library::make_rich_asic_library(tech::asic_035um())),
+        lib18_(library::make_rich_asic_library(tech::ibm_018um())) {}
+
+  netlist::Netlist mapped(const library::CellLibrary& lib) {
+    const auto aig = datapath::make_adder_aig(AdderKind::kCarryLookahead, 16);
+    auto nl = synth::map_to_netlist(aig, lib, synth::MapOptions{}, "d");
+    sizing::initial_drive_assignment(nl);
+    return nl;
+  }
+
+  library::CellLibrary lib25_;
+  library::CellLibrary lib35_;
+  library::CellLibrary lib18_;
+};
+
+TEST_F(MigrateTest, PreservesStructureAndFunction) {
+  const auto src = mapped(lib35_);
+  const auto r = migrate(src, lib25_);
+  EXPECT_TRUE(netlist::verify(r.nl).ok());
+  EXPECT_EQ(r.nl.num_instances(), src.num_instances());
+  EXPECT_EQ(r.nl.num_ports(), src.num_ports());
+  EXPECT_EQ(r.exact_cells + r.resized_cells, src.num_instances());
+
+  Rng rng(0x316);
+  for (int round = 0; round < 8; ++round) {
+    std::vector<std::uint64_t> pi(33);
+    for (auto& v : pi) v = rng.next_u64();
+    EXPECT_EQ(netlist::simulate(src, pi), netlist::simulate(r.nl, pi));
+  }
+}
+
+TEST_F(MigrateTest, SameDriveLadderMigratesExactly) {
+  // Both rich libraries share the drive ladder: every cell maps exactly.
+  const auto src = mapped(lib35_);
+  const auto r = migrate(src, lib25_);
+  EXPECT_EQ(r.exact_cells, src.num_instances());
+  EXPECT_EQ(r.resized_cells, 0u);
+}
+
+TEST_F(MigrateTest, GenerationScalingShowsUpInTiming) {
+  // Section 2: one generation is worth about 1.5x. The same netlist
+  // retargeted 0.35 -> 0.25 -> 0.18 um speeds up by the FO4 ratios.
+  const auto src = mapped(lib35_);
+  sta::StaOptions opt;
+  const double t35 = sta::analyze(src, opt).min_period_ps;
+  const auto to25 = migrate(src, lib25_);
+  const double t25 = sta::analyze(to25.nl, opt).min_period_ps;
+  const auto to18 = migrate(src, lib18_);
+  const double t18 = sta::analyze(to18.nl, opt).min_period_ps;
+
+  EXPECT_NEAR(t35 / t25, tech::asic_035um().fo4_ps() /
+                             tech::asic_025um().fo4_ps(),
+              0.01);
+  EXPECT_NEAR(t25 / t18, tech::asic_025um().fo4_ps() /
+                             tech::ibm_018um().fo4_ps(),
+              0.01);
+  EXPECT_GT(t35 / t25, 1.4);  // ~x1.5 per generation
+  EXPECT_GT(t25 / t18, 1.4);
+}
+
+TEST_F(MigrateTest, DominoFallsBackWhenAbsent) {
+  library::CellLibrary with_domino =
+      library::make_rich_asic_library(tech::asic_025um());
+  library::add_domino_cells(with_domino);
+  const auto aig = datapath::make_adder_aig(AdderKind::kRipple, 8);
+  synth::MapOptions mopt;
+  mopt.family = library::Family::kDomino;
+  auto src = synth::map_to_netlist(aig, with_domino, mopt, "d");
+
+  // Target has no domino family: cells re-family to static.
+  const auto r = migrate(src, lib18_);
+  EXPECT_GT(r.refamilied, 0u);
+  EXPECT_TRUE(netlist::verify(r.nl).ok());
+  for (InstanceId id : r.nl.all_instances())
+    EXPECT_EQ(r.nl.cell_of(id).family, library::Family::kStatic);
+}
+
+TEST_F(MigrateTest, ContinuousDrivesSnapToTargetLadder) {
+  auto src = mapped(lib25_);
+  // Give instances continuous overrides off the ladder.
+  Rng rng(0x5EED);
+  for (InstanceId id : src.all_instances())
+    src.instance(id).drive_override = rng.uniform(1.0, 30.0);
+  const auto r = migrate(src, lib18_);
+  EXPECT_GT(r.resized_cells, 0u);
+  // No overrides survive; drives are library cells of the target.
+  for (InstanceId id : r.nl.all_instances())
+    EXPECT_DOUBLE_EQ(r.nl.instance(id).drive_override, 0.0);
+}
+
+TEST_F(MigrateTest, ExternalLoadsCarryOver) {
+  const auto aig = datapath::make_adder_aig(AdderKind::kRipple, 4);
+  auto src = synth::map_to_netlist(aig, lib25_, synth::MapOptions{}, "d");
+  for (PortId p : src.all_ports())
+    if (!src.port(p).is_input) src.net(src.port(p).net).extra_cap_units = 7.5;
+  const auto r = migrate(src, lib18_);
+  for (PortId p : r.nl.all_ports())
+    if (!r.nl.port(p).is_input) {
+      EXPECT_DOUBLE_EQ(r.nl.net(r.nl.port(p).net).extra_cap_units, 7.5);
+    }
+}
+
+}  // namespace
+}  // namespace gap::core

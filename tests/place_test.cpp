@@ -1,0 +1,126 @@
+#include <gtest/gtest.h>
+
+#include "datapath/adders.hpp"
+#include "library/builders.hpp"
+#include "place/place.hpp"
+#include "synth/mapper.hpp"
+#include "tech/technology.hpp"
+
+namespace gap::place {
+namespace {
+
+netlist::Netlist mapped_adder(const library::CellLibrary& lib, int width) {
+  const auto aig = datapath::make_adder_aig(datapath::AdderKind::kRipple, width);
+  return synth::map_to_netlist(aig, lib, synth::MapOptions{}, "add");
+}
+
+class PlaceTest : public ::testing::Test {
+ protected:
+  PlaceTest() : lib_(library::make_rich_asic_library(tech::asic_025um())) {}
+  library::CellLibrary lib_;
+};
+
+TEST_F(PlaceTest, AllInstancesInsideDie) {
+  auto nl = mapped_adder(lib_, 16);
+  PlaceOptions opt;
+  opt.sa_moves = 2000;
+  const PlaceResult r = place(nl, opt);
+  for (InstanceId id : nl.all_instances()) {
+    const netlist::Instance& i = nl.instance(id);
+    EXPECT_GE(i.x_um, 0.0);
+    EXPECT_LE(i.x_um, r.die_w_um);
+    EXPECT_GE(i.y_um, 0.0);
+    EXPECT_LE(i.y_um, r.die_h_um);
+  }
+}
+
+TEST_F(PlaceTest, CarefulBeatsScattered) {
+  auto nl1 = mapped_adder(lib_, 32);
+  auto nl2 = mapped_adder(lib_, 32);
+  PlaceOptions careful;
+  careful.mode = PlacementMode::kCareful;
+  careful.sa_moves = 10000;
+  PlaceOptions scattered;
+  scattered.mode = PlacementMode::kScattered;
+  const PlaceResult rc = place(nl1, careful);
+  const PlaceResult rs = place(nl2, scattered);
+  EXPECT_LT(rc.total_hpwl_um, rs.total_hpwl_um * 0.5);
+}
+
+TEST_F(PlaceTest, SaImprovesOverInitial) {
+  auto nl = mapped_adder(lib_, 32);
+  PlaceOptions opt;
+  opt.sa_moves = 20000;
+  const PlaceResult r = place(nl, opt);
+  EXPECT_LE(r.total_hpwl_um, r.initial_hpwl_um * 1.001);
+}
+
+TEST_F(PlaceTest, NetLengthsAnnotated) {
+  auto nl = mapped_adder(lib_, 8);
+  place(nl, PlaceOptions{});
+  std::size_t with_length = 0;
+  for (NetId n : nl.all_nets())
+    if (nl.net(n).length_um > 0.0) ++with_length;
+  EXPECT_GT(with_length, nl.num_nets() / 4);
+}
+
+TEST_F(PlaceTest, ScatteredDieOverride) {
+  auto nl = mapped_adder(lib_, 8);
+  PlaceOptions opt;
+  opt.mode = PlacementMode::kScattered;
+  opt.scatter_die_mm = 10.0;  // the paper's 100 mm^2 chip
+  const PlaceResult r = place(nl, opt);
+  EXPECT_DOUBLE_EQ(r.die_w_um, 10000.0);
+  EXPECT_DOUBLE_EQ(r.die_h_um, 10000.0);
+}
+
+TEST_F(PlaceTest, ScatterSpreadScalesDie) {
+  auto nl1 = mapped_adder(lib_, 8);
+  auto nl2 = mapped_adder(lib_, 8);
+  PlaceOptions careful;
+  const PlaceResult rc = place(nl1, careful);
+  PlaceOptions scattered;
+  scattered.mode = PlacementMode::kScattered;
+  scattered.scatter_spread = 2.0;
+  const PlaceResult rs = place(nl2, scattered);
+  EXPECT_NEAR(rs.die_w_um, 2.0 * rc.die_w_um, 1e-6);
+}
+
+TEST_F(PlaceTest, RegionsConfineModules) {
+  auto nl = mapped_adder(lib_, 8);
+  // Assign all instances to module 0, confined to a corner box.
+  for (InstanceId id : nl.all_instances()) nl.instance(id).module = ModuleId{0};
+  PlaceOptions opt;
+  opt.sa_moves = 500;
+  floorplan::PlacedModule box{100.0, 200.0, 50.0, 50.0};
+  opt.regions.emplace(ModuleId{0}, box);
+  place(nl, opt);
+  for (InstanceId id : nl.all_instances()) {
+    const netlist::Instance& i = nl.instance(id);
+    EXPECT_GE(i.x_um, box.x_um);
+    EXPECT_LE(i.x_um, box.x_um + box.w_um);
+    EXPECT_GE(i.y_um, box.y_um);
+    EXPECT_LE(i.y_um, box.y_um + box.h_um);
+  }
+}
+
+TEST_F(PlaceTest, HpwlManual) {
+  netlist::Netlist nl("t", &lib_);
+  const PortId a = nl.add_input("a");
+  const NetId mid = nl.add_net("mid");
+  const CellId inv = *lib_.smallest(library::Func::kInv, library::Family::kStatic);
+  const InstanceId u1 = nl.add_instance("u1", inv, {nl.port(a).net}, mid);
+  const NetId out = nl.add_net("out");
+  const InstanceId u2 = nl.add_instance("u2", inv, {mid}, out);
+  nl.add_output("y", out);
+  nl.instance(u1).x_um = 10.0;
+  nl.instance(u1).y_um = 20.0;
+  nl.instance(u2).x_um = 110.0;
+  nl.instance(u2).y_um = 50.0;
+  annotate_net_lengths(nl);
+  EXPECT_DOUBLE_EQ(nl.net(mid).length_um, 100.0 + 30.0);
+  EXPECT_DOUBLE_EQ(total_hpwl(nl), 130.0);
+}
+
+}  // namespace
+}  // namespace gap::place

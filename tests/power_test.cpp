@@ -1,0 +1,131 @@
+#include <gtest/gtest.h>
+
+#include "datapath/adders.hpp"
+#include "library/builders.hpp"
+#include "power/power.hpp"
+#include "synth/mapper.hpp"
+#include "tech/technology.hpp"
+
+namespace gap::power {
+namespace {
+
+using datapath::AdderKind;
+using library::Family;
+using library::Func;
+
+class PowerTest : public ::testing::Test {
+ protected:
+  PowerTest() : lib_(library::make_rich_asic_library(tech::asic_025um())) {
+    library::add_domino_cells(lib_);
+  }
+
+  netlist::Netlist mapped(AdderKind kind, int width,
+                          Family fam = Family::kStatic) {
+    const auto aig = datapath::make_adder_aig(kind, width);
+    synth::MapOptions opt;
+    opt.family = fam;
+    return synth::map_to_netlist(aig, lib_, opt, "d");
+  }
+
+  library::CellLibrary lib_;
+};
+
+TEST_F(PowerTest, ActivityInUnitRange) {
+  auto nl = mapped(AdderKind::kRipple, 16);
+  const auto act = estimate_activity(nl, ActivityOptions{});
+  for (double a : act) {
+    EXPECT_GE(a, 0.0);
+    EXPECT_LE(a, 1.0);
+  }
+}
+
+TEST_F(PowerTest, InputToggleControlsActivity) {
+  auto nl = mapped(AdderKind::kRipple, 16);
+  ActivityOptions quiet;
+  quiet.input_toggle = 0.05;
+  ActivityOptions busy;
+  busy.input_toggle = 0.5;
+  const auto aq = estimate_activity(nl, quiet);
+  const auto ab = estimate_activity(nl, busy);
+  double sq = 0.0, sb = 0.0;
+  for (double a : aq) sq += a;
+  for (double a : ab) sb += a;
+  EXPECT_LT(sq, sb * 0.5);
+}
+
+TEST_F(PowerTest, ActivityDeterministic) {
+  auto nl = mapped(AdderKind::kRipple, 8);
+  const auto a = estimate_activity(nl, ActivityOptions{});
+  const auto b = estimate_activity(nl, ActivityOptions{});
+  EXPECT_EQ(a, b);
+}
+
+TEST_F(PowerTest, PowerScalesWithFrequency) {
+  auto nl = mapped(AdderKind::kCarryLookahead, 16);
+  PowerOptions p100;
+  p100.freq_mhz = 100.0;
+  PowerOptions p200;
+  p200.freq_mhz = 200.0;
+  const auto r100 = estimate_power(nl, p100);
+  const auto r200 = estimate_power(nl, p200);
+  // Dynamic parts double; leakage does not.
+  EXPECT_NEAR(r200.dynamic_mw, 2.0 * r100.dynamic_mw, 1e-9);
+  EXPECT_DOUBLE_EQ(r200.leakage_mw, r100.leakage_mw);
+  EXPECT_GT(r200.total_mw(), r100.total_mw());
+}
+
+TEST_F(PowerTest, BiggerDesignMorePower) {
+  auto small = mapped(AdderKind::kRipple, 8);
+  auto big = mapped(AdderKind::kRipple, 32);
+  PowerOptions opt;
+  EXPECT_GT(estimate_power(big, opt).total_mw(),
+            2.0 * estimate_power(small, opt).total_mw());
+}
+
+TEST_F(PowerTest, DominoBurnsMoreThanStatic) {
+  // Section 7: "dynamic logic has higher power consumption" — the clock
+  // load and precharge activity dominate.
+  auto stat = mapped(AdderKind::kCarryLookahead, 16, Family::kStatic);
+  auto dom = mapped(AdderKind::kCarryLookahead, 16, Family::kDomino);
+  PowerOptions opt;
+  const auto rs = estimate_power(stat, opt);
+  const auto rd = estimate_power(dom, opt);
+  EXPECT_GT(rd.total_mw(), rs.total_mw() * 1.2);
+  EXPECT_GT(rd.clock_mw + rd.precharge_mw, 0.0);
+  EXPECT_DOUBLE_EQ(rs.precharge_mw, 0.0);
+}
+
+TEST_F(PowerTest, SequentialCellsDrawClockPower) {
+  // A registered design has clock power even with quiet data.
+  netlist::Netlist nl("regs", &lib_);
+  const PortId d = nl.add_input("d");
+  const CellId dff = *lib_.smallest(Func::kDff, Family::kStatic);
+  NetId prev = nl.port(d).net;
+  for (int i = 0; i < 8; ++i) {
+    const NetId q = nl.add_net("q" + std::to_string(i));
+    nl.add_instance("f" + std::to_string(i), dff, {prev}, q);
+    prev = q;
+  }
+  nl.add_output("q", prev);
+  PowerOptions opt;
+  opt.activity.input_toggle = 0.0;  // static data
+  const auto r = estimate_power(nl, opt);
+  EXPECT_GT(r.clock_mw, 0.0);
+  EXPECT_NEAR(r.dynamic_mw, 0.0, 1e-6);
+}
+
+TEST_F(PowerTest, VddSquaredDependence) {
+  auto nl = mapped(AdderKind::kRipple, 8);
+  // Same netlist, different technologies (2.5 V vs 1.8 V).
+  const auto lib18 = library::make_rich_asic_library(tech::ibm_018um());
+  const auto aig = datapath::make_adder_aig(AdderKind::kRipple, 8);
+  auto nl18 = synth::map_to_netlist(aig, lib18, synth::MapOptions{}, "d");
+  PowerOptions opt;
+  const double p25 = estimate_power(nl, opt).dynamic_mw;
+  const double p18 = estimate_power(nl18, opt).dynamic_mw;
+  // 1.8 V + smaller caps: markedly lower dynamic power.
+  EXPECT_LT(p18, p25 * 0.75);
+}
+
+}  // namespace
+}  // namespace gap::power

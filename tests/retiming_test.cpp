@@ -1,0 +1,161 @@
+#include <gtest/gtest.h>
+
+#include "common/rng.hpp"
+#include "datapath/adders.hpp"
+#include "library/builders.hpp"
+#include "netlist/checks.hpp"
+#include "netlist/simulate.hpp"
+#include "pipeline/pipeline.hpp"
+#include "pipeline/retiming.hpp"
+#include "synth/mapper.hpp"
+#include "tech/technology.hpp"
+
+namespace gap::pipeline {
+namespace {
+
+using datapath::AdderKind;
+using library::Family;
+using library::Func;
+
+class RetimingTest : public ::testing::Test {
+ protected:
+  RetimingTest() : lib_(library::make_rich_asic_library(tech::asic_025um())) {}
+
+  netlist::Netlist mapped(AdderKind kind, int width) {
+    const auto aig = datapath::make_adder_aig(kind, width);
+    return synth::map_to_netlist(aig, lib_, synth::MapOptions{}, "d");
+  }
+
+  /// Pipeline with deliberately bad (naive) stage cuts.
+  netlist::Netlist badly_pipelined(AdderKind kind, int width, int stages) {
+    auto comb = mapped(kind, width);
+    PipelineOptions opt;
+    opt.stages = stages;
+    opt.balanced = false;
+    return pipeline_insert(comb, opt).nl;
+  }
+
+  void expect_equivalent(const netlist::Netlist& a, const netlist::Netlist& b,
+                         std::size_t n_in) {
+    Rng rng(0x2E7);
+    for (int round = 0; round < 12; ++round) {
+      std::vector<std::uint64_t> pi(n_in);
+      for (auto& v : pi) v = rng.next_u64();
+      EXPECT_EQ(netlist::simulate(a, pi), netlist::simulate(b, pi));
+    }
+  }
+
+  library::CellLibrary lib_;
+};
+
+TEST_F(RetimingTest, ImprovesUnbalancedPipeline) {
+  auto nl = badly_pipelined(AdderKind::kRipple, 16, 4);
+  const RetimingResult r = retime_min_period(nl);
+  EXPECT_LE(r.final_period_tau, r.initial_period_tau);
+  EXPECT_TRUE(netlist::verify(r.nl).ok());
+}
+
+TEST_F(RetimingTest, PreservesFunction) {
+  auto nl = badly_pipelined(AdderKind::kCarryLookahead, 8, 3);
+  const RetimingResult r = retime_min_period(nl);
+  expect_equivalent(nl, r.nl, 17);
+}
+
+TEST_F(RetimingTest, PreservesLatency) {
+  // Every PI->PO path must cross the same number of registers before and
+  // after. With transparent-flop simulation, equality of function plus
+  // the per-path register audit below pins the latency.
+  auto nl = badly_pipelined(AdderKind::kRipple, 6, 3);
+  const RetimingResult r = retime_min_period(nl);
+
+  auto path_regs = [](const netlist::Netlist& n) {
+    // min/max flop count to each net from the PIs.
+    std::vector<int> lo(n.num_nets(), 1 << 20), hi(n.num_nets(), -1);
+    for (PortId p : n.all_ports())
+      if (n.port(p).is_input) {
+        lo[n.port(p).net.index()] = 0;
+        hi[n.port(p).net.index()] = 0;
+      }
+    bool changed = true;
+    while (changed) {
+      changed = false;
+      for (InstanceId id : n.all_instances()) {
+        const netlist::Instance& inst = n.instance(id);
+        int l = 1 << 20, h = -1;
+        for (NetId in : inst.inputs) {
+          l = std::min(l, lo[in.index()]);
+          h = std::max(h, hi[in.index()]);
+        }
+        if (h < 0) continue;
+        const int bump = n.is_sequential(id) ? 1 : 0;
+        const auto out = inst.output.index();
+        if (l + bump < lo[out] || h + bump > hi[out]) {
+          lo[out] = std::min(lo[out], l + bump);
+          hi[out] = std::max(hi[out], h + bump);
+          changed = true;
+        }
+      }
+    }
+    std::vector<std::pair<int, int>> result;
+    for (PortId p : n.all_ports())
+      if (!n.port(p).is_input)
+        result.emplace_back(lo[n.port(p).net.index()],
+                            hi[n.port(p).net.index()]);
+    return result;
+  };
+
+  const auto before = path_regs(nl);
+  const auto after = path_regs(r.nl);
+  ASSERT_EQ(before.size(), after.size());
+  for (std::size_t i = 0; i < before.size(); ++i) {
+    // Uniform latency within each netlist and identical across them.
+    EXPECT_EQ(before[i].first, before[i].second);
+    EXPECT_EQ(after[i].first, after[i].second);
+    EXPECT_EQ(before[i].first, after[i].first);
+  }
+}
+
+TEST_F(RetimingTest, ApproachesBalancedQuality) {
+  // Retiming a naive cut should land near the balanced packing's period.
+  auto comb = mapped(AdderKind::kRipple, 24);
+  PipelineOptions naive;
+  naive.stages = 4;
+  naive.balanced = false;
+  PipelineOptions balanced = naive;
+  balanced.balanced = true;
+  auto nl_naive = pipeline_insert(comb, naive).nl;
+  const auto balanced_stage_delays =
+      pipeline_insert(comb, balanced).stage_delays_tau;
+  double balanced_worst = 0.0;
+  for (double d : balanced_stage_delays)
+    balanced_worst = std::max(balanced_worst, d);
+
+  const RetimingResult r = retime_min_period(nl_naive);
+  // The retimer's unit-effort period should be within ~40% of the
+  // balanced stage bound (different delay accounting, same ballpark).
+  EXPECT_LT(r.final_period_tau, balanced_worst * 1.4 + 10.0);
+  EXPECT_LT(r.final_period_tau, r.initial_period_tau);
+}
+
+TEST_F(RetimingTest, NoopOnBalancedPipeline) {
+  auto comb = mapped(AdderKind::kRipple, 16);
+  PipelineOptions opt;
+  opt.stages = 4;
+  opt.balanced = true;
+  auto nl = pipeline_insert(comb, opt).nl;
+  const RetimingResult r = retime_min_period(nl);
+  // Already balanced: only marginal gains available.
+  EXPECT_GE(r.final_period_tau, r.initial_period_tau * 0.75);
+  expect_equivalent(nl, r.nl, 33);
+}
+
+TEST_F(RetimingTest, RegisterCountStaysReasonable) {
+  auto nl = badly_pipelined(AdderKind::kRipple, 16, 4);
+  const RetimingResult r = retime_min_period(nl);
+  EXPECT_GT(r.registers_after, 0);
+  // Sharing keeps the register count within a small factor.
+  EXPECT_LT(r.registers_after, r.registers_before * 4);
+}
+
+}  // namespace
+}  // namespace gap::pipeline

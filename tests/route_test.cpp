@@ -1,0 +1,111 @@
+#include <gtest/gtest.h>
+
+#include "datapath/adders.hpp"
+#include "designs/registry.hpp"
+#include "library/builders.hpp"
+#include "place/place.hpp"
+#include "route/router.hpp"
+#include "sta/sta.hpp"
+#include "synth/mapper.hpp"
+#include "tech/technology.hpp"
+
+namespace gap::route {
+namespace {
+
+using datapath::AdderKind;
+using library::Family;
+using library::Func;
+
+class RouteTest : public ::testing::Test {
+ protected:
+  RouteTest() : lib_(library::make_rich_asic_library(tech::asic_025um())) {}
+
+  netlist::Netlist placed_design(const char* name) {
+    const auto aig =
+        designs::make_design(name, designs::DatapathStyle::kSynthesized);
+    auto nl = synth::map_to_netlist(aig, lib_, synth::MapOptions{}, "d");
+    place::PlaceOptions opt;
+    opt.sa_moves = 5000;
+    place::place(nl, opt);
+    return nl;
+  }
+
+  library::CellLibrary lib_;
+};
+
+TEST_F(RouteTest, RoutedLengthsBoundedBelowByHpwl) {
+  auto nl = placed_design("alu16");
+  const RouteResult r = route(nl, RouteOptions{});
+  EXPECT_GE(r.total_routed_um, r.total_hpwl_um * 0.999);
+  EXPECT_GT(r.total_routed_um, 0.0);
+  // Per-net annotations are written and never below zero.
+  for (NetId n : nl.all_nets()) EXPECT_GE(nl.net(n).length_um, 0.0);
+}
+
+TEST_F(RouteTest, TightCapacityCausesDetours) {
+  auto nl1 = placed_design("alu16");
+  auto nl2 = placed_design("alu16");
+  RouteOptions roomy;
+  roomy.capacity_per_edge = 64.0;
+  RouteOptions tight;
+  tight.capacity_per_edge = 2.0;
+  const RouteResult a = route(nl1, roomy);
+  const RouteResult b = route(nl2, tight);
+  // Scarce tracks force congestion-aware detours and higher utilization.
+  EXPECT_GE(b.detour_factor(), a.detour_factor());
+  EXPECT_GT(b.max_utilization, a.max_utilization);
+}
+
+TEST_F(RouteTest, CongestionAwarenessReducesOverflow) {
+  auto nl1 = placed_design("alu16");
+  auto nl2 = placed_design("alu16");
+  RouteOptions naive;
+  naive.capacity_per_edge = 3.0;
+  naive.congestion_aware = false;
+  naive.alpha = 0.0;  // cost-blind: always the first L shape
+  RouteOptions aware;
+  aware.capacity_per_edge = 3.0;
+  const RouteResult rn = route(nl1, naive);
+  const RouteResult ra = route(nl2, aware);
+  EXPECT_LE(ra.max_utilization, rn.max_utilization + 1e-9);
+}
+
+TEST_F(RouteTest, TwoPinNetExactManhattan) {
+  // A hand placement: driver and single sink 12 bins apart horizontally.
+  netlist::Netlist nl("t", &lib_);
+  const PortId a = nl.add_input("a");
+  const NetId mid = nl.add_net("mid");
+  const CellId inv = *lib_.smallest(Func::kInv, Family::kStatic);
+  const InstanceId u1 = nl.add_instance("u1", inv, {nl.port(a).net}, mid);
+  const NetId out = nl.add_net("out");
+  const InstanceId u2 = nl.add_instance("u2", inv, {mid}, out);
+  nl.add_output("y", out);
+  nl.instance(u1).x_um = 0.0;
+  nl.instance(u1).y_um = 0.0;
+  nl.instance(u2).x_um = 1200.0;
+  nl.instance(u2).y_um = 900.0;
+
+  RouteOptions opt;
+  opt.grid_bins = 12;
+  const RouteResult r = route(nl, opt);
+  // Uncongested: the route is an L, length close to Manhattan distance.
+  EXPECT_NEAR(nl.net(mid).length_um, 2100.0, 300.0);
+  EXPECT_EQ(r.detoured_nets, 0);
+}
+
+TEST_F(RouteTest, RoutedAnnotationFeedsTiming) {
+  auto nl = placed_design("alu16");
+  sta::StaOptions opt;
+  opt.optimal_repeaters = true;
+  place::annotate_net_lengths(nl);  // HPWL baseline
+  const double t_hpwl = sta::analyze(nl, opt).min_period_tau;
+  RouteOptions tight;
+  tight.capacity_per_edge = 1.0;  // force heavy detours
+  route(nl, tight);
+  const double t_routed = sta::analyze(nl, opt).min_period_tau;
+  // Routed lengths are >= HPWL, so timing can only degrade.
+  EXPECT_GE(t_routed, t_hpwl * 0.999);
+}
+
+}  // namespace
+}  // namespace gap::route

@@ -1,0 +1,112 @@
+#include <gtest/gtest.h>
+
+#include "common/rng.hpp"
+#include "datapath/adders.hpp"
+#include "dft/scan.hpp"
+#include "library/builders.hpp"
+#include "netlist/checks.hpp"
+#include "netlist/sequential_sim.hpp"
+#include "pipeline/pipeline.hpp"
+#include "sta/sta.hpp"
+#include "synth/mapper.hpp"
+#include "tech/technology.hpp"
+
+namespace gap::dft {
+namespace {
+
+using datapath::AdderKind;
+
+class ScanTest : public ::testing::Test {
+ protected:
+  ScanTest() : lib_(library::make_rich_asic_library(tech::asic_025um())) {}
+
+  netlist::Netlist pipelined_adder(int width, int stages) {
+    const auto aig = datapath::make_adder_aig(AdderKind::kRipple, width);
+    auto comb = synth::map_to_netlist(aig, lib_, synth::MapOptions{}, "a");
+    pipeline::PipelineOptions opt;
+    opt.stages = stages;
+    return pipeline::pipeline_insert(comb, opt).nl;
+  }
+
+  library::CellLibrary lib_;
+};
+
+TEST_F(ScanTest, ChainCoversEveryFlop) {
+  auto nl = pipelined_adder(8, 2);
+  const std::size_t flops = nl.num_sequential();
+  const ScanResult r = insert_scan(nl);
+  EXPECT_EQ(static_cast<std::size_t>(r.chain_length), flops);
+  EXPECT_EQ(r.muxes_added, r.chain_length);
+  EXPECT_TRUE(netlist::verify(nl).ok());
+}
+
+TEST_F(ScanTest, FunctionalModeUnchanged) {
+  auto plain = pipelined_adder(8, 2);
+  auto scanned = pipelined_adder(8, 2);
+  insert_scan(scanned);
+
+  netlist::SequentialSimulator sim_a(plain);
+  netlist::SequentialSimulator sim_b(scanned);
+  Rng rng(0x5CA9);
+  for (int k = 0; k < 16; ++k) {
+    std::vector<std::uint64_t> pi(17);
+    for (auto& v : pi) v = rng.next_u64();
+    const auto out_a = sim_a.step(pi);
+    // Scanned design has two extra inputs (scan_enable = 0, scan_in) and
+    // one extra output (scan_out) at the end.
+    std::vector<std::uint64_t> pi_b = pi;
+    pi_b.push_back(0);              // scan_enable off
+    pi_b.push_back(rng.next_u64()); // scan_in is don't-care
+    auto out_b = sim_b.step(pi_b);
+    out_b.pop_back();  // drop scan_out
+    EXPECT_EQ(out_a, out_b) << "cycle " << k;
+  }
+}
+
+TEST_F(ScanTest, ScanModeShiftsThroughTheChain) {
+  auto nl = pipelined_adder(4, 1);
+  const ScanResult r = insert_scan(nl);
+  netlist::SequentialSimulator sim(nl);
+
+  Rng rng(0x7777);
+  std::vector<std::uint64_t> shifted_in;
+  std::vector<std::uint64_t> shifted_out;
+  const int cycles = r.chain_length + 12;
+  for (int k = 0; k < cycles; ++k) {
+    std::vector<std::uint64_t> pi(9 + 2, 0);  // functional inputs zero
+    pi[9] = ~0ull;                            // scan_enable on
+    const std::uint64_t bit = rng.next_u64();
+    pi[10] = bit;                             // scan_in
+    shifted_in.push_back(bit);
+    const auto out = sim.step(pi);
+    shifted_out.push_back(out.back());        // scan_out
+  }
+  // After chain_length cycles, scan_out replays scan_in.
+  for (int k = r.chain_length; k < cycles; ++k)
+    EXPECT_EQ(shifted_out[static_cast<std::size_t>(k)],
+              shifted_in[static_cast<std::size_t>(k - r.chain_length)])
+        << k;
+}
+
+TEST_F(ScanTest, ScanCostsCycleTime) {
+  // The scan mux is the paper's "buffered flip-flop" overhead made
+  // explicit: one extra stage on every register-bound path.
+  auto plain = pipelined_adder(16, 4);
+  auto scanned = pipelined_adder(16, 4);
+  insert_scan(scanned);
+  sta::StaOptions opt;
+  const double t0 = sta::analyze(plain, opt).min_period_tau;
+  const double t1 = sta::analyze(scanned, opt).min_period_tau;
+  EXPECT_GT(t1, t0 * 1.05);
+  EXPECT_LT(t1, t0 * 1.8);
+}
+
+TEST_F(ScanTest, AreaCostVisible) {
+  auto nl = pipelined_adder(16, 4);
+  const double area0 = nl.total_area_um2();
+  insert_scan(nl);
+  EXPECT_GT(nl.total_area_um2(), area0 * 1.05);
+}
+
+}  // namespace
+}  // namespace gap::dft

@@ -1,0 +1,237 @@
+#include <gtest/gtest.h>
+
+#include "datapath/adders.hpp"
+#include "library/builders.hpp"
+#include "netlist/netlist.hpp"
+#include "sta/borrowing.hpp"
+#include "sta/sta.hpp"
+#include "synth/mapper.hpp"
+#include "tech/technology.hpp"
+
+namespace gap::sta {
+namespace {
+
+using library::CellLibrary;
+using library::Family;
+using library::Func;
+using netlist::Netlist;
+
+class StaTest : public ::testing::Test {
+ protected:
+  StaTest() : lib_(library::make_rich_asic_library(tech::asic_025um())) {}
+
+  CellId cell(Func f, double drive = 1.0) {
+    return *lib_.best_for_drive(f, Family::kStatic, drive);
+  }
+
+  /// N-stage inverter chain, each stage driving the next (plus PO load).
+  Netlist inv_chain(int n, double po_load = 1.0) {
+    Netlist nl("chain", &lib_);
+    const PortId a = nl.add_input("a", /*ext_drive=*/1000.0);
+    NetId prev = nl.port(a).net;
+    for (int i = 0; i < n; ++i) {
+      const NetId next = nl.add_net("n" + std::to_string(i));
+      nl.add_instance("u" + std::to_string(i), cell(Func::kInv), {prev}, next);
+      prev = next;
+    }
+    nl.add_output("y", prev, po_load);
+    return nl;
+  }
+
+  CellLibrary lib_;
+};
+
+TEST_F(StaTest, InverterChainAnalytic) {
+  // Each inverter (g=1, p=1, drive 1) drives the next inverter's input
+  // cap of 1 unit: delay = 1 + 1 = 2 tau per stage; last drives PO load 1.
+  Netlist nl = inv_chain(4, 1.0);
+  StaOptions opt;
+  opt.clock.skew_fraction = 0.0;
+  const TimingResult r = analyze(nl, opt);
+  // PI arrival is ~0 (huge external drive): path = 4 stages * 2 tau.
+  EXPECT_NEAR(r.worst_path_tau, 8.0, 0.01);
+  EXPECT_EQ(r.critical_path.size(), 4u);
+}
+
+TEST_F(StaTest, Fo4LoadGivesFiveTauStage) {
+  // One unit inverter driving 4 unit inverters: 1 + 4 = 5 tau = 1 FO4.
+  Netlist nl("fo4", &lib_);
+  const PortId a = nl.add_input("a", 1000.0);
+  const NetId mid = nl.add_net("mid");
+  nl.add_instance("drv", cell(Func::kInv), {nl.port(a).net}, mid);
+  for (int i = 0; i < 4; ++i) {
+    const NetId o = nl.add_net("o" + std::to_string(i));
+    nl.add_instance("ld" + std::to_string(i), cell(Func::kInv), {mid}, o);
+    nl.add_output("y" + std::to_string(i), o, 0.0);
+  }
+  StaOptions opt;
+  opt.clock.skew_fraction = 0.0;
+  const TimingResult r = analyze(nl, opt);
+  // First stage 5 tau (FO4), second stage 1 + 0 = 1 tau (no load).
+  EXPECT_NEAR(r.worst_path_tau, 6.0, 0.01);
+}
+
+TEST_F(StaTest, CornerScalesDelays) {
+  Netlist nl = inv_chain(5);
+  StaOptions typ;
+  typ.clock.skew_fraction = 0.0;
+  StaOptions slow = typ;
+  slow.corner_delay_factor = 1.65;
+  const double t0 = analyze(nl, typ).worst_path_tau;
+  const double t1 = analyze(nl, slow).worst_path_tau;
+  EXPECT_NEAR(t1 / t0, 1.65, 1e-6);
+}
+
+TEST_F(StaTest, SkewInflatesPeriod) {
+  Netlist nl = inv_chain(5);
+  StaOptions no_skew;
+  no_skew.clock.skew_fraction = 0.0;
+  StaOptions asic_skew;
+  asic_skew.clock.skew_fraction = 0.10;
+  const double t0 = analyze(nl, no_skew).min_period_tau;
+  const double t1 = analyze(nl, asic_skew).min_period_tau;
+  EXPECT_NEAR(t1, t0 / 0.9, 1e-9);
+}
+
+TEST_F(StaTest, RegisterToRegisterIncludesOverheads) {
+  // DFF -> inv -> DFF: period covers clkq + gate + setup.
+  Netlist nl("r2r", &lib_);
+  const PortId d = nl.add_input("d");
+  const NetId q1 = nl.add_net("q1");
+  nl.add_instance("f1", cell(Func::kDff), {nl.port(d).net}, q1);
+  const NetId n1 = nl.add_net("n1");
+  nl.add_instance("u1", cell(Func::kInv), {q1}, n1);
+  const NetId q2 = nl.add_net("q2");
+  nl.add_instance("f2", cell(Func::kDff), {n1}, q2);
+  nl.add_output("q", q2);
+
+  StaOptions opt;
+  opt.clock.skew_fraction = 0.0;
+  const TimingResult r = analyze(nl, opt);
+  const library::Cell& dff = lib_.cell(cell(Func::kDff));
+  // f1: clkq + p + load(inv cap = 1)/1; u1: p + load(dff D cap = 1)/1;
+  // endpoint adds setup.
+  const double expect = (dff.clk_to_q_tau + dff.parasitic + 1.0) +
+                        (1.0 + 1.0) + dff.setup_tau;
+  EXPECT_NEAR(r.worst_path_tau, expect, 1e-9);
+  // Critical path: f1 -> u1 (capture flop not a driver on the path).
+  ASSERT_EQ(r.critical_path.size(), 2u);
+  EXPECT_TRUE(nl.is_sequential(r.critical_path.front()));
+}
+
+TEST_F(StaTest, WireDelayAddsToPath) {
+  Netlist nl = inv_chain(3);
+  StaOptions opt;
+  opt.clock.skew_fraction = 0.0;
+  const double t0 = analyze(nl, opt).worst_path_tau;
+  // Add 2 mm of wire on an internal net.
+  for (NetId n : nl.all_nets())
+    if (nl.net(n).name == "n0") nl.net(n).length_um = 2000.0;
+  const double t1 = analyze(nl, opt).worst_path_tau;
+  EXPECT_GT(t1, t0 + 1.0);
+
+  // Optimal repeaters shorten long-wire delay.
+  StaOptions rep = opt;
+  rep.optimal_repeaters = true;
+  const double t2 = analyze(nl, rep).worst_path_tau;
+  EXPECT_LT(t2, t1);
+  EXPECT_GT(t2, t0);
+}
+
+TEST_F(StaTest, HigherDriveFasterUnderLoad) {
+  // Same chain but repower middle gate: delay should drop under load.
+  Netlist nl("drv", &lib_);
+  const PortId a = nl.add_input("a", 1000.0);
+  const NetId mid = nl.add_net("mid");
+  nl.add_instance("u1", cell(Func::kInv), {nl.port(a).net}, mid);
+  nl.add_output("y", mid, /*load_units=*/16.0);
+  StaOptions opt;
+  opt.clock.skew_fraction = 0.0;
+  const double t_small = analyze(nl, opt).worst_path_tau;
+  for (InstanceId id : nl.all_instances())
+    nl.replace_cell(id, cell(Func::kInv, 8.0));
+  const double t_big = analyze(nl, opt).worst_path_tau;
+  EXPECT_LT(t_big, t_small / 2.0);
+}
+
+TEST_F(StaTest, SlacksNonNegativeAtMinPeriod) {
+  const auto aig = datapath::make_adder_aig(datapath::AdderKind::kRipple, 8);
+  auto nl = synth::map_to_netlist(aig, lib_, synth::MapOptions{}, "add");
+  StaOptions opt;
+  const TimingResult r = analyze(nl, opt);
+  const auto slacks = net_slacks(nl, opt, r.min_period_tau);
+  double min_slack = 1e9;
+  for (double s : slacks) min_slack = std::min(min_slack, s);
+  EXPECT_GE(min_slack, -1e-6);
+  EXPECT_LE(min_slack, 0.02);  // critical net has (near) zero slack
+}
+
+TEST_F(StaTest, FrequencyConversion) {
+  Netlist nl = inv_chain(10);
+  const TimingResult r = analyze(nl, StaOptions{});
+  EXPECT_NEAR(r.frequency_mhz(), 1.0e6 / r.min_period_ps, 1e-9);
+  EXPECT_NEAR(r.min_period_fo4 * lib_.technology().fo4_ps(), r.min_period_ps,
+              1e-9);
+}
+
+TEST(Borrowing, FlopPeriodIsMaxStagePlusOverhead) {
+  FlopTimingModel m;
+  m.overhead_tau = 10.0;
+  m.skew_fraction = 0.0;
+  EXPECT_DOUBLE_EQ(flop_min_period({30.0, 50.0, 40.0}, m), 60.0);
+}
+
+TEST(Borrowing, FlopSkewDivides) {
+  FlopTimingModel m;
+  m.overhead_tau = 10.0;
+  m.skew_fraction = 0.10;
+  EXPECT_NEAR(flop_min_period({50.0}, m), 60.0 / 0.9, 1e-9);
+}
+
+TEST(Borrowing, BalancedStagesAmortizeSetup) {
+  // Balanced 3-stage pipeline: arrivals creep by (d + d2q) per stage but
+  // the boundary budget grows by T, so only the last stage's setup is
+  // fully paid: T* = (d + setup + (n-1)(d + d2q)) / n.
+  LatchTimingModel lm;
+  lm.d_to_q_tau = 4.0;
+  lm.setup_tau = 1.5;
+  lm.skew_fraction = 0.0;
+  const std::vector<double> stages = {50.0, 50.0, 50.0};
+  const double t_latch = latch_min_period(stages, lm);
+  const double analytic = (50.0 + 1.5 + 2.0 * 54.0) / 3.0;
+  EXPECT_NEAR(t_latch, analytic, 0.1);
+  // Bounded by the pure stage delay below and flop behaviour above.
+  EXPECT_GE(t_latch, 50.0);
+  EXPECT_LE(t_latch, 50.0 + lm.d_to_q_tau + lm.setup_tau);
+}
+
+TEST(Borrowing, UnbalancedStagesBorrow) {
+  LatchTimingModel lm;
+  lm.d_to_q_tau = 4.0;
+  lm.setup_tau = 1.5;
+  lm.skew_fraction = 0.0;
+  FlopTimingModel fm;
+  fm.overhead_tau = lm.d_to_q_tau + lm.setup_tau;
+  fm.skew_fraction = 0.0;
+  const std::vector<double> stages = {30.0, 70.0, 40.0, 60.0};
+  const double t_latch = latch_min_period(stages, lm);
+  const double t_flop = flop_min_period(stages, fm);
+  EXPECT_LT(t_latch, t_flop - 5.0);  // borrowing recovers imbalance
+  // But cannot beat the average-stage bound.
+  EXPECT_GE(t_latch, 50.0);
+}
+
+TEST(Borrowing, BorrowingBoundedByWindow) {
+  LatchTimingModel lm;
+  lm.d_to_q_tau = 0.0;
+  lm.setup_tau = 0.0;
+  lm.duty = 0.1;  // tiny transparency window limits borrowing
+  lm.skew_fraction = 0.0;
+  const std::vector<double> stages = {10.0, 90.0};
+  const double t = latch_min_period(stages, lm);
+  // With a 10% window, stage 2 can borrow at most 0.1 T.
+  EXPECT_GE(t, 90.0 / 1.1 - 1.0);
+}
+
+}  // namespace
+}  // namespace gap::sta

@@ -1,0 +1,102 @@
+#include <gtest/gtest.h>
+
+#include "common/rng.hpp"
+#include "datapath/adders.hpp"
+#include "library/builders.hpp"
+#include "netlist/simulate.hpp"
+#include "netlist/sweep.hpp"
+#include "synth/mapper.hpp"
+#include "tech/technology.hpp"
+
+namespace gap::netlist {
+namespace {
+
+using library::Family;
+using library::Func;
+
+class SweepTest : public ::testing::Test {
+ protected:
+  SweepTest() : lib_(library::make_rich_asic_library(tech::asic_025um())) {}
+
+  CellId cell(Func f) { return *lib_.smallest(f, Family::kStatic); }
+
+  library::CellLibrary lib_;
+};
+
+TEST_F(SweepTest, RemovesOrphanedCone) {
+  Netlist nl("t", &lib_);
+  const PortId a = nl.add_input("a");
+  const PortId b = nl.add_input("b");
+  const NetId live = nl.add_net("live");
+  nl.add_instance("keep", cell(Func::kInv), {nl.port(a).net}, live);
+  nl.add_output("y", live);
+  // Dead cone: two gates reading b, feeding nothing.
+  const NetId d1 = nl.add_net("d1");
+  nl.add_instance("dead1", cell(Func::kInv), {nl.port(b).net}, d1);
+  const NetId d2 = nl.add_net("d2");
+  nl.add_instance("dead2", cell(Func::kNand2), {d1, nl.port(b).net}, d2);
+
+  const SweepResult r = sweep_dead(nl);
+  EXPECT_EQ(r.removed_instances, 2u);
+  EXPECT_EQ(r.nl.num_instances(), 1u);
+  EXPECT_EQ(r.removed_nets, 2u);
+  // Ports survive, including the now-unused input b.
+  EXPECT_EQ(r.nl.num_ports(), nl.num_ports());
+}
+
+TEST_F(SweepTest, NoopOnFullyLiveNetlist) {
+  const auto aig = datapath::make_adder_aig(datapath::AdderKind::kRipple, 8);
+  const auto nl = synth::map_to_netlist(aig, lib_, synth::MapOptions{}, "d");
+  const SweepResult r = sweep_dead(nl);
+  EXPECT_EQ(r.removed_instances, 0u);
+  EXPECT_EQ(r.nl.num_instances(), nl.num_instances());
+}
+
+TEST_F(SweepTest, PreservesFunctionAndAnnotations) {
+  const auto aig = datapath::make_adder_aig(datapath::AdderKind::kRipple, 8);
+  auto nl = synth::map_to_netlist(aig, lib_, synth::MapOptions{}, "d");
+  // Annotate and orphan something.
+  for (InstanceId id : nl.all_instances()) {
+    nl.instance(id).x_um = 10.0 * static_cast<double>(id.value());
+    nl.instance(id).y_um = 3.0;
+  }
+  for (NetId n : nl.all_nets()) nl.net(n).length_um = 42.0;
+  const NetId dead = nl.add_net("dead");
+  nl.add_instance("deadgate", cell(Func::kInv),
+                  {nl.port(PortId{0}).net}, dead);
+
+  const SweepResult r = sweep_dead(nl);
+  EXPECT_EQ(r.removed_instances, 1u);
+
+  Rng rng(0x57EE9);
+  for (int round = 0; round < 8; ++round) {
+    std::vector<std::uint64_t> pi(17);
+    for (auto& v : pi) v = rng.next_u64();
+    EXPECT_EQ(simulate(nl, pi), simulate(r.nl, pi));
+  }
+  // Spot-check carried annotations.
+  bool found = false;
+  for (InstanceId id : r.nl.all_instances())
+    if (r.nl.instance(id).y_um == 3.0) found = true;
+  EXPECT_TRUE(found);
+  for (NetId n : r.nl.all_nets())
+    if (r.nl.net(n).driver.kind == NetDriver::Kind::kInstance) {
+      EXPECT_DOUBLE_EQ(r.nl.net(n).length_um, 42.0);
+    }
+}
+
+TEST_F(SweepTest, DeadRegistersRemoved) {
+  Netlist nl("t", &lib_);
+  const PortId a = nl.add_input("a");
+  const NetId q = nl.add_net("q");
+  nl.add_instance("deadreg", cell(Func::kDff), {nl.port(a).net}, q);
+  const NetId live = nl.add_net("live");
+  nl.add_instance("keep", cell(Func::kInv), {nl.port(a).net}, live);
+  nl.add_output("y", live);
+  const SweepResult r = sweep_dead(nl);
+  EXPECT_EQ(r.nl.num_sequential(), 0u);
+  EXPECT_EQ(r.removed_instances, 1u);
+}
+
+}  // namespace
+}  // namespace gap::netlist

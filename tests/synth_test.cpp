@@ -1,0 +1,207 @@
+#include <gtest/gtest.h>
+
+#include "common/rng.hpp"
+#include "datapath/adders.hpp"
+#include "datapath/multipliers.hpp"
+#include "library/builders.hpp"
+#include "netlist/checks.hpp"
+#include "netlist/simulate.hpp"
+#include "synth/mapper.hpp"
+#include "tech/technology.hpp"
+
+namespace gap::synth {
+namespace {
+
+using datapath::AdderKind;
+using library::CellLibrary;
+using library::Family;
+using library::Func;
+using logic::Aig;
+using logic::Lit;
+
+/// Checks AIG vs mapped-netlist functional equivalence on random patterns.
+void expect_equivalent(const Aig& aig, const netlist::Netlist& nl,
+                       int rounds = 16) {
+  Rng rng(0xE9);
+  for (int r = 0; r < rounds; ++r) {
+    std::vector<std::uint64_t> pi(aig.num_pis());
+    for (auto& v : pi) v = rng.next_u64();
+    EXPECT_EQ(aig.simulate(pi), netlist::simulate(nl, pi))
+        << "mismatch in round " << r;
+  }
+}
+
+Aig small_random_logic() {
+  Aig aig;
+  const Lit a = aig.create_pi("a");
+  const Lit b = aig.create_pi("b");
+  const Lit c = aig.create_pi("c");
+  const Lit d = aig.create_pi("d");
+  const Lit x = aig.create_and(a, !b);
+  const Lit y = aig.create_or(x, c);
+  const Lit z = aig.create_xor(y, d);
+  aig.add_po(z, "z");
+  aig.add_po(aig.create_mux(a, y, !c), "m");
+  aig.add_po(aig.create_maj(a, b, d), "mj");
+  return aig;
+}
+
+TEST(Mapper, SmallLogicRichLibrary) {
+  const CellLibrary lib = library::make_rich_asic_library(tech::asic_025um());
+  const Aig aig = small_random_logic();
+  const auto nl = map_to_netlist(aig, lib, MapOptions{}, "t");
+  EXPECT_TRUE(netlist::verify(nl).ok());
+  expect_equivalent(aig, nl);
+}
+
+TEST(Mapper, SmallLogicPoorLibrary) {
+  // The poor library lacks AND/OR/BUF/MUX/MAJ: the mapper must lower
+  // structural nodes and compose inverting gates.
+  const CellLibrary lib = library::make_poor_asic_library(tech::asic_025um());
+  const Aig aig = small_random_logic();
+  const auto nl = map_to_netlist(aig, lib, MapOptions{}, "t");
+  EXPECT_TRUE(netlist::verify(nl).ok());
+  expect_equivalent(aig, nl);
+}
+
+class MapAdder : public ::testing::TestWithParam<std::tuple<AdderKind, int>> {};
+
+TEST_P(MapAdder, EquivalentAfterMapping) {
+  const auto [kind, width] = GetParam();
+  const Aig aig = datapath::make_adder_aig(kind, width);
+  const CellLibrary rich = library::make_rich_asic_library(tech::asic_025um());
+  const CellLibrary poor = library::make_poor_asic_library(tech::asic_025um());
+  for (const CellLibrary* lib : {&rich, &poor}) {
+    const auto nl = map_to_netlist(aig, *lib, MapOptions{}, "add");
+    EXPECT_TRUE(netlist::verify(nl).ok()) << lib->name();
+    expect_equivalent(aig, nl, 8);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Kinds, MapAdder,
+    ::testing::Combine(::testing::Values(AdderKind::kRipple,
+                                         AdderKind::kCarryLookahead,
+                                         AdderKind::kCarrySelect,
+                                         AdderKind::kKoggeStone),
+                       ::testing::Values(8, 16)),
+    [](const auto& info) {
+      std::string n = datapath::adder_name(std::get<0>(info.param));
+      for (char& c : n) if (c == '-') c = '_';
+      return n + "_w" + std::to_string(std::get<1>(info.param));
+    });
+
+TEST(Mapper, MultiplierEquivalent) {
+  const Aig aig =
+      datapath::make_multiplier_aig(datapath::MultiplierKind::kWallace, 8);
+  const CellLibrary lib = library::make_rich_asic_library(tech::asic_025um());
+  const auto nl = map_to_netlist(aig, lib, MapOptions{}, "mul");
+  EXPECT_TRUE(netlist::verify(nl).ok());
+  expect_equivalent(aig, nl, 8);
+}
+
+TEST(Mapper, AreaModeSmallerThanDelayMode) {
+  const Aig aig = datapath::make_adder_aig(AdderKind::kCarryLookahead, 16);
+  const CellLibrary lib = library::make_rich_asic_library(tech::asic_025um());
+  MapOptions delay_opt;
+  delay_opt.objective = MapObjective::kDelay;
+  MapOptions area_opt;
+  area_opt.objective = MapObjective::kArea;
+  const auto nl_d = map_to_netlist(aig, lib, delay_opt, "d");
+  const auto nl_a = map_to_netlist(aig, lib, area_opt, "a");
+  expect_equivalent(aig, nl_a, 8);
+  // Area flow is a heuristic; allow a band around the delay-mode cover
+  // but catch gross regressions in either direction.
+  EXPECT_LE(nl_a.total_area_um2(), nl_d.total_area_um2() * 1.15);
+  EXPECT_GE(nl_a.total_area_um2(), nl_d.total_area_um2() * 0.3);
+}
+
+TEST(Mapper, DominoFamilyMapsAndIsEquivalent) {
+  CellLibrary lib = library::make_rich_asic_library(tech::asic_025um());
+  library::add_domino_cells(lib);
+  const Aig aig = datapath::make_adder_aig(AdderKind::kCarryLookahead, 8);
+  MapOptions opt;
+  opt.family = Family::kDomino;
+  const auto nl = map_to_netlist(aig, lib, opt, "dom");
+  EXPECT_TRUE(netlist::verify(nl).ok());
+  expect_equivalent(aig, nl, 8);
+  // The cover should actually use domino cells.
+  std::size_t domino_cells = 0;
+  for (InstanceId id : nl.all_instances())
+    if (nl.cell_of(id).family == Family::kDomino) ++domino_cells;
+  EXPECT_GT(domino_cells, nl.num_instances() / 2);
+}
+
+TEST(Mapper, UsesCompoundCells) {
+  // aoi21-shaped logic should map to an aoi21 cell, not three gates.
+  Aig aig;
+  const Lit a = aig.create_pi();
+  const Lit b = aig.create_pi();
+  const Lit c = aig.create_pi();
+  aig.add_po(!aig.create_or(aig.create_and(a, b), c));
+  const CellLibrary lib = library::make_rich_asic_library(tech::asic_025um());
+  const auto nl = map_to_netlist(aig, lib, MapOptions{}, "t");
+  expect_equivalent(aig, nl);
+  EXPECT_LE(nl.num_instances(), 2u);
+}
+
+TEST(Mapper, MapIntoComposesWithExistingNetlist) {
+  // Map two 4-bit ripple adders into one netlist back to back.
+  const CellLibrary lib = library::make_rich_asic_library(tech::asic_025um());
+  netlist::Netlist nl("compose", &lib);
+  std::vector<NetId> stage1_in;
+  for (int i = 0; i < 9; ++i) {
+    const PortId p = nl.add_input("in" + std::to_string(i));
+    stage1_in.push_back(nl.port(p).net);
+  }
+  const Aig add = datapath::make_adder_aig(AdderKind::kRipple, 4);
+  const MapResult r1 = map_into(add, MapOptions{}, nl, stage1_in, "s1");
+  ASSERT_EQ(r1.outputs.size(), 5u);
+  // Feed stage 1 sums + new inputs into stage 2.
+  std::vector<NetId> stage2_in(r1.outputs.begin(), r1.outputs.begin() + 4);
+  for (int i = 0; i < 4; ++i) {
+    const PortId p = nl.add_input("x" + std::to_string(i));
+    stage2_in.push_back(nl.port(p).net);
+  }
+  stage2_in.push_back(r1.outputs[4]);  // cout as cin
+  const MapResult r2 = map_into(add, MapOptions{}, nl, stage2_in, "s2");
+  for (std::size_t i = 0; i < r2.outputs.size(); ++i)
+    nl.add_output("out" + std::to_string(i), r2.outputs[i]);
+  EXPECT_TRUE(netlist::verify(nl).ok());
+
+  // Functional spot check: (a + b + cin) then (+ x, cin = cout).
+  Rng rng(0x77);
+  for (int round = 0; round < 32; ++round) {
+    const std::uint64_t a = rng.uniform_index(16), b = rng.uniform_index(16);
+    const std::uint64_t cin = rng.uniform_index(2), x = rng.uniform_index(16);
+    std::vector<std::uint64_t> pi;
+    for (int i = 0; i < 4; ++i) pi.push_back((a >> i) & 1 ? ~0ull : 0);
+    for (int i = 0; i < 4; ++i) pi.push_back((b >> i) & 1 ? ~0ull : 0);
+    pi.push_back(cin ? ~0ull : 0);
+    for (int i = 0; i < 4; ++i) pi.push_back((x >> i) & 1 ? ~0ull : 0);
+    const auto out = netlist::simulate(nl, pi);
+    const std::uint64_t s1 = a + b + cin;
+    const std::uint64_t expect = (s1 & 0xF) + x + ((s1 >> 4) & 1);
+    std::uint64_t got = 0;
+    for (int i = 0; i < 5; ++i)
+      if (out[static_cast<std::size_t>(i)] & 1u) got |= 1ull << i;
+    EXPECT_EQ(got, expect & 0x1F);
+  }
+}
+
+TEST(Mapper, DepthReportedMatchesNetlist) {
+  const Aig aig = datapath::make_adder_aig(AdderKind::kRipple, 8);
+  const CellLibrary lib = library::make_rich_asic_library(tech::asic_025um());
+  netlist::Netlist nl("t", &lib);
+  std::vector<NetId> ins;
+  for (std::size_t i = 0; i < aig.num_pis(); ++i) {
+    const PortId p = nl.add_input("i" + std::to_string(i));
+    ins.push_back(nl.port(p).net);
+  }
+  const MapResult r = map_into(aig, MapOptions{}, nl, ins, "m");
+  EXPECT_EQ(r.mapped_depth, netlist::logic_depth(nl));
+  EXPECT_GT(r.mapped_depth, 0);
+}
+
+}  // namespace
+}  // namespace gap::synth

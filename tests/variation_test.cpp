@@ -1,0 +1,120 @@
+#include <gtest/gtest.h>
+
+#include "variation/variation.hpp"
+
+namespace gap::variation {
+namespace {
+
+constexpr int kDies = 40000;
+
+TEST(Variation, SampleCentersNearMean) {
+  Rng rng(1);
+  const VariationModel m = new_process();
+  SampleStats s;
+  for (int i = 0; i < kDies; ++i) s.add(sample_delay_factor(m, rng));
+  // Intra-die max-of-paths shifts the mean up slightly.
+  EXPECT_GT(s.mean(), 1.0);
+  EXPECT_LT(s.mean(), 1.10);
+}
+
+TEST(Variation, MatureTighterThanNew) {
+  const auto speeds_new = monte_carlo_speeds(best_fab(), kDies, 7);
+  FabProfile mature{"mature", mature_process()};
+  const auto speeds_mat = monte_carlo_speeds(mature, kDies, 7);
+  SampleStats sn, sm;
+  sn.add_all(speeds_new);
+  sm.add_all(speeds_mat);
+  EXPECT_LT(sm.stddev() / sm.mean(), sn.stddev() / sn.mean());
+}
+
+TEST(Variation, InPlantRangeMatchesFootnote6) {
+  // Section 8.1.1 / footnote 6: ~30-40% speed range in a new process.
+  const auto speeds = monte_carlo_speeds(best_fab(), kDies, 11);
+  const BinStats b = bin_stats(speeds, SignoffDerating{});
+  EXPECT_GE(b.range_fraction, 0.28);
+  EXPECT_LE(b.range_fraction, 0.45);
+}
+
+TEST(Variation, TypicalVsWorstCaseQuote) {
+  // Section 8: typical silicon runs 60-70% faster than the worst-case
+  // library quote.
+  const auto speeds = monte_carlo_speeds(merchant_fab(), kDies, 13);
+  const BinStats b = bin_stats(speeds, SignoffDerating{});
+  const double ratio = b.typical / b.worst_case_quote;
+  EXPECT_GE(ratio, 1.55);
+  EXPECT_LE(ratio, 1.80);
+}
+
+TEST(Variation, FastBinGain) {
+  // Fastest parts 20-40% above typical (section 8); the sellable 99th
+  // percentile sits just below, the 3-sigma tail inside the band.
+  const auto speeds = monte_carlo_speeds(best_fab(), kDies, 17);
+  const BinStats b = bin_stats(speeds, SignoffDerating{});
+  EXPECT_GE(b.fast_bin / b.typical, 1.12);
+  EXPECT_GE(b.fast_tail / b.typical, 1.20);
+  EXPECT_LE(b.fast_tail / b.typical, 1.40);
+  EXPECT_GT(b.fast_tail, b.fast_bin);
+  EXPECT_LT(b.slow_tail, b.slow_bin);
+}
+
+TEST(Variation, InterFabGap) {
+  // Section 8.1.2: 20-25% between fabs in the same technology.
+  const auto best = monte_carlo_speeds(best_fab(), kDies, 19);
+  const auto merchant = monte_carlo_speeds(merchant_fab(), kDies, 19);
+  SampleStats sb, sm;
+  sb.add_all(best);
+  sm.add_all(merchant);
+  const double gap = sb.quantile(0.5) / sm.quantile(0.5);
+  EXPECT_GE(gap, 1.18);
+  EXPECT_LE(gap, 1.27);
+}
+
+TEST(Variation, OverallCustomVsAsic) {
+  // Section 8: the fastest custom chips (best fab, fast bin) are about
+  // 90% faster than an ASIC running at the worst speeds produced by a
+  // slower plant.
+  const auto custom_speeds = monte_carlo_speeds(best_fab(), kDies, 23);
+  const auto asic_speeds = monte_carlo_speeds(merchant_fab(), kDies, 23);
+  const BinStats bc = bin_stats(custom_speeds, SignoffDerating{});
+  const BinStats ba = bin_stats(asic_speeds, SignoffDerating{});
+  const double overall = bc.fast_tail / ba.slow_tail;
+  EXPECT_GE(overall, 1.7);
+  EXPECT_LE(overall, 2.1);
+}
+
+TEST(Variation, YieldMonotone) {
+  const auto speeds = monte_carlo_speeds(best_fab(), kDies, 29);
+  const double y_slow = bin_yield(speeds, 0.8);
+  const double y_med = bin_yield(speeds, 1.0);
+  const double y_fast = bin_yield(speeds, 1.2);
+  EXPECT_GT(y_slow, y_med);
+  EXPECT_GT(y_med, y_fast);
+  EXPECT_GT(y_slow, 0.95);  // everyone beats a slow threshold
+  EXPECT_LT(y_fast, 0.15);  // few dies reach the fast bin
+}
+
+TEST(Variation, SpeedAtYieldInverseOfBinYield) {
+  const auto speeds = monte_carlo_speeds(best_fab(), kDies, 31);
+  const double s95 = speed_at_yield(speeds, 0.95);
+  const double y = bin_yield(speeds, s95);
+  EXPECT_NEAR(y, 0.95, 0.01);
+}
+
+TEST(Variation, SpeedTestingGain) {
+  // Section 8.3: testing parts instead of trusting worst-case quotes
+  // gains 30-40%. Operationally: the speed 95% of dies reach vs the
+  // signoff quote.
+  const auto speeds = monte_carlo_speeds(merchant_fab(), kDies, 37);
+  const double gain = speed_test_gain(speeds, SignoffDerating{});
+  EXPECT_GE(gain, 1.25);
+  EXPECT_LE(gain, 1.45);
+}
+
+TEST(Variation, DeterministicBySeed) {
+  const auto a = monte_carlo_speeds(best_fab(), 100, 5);
+  const auto b = monte_carlo_speeds(best_fab(), 100, 5);
+  EXPECT_EQ(a, b);
+}
+
+}  // namespace
+}  // namespace gap::variation
