@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e1_processor_survey.dir/bench/bench_e1_processor_survey.cpp.o"
+  "CMakeFiles/bench_e1_processor_survey.dir/bench/bench_e1_processor_survey.cpp.o.d"
+  "bench/bench_e1_processor_survey"
+  "bench/bench_e1_processor_survey.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e1_processor_survey.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,40 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_e2_factor_decomposition.cpp" "CMakeFiles/bench_e2_factor_decomposition.dir/bench/bench_e2_factor_decomposition.cpp.o" "gcc" "CMakeFiles/bench_e2_factor_decomposition.dir/bench/bench_e2_factor_decomposition.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/gap_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/designs/CMakeFiles/gap_designs.dir/DependInfo.cmake"
+  "/root/repo/build/src/datapath/CMakeFiles/gap_datapath.dir/DependInfo.cmake"
+  "/root/repo/build/src/synth/CMakeFiles/gap_synth.dir/DependInfo.cmake"
+  "/root/repo/build/src/logic/CMakeFiles/gap_logic.dir/DependInfo.cmake"
+  "/root/repo/build/src/pipeline/CMakeFiles/gap_pipeline.dir/DependInfo.cmake"
+  "/root/repo/build/src/place/CMakeFiles/gap_place.dir/DependInfo.cmake"
+  "/root/repo/build/src/floorplan/CMakeFiles/gap_floorplan.dir/DependInfo.cmake"
+  "/root/repo/build/src/sizing/CMakeFiles/gap_sizing.dir/DependInfo.cmake"
+  "/root/repo/build/src/sta/CMakeFiles/gap_sta.dir/DependInfo.cmake"
+  "/root/repo/build/src/clock/CMakeFiles/gap_clock.dir/DependInfo.cmake"
+  "/root/repo/build/src/wire/CMakeFiles/gap_wire.dir/DependInfo.cmake"
+  "/root/repo/build/src/variation/CMakeFiles/gap_variation.dir/DependInfo.cmake"
+  "/root/repo/build/src/power/CMakeFiles/gap_power.dir/DependInfo.cmake"
+  "/root/repo/build/src/route/CMakeFiles/gap_route.dir/DependInfo.cmake"
+  "/root/repo/build/src/dft/CMakeFiles/gap_dft.dir/DependInfo.cmake"
+  "/root/repo/build/src/noise/CMakeFiles/gap_noise.dir/DependInfo.cmake"
+  "/root/repo/build/src/netlist/CMakeFiles/gap_netlist.dir/DependInfo.cmake"
+  "/root/repo/build/src/library/CMakeFiles/gap_library.dir/DependInfo.cmake"
+  "/root/repo/build/src/tech/CMakeFiles/gap_tech.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/gap_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e2_factor_decomposition.dir/bench/bench_e2_factor_decomposition.cpp.o"
+  "CMakeFiles/bench_e2_factor_decomposition.dir/bench/bench_e2_factor_decomposition.cpp.o.d"
+  "bench/bench_e2_factor_decomposition"
+  "bench/bench_e2_factor_decomposition.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e2_factor_decomposition.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e3_pipelining.dir/bench/bench_e3_pipelining.cpp.o"
+  "CMakeFiles/bench_e3_pipelining.dir/bench/bench_e3_pipelining.cpp.o.d"
+  "bench/bench_e3_pipelining"
+  "bench/bench_e3_pipelining.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e3_pipelining.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e4_clocking_and_macros.dir/bench/bench_e4_clocking_and_macros.cpp.o"
+  "CMakeFiles/bench_e4_clocking_and_macros.dir/bench/bench_e4_clocking_and_macros.cpp.o.d"
+  "bench/bench_e4_clocking_and_macros"
+  "bench/bench_e4_clocking_and_macros.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e4_clocking_and_macros.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

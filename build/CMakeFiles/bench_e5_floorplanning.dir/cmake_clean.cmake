@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e5_floorplanning.dir/bench/bench_e5_floorplanning.cpp.o"
+  "CMakeFiles/bench_e5_floorplanning.dir/bench/bench_e5_floorplanning.cpp.o.d"
+  "bench/bench_e5_floorplanning"
+  "bench/bench_e5_floorplanning.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e5_floorplanning.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e6_sizing_libraries.dir/bench/bench_e6_sizing_libraries.cpp.o"
+  "CMakeFiles/bench_e6_sizing_libraries.dir/bench/bench_e6_sizing_libraries.cpp.o.d"
+  "bench/bench_e6_sizing_libraries"
+  "bench/bench_e6_sizing_libraries.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e6_sizing_libraries.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

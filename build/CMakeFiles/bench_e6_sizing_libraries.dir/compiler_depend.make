@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for bench_e6_sizing_libraries.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e7_dynamic_logic.dir/bench/bench_e7_dynamic_logic.cpp.o"
+  "CMakeFiles/bench_e7_dynamic_logic.dir/bench/bench_e7_dynamic_logic.cpp.o.d"
+  "bench/bench_e7_dynamic_logic"
+  "bench/bench_e7_dynamic_logic.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e7_dynamic_logic.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

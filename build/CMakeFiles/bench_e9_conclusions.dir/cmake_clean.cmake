@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e9_conclusions.dir/bench/bench_e9_conclusions.cpp.o"
+  "CMakeFiles/bench_e9_conclusions.dir/bench/bench_e9_conclusions.cpp.o.d"
+  "bench/bench_e9_conclusions"
+  "bench/bench_e9_conclusions.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e9_conclusions.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

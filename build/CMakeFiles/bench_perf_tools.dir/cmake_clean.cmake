@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_perf_tools.dir/bench/bench_perf_tools.cpp.o"
+  "CMakeFiles/bench_perf_tools.dir/bench/bench_perf_tools.cpp.o.d"
+  "bench/bench_perf_tools"
+  "bench/bench_perf_tools.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_perf_tools.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_x1_custom_techniques.dir/bench/bench_x1_custom_techniques.cpp.o"
+  "CMakeFiles/bench_x1_custom_techniques.dir/bench/bench_x1_custom_techniques.cpp.o.d"
+  "bench/bench_x1_custom_techniques"
+  "bench/bench_x1_custom_techniques.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_x1_custom_techniques.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_x2_power_and_chip.dir/bench/bench_x2_power_and_chip.cpp.o"
+  "CMakeFiles/bench_x2_power_and_chip.dir/bench/bench_x2_power_and_chip.cpp.o.d"
+  "bench/bench_x2_power_and_chip"
+  "bench/bench_x2_power_and_chip.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_x2_power_and_chip.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_x4_migration.dir/bench/bench_x4_migration.cpp.o"
+  "CMakeFiles/bench_x4_migration.dir/bench/bench_x4_migration.cpp.o.d"
+  "bench/bench_x4_migration"
+  "bench/bench_x4_migration.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_x4_migration.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gapflow.dir/tools/gapflow.cpp.o"
+  "CMakeFiles/gapflow.dir/tools/gapflow.cpp.o.d"
+  "gapflow"
+  "gapflow.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gapflow.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/asic_flow_explorer.dir/asic_flow_explorer.cpp.o"
+  "CMakeFiles/asic_flow_explorer.dir/asic_flow_explorer.cpp.o.d"
+  "asic_flow_explorer"
+  "asic_flow_explorer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/asic_flow_explorer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/binning_economics.dir/binning_economics.cpp.o"
+  "CMakeFiles/binning_economics.dir/binning_economics.cpp.o.d"
+  "binning_economics"
+  "binning_economics.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/binning_economics.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

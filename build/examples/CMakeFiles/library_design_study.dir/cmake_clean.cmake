@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/library_design_study.dir/library_design_study.cpp.o"
+  "CMakeFiles/library_design_study.dir/library_design_study.cpp.o.d"
+  "library_design_study"
+  "library_design_study.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/library_design_study.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/statistical_signoff.dir/statistical_signoff.cpp.o"
+  "CMakeFiles/statistical_signoff.dir/statistical_signoff.cpp.o.d"
+  "statistical_signoff"
+  "statistical_signoff.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/statistical_signoff.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("common")
+subdirs("tech")
+subdirs("library")
+subdirs("netlist")
+subdirs("logic")
+subdirs("datapath")
+subdirs("synth")
+subdirs("wire")
+subdirs("sta")
+subdirs("floorplan")
+subdirs("place")
+subdirs("sizing")
+subdirs("clock")
+subdirs("pipeline")
+subdirs("variation")
+subdirs("power")
+subdirs("dft")
+subdirs("route")
+subdirs("noise")
+subdirs("designs")
+subdirs("core")

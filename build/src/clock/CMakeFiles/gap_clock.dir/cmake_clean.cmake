@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gap_clock.dir/htree.cpp.o"
+  "CMakeFiles/gap_clock.dir/htree.cpp.o.d"
+  "CMakeFiles/gap_clock.dir/useful_skew.cpp.o"
+  "CMakeFiles/gap_clock.dir/useful_skew.cpp.o.d"
+  "libgap_clock.a"
+  "libgap_clock.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gap_clock.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

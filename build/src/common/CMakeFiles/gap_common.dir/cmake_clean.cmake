@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gap_common.dir/rng.cpp.o"
+  "CMakeFiles/gap_common.dir/rng.cpp.o.d"
+  "CMakeFiles/gap_common.dir/stats.cpp.o"
+  "CMakeFiles/gap_common.dir/stats.cpp.o.d"
+  "CMakeFiles/gap_common.dir/table.cpp.o"
+  "CMakeFiles/gap_common.dir/table.cpp.o.d"
+  "libgap_common.a"
+  "libgap_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gap_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

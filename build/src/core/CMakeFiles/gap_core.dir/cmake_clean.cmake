@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gap_core.dir/chip.cpp.o"
+  "CMakeFiles/gap_core.dir/chip.cpp.o.d"
+  "CMakeFiles/gap_core.dir/flow.cpp.o"
+  "CMakeFiles/gap_core.dir/flow.cpp.o.d"
+  "CMakeFiles/gap_core.dir/gap.cpp.o"
+  "CMakeFiles/gap_core.dir/gap.cpp.o.d"
+  "CMakeFiles/gap_core.dir/methodology.cpp.o"
+  "CMakeFiles/gap_core.dir/methodology.cpp.o.d"
+  "CMakeFiles/gap_core.dir/migrate.cpp.o"
+  "CMakeFiles/gap_core.dir/migrate.cpp.o.d"
+  "CMakeFiles/gap_core.dir/processors.cpp.o"
+  "CMakeFiles/gap_core.dir/processors.cpp.o.d"
+  "libgap_core.a"
+  "libgap_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gap_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/datapath/adders.cpp" "src/datapath/CMakeFiles/gap_datapath.dir/adders.cpp.o" "gcc" "src/datapath/CMakeFiles/gap_datapath.dir/adders.cpp.o.d"
+  "/root/repo/src/datapath/encoders.cpp" "src/datapath/CMakeFiles/gap_datapath.dir/encoders.cpp.o" "gcc" "src/datapath/CMakeFiles/gap_datapath.dir/encoders.cpp.o.d"
+  "/root/repo/src/datapath/multipliers.cpp" "src/datapath/CMakeFiles/gap_datapath.dir/multipliers.cpp.o" "gcc" "src/datapath/CMakeFiles/gap_datapath.dir/multipliers.cpp.o.d"
+  "/root/repo/src/datapath/shifters.cpp" "src/datapath/CMakeFiles/gap_datapath.dir/shifters.cpp.o" "gcc" "src/datapath/CMakeFiles/gap_datapath.dir/shifters.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/logic/CMakeFiles/gap_logic.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/gap_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gap_datapath.dir/adders.cpp.o"
+  "CMakeFiles/gap_datapath.dir/adders.cpp.o.d"
+  "CMakeFiles/gap_datapath.dir/encoders.cpp.o"
+  "CMakeFiles/gap_datapath.dir/encoders.cpp.o.d"
+  "CMakeFiles/gap_datapath.dir/multipliers.cpp.o"
+  "CMakeFiles/gap_datapath.dir/multipliers.cpp.o.d"
+  "CMakeFiles/gap_datapath.dir/shifters.cpp.o"
+  "CMakeFiles/gap_datapath.dir/shifters.cpp.o.d"
+  "libgap_datapath.a"
+  "libgap_datapath.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gap_datapath.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

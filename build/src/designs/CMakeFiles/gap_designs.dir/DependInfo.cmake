@@ -1,0 +1,34 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/designs/alu.cpp" "src/designs/CMakeFiles/gap_designs.dir/alu.cpp.o" "gcc" "src/designs/CMakeFiles/gap_designs.dir/alu.cpp.o.d"
+  "/root/repo/src/designs/bus_controller.cpp" "src/designs/CMakeFiles/gap_designs.dir/bus_controller.cpp.o" "gcc" "src/designs/CMakeFiles/gap_designs.dir/bus_controller.cpp.o.d"
+  "/root/repo/src/designs/cpu.cpp" "src/designs/CMakeFiles/gap_designs.dir/cpu.cpp.o" "gcc" "src/designs/CMakeFiles/gap_designs.dir/cpu.cpp.o.d"
+  "/root/repo/src/designs/crc.cpp" "src/designs/CMakeFiles/gap_designs.dir/crc.cpp.o" "gcc" "src/designs/CMakeFiles/gap_designs.dir/crc.cpp.o.d"
+  "/root/repo/src/designs/fir.cpp" "src/designs/CMakeFiles/gap_designs.dir/fir.cpp.o" "gcc" "src/designs/CMakeFiles/gap_designs.dir/fir.cpp.o.d"
+  "/root/repo/src/designs/mac.cpp" "src/designs/CMakeFiles/gap_designs.dir/mac.cpp.o" "gcc" "src/designs/CMakeFiles/gap_designs.dir/mac.cpp.o.d"
+  "/root/repo/src/designs/registry.cpp" "src/designs/CMakeFiles/gap_designs.dir/registry.cpp.o" "gcc" "src/designs/CMakeFiles/gap_designs.dir/registry.cpp.o.d"
+  "/root/repo/src/designs/soc.cpp" "src/designs/CMakeFiles/gap_designs.dir/soc.cpp.o" "gcc" "src/designs/CMakeFiles/gap_designs.dir/soc.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/datapath/CMakeFiles/gap_datapath.dir/DependInfo.cmake"
+  "/root/repo/build/src/synth/CMakeFiles/gap_synth.dir/DependInfo.cmake"
+  "/root/repo/build/src/floorplan/CMakeFiles/gap_floorplan.dir/DependInfo.cmake"
+  "/root/repo/build/src/logic/CMakeFiles/gap_logic.dir/DependInfo.cmake"
+  "/root/repo/build/src/netlist/CMakeFiles/gap_netlist.dir/DependInfo.cmake"
+  "/root/repo/build/src/library/CMakeFiles/gap_library.dir/DependInfo.cmake"
+  "/root/repo/build/src/tech/CMakeFiles/gap_tech.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/gap_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gap_designs.dir/alu.cpp.o"
+  "CMakeFiles/gap_designs.dir/alu.cpp.o.d"
+  "CMakeFiles/gap_designs.dir/bus_controller.cpp.o"
+  "CMakeFiles/gap_designs.dir/bus_controller.cpp.o.d"
+  "CMakeFiles/gap_designs.dir/cpu.cpp.o"
+  "CMakeFiles/gap_designs.dir/cpu.cpp.o.d"
+  "CMakeFiles/gap_designs.dir/crc.cpp.o"
+  "CMakeFiles/gap_designs.dir/crc.cpp.o.d"
+  "CMakeFiles/gap_designs.dir/fir.cpp.o"
+  "CMakeFiles/gap_designs.dir/fir.cpp.o.d"
+  "CMakeFiles/gap_designs.dir/mac.cpp.o"
+  "CMakeFiles/gap_designs.dir/mac.cpp.o.d"
+  "CMakeFiles/gap_designs.dir/registry.cpp.o"
+  "CMakeFiles/gap_designs.dir/registry.cpp.o.d"
+  "CMakeFiles/gap_designs.dir/soc.cpp.o"
+  "CMakeFiles/gap_designs.dir/soc.cpp.o.d"
+  "libgap_designs.a"
+  "libgap_designs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gap_designs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gap_dft.dir/scan.cpp.o"
+  "CMakeFiles/gap_dft.dir/scan.cpp.o.d"
+  "libgap_dft.a"
+  "libgap_dft.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gap_dft.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

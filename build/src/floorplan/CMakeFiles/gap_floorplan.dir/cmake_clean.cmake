@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gap_floorplan.dir/floorplan.cpp.o"
+  "CMakeFiles/gap_floorplan.dir/floorplan.cpp.o.d"
+  "libgap_floorplan.a"
+  "libgap_floorplan.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gap_floorplan.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

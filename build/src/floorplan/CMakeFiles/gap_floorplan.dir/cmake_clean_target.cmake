@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libgap_floorplan.a"
+)

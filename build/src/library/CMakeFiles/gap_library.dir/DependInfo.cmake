@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/library/builders.cpp" "src/library/CMakeFiles/gap_library.dir/builders.cpp.o" "gcc" "src/library/CMakeFiles/gap_library.dir/builders.cpp.o.d"
+  "/root/repo/src/library/cell.cpp" "src/library/CMakeFiles/gap_library.dir/cell.cpp.o" "gcc" "src/library/CMakeFiles/gap_library.dir/cell.cpp.o.d"
+  "/root/repo/src/library/liberty.cpp" "src/library/CMakeFiles/gap_library.dir/liberty.cpp.o" "gcc" "src/library/CMakeFiles/gap_library.dir/liberty.cpp.o.d"
+  "/root/repo/src/library/library.cpp" "src/library/CMakeFiles/gap_library.dir/library.cpp.o" "gcc" "src/library/CMakeFiles/gap_library.dir/library.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/gap_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/tech/CMakeFiles/gap_tech.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gap_library.dir/builders.cpp.o"
+  "CMakeFiles/gap_library.dir/builders.cpp.o.d"
+  "CMakeFiles/gap_library.dir/cell.cpp.o"
+  "CMakeFiles/gap_library.dir/cell.cpp.o.d"
+  "CMakeFiles/gap_library.dir/liberty.cpp.o"
+  "CMakeFiles/gap_library.dir/liberty.cpp.o.d"
+  "CMakeFiles/gap_library.dir/library.cpp.o"
+  "CMakeFiles/gap_library.dir/library.cpp.o.d"
+  "libgap_library.a"
+  "libgap_library.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gap_library.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

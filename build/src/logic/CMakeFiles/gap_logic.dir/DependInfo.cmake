@@ -1,0 +1,21 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/logic/aig.cpp" "src/logic/CMakeFiles/gap_logic.dir/aig.cpp.o" "gcc" "src/logic/CMakeFiles/gap_logic.dir/aig.cpp.o.d"
+  "/root/repo/src/logic/transforms.cpp" "src/logic/CMakeFiles/gap_logic.dir/transforms.cpp.o" "gcc" "src/logic/CMakeFiles/gap_logic.dir/transforms.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/gap_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

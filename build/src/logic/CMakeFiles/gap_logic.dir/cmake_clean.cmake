@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gap_logic.dir/aig.cpp.o"
+  "CMakeFiles/gap_logic.dir/aig.cpp.o.d"
+  "CMakeFiles/gap_logic.dir/transforms.cpp.o"
+  "CMakeFiles/gap_logic.dir/transforms.cpp.o.d"
+  "libgap_logic.a"
+  "libgap_logic.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gap_logic.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/netlist/checks.cpp" "src/netlist/CMakeFiles/gap_netlist.dir/checks.cpp.o" "gcc" "src/netlist/CMakeFiles/gap_netlist.dir/checks.cpp.o.d"
+  "/root/repo/src/netlist/netlist.cpp" "src/netlist/CMakeFiles/gap_netlist.dir/netlist.cpp.o" "gcc" "src/netlist/CMakeFiles/gap_netlist.dir/netlist.cpp.o.d"
+  "/root/repo/src/netlist/sequential_sim.cpp" "src/netlist/CMakeFiles/gap_netlist.dir/sequential_sim.cpp.o" "gcc" "src/netlist/CMakeFiles/gap_netlist.dir/sequential_sim.cpp.o.d"
+  "/root/repo/src/netlist/simulate.cpp" "src/netlist/CMakeFiles/gap_netlist.dir/simulate.cpp.o" "gcc" "src/netlist/CMakeFiles/gap_netlist.dir/simulate.cpp.o.d"
+  "/root/repo/src/netlist/stats.cpp" "src/netlist/CMakeFiles/gap_netlist.dir/stats.cpp.o" "gcc" "src/netlist/CMakeFiles/gap_netlist.dir/stats.cpp.o.d"
+  "/root/repo/src/netlist/sweep.cpp" "src/netlist/CMakeFiles/gap_netlist.dir/sweep.cpp.o" "gcc" "src/netlist/CMakeFiles/gap_netlist.dir/sweep.cpp.o.d"
+  "/root/repo/src/netlist/verilog.cpp" "src/netlist/CMakeFiles/gap_netlist.dir/verilog.cpp.o" "gcc" "src/netlist/CMakeFiles/gap_netlist.dir/verilog.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/gap_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/library/CMakeFiles/gap_library.dir/DependInfo.cmake"
+  "/root/repo/build/src/tech/CMakeFiles/gap_tech.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gap_netlist.dir/checks.cpp.o"
+  "CMakeFiles/gap_netlist.dir/checks.cpp.o.d"
+  "CMakeFiles/gap_netlist.dir/netlist.cpp.o"
+  "CMakeFiles/gap_netlist.dir/netlist.cpp.o.d"
+  "CMakeFiles/gap_netlist.dir/sequential_sim.cpp.o"
+  "CMakeFiles/gap_netlist.dir/sequential_sim.cpp.o.d"
+  "CMakeFiles/gap_netlist.dir/simulate.cpp.o"
+  "CMakeFiles/gap_netlist.dir/simulate.cpp.o.d"
+  "CMakeFiles/gap_netlist.dir/stats.cpp.o"
+  "CMakeFiles/gap_netlist.dir/stats.cpp.o.d"
+  "CMakeFiles/gap_netlist.dir/sweep.cpp.o"
+  "CMakeFiles/gap_netlist.dir/sweep.cpp.o.d"
+  "CMakeFiles/gap_netlist.dir/verilog.cpp.o"
+  "CMakeFiles/gap_netlist.dir/verilog.cpp.o.d"
+  "libgap_netlist.a"
+  "libgap_netlist.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gap_netlist.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gap_noise.dir/crosstalk.cpp.o"
+  "CMakeFiles/gap_noise.dir/crosstalk.cpp.o.d"
+  "libgap_noise.a"
+  "libgap_noise.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gap_noise.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

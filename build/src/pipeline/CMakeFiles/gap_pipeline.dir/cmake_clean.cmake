@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gap_pipeline.dir/pipeline.cpp.o"
+  "CMakeFiles/gap_pipeline.dir/pipeline.cpp.o.d"
+  "CMakeFiles/gap_pipeline.dir/retiming.cpp.o"
+  "CMakeFiles/gap_pipeline.dir/retiming.cpp.o.d"
+  "libgap_pipeline.a"
+  "libgap_pipeline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gap_pipeline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gap_place.dir/place.cpp.o"
+  "CMakeFiles/gap_place.dir/place.cpp.o.d"
+  "libgap_place.a"
+  "libgap_place.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gap_place.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

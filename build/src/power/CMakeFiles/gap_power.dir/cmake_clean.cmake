@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gap_power.dir/activity.cpp.o"
+  "CMakeFiles/gap_power.dir/activity.cpp.o.d"
+  "CMakeFiles/gap_power.dir/power.cpp.o"
+  "CMakeFiles/gap_power.dir/power.cpp.o.d"
+  "libgap_power.a"
+  "libgap_power.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gap_power.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

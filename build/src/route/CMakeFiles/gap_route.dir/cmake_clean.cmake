@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gap_route.dir/router.cpp.o"
+  "CMakeFiles/gap_route.dir/router.cpp.o.d"
+  "libgap_route.a"
+  "libgap_route.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gap_route.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

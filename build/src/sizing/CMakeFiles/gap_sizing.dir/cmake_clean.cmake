@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gap_sizing.dir/buffers.cpp.o"
+  "CMakeFiles/gap_sizing.dir/buffers.cpp.o.d"
+  "CMakeFiles/gap_sizing.dir/tilos.cpp.o"
+  "CMakeFiles/gap_sizing.dir/tilos.cpp.o.d"
+  "CMakeFiles/gap_sizing.dir/wires.cpp.o"
+  "CMakeFiles/gap_sizing.dir/wires.cpp.o.d"
+  "libgap_sizing.a"
+  "libgap_sizing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gap_sizing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sta/borrowing.cpp" "src/sta/CMakeFiles/gap_sta.dir/borrowing.cpp.o" "gcc" "src/sta/CMakeFiles/gap_sta.dir/borrowing.cpp.o.d"
+  "/root/repo/src/sta/report.cpp" "src/sta/CMakeFiles/gap_sta.dir/report.cpp.o" "gcc" "src/sta/CMakeFiles/gap_sta.dir/report.cpp.o.d"
+  "/root/repo/src/sta/sta.cpp" "src/sta/CMakeFiles/gap_sta.dir/sta.cpp.o" "gcc" "src/sta/CMakeFiles/gap_sta.dir/sta.cpp.o.d"
+  "/root/repo/src/sta/statistical.cpp" "src/sta/CMakeFiles/gap_sta.dir/statistical.cpp.o" "gcc" "src/sta/CMakeFiles/gap_sta.dir/statistical.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/netlist/CMakeFiles/gap_netlist.dir/DependInfo.cmake"
+  "/root/repo/build/src/wire/CMakeFiles/gap_wire.dir/DependInfo.cmake"
+  "/root/repo/build/src/library/CMakeFiles/gap_library.dir/DependInfo.cmake"
+  "/root/repo/build/src/tech/CMakeFiles/gap_tech.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/gap_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gap_sta.dir/borrowing.cpp.o"
+  "CMakeFiles/gap_sta.dir/borrowing.cpp.o.d"
+  "CMakeFiles/gap_sta.dir/report.cpp.o"
+  "CMakeFiles/gap_sta.dir/report.cpp.o.d"
+  "CMakeFiles/gap_sta.dir/sta.cpp.o"
+  "CMakeFiles/gap_sta.dir/sta.cpp.o.d"
+  "CMakeFiles/gap_sta.dir/statistical.cpp.o"
+  "CMakeFiles/gap_sta.dir/statistical.cpp.o.d"
+  "libgap_sta.a"
+  "libgap_sta.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gap_sta.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gap_synth.dir/mapper.cpp.o"
+  "CMakeFiles/gap_synth.dir/mapper.cpp.o.d"
+  "libgap_synth.a"
+  "libgap_synth.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gap_synth.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

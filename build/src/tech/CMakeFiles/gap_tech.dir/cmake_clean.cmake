@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gap_tech.dir/scaling.cpp.o"
+  "CMakeFiles/gap_tech.dir/scaling.cpp.o.d"
+  "CMakeFiles/gap_tech.dir/technology.cpp.o"
+  "CMakeFiles/gap_tech.dir/technology.cpp.o.d"
+  "libgap_tech.a"
+  "libgap_tech.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gap_tech.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gap_variation.dir/economics.cpp.o"
+  "CMakeFiles/gap_variation.dir/economics.cpp.o.d"
+  "CMakeFiles/gap_variation.dir/variation.cpp.o"
+  "CMakeFiles/gap_variation.dir/variation.cpp.o.d"
+  "libgap_variation.a"
+  "libgap_variation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gap_variation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

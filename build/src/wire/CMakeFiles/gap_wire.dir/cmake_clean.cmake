@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gap_wire.dir/elmore.cpp.o"
+  "CMakeFiles/gap_wire.dir/elmore.cpp.o.d"
+  "CMakeFiles/gap_wire.dir/repeaters.cpp.o"
+  "CMakeFiles/gap_wire.dir/repeaters.cpp.o.d"
+  "libgap_wire.a"
+  "libgap_wire.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gap_wire.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/designs_test.dir/designs_test.cpp.o"
+  "CMakeFiles/designs_test.dir/designs_test.cpp.o.d"
+  "designs_test"
+  "designs_test.pdb"
+  "designs_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/designs_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

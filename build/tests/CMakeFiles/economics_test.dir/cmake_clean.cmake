@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/economics_test.dir/economics_test.cpp.o"
+  "CMakeFiles/economics_test.dir/economics_test.cpp.o.d"
+  "economics_test"
+  "economics_test.pdb"
+  "economics_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/economics_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

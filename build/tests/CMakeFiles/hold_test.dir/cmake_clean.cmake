@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hold_test.dir/hold_test.cpp.o"
+  "CMakeFiles/hold_test.dir/hold_test.cpp.o.d"
+  "hold_test"
+  "hold_test.pdb"
+  "hold_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hold_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/latch_pipeline_test.dir/latch_pipeline_test.cpp.o"
+  "CMakeFiles/latch_pipeline_test.dir/latch_pipeline_test.cpp.o.d"
+  "latch_pipeline_test"
+  "latch_pipeline_test.pdb"
+  "latch_pipeline_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/latch_pipeline_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sequential_sim_test.dir/sequential_sim_test.cpp.o"
+  "CMakeFiles/sequential_sim_test.dir/sequential_sim_test.cpp.o.d"
+  "sequential_sim_test"
+  "sequential_sim_test.pdb"
+  "sequential_sim_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sequential_sim_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

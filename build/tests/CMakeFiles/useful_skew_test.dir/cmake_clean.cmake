@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/useful_skew_test.dir/useful_skew_test.cpp.o"
+  "CMakeFiles/useful_skew_test.dir/useful_skew_test.cpp.o.d"
+  "useful_skew_test"
+  "useful_skew_test.pdb"
+  "useful_skew_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/useful_skew_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wires_and_mc_test.dir/wires_and_mc_test.cpp.o"
+  "CMakeFiles/wires_and_mc_test.dir/wires_and_mc_test.cpp.o.d"
+  "wires_and_mc_test"
+  "wires_and_mc_test.pdb"
+  "wires_and_mc_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wires_and_mc_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

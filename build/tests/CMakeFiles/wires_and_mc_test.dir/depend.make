@@ -1,0 +1,2 @@
+# Empty dependencies file for wires_and_mc_test.
+# This may be replaced when dependencies are built.
