@@ -7,9 +7,12 @@
 /// paths *shifts the mean up* — the basis for the variation model's
 /// intra-die parameters.
 
+#include <algorithm>
 #include <cstdio>
+#include <cstdlib>
 
 #include "common/table.hpp"
+#include "common/thread_pool.hpp"
 #include "datapath/adders.hpp"
 #include "designs/registry.hpp"
 #include "library/builders.hpp"
@@ -18,13 +21,18 @@
 #include "synth/mapper.hpp"
 #include "tech/technology.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace gap;
+  // Optional argument: fan-out thread count (0 = all cores; negatives
+  // clamp to 0). The numbers below are bit-identical at any value — see
+  // docs/parallelism.md.
+  const int threads = argc > 1 ? std::max(0, std::atoi(argv[1])) : 0;
   const tech::Technology t = tech::asic_025um();
   const auto lib = library::make_rich_asic_library(t);
   std::printf(
       "statistical signoff: Monte Carlo STA, 200 samples, per-gate sigma "
-      "10%%\n\n");
+      "10%%, %d lane(s)\n\n",
+      common::resolve_threads(threads));
 
   // Depth sweep: deeper logic averages more.
   Table depth({"design", "logic depth-ish", "nominal (FO4)", "median (FO4)",
@@ -46,6 +54,7 @@ int main() {
     sta::McStaOptions opt;
     opt.samples = 200;
     opt.sigma_gate = 0.10;
+    opt.threads = threads;
     const auto r = sta::monte_carlo_sta(nl, opt);
     depth.add_row({c.name, std::to_string(c.width),
                    fmt(t.tau_to_fo4(r.nominal_period_tau), 1),
@@ -71,6 +80,7 @@ int main() {
     opt.samples = 200;
     opt.sigma_gate = v.gate;
     opt.sigma_die = v.die;
+    opt.threads = threads;
     const auto r = sta::monte_carlo_sta(nl, opt);
     decomp.add_row({v.name, fmt(t.tau_to_fo4(r.period_tau.quantile(0.5)), 1),
                     fmt_pct(r.relative_spread())});

@@ -80,4 +80,13 @@ bool Rng::bernoulli(double p) { return uniform() < p; }
 
 Rng Rng::split() { return Rng(next_u64()); }
 
+Rng Rng::stream(std::uint64_t seed, std::uint64_t index) {
+  // Avalanche the master seed, fold in the counter, avalanche again. The
+  // Rng constructor runs splitmix64 four more times to fill the xoshiro
+  // state, so adjacent indices land in fully decorrelated states.
+  std::uint64_t s = seed;
+  s = splitmix64(s) ^ index;
+  return Rng(splitmix64(s));
+}
+
 }  // namespace gap

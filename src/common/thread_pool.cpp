@@ -1,0 +1,106 @@
+#include "common/thread_pool.hpp"
+
+#include <algorithm>
+
+#include "common/check.hpp"
+
+namespace gap::common {
+
+int resolve_threads(int threads) {
+  GAP_EXPECTS(threads >= 0);
+  if (threads > 0) return threads;
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw > 0 ? static_cast<int>(hw) : 1;
+}
+
+ThreadPool::ThreadPool(int threads) : size_(resolve_threads(threads)) {
+  errors_.resize(static_cast<std::size_t>(size_));
+  workers_.reserve(static_cast<std::size_t>(size_ - 1));
+  // The calling thread is lane 0; helpers take lanes 1..size-1.
+  for (int lane = 1; lane < size_; ++lane)
+    workers_.emplace_back([this, lane] { worker_loop(lane); });
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    stop_ = true;
+  }
+  start_cv_.notify_all();
+  for (std::thread& w : workers_) w.join();
+}
+
+void ThreadPool::run_block(const Job& job, int lane) noexcept {
+  const std::size_t lanes = static_cast<std::size_t>(job.lanes);
+  const std::size_t ulane = static_cast<std::size_t>(lane);
+  const std::size_t begin = job.n * ulane / lanes;
+  const std::size_t end = job.n * (ulane + 1) / lanes;
+  try {
+    for (std::size_t i = begin; i < end; ++i) (*job.fn)(i);
+  } catch (...) {
+    errors_[ulane] = std::current_exception();
+  }
+}
+
+void ThreadPool::worker_loop(int lane) {
+  std::uint64_t seen = 0;
+  for (;;) {
+    Job job;
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      start_cv_.wait(lock, [&] { return stop_ || generation_ != seen; });
+      if (stop_) return;
+      seen = generation_;
+      job = job_;
+    }
+    if (lane < job.lanes) {
+      run_block(job, lane);
+      std::lock_guard<std::mutex> lock(mutex_);
+      if (--pending_ == 0) done_cv_.notify_one();
+    }
+  }
+}
+
+void ThreadPool::parallel_for(std::size_t n,
+                              const std::function<void(std::size_t)>& fn) {
+  if (n == 0) return;
+  const int lanes =
+      static_cast<int>(std::min<std::size_t>(static_cast<std::size_t>(size_), n));
+  if (lanes == 1) {
+    // Serial path: no locking, exceptions propagate directly.
+    for (std::size_t i = 0; i < n; ++i) fn(i);
+    return;
+  }
+
+  Job job{&fn, n, lanes};
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    for (auto& e : errors_) e = nullptr;
+    job_ = job;
+    pending_ = lanes - 1;
+    ++generation_;
+  }
+  start_cv_.notify_all();
+
+  run_block(job, /*lane=*/0);
+
+  {
+    std::unique_lock<std::mutex> lock(mutex_);
+    done_cv_.wait(lock, [&] { return pending_ == 0; });
+  }
+  // Deterministic choice: the lowest failing lane's exception wins.
+  for (auto& e : errors_)
+    if (e) std::rethrow_exception(e);
+}
+
+void parallel_for(int threads, std::size_t n,
+                  const std::function<void(std::size_t)>& fn) {
+  if (resolve_threads(threads) == 1 || n <= 1) {
+    for (std::size_t i = 0; i < n; ++i) fn(i);
+    return;
+  }
+  ThreadPool pool(threads);
+  pool.parallel_for(n, fn);
+}
+
+}  // namespace gap::common

@@ -1,0 +1,107 @@
+#pragma once
+/// \file thread_pool.hpp
+/// Deterministic fork-join parallelism for the fan-out hot paths (Monte
+/// Carlo STA, parameter sweeps, binning). Design constraints, in order:
+///
+///  1. **Determinism.** No work stealing, no atomic "grab the next index"
+///     counters: an index range [0, n) is split into contiguous blocks by
+///     lane number, so which *thread* computes a given index never depends
+///     on timing. Combined with counter-based RNG streams (Rng::stream),
+///     every consumer in this repository produces bit-identical results at
+///     any thread count.
+///  2. **Serial fallback is the legacy path.** threads == 1 never spawns,
+///     locks or allocates — it is a plain loop, byte-for-byte the code
+///     that ran before this subsystem existed.
+///  3. **Exceptions propagate.** The first failing lane (lowest lane
+///     index, deterministically chosen) rethrows on the calling thread.
+///
+/// The pool is fork-join: the calling thread executes lane 0 itself, so a
+/// ThreadPool of size N owns N-1 worker threads and size() reports the
+/// total number of lanes.
+
+#include <condition_variable>
+#include <cstddef>
+#include <cstdint>
+#include <exception>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace gap::common {
+
+/// Map a user-facing `threads` option to a concrete lane count:
+/// 0 = hardware concurrency (at least 1), otherwise the value itself.
+/// Requires threads >= 0.
+[[nodiscard]] int resolve_threads(int threads);
+
+class ThreadPool {
+ public:
+  /// threads: 0 = hardware concurrency, otherwise exact lane count.
+  explicit ThreadPool(int threads = 0);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Total lanes, including the calling thread.
+  [[nodiscard]] int size() const { return size_; }
+
+  /// Run fn(i) for every i in [0, n), blocking until all complete.
+  /// Iterations are statically partitioned into size() contiguous blocks;
+  /// lane L runs [L*n/size(), (L+1)*n/size()). Rethrows the exception of
+  /// the lowest-numbered failing lane after every lane finished. The pool
+  /// remains usable after an exception.
+  void parallel_for(std::size_t n, const std::function<void(std::size_t)>& fn);
+
+  /// parallel_for that collects fn(i) into a vector in index order — the
+  /// result is identical to a serial loop regardless of lane count.
+  template <typename Fn>
+  auto parallel_map(std::size_t n, Fn&& fn)
+      -> std::vector<decltype(fn(std::size_t{}))> {
+    std::vector<decltype(fn(std::size_t{}))> out(n);
+    parallel_for(n, [&](std::size_t i) { out[i] = fn(i); });
+    return out;
+  }
+
+ private:
+  struct Job {
+    const std::function<void(std::size_t)>* fn = nullptr;
+    std::size_t n = 0;
+    int lanes = 0;  ///< lanes participating in this job (<= size_)
+  };
+
+  void worker_loop(int lane);
+  /// Execute `lane`'s contiguous block of `job`, capturing any exception.
+  void run_block(const Job& job, int lane) noexcept;
+
+  int size_ = 1;
+  std::vector<std::thread> workers_;
+
+  std::mutex mutex_;
+  std::condition_variable start_cv_;
+  std::condition_variable done_cv_;
+  std::uint64_t generation_ = 0;
+  int pending_ = 0;
+  Job job_;
+  bool stop_ = false;
+  std::vector<std::exception_ptr> errors_;  ///< one slot per lane
+};
+
+/// One-shot helper: run fn(i) for i in [0, n) on a transient pool.
+/// threads: 0 = hardware concurrency, 1 = plain serial loop (no pool).
+/// All fan-out consumers (MC-STA, sweeps, binning) route through here, so
+/// their `threads` options share one meaning.
+void parallel_for(int threads, std::size_t n,
+                  const std::function<void(std::size_t)>& fn);
+
+/// One-shot ordered map; see ThreadPool::parallel_map.
+template <typename Fn>
+auto parallel_map(int threads, std::size_t n, Fn&& fn)
+    -> std::vector<decltype(fn(std::size_t{}))> {
+  std::vector<decltype(fn(std::size_t{}))> out(n);
+  parallel_for(threads, n, [&](std::size_t i) { out[i] = fn(i); });
+  return out;
+}
+
+}  // namespace gap::common

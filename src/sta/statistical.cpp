@@ -1,9 +1,12 @@
 #include "sta/statistical.hpp"
 
 #include <cmath>
+#include <cstddef>
+#include <vector>
 
 #include "common/check.hpp"
 #include "common/rng.hpp"
+#include "common/thread_pool.hpp"
 
 namespace gap::sta {
 
@@ -15,16 +18,25 @@ McStaResult monte_carlo_sta(const netlist::Netlist& nl,
   McStaResult result;
   result.nominal_period_tau = analyze(nl, options.base).min_period_tau;
 
-  Rng rng(options.seed);
-  std::vector<double> factors(nl.num_instances());
-  for (int s = 0; s < options.samples; ++s) {
+  // Each sample owns a counter-based RNG stream and its own factor
+  // buffer, so samples are independent of each other and of the lane
+  // that runs them; parallel_map writes periods in sample order. Thread
+  // count therefore never changes the statistics (docs/parallelism.md).
+  const auto sample_period = [&](std::size_t s) {
+    Rng rng = Rng::stream(options.seed, s);
     const double die = std::exp(options.sigma_die * rng.normal());
+    std::vector<double> factors(nl.num_instances());
     for (double& f : factors)
       f = die * std::exp(options.sigma_gate * rng.normal());
     StaOptions opt = options.base;
     opt.instance_delay_factors = &factors;
-    result.period_tau.add(analyze(nl, opt).min_period_tau);
-  }
+    return analyze(nl, opt).min_period_tau;
+  };
+
+  const std::vector<double> periods = common::parallel_map(
+      options.threads, static_cast<std::size_t>(options.samples),
+      sample_period);
+  for (double p : periods) result.period_tau.add(p);
   return result;
 }
 

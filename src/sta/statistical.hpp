@@ -23,6 +23,10 @@ struct McStaOptions {
   /// Die-level lognormal sigma applied to all gates of a sample.
   double sigma_die = 0.0;
   std::uint64_t seed = 1;
+  /// Fan the samples out over this many threads (0 = hardware
+  /// concurrency, 1 = legacy serial loop). Sample i always draws from
+  /// Rng::stream(seed, i), so results are bit-identical at any setting.
+  int threads = 1;
 };
 
 struct McStaResult {

@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "common/check.hpp"
+#include "common/thread_pool.hpp"
 
 namespace gap::variation {
 
@@ -49,14 +50,16 @@ double sample_delay_factor(const VariationModel& m, Rng& rng) {
 }
 
 std::vector<double> monte_carlo_speeds(const FabProfile& fab, int n,
-                                       std::uint64_t seed) {
+                                       std::uint64_t seed, int threads) {
   GAP_EXPECTS(n > 0);
-  Rng rng(seed);
-  std::vector<double> speeds;
-  speeds.reserve(static_cast<std::size_t>(n));
-  for (int i = 0; i < n; ++i)
-    speeds.push_back(1.0 / sample_delay_factor(fab.model, rng));
-  return speeds;
+  // One counter-based stream per die: die i's draws depend only on
+  // (seed, i), never on which lane samples it or how many dies precede
+  // it on that lane — the determinism contract of docs/parallelism.md.
+  return common::parallel_map(
+      threads, static_cast<std::size_t>(n), [&](std::size_t i) {
+        Rng rng = Rng::stream(seed, i);
+        return 1.0 / sample_delay_factor(fab.model, rng);
+      });
 }
 
 BinStats bin_stats(const std::vector<double>& speeds,

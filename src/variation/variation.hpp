@@ -68,10 +68,14 @@ struct SignoffDerating {
 /// the mean up slightly (max over paths).
 [[nodiscard]] double sample_delay_factor(const VariationModel& m, Rng& rng);
 
-/// Monte Carlo: per-die *speed* factors (1/delay) for `n` dies.
+/// Monte Carlo: per-die *speed* factors (1/delay) for `n` dies. Die i
+/// draws from the counter-based stream Rng::stream(seed, i), fanned out
+/// over `threads` (0 = hardware concurrency, 1 = serial loop); the vector
+/// is bit-identical at any thread count.
 [[nodiscard]] std::vector<double> monte_carlo_speeds(const FabProfile& fab,
                                                      int n,
-                                                     std::uint64_t seed);
+                                                     std::uint64_t seed,
+                                                     int threads = 1);
 
 /// Binning statistics over a speed-factor sample.
 struct BinStats {

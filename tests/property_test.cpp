@@ -12,6 +12,7 @@
 #include "sizing/buffers.hpp"
 #include "sizing/tilos.hpp"
 #include "sta/sta.hpp"
+#include "sta/statistical.hpp"
 #include "synth/mapper.hpp"
 #include "tech/technology.hpp"
 
@@ -168,6 +169,38 @@ TEST_P(StaMonotonicity, PeriodRespondsMonotonically) {
 }
 
 INSTANTIATE_TEST_SUITE_P(Seeds, StaMonotonicity, ::testing::Values(7, 11, 19));
+
+class McStaProperty : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(McStaProperty, MedianNeverBelowNominalAtAnyThreadCount) {
+  // Section 8.1.1's max-of-paths effect as an invariant: per-gate
+  // lognormal factors have median 1, but the chip period is a max over
+  // near-critical endpoints of sums of skewed factors, so the Monte
+  // Carlo median can only sit at or above the nominal corner. The
+  // invariant must hold — with bit-identical statistics — at every
+  // thread count (the parallel layer's determinism contract).
+  const Aig aig = random_aig(GetParam(), 8, 120, 5);
+  const CellLibrary lib = library::make_rich_asic_library(tech::asic_025um());
+  const auto nl = synth::map_to_netlist(aig, lib, synth::MapOptions{}, "r");
+
+  sta::McStaOptions opt;
+  opt.samples = 120;
+  opt.sigma_gate = 0.10;
+  opt.seed = GetParam();
+
+  opt.threads = 1;
+  const auto serial = sta::monte_carlo_sta(nl, opt);
+  EXPECT_GE(serial.period_tau.quantile(0.5), serial.nominal_period_tau);
+  EXPECT_GE(serial.mean_shift(), 0.0);
+
+  opt.threads = 3;
+  const auto parallel = sta::monte_carlo_sta(nl, opt);
+  EXPECT_GE(parallel.period_tau.quantile(0.5), parallel.nominal_period_tau);
+  EXPECT_EQ(serial.period_tau.samples(), parallel.period_tau.samples());
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, McStaProperty,
+                         ::testing::Values(3, 23, 43, 63, 83));
 
 }  // namespace
 }  // namespace gap

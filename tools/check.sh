@@ -1,0 +1,34 @@
+#!/usr/bin/env bash
+# tools/check.sh — build & test gate for the parallel execution layer.
+#
+#   tools/check.sh          # TSan build, then run parallel_test + sta_test
+#   tools/check.sh all      # additionally: regular build + full ctest suite
+#
+# The ThreadSanitizer pass is the point: gap::common::ThreadPool and its
+# consumers (MC-STA, parameter sweeps, variation binning) must be race-free
+# at any thread count, not merely deterministic. Uses a separate build tree
+# (build-tsan) so it never perturbs the primary build/.
+
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+JOBS="${JOBS:-$(nproc)}"
+
+echo "== ThreadSanitizer build (build-tsan) =="
+cmake -B build-tsan -S . -DGAP_SANITIZE=thread -DCMAKE_BUILD_TYPE=RelWithDebInfo
+cmake --build build-tsan -j "$JOBS" --target parallel_test sta_test
+
+echo "== parallel_test under TSan =="
+TSAN_OPTIONS="${TSAN_OPTIONS:-halt_on_error=1}" ./build-tsan/tests/parallel_test
+
+echo "== sta_test under TSan =="
+TSAN_OPTIONS="${TSAN_OPTIONS:-halt_on_error=1}" ./build-tsan/tests/sta_test
+
+if [[ "${1:-}" == "all" ]]; then
+  echo "== regular build + full test suite =="
+  cmake -B build -S .
+  cmake --build build -j "$JOBS"
+  ctest --test-dir build --output-on-failure -j "$JOBS"
+fi
+
+echo "check.sh: OK"

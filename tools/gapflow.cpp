@@ -28,6 +28,7 @@
 #include "netlist/verilog.hpp"
 #include "power/power.hpp"
 #include "sta/report.hpp"
+#include "sta/statistical.hpp"
 
 namespace {
 
@@ -42,6 +43,8 @@ struct Args {
   std::string liberty_out;
   std::optional<int> stages;
   std::optional<std::string> corner;
+  int mc_samples = 0;
+  int threads = 0;
   bool macro_style = false;
   bool scan = false;
   bool list_designs = false;
@@ -61,6 +64,9 @@ void print_help() {
       "  --macro                use macro-cell datapath style\n"
       "  --scan                 insert a scan chain before signoff\n"
       "  --report R             timing | power | noise | all\n"
+      "  --mc N                 Monte Carlo statistical signoff, N samples\n"
+      "  --threads N            fan-out thread count (0 = all cores);\n"
+      "                         results are identical at any setting\n"
       "  --write-verilog FILE   dump the implemented netlist\n"
       "  --write-liberty FILE   dump the methodology's cell library\n"
       "  --help                 this text\n");
@@ -92,6 +98,13 @@ std::optional<Args> parse(int argc, char** argv) {
       if (auto v = value()) a.liberty_out = *v; else return std::nullopt;
     } else if (flag == "--stages") {
       if (auto v = value()) a.stages = std::stoi(*v); else return std::nullopt;
+    } else if (flag == "--mc") {
+      if (auto v = value()) a.mc_samples = std::stoi(*v);
+      else return std::nullopt;
+    } else if (flag == "--threads") {
+      if (auto v = value()) a.threads = std::stoi(*v);
+      else return std::nullopt;
+      if (a.threads < 0) return std::nullopt;
     } else if (flag == "--corner") {
       if (auto v = value()) a.corner = *v; else return std::nullopt;
     } else {
@@ -219,6 +232,24 @@ int main(int argc, char** argv) {
     std::printf("  leakage   : %.3f mW\n", p.leakage_mw);
     std::printf("  total     : %.2f mW (%.1f MHz/mW)\n\n", p.total_mw(),
                 r.freq_mhz / p.total_mw());
+  }
+
+  if (args.mc_samples > 0) {
+    sta::McStaOptions mc;
+    mc.base = sta_opt;
+    mc.samples = args.mc_samples;
+    mc.threads = args.threads;
+    const auto r_mc = sta::monte_carlo_sta(*r.nl, mc);
+    const double med = r_mc.period_tau.quantile(0.5);
+    std::printf("statistical signoff (%d samples, %d thread(s)):\n",
+                mc.samples, args.threads);
+    std::printf("  nominal   : %.1f tau (%.0f MHz at signoff corner)\n",
+                r_mc.nominal_period_tau, r.freq_mhz);
+    std::printf("  median    : %.1f tau (mean shift %+.1f%%)\n", med,
+                100.0 * r_mc.mean_shift());
+    std::printf("  q05..q95  : %.1f .. %.1f tau (spread %.1f%%)\n\n",
+                r_mc.period_tau.quantile(0.05), r_mc.period_tau.quantile(0.95),
+                100.0 * r_mc.relative_spread());
   }
 
   if (args.report == "noise" || args.report == "all") {
