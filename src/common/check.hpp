@@ -4,14 +4,76 @@
 /// Expects/Ensures. Violations abort with a location message: a violated
 /// precondition in an EDA flow means the data structure invariants are gone
 /// and any result downstream would be garbage.
+///
+/// The abort is the default, not the only behavior. Code that feeds
+/// *untrusted* data into contract-checked structures (the Liberty/Verilog
+/// readers, the flow's stage guard) installs a ScopedContractCapture; while
+/// one is active on the current thread, a violated contract throws
+/// ContractViolation instead of aborting, so the caller can convert it into
+/// a structured diagnostic (common/status.hpp). Everywhere else —
+/// including every other thread — GAP_EXPECTS/GAP_ENSURES stay abort-hard:
+/// the capture scope *is* the contract-vs-recoverable boundary
+/// (docs/diagnostics.md).
 
 #include <cstdio>
 #include <cstdlib>
+#include <exception>
+#include <string>
 
 namespace gap {
 
+/// A captured GAP_EXPECTS/GAP_ENSURES failure. Only ever thrown while a
+/// ScopedContractCapture is active on the failing thread.
+class ContractViolation : public std::exception {
+ public:
+  ContractViolation(const char* kind, const char* expr, const char* file,
+                    int line)
+      : kind_(kind), expr_(expr), file_(file), line_(line) {
+    message_ = std::string(kind) + " violated: (" + expr + ") at " + file +
+               ":" + std::to_string(line);
+  }
+
+  [[nodiscard]] const char* what() const noexcept override {
+    return message_.c_str();
+  }
+  [[nodiscard]] const char* kind() const { return kind_; }
+  [[nodiscard]] const char* expr() const { return expr_; }
+  [[nodiscard]] const char* file() const { return file_; }
+  [[nodiscard]] int line() const { return line_; }
+
+ private:
+  std::string message_;
+  const char* kind_;
+  const char* expr_;
+  const char* file_;
+  int line_;
+};
+
+namespace detail {
+/// Depth of active ScopedContractCapture scopes on this thread.
+inline thread_local int contract_capture_depth = 0;
+}  // namespace detail
+
+/// RAII opt-in: while alive, contract failures on this thread throw
+/// ContractViolation instead of aborting. Thread-local and nestable; never
+/// affects other threads (a ThreadPool lane still aborts unless the task
+/// itself installs a capture).
+class ScopedContractCapture {
+ public:
+  ScopedContractCapture() { ++detail::contract_capture_depth; }
+  ~ScopedContractCapture() { --detail::contract_capture_depth; }
+  ScopedContractCapture(const ScopedContractCapture&) = delete;
+  ScopedContractCapture& operator=(const ScopedContractCapture&) = delete;
+};
+
+[[nodiscard]] inline bool contract_capture_active() {
+  return detail::contract_capture_depth > 0;
+}
+
 [[noreturn]] inline void contract_failure(const char* kind, const char* expr,
                                           const char* file, int line) {
+  if (contract_capture_active())
+    throw ContractViolation(kind, expr, file, line);
   std::fprintf(stderr, "%s violated: (%s) at %s:%d\n", kind, expr, file, line);
   std::abort();
 }

@@ -1,0 +1,60 @@
+#include "common/diagnostics.hpp"
+
+namespace gap::common {
+
+void DiagnosticEngine::report(Diagnostic d) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  diags_.push_back(std::move(d));
+}
+
+void DiagnosticEngine::report(Severity severity, ErrorCode code,
+                              std::string message, SourceLoc loc,
+                              std::string where) {
+  Diagnostic d;
+  d.severity = severity;
+  d.code = code;
+  d.message = std::move(message);
+  d.loc = loc;
+  d.where = std::move(where);
+  report(std::move(d));
+}
+
+void DiagnosticEngine::report(const Status& status, Severity severity) {
+  if (status.ok()) return;
+  report(status.to_diagnostic(severity));
+}
+
+std::vector<Diagnostic> DiagnosticEngine::diagnostics() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return diags_;
+}
+
+std::size_t DiagnosticEngine::size() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return diags_.size();
+}
+
+std::size_t DiagnosticEngine::count_at_least(Severity severity) const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  std::size_t n = 0;
+  for (const Diagnostic& d : diags_)
+    if (d.severity >= severity) ++n;
+  return n;
+}
+
+std::string DiagnosticEngine::format_all() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  std::string out;
+  for (const Diagnostic& d : diags_) {
+    out += d.format();
+    out += '\n';
+  }
+  return out;
+}
+
+void DiagnosticEngine::clear() {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  diags_.clear();
+}
+
+}  // namespace gap::common

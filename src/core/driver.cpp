@@ -1,0 +1,412 @@
+#include "core/driver.hpp"
+
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <ostream>
+#include <sstream>
+
+#include "core/flow.hpp"
+#include "core/gap.hpp"
+#include "designs/registry.hpp"
+#include "dft/scan.hpp"
+#include "library/liberty.hpp"
+#include "netlist/stats.hpp"
+#include "netlist/verilog.hpp"
+#include "noise/crosstalk.hpp"
+#include "power/power.hpp"
+#include "sta/report.hpp"
+#include "sta/statistical.hpp"
+
+namespace gap::core::cli {
+namespace {
+
+using common::ErrorCode;
+using common::Result;
+using common::Status;
+
+template <typename... A>
+void put(std::ostream& os, const char* fmt, A... a) {
+  char buf[512];
+  std::snprintf(buf, sizeof(buf), fmt, a...);
+  os << buf;
+}
+
+void print_help(std::ostream& os) {
+  os << "gapflow — implement a design and report timing/power\n\n"
+        "usage: gapflow [options]\n"
+        "  --design NAME          design from the registry (default alu32)\n"
+        "  --list-designs         print available designs and exit\n"
+        "  --methodology M        typical | good | custom | reference\n"
+        "  --tech T               asic025 | custom025 | ibm018 | asic035\n"
+        "  --stages N             override pipeline stage count\n"
+        "  --corner C             typical | worst | conservative | fast\n"
+        "  --macro                use macro-cell datapath style\n"
+        "  --scan                 insert a scan chain before signoff\n"
+        "  --report R             timing | power | noise | all\n"
+        "  --mc N                 Monte Carlo statistical signoff, N samples\n"
+        "  --threads N            fan-out thread count (0 = all cores);\n"
+        "                         results are identical at any setting\n"
+        "  --diagnostics          dump the per-stage flow report\n"
+        "  --check-liberty FILE   lint a Liberty file and exit\n"
+        "  --check-verilog FILE   lint a Verilog file (against the\n"
+        "                         methodology's library) and exit\n"
+        "  --write-verilog FILE   dump the implemented netlist\n"
+        "  --write-liberty FILE   dump the methodology's cell library\n"
+        "  --help                 this text\n"
+        "\nexit codes: 0 ok, 2 unknown flag, 3 bad flag value,\n"
+        "  4 unknown name, 5 input error, 6 flow failure\n";
+}
+
+Status usage_error(ErrorCode code, std::string msg) {
+  return Status::error(code, std::move(msg), {}, "gapflow");
+}
+
+/// Strict base-10 integer: the whole token must be consumed.
+std::optional<int> parse_int(const std::string& s) {
+  if (s.empty()) return std::nullopt;
+  char* end = nullptr;
+  errno = 0;
+  const long v = std::strtol(s.c_str(), &end, 10);
+  if (errno != 0 || end != s.c_str() + s.size()) return std::nullopt;
+  if (v < -1000000 || v > 1000000) return std::nullopt;
+  return static_cast<int>(v);
+}
+
+std::optional<tech::Technology> tech_of(const std::string& name) {
+  if (name == "asic025") return tech::asic_025um();
+  if (name == "custom025") return tech::custom_025um();
+  if (name == "ibm018") return tech::ibm_018um();
+  if (name == "asic035") return tech::asic_035um();
+  return std::nullopt;
+}
+
+std::optional<core::Methodology> methodology_of(const std::string& name) {
+  if (name == "typical") return core::typical_asic();
+  if (name == "good") return core::good_asic();
+  if (name == "custom") return core::full_custom();
+  if (name == "reference") return core::reference_methodology();
+  return std::nullopt;
+}
+
+std::optional<tech::ProcessCorner> corner_of(const std::string& name) {
+  if (name == "typical") return tech::corner_typical();
+  if (name == "worst") return tech::corner_worst_case();
+  if (name == "conservative") return tech::corner_conservative();
+  if (name == "fast") return tech::corner_fast_bin();
+  return std::nullopt;
+}
+
+/// Emit the one-line diagnostic for a failed status and return its exit
+/// code.
+int report_failure(const Status& s, std::ostream& err) {
+  err << s.to_diagnostic().format() << '\n';
+  return exit_code_for(s.code());
+}
+
+Result<std::string> read_file(const std::string& path) {
+  std::ifstream is(path, std::ios::binary);
+  if (!is)
+    return Status::error(ErrorCode::kIo, "cannot read '" + path + "'", {},
+                         "gapflow");
+  std::ostringstream ss;
+  ss << is.rdbuf();
+  return ss.str();
+}
+
+}  // namespace
+
+int exit_code_for(ErrorCode code) {
+  switch (code) {
+    case ErrorCode::kOk: return 0;
+    case ErrorCode::kUsage: return 2;
+    case ErrorCode::kMissingValue:
+    case ErrorCode::kInvalidValue: return 3;
+    case ErrorCode::kUnknownName: return 4;
+    case ErrorCode::kParse:
+    case ErrorCode::kDuplicate:
+    case ErrorCode::kIo: return 5;
+    case ErrorCode::kStructural:
+    case ErrorCode::kContract:
+    case ErrorCode::kInternal: return 6;
+  }
+  return 6;
+}
+
+Result<DriverArgs> parse_args(const std::vector<std::string>& argv) {
+  DriverArgs a;
+  for (std::size_t i = 1; i < argv.size(); ++i) {
+    const std::string& flag = argv[i];
+    auto value = [&]() -> std::optional<std::string> {
+      if (i + 1 >= argv.size()) return std::nullopt;
+      return argv[++i];
+    };
+    auto string_arg = [&](std::string& dst) -> std::optional<Status> {
+      if (auto v = value()) {
+        dst = *v;
+        return std::nullopt;
+      }
+      return usage_error(ErrorCode::kMissingValue,
+                         "missing value for " + flag);
+    };
+    auto int_arg = [&](int& dst) -> std::optional<Status> {
+      const auto v = value();
+      if (!v)
+        return usage_error(ErrorCode::kMissingValue,
+                           "missing value for " + flag);
+      const auto n = parse_int(*v);
+      if (!n)
+        return usage_error(ErrorCode::kInvalidValue,
+                           "invalid value '" + *v + "' for " + flag);
+      dst = *n;
+      return std::nullopt;
+    };
+
+    std::optional<Status> bad;
+    if (flag == "--help") a.help = true;
+    else if (flag == "--list-designs") a.list_designs = true;
+    else if (flag == "--macro") a.macro_style = true;
+    else if (flag == "--scan") a.scan = true;
+    else if (flag == "--diagnostics") a.diagnostics = true;
+    else if (flag == "--design") bad = string_arg(a.design);
+    else if (flag == "--methodology") bad = string_arg(a.methodology);
+    else if (flag == "--tech") bad = string_arg(a.tech);
+    else if (flag == "--report") bad = string_arg(a.report);
+    else if (flag == "--write-verilog") bad = string_arg(a.verilog_out);
+    else if (flag == "--write-liberty") bad = string_arg(a.liberty_out);
+    else if (flag == "--check-liberty") bad = string_arg(a.check_liberty);
+    else if (flag == "--check-verilog") bad = string_arg(a.check_verilog);
+    else if (flag == "--corner") {
+      std::string c;
+      bad = string_arg(c);
+      if (!bad) a.corner = c;
+    } else if (flag == "--stages") {
+      int n = 0;
+      bad = int_arg(n);
+      if (!bad) a.stages = n;
+    } else if (flag == "--mc") {
+      bad = int_arg(a.mc_samples);
+    } else if (flag == "--threads") {
+      bad = int_arg(a.threads);
+      if (!bad && a.threads < 0)
+        bad = usage_error(ErrorCode::kInvalidValue,
+                          "--threads must be >= 0");
+    } else {
+      bad = usage_error(ErrorCode::kUsage, "unknown flag '" + flag + "'");
+    }
+    if (bad) return *bad;
+  }
+  if (!a.report.empty() && a.report != "timing" && a.report != "power" &&
+      a.report != "noise" && a.report != "all")
+    return usage_error(ErrorCode::kUnknownName,
+                       "unknown --report '" + a.report + "'");
+  return a;
+}
+
+int run(const std::vector<std::string>& argv, std::ostream& out,
+        std::ostream& err) {
+  const Result<DriverArgs> parsed = parse_args(argv);
+  if (!parsed.ok()) {
+    const int code = report_failure(parsed.status(), err);
+    err << "run 'gapflow --help' for usage\n";
+    return code;
+  }
+  const DriverArgs& args = *parsed;
+  if (args.help) {
+    print_help(out);
+    return 0;
+  }
+  if (args.list_designs) {
+    for (const std::string& name : designs::design_names()) out << name << '\n';
+    return 0;
+  }
+
+  const auto t = tech_of(args.tech);
+  if (!t)
+    return report_failure(usage_error(ErrorCode::kUnknownName,
+                                      "unknown --tech '" + args.tech + "'"),
+                          err);
+  auto m = methodology_of(args.methodology);
+  if (!m)
+    return report_failure(
+        usage_error(ErrorCode::kUnknownName,
+                    "unknown --methodology '" + args.methodology + "'"),
+        err);
+  if (args.stages) m->pipeline_stages = *args.stages;
+  if (args.corner) {
+    const auto c = corner_of(*args.corner);
+    if (!c)
+      return report_failure(
+          usage_error(ErrorCode::kUnknownName,
+                      "unknown --corner '" + *args.corner + "'"),
+          err);
+    m->corner = *c;
+  }
+  if (args.macro_style) m->datapath = designs::DatapathStyle::kMacro;
+
+  // Lint modes: parse the file, print every finding, exit without running
+  // a flow.
+  if (!args.check_liberty.empty()) {
+    const auto text = read_file(args.check_liberty);
+    if (!text.ok()) return report_failure(text.status(), err);
+    const auto lib = library::read_liberty(*text);
+    if (!lib.ok()) {
+      Status s = lib.status();
+      return report_failure(
+          Status::error(s.code(), args.check_liberty + ": " + s.message(),
+                        s.loc(), s.where()),
+          err);
+    }
+    out << args.check_liberty << ": ok (" << lib->size() << " cells)\n";
+    return 0;
+  }
+
+  core::Flow flow(*t);
+  const library::CellLibrary& lib = flow.library_for(m->library);
+
+  if (!args.check_verilog.empty()) {
+    const auto text = read_file(args.check_verilog);
+    if (!text.ok()) return report_failure(text.status(), err);
+    const auto nl = netlist::read_verilog(*text, lib);
+    if (!nl.ok()) {
+      Status s = nl.status();
+      return report_failure(
+          Status::error(s.code(), args.check_verilog + ": " + s.message(),
+                        s.loc(), s.where()),
+          err);
+    }
+    out << args.check_verilog << ": ok (" << nl->num_instances()
+        << " instances)\n";
+    return 0;
+  }
+
+  bool known = false;
+  for (const std::string& name : designs::design_names())
+    if (name == args.design) known = true;
+  if (!known)
+    return report_failure(
+        usage_error(ErrorCode::kUnknownName, "unknown design '" + args.design +
+                                                 "' (--list-designs)"),
+        err);
+
+  const auto design = designs::make_design(args.design, m->datapath);
+  FlowOptions fopt;
+  core::FlowResult r = flow.run(design, *m, fopt);
+
+  if (args.diagnostics || !r.ok()) {
+    out << "flow report:\n" << r.report.format();
+  }
+  if (!r.ok() || !r.nl) {
+    for (const common::Diagnostic& d : r.report.all_diagnostics())
+      err << d.format() << '\n';
+    const StageReport* failed = r.report.failed_stage();
+    const ErrorCode code = (failed && !failed->diagnostics.empty())
+                               ? failed->diagnostics.front().code
+                               : ErrorCode::kInternal;
+    return exit_code_for(code);
+  }
+
+  sta::StaOptions sta_opt;
+  sta_opt.corner_delay_factor = m->corner.delay_factor;
+  sta_opt.clock.skew_fraction = m->skew_fraction;
+  sta_opt.optimal_repeaters = m->optimal_repeaters;
+
+  if (args.scan) {
+    const auto scan = dft::insert_scan(*r.nl);
+    put(out, "scan chain inserted: %d flops, %d muxes\n", scan.chain_length,
+        scan.muxes_added);
+    r.timing = sta::analyze(*r.nl, sta_opt);
+    r.freq_mhz = r.timing.frequency_mhz();
+    r.area_um2 = r.nl->total_area_um2();
+  }
+
+  put(out, "gapflow: %s under %s in %s\n\n", args.design.c_str(),
+      m->name.c_str(), t->name.c_str());
+  const auto stats = netlist::collect_stats(*r.nl);
+  put(out, "  frequency : %.0f MHz (%.1f FO4/cycle)\n", r.freq_mhz,
+      r.timing.min_period_fo4);
+  put(out, "  area      : %.0f um^2 (%zu instances, %zu registers)\n",
+      r.area_um2, stats.instances, stats.sequential);
+  put(out, "  die       : %.0f x %.0f um\n", r.die_w_um, r.die_h_um);
+  put(out, "  stages    : %d (%d registers inserted)\n\n", m->pipeline_stages,
+      r.pipeline_registers);
+
+  if (args.report == "timing" || args.report == "all") {
+    out << sta::format_critical_path(*r.nl, sta_opt, r.timing) << '\n';
+    out << sta::format_slack_histogram(*r.nl, sta_opt,
+                                       r.timing.min_period_tau)
+        << '\n';
+  }
+  if (args.report == "power" || args.report == "all") {
+    power::PowerOptions popt;
+    popt.freq_mhz = r.freq_mhz;
+    const auto p = power::estimate_power(*r.nl, popt);
+    put(out, "power @ %.0f MHz:\n", r.freq_mhz);
+    put(out, "  dynamic   : %.2f mW\n", p.dynamic_mw);
+    put(out, "  clock     : %.2f mW\n", p.clock_mw);
+    put(out, "  precharge : %.2f mW\n", p.precharge_mw);
+    put(out, "  leakage   : %.3f mW\n", p.leakage_mw);
+    put(out, "  total     : %.2f mW (%.1f MHz/mW)\n\n", p.total_mw(),
+        r.freq_mhz / p.total_mw());
+  }
+
+  if (args.mc_samples > 0) {
+    sta::McStaOptions mc;
+    mc.base = sta_opt;
+    mc.samples = args.mc_samples;
+    mc.threads = args.threads;
+    const auto r_mc = sta::monte_carlo_sta(*r.nl, mc);
+    const double med = r_mc.period_tau.quantile(0.5);
+    put(out, "statistical signoff (%d samples, %d thread(s)):\n", mc.samples,
+        args.threads);
+    put(out, "  nominal   : %.1f tau (%.0f MHz at signoff corner)\n",
+        r_mc.nominal_period_tau, r.freq_mhz);
+    put(out, "  median    : %.1f tau (mean shift %+.1f%%)\n", med,
+        100.0 * r_mc.mean_shift());
+    put(out, "  q05..q95  : %.1f .. %.1f tau (spread %.1f%%)\n\n",
+        r_mc.period_tau.quantile(0.05), r_mc.period_tau.quantile(0.95),
+        100.0 * r_mc.relative_spread());
+  }
+
+  if (args.report == "noise" || args.report == "all") {
+    const auto noise = noise::analyze_noise(*r.nl, noise::NoiseOptions{});
+    put(out,
+        "crosstalk: worst bump %.2f Vdd, %zu static / %zu domino "
+        "margin failures over %zu coupled nets\n\n",
+        noise.worst_bump_fraction, noise.static_failures,
+        noise.domino_failures, noise.nets.size());
+  }
+
+  if (!args.verilog_out.empty()) {
+    std::ofstream os(args.verilog_out);
+    if (!os)
+      return report_failure(
+          Status::error(ErrorCode::kIo,
+                        "cannot write '" + args.verilog_out + "'", {},
+                        "gapflow"),
+          err);
+    netlist::write_verilog(*r.nl, os);
+    out << "wrote " << args.verilog_out << '\n';
+  }
+  if (!args.liberty_out.empty()) {
+    std::ofstream os(args.liberty_out);
+    if (!os)
+      return report_failure(
+          Status::error(ErrorCode::kIo,
+                        "cannot write '" + args.liberty_out + "'", {},
+                        "gapflow"),
+          err);
+    library::write_liberty(lib, os);
+    out << "wrote " << args.liberty_out << '\n';
+  }
+  return 0;
+}
+
+int run(int argc, char** argv, std::ostream& out, std::ostream& err) {
+  std::vector<std::string> args;
+  args.reserve(static_cast<std::size_t>(argc));
+  for (int i = 0; i < argc; ++i) args.emplace_back(argv[i]);
+  return run(args, out, err);
+}
+
+}  // namespace gap::core::cli

@@ -1,5 +1,11 @@
 #include "core/flow.hpp"
 
+#include <chrono>
+#include <cstdio>
+#include <exception>
+#include <sstream>
+
+#include "common/check.hpp"
 #include "library/builders.hpp"
 #include "netlist/checks.hpp"
 #include "pipeline/pipeline.hpp"
@@ -20,7 +26,126 @@ sta::StaOptions sta_options_for(const Methodology& m) {
   return opt;
 }
 
+common::Diagnostic make_diag(common::ErrorCode code, std::string msg,
+                             const std::string& stage) {
+  common::Diagnostic d;
+  d.severity = common::Severity::kError;
+  d.code = code;
+  d.message = std::move(msg);
+  d.where = "flow:" + stage;
+  return d;
+}
+
+/// Runs each stage body under a timing + failure guard and appends a
+/// StageReport. Once a stage fails, later stages are skipped unless the
+/// options ask for best-effort continuation (and even then, a stage whose
+/// input data never materialised stays skipped via its `runnable` flag).
+class StageRunner {
+ public:
+  StageRunner(FlowReport& report, const FlowOptions& opt)
+      : report_(report), opt_(opt) {}
+
+  template <typename Body>
+  bool run(const std::string& name, bool runnable, Body&& body) {
+    StageReport sr;
+    sr.name = name;
+    if (!runnable || (failed_ && !opt_.continue_after_failure)) {
+      sr.status = StageStatus::kSkipped;
+      report_.stages.push_back(std::move(sr));
+      return false;
+    }
+    const auto t0 = std::chrono::steady_clock::now();
+    try {
+      if (opt_.capture_contract_failures) {
+        const ScopedContractCapture guard;
+        body(sr);
+      } else {
+        body(sr);
+      }
+    } catch (const ContractViolation& v) {
+      sr.diagnostics.push_back(
+          make_diag(common::ErrorCode::kContract, v.what(), name));
+    } catch (const std::exception& e) {
+      sr.diagnostics.push_back(
+          make_diag(common::ErrorCode::kInternal, e.what(), name));
+    }
+    const auto t1 = std::chrono::steady_clock::now();
+    sr.wall_ms =
+        std::chrono::duration<double, std::milli>(t1 - t0).count();
+    if (!sr.diagnostics.empty()) {
+      sr.status = StageStatus::kFailed;
+      failed_ = true;
+    }
+    const bool ok = sr.status == StageStatus::kOk;
+    report_.stages.push_back(std::move(sr));
+    return ok;
+  }
+
+  /// Append netlist::verify findings to the stage; any violation fails it.
+  void verify_into(StageReport& sr, const netlist::Netlist& nl,
+                   const std::string& stage) const {
+    if (!opt_.verify_between_stages) return;
+    const netlist::CheckResult check = netlist::verify(nl);
+    for (const common::Diagnostic& d : check.diagnostics) {
+      common::Diagnostic copy = d;
+      copy.where = "flow:" + stage + "/" + copy.where;
+      sr.diagnostics.push_back(std::move(copy));
+    }
+  }
+
+ private:
+  FlowReport& report_;
+  const FlowOptions& opt_;
+  bool failed_ = false;
+};
+
 }  // namespace
+
+std::string to_string(StageStatus s) {
+  switch (s) {
+    case StageStatus::kOk: return "ok";
+    case StageStatus::kFailed: return "failed";
+    case StageStatus::kSkipped: return "skipped";
+  }
+  return "?";
+}
+
+bool FlowReport::ok() const {
+  for (const StageReport& s : stages)
+    if (s.status == StageStatus::kFailed) return false;
+  return true;
+}
+
+const StageReport* FlowReport::failed_stage() const {
+  for (const StageReport& s : stages)
+    if (s.status == StageStatus::kFailed) return &s;
+  return nullptr;
+}
+
+std::vector<common::Diagnostic> FlowReport::all_diagnostics() const {
+  std::vector<common::Diagnostic> out;
+  for (const StageReport& s : stages)
+    out.insert(out.end(), s.diagnostics.begin(), s.diagnostics.end());
+  return out;
+}
+
+std::string FlowReport::format() const {
+  std::ostringstream os;
+  for (const StageReport& s : stages) {
+    os << "  " << s.name;
+    for (std::size_t i = s.name.size(); i < 10; ++i) os << ' ';
+    os << to_string(s.status);
+    if (s.status != StageStatus::kSkipped) {
+      char buf[32];
+      std::snprintf(buf, sizeof(buf), "  %8.2f ms", s.wall_ms);
+      os << buf;
+    }
+    os << '\n';
+    for (const common::Diagnostic& d : s.diagnostics)
+      os << "    " << d.format() << '\n';
+  }
+  return os.str();
+}
 
 Flow::Flow(tech::Technology technology, std::uint64_t seed)
     : tech_(std::move(technology)), seed_(seed) {
@@ -49,66 +174,96 @@ const library::CellLibrary& Flow::library_for(LibraryKind k) const {
 }
 
 FlowResult Flow::run(const logic::Aig& design, const Methodology& m) const {
+  return run(design, m, FlowOptions{});
+}
+
+FlowResult Flow::run(const logic::Aig& design, const Methodology& m,
+                     const FlowOptions& opt) const {
   const library::CellLibrary& lib = library_for(m.library);
+  FlowResult result;
+  StageRunner stages(result.report, opt);
 
   // 1. Technology mapping.
-  synth::MapOptions map_opt;
-  map_opt.objective = synth::MapObjective::kDelay;
-  map_opt.family = m.dynamic_logic ? library::Family::kDomino
-                                   : library::Family::kStatic;
-  netlist::Netlist mapped =
-      synth::map_to_netlist(design, lib, map_opt, design.po_name(0) + "_impl");
+  std::optional<netlist::Netlist> mapped;
+  stages.run("map", true, [&](StageReport& sr) {
+    synth::MapOptions map_opt;
+    map_opt.objective = synth::MapObjective::kDelay;
+    map_opt.family = m.dynamic_logic ? library::Family::kDomino
+                                     : library::Family::kStatic;
+    mapped = synth::map_to_netlist(design, lib, map_opt,
+                                   design.po_name(0) + "_impl");
+    stages.verify_into(sr, *mapped, "map");
+    if (!sr.diagnostics.empty()) mapped.reset();
+  });
 
   // 2. Pipelining (stages == 1 just register-bounds the design).
-  pipeline::PipelineOptions pipe_opt;
-  pipe_opt.stages = m.pipeline_stages;
-  pipe_opt.balanced = m.balanced_stages;
-  pipeline::PipelineResult piped = pipeline::pipeline_insert(mapped, pipe_opt);
+  stages.run("pipeline", mapped.has_value(), [&](StageReport& sr) {
+    pipeline::PipelineOptions pipe_opt;
+    pipe_opt.stages = m.pipeline_stages;
+    pipe_opt.balanced = m.balanced_stages;
+    pipeline::PipelineResult piped =
+        pipeline::pipeline_insert(*mapped, pipe_opt);
+    result.nl = std::make_shared<netlist::Netlist>(std::move(piped.nl));
+    result.pipeline_registers = piped.registers_added;
+    stages.verify_into(sr, *result.nl, "pipeline");
+    if (!sr.diagnostics.empty()) result.nl.reset();
+  });
 
-  FlowResult result;
-  result.nl = std::make_shared<netlist::Netlist>(std::move(piped.nl));
-  result.pipeline_registers = piped.registers_added;
-  netlist::Netlist& nl = *result.nl;
+  const bool have_nl = result.nl != nullptr;
+  const sta::StaOptions sta_opt = sta_options_for(m);
 
   // 3. Placement, then global routing: net lengths come from the routed
   // topology (HPWL plus congestion detours), not bare bounding boxes.
-  place::PlaceOptions place_opt;
-  place_opt.mode = m.placement;
-  place_opt.seed = seed_;
-  const place::PlaceResult placed = place::place(nl, place_opt);
-  result.die_w_um = placed.die_w_um;
-  result.die_h_um = placed.die_h_um;
-  route::route(nl, route::RouteOptions{});
+  stages.run("place", have_nl, [&](StageReport& sr) {
+    place::PlaceOptions place_opt;
+    place_opt.mode = m.placement;
+    place_opt.seed = seed_;
+    const place::PlaceResult placed = place::place(*result.nl, place_opt);
+    result.die_w_um = placed.die_w_um;
+    result.die_h_um = placed.die_h_um;
+    stages.verify_into(sr, *result.nl, "place");
+  });
+  stages.run("route", have_nl, [&](StageReport&) {
+    route::route(*result.nl, route::RouteOptions{});
+  });
 
   // 4. Gate sizing: fanout buffering of overloaded nets, synthesis-style
   // initial drive selection against the post-placement loads, then TILOS
   // refinement on the critical path.
-  const sta::StaOptions sta_opt = sta_options_for(m);
-  if (m.sizing != SizingLevel::kNone) {
-    sizing::initial_drive_assignment(nl);
-    // Fanout trees only on nets too big for driver upsizing alone.
-    sizing::insert_buffers(nl, 96.0);
-    sizing::initial_drive_assignment(nl);
-    sizing::SizingOptions size_opt;
-    size_opt.sta = sta_opt;
-    size_opt.continuous =
-        m.sizing == SizingLevel::kContinuous && lib.continuous_sizing;
-    size_opt.continuous_step = 1.25;
-    const sizing::SizingResult sized = sizing::tilos_size(nl, size_opt);
-    result.sizing_moves = sized.moves;
-    if (m.sizing == SizingLevel::kContinuous) {
-      // Custom teams also size wires (section 6: "wires may be widened
-      // to reduce the delays"; tooling the paper calls future work).
-      sizing::WireSizingOptions wopt;
-      wopt.sta = sta_opt;
-      sizing::widen_critical_wires(nl, wopt);
-    }
-  }
+  stages.run("size", have_nl && m.sizing != SizingLevel::kNone,
+             [&](StageReport& sr) {
+               netlist::Netlist& nl = *result.nl;
+               sizing::initial_drive_assignment(nl);
+               // Fanout trees only on nets too big for driver upsizing
+               // alone.
+               sizing::insert_buffers(nl, 96.0);
+               sizing::initial_drive_assignment(nl);
+               sizing::SizingOptions size_opt;
+               size_opt.sta = sta_opt;
+               size_opt.continuous = m.sizing == SizingLevel::kContinuous &&
+                                     lib.continuous_sizing;
+               size_opt.continuous_step = 1.25;
+               const sizing::SizingResult sized =
+                   sizing::tilos_size(nl, size_opt);
+               result.sizing_moves = sized.moves;
+               if (m.sizing == SizingLevel::kContinuous) {
+                 // Custom teams also size wires (section 6: "wires may be
+                 // widened to reduce the delays"; tooling the paper calls
+                 // future work).
+                 sizing::WireSizingOptions wopt;
+                 wopt.sta = sta_opt;
+                 sizing::widen_critical_wires(nl, wopt);
+               }
+               stages.verify_into(sr, nl, "size");
+             });
 
   // 5. Sign-off timing.
-  result.timing = sta::analyze(nl, sta_opt);
-  result.freq_mhz = result.timing.frequency_mhz();
-  result.area_um2 = nl.total_area_um2();
+  stages.run("signoff", have_nl, [&](StageReport&) {
+    result.timing = sta::analyze(*result.nl, sta_opt);
+    result.freq_mhz = result.timing.frequency_mhz();
+    result.area_um2 = result.nl->total_area_um2();
+  });
+
   return result;
 }
 

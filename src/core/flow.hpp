@@ -4,16 +4,63 @@
 /// place -> size -> timing sign-off, all steered by a Methodology. This
 /// is the engine behind the factor decomposition: every number in the
 /// reproduction is produced by running this flow, not by table lookup.
+///
+/// Each stage runs under a guard: wall time is measured, structural
+/// violations and captured contract failures become diagnostics in a
+/// per-stage report instead of aborting the process, and downstream
+/// stages are skipped (or continued best-effort) after a failure.
 
 #include <memory>
 #include <optional>
+#include <string>
+#include <vector>
 
+#include "common/status.hpp"
 #include "core/methodology.hpp"
 #include "logic/aig.hpp"
 #include "netlist/netlist.hpp"
 #include "sta/sta.hpp"
 
 namespace gap::core {
+
+enum class StageStatus : std::uint8_t { kOk, kFailed, kSkipped };
+[[nodiscard]] std::string to_string(StageStatus s);
+
+/// Record of one flow stage: what ran, how long it took, what went wrong.
+struct StageReport {
+  std::string name;
+  StageStatus status = StageStatus::kOk;
+  double wall_ms = 0.0;
+  std::vector<common::Diagnostic> diagnostics;
+};
+
+/// Per-stage account of a flow run. A flow whose report is not ok()
+/// produced no trustworthy timing/area numbers.
+struct FlowReport {
+  std::vector<StageReport> stages;
+
+  [[nodiscard]] bool ok() const;
+  /// First failed stage, or nullptr when everything ran clean.
+  [[nodiscard]] const StageReport* failed_stage() const;
+  /// All diagnostics across stages, in stage order.
+  [[nodiscard]] std::vector<common::Diagnostic> all_diagnostics() const;
+  /// Human-readable table: one line per stage plus indented diagnostics.
+  [[nodiscard]] std::string format() const;
+};
+
+/// Knobs for the stage guard.
+struct FlowOptions {
+  /// Turn GAP_EXPECTS/GAP_ENSURES failures inside a stage into kContract
+  /// diagnostics on that stage instead of aborting the process.
+  bool capture_contract_failures = true;
+  /// Keep running later stages (best-effort) after a stage fails, as long
+  /// as the data they need exists. Default is a clean stop: remaining
+  /// stages are reported kSkipped.
+  bool continue_after_failure = false;
+  /// Run netlist::verify after each netlist-mutating stage and fail the
+  /// stage on any structural violation.
+  bool verify_between_stages = true;
+};
 
 struct FlowResult {
   std::shared_ptr<netlist::Netlist> nl;  ///< final implemented netlist
@@ -24,6 +71,9 @@ struct FlowResult {
   int sizing_moves = 0;
   double die_w_um = 0.0;
   double die_h_um = 0.0;
+  FlowReport report;
+
+  [[nodiscard]] bool ok() const { return report.ok(); }
 };
 
 /// Owns the cell libraries for one technology and runs flows against it.
@@ -37,6 +87,8 @@ class Flow {
   /// Implement a combinational core under the given methodology.
   [[nodiscard]] FlowResult run(const logic::Aig& design,
                                const Methodology& m) const;
+  [[nodiscard]] FlowResult run(const logic::Aig& design, const Methodology& m,
+                               const FlowOptions& opt) const;
 
   [[nodiscard]] const library::CellLibrary& library_for(LibraryKind k) const;
   [[nodiscard]] const tech::Technology& technology() const { return tech_; }

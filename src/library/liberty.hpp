@@ -11,6 +11,7 @@
 #include <iosfwd>
 #include <string>
 
+#include "common/status.hpp"
 #include "library/library.hpp"
 
 namespace gap::library {
@@ -23,6 +24,13 @@ void write_liberty(const CellLibrary& lib, std::ostream& os);
 [[nodiscard]] std::string to_liberty(const CellLibrary& lib);
 
 /// Parse a library written by write_liberty (the emitted subset only).
-[[nodiscard]] CellLibrary read_liberty(const std::string& text);
+///
+/// Untrusted-input path: never aborts. Malformed syntax, unknown cell
+/// functions, duplicate cell names, non-numeric or semantically invalid
+/// values, and truncated input all come back as a failed Status carrying
+/// an ErrorCode and the line:column of the offending token. Libraries
+/// written by write_liberty() round-trip bit-identically.
+[[nodiscard]] common::Result<CellLibrary> read_liberty(
+    const std::string& text);
 
 }  // namespace gap::library

@@ -17,47 +17,14 @@ void for_each_comb_fanin(const Netlist& nl, InstanceId id,
   }
 }
 
-}  // namespace
-
-CheckResult verify(const Netlist& nl) {
-  CheckResult r;
-
-  for (NetId nid : nl.all_nets()) {
-    const Net& n = nl.net(nid);
-    if (n.driver.kind == NetDriver::Kind::kNone && !n.sinks.empty())
-      r.problems.push_back("net '" + n.name + "' has sinks but no driver");
-    for (const NetSink& s : n.sinks) {
-      if (s.kind != NetSink::Kind::kInstancePin) continue;
-      const Instance& inst = nl.instance(s.inst);
-      if (s.pin < 0 || s.pin >= static_cast<int>(inst.inputs.size()) ||
-          inst.inputs[s.pin] != nid)
-        r.problems.push_back("net '" + n.name +
-                             "' sink list inconsistent with instance '" +
-                             inst.name + "'");
-    }
-  }
-
-  for (InstanceId iid : nl.all_instances()) {
-    const Instance& inst = nl.instance(iid);
-    const library::Cell& c = nl.lib().cell(inst.cell);
-    if (static_cast<int>(inst.inputs.size()) != c.num_inputs())
-      r.problems.push_back("instance '" + inst.name + "' pin count mismatch");
-    const Net& out = nl.net(inst.output);
-    if (out.driver.kind != NetDriver::Kind::kInstance ||
-        out.driver.inst != iid)
-      r.problems.push_back("instance '" + inst.name +
-                           "' output net driver mismatch");
-  }
-
-  if (topo_order(nl).empty() && nl.num_instances() > 0)
-    r.problems.push_back("combinational cycle detected");
-
-  return r;
-}
-
-std::vector<InstanceId> topo_order(const Netlist& nl) {
+/// Kahn's algorithm over the combinational fanout graph. If `leftover` is
+/// non-null, the combinational instances that never became ready (i.e. the
+/// members of cycles and their downstream cone) are collected there.
+std::vector<InstanceId> topo_order_impl(const Netlist& nl,
+                                        std::vector<InstanceId>* leftover) {
   const std::size_t n = nl.num_instances();
   std::vector<int> pending(n, 0);
+  std::vector<bool> emitted(n, false);
   std::vector<InstanceId> order;
   order.reserve(n);
   std::queue<InstanceId> ready;
@@ -66,6 +33,7 @@ std::vector<InstanceId> topo_order(const Netlist& nl) {
     if (nl.is_sequential(id)) {
       // Sequential elements break combinational dependencies.
       order.push_back(id);
+      emitted[id.index()] = true;
       continue;
     }
     int count = 0;
@@ -74,12 +42,12 @@ std::vector<InstanceId> topo_order(const Netlist& nl) {
     if (count == 0) ready.push(id);
   }
 
-  // Kahn's algorithm over the combinational fanout graph.
   std::size_t emitted_comb = 0;
   while (!ready.empty()) {
     const InstanceId id = ready.front();
     ready.pop();
     order.push_back(id);
+    emitted[id.index()] = true;
     ++emitted_comb;
     for (const NetSink& s : nl.net(nl.instance(id).output).sinks) {
       if (s.kind != NetSink::Kind::kInstancePin) continue;
@@ -89,8 +57,92 @@ std::vector<InstanceId> topo_order(const Netlist& nl) {
   }
 
   const std::size_t comb_total = n - nl.num_sequential();
-  if (emitted_comb != comb_total) return {};  // cycle
+  if (emitted_comb != comb_total) {
+    if (leftover)
+      for (InstanceId id : nl.all_instances())
+        if (!emitted[id.index()]) leftover->push_back(id);
+    return {};  // cycle
+  }
   return order;
+}
+
+}  // namespace
+
+CheckResult verify(const Netlist& nl) {
+  CheckResult r;
+  auto add = [&](common::ErrorCode code, std::string msg) {
+    r.problems.push_back(msg);
+    common::Diagnostic d;
+    d.severity = common::Severity::kError;
+    d.code = code;
+    d.message = std::move(msg);
+    d.where = "netlist:" + nl.name();
+    r.diagnostics.push_back(std::move(d));
+  };
+  using common::ErrorCode;
+
+  // Driver multiplicity: each net must have at most one source (a primary
+  // input or one instance output). The Net::driver field can only record
+  // one, so count claims independently of it.
+  std::vector<int> driver_claims(nl.num_nets(), 0);
+  for (PortId p : nl.all_ports())
+    if (nl.port(p).is_input) ++driver_claims[nl.port(p).net.index()];
+  for (InstanceId iid : nl.all_instances()) {
+    const NetId out = nl.instance(iid).output;
+    if (out.valid() && out.index() < nl.num_nets())
+      ++driver_claims[out.index()];
+  }
+  for (NetId nid : nl.all_nets())
+    if (driver_claims[nid.index()] > 1)
+      add(ErrorCode::kStructural,
+          "net '" + nl.net(nid).name + "' has " +
+              std::to_string(driver_claims[nid.index()]) + " drivers");
+
+  for (NetId nid : nl.all_nets()) {
+    const Net& n = nl.net(nid);
+    if (n.driver.kind == NetDriver::Kind::kNone && !n.sinks.empty())
+      add(ErrorCode::kStructural,
+          "net '" + n.name + "' has sinks but no driver");
+    for (const NetSink& s : n.sinks) {
+      if (s.kind != NetSink::Kind::kInstancePin) continue;
+      const Instance& inst = nl.instance(s.inst);
+      if (s.pin < 0 || s.pin >= static_cast<int>(inst.inputs.size()) ||
+          inst.inputs[s.pin] != nid)
+        add(ErrorCode::kStructural,
+            "net '" + n.name + "' sink list inconsistent with instance '" +
+                inst.name + "'");
+    }
+  }
+
+  for (InstanceId iid : nl.all_instances()) {
+    const Instance& inst = nl.instance(iid);
+    const library::Cell& c = nl.lib().cell(inst.cell);
+    if (static_cast<int>(inst.inputs.size()) != c.num_inputs())
+      add(ErrorCode::kStructural,
+          "instance '" + inst.name + "' pin count mismatch");
+    const Net& out = nl.net(inst.output);
+    if (out.driver.kind != NetDriver::Kind::kInstance ||
+        out.driver.inst != iid)
+      add(ErrorCode::kStructural,
+          "instance '" + inst.name + "' output net driver mismatch");
+  }
+
+  std::vector<InstanceId> on_cycle;
+  if (topo_order_impl(nl, &on_cycle).empty() && nl.num_instances() > 0) {
+    std::string msg = "combinational cycle detected involving:";
+    const std::size_t shown = std::min<std::size_t>(on_cycle.size(), 8);
+    for (std::size_t i = 0; i < shown; ++i)
+      msg += (i ? ", '" : " '") + nl.instance(on_cycle[i]).name + "'";
+    if (on_cycle.size() > shown)
+      msg += " (+" + std::to_string(on_cycle.size() - shown) + " more)";
+    add(ErrorCode::kStructural, std::move(msg));
+  }
+
+  return r;
+}
+
+std::vector<InstanceId> topo_order(const Netlist& nl) {
+  return topo_order_impl(nl, nullptr);
 }
 
 int logic_depth(const Netlist& nl) {

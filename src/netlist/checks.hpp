@@ -8,19 +8,25 @@
 #include <string>
 #include <vector>
 
+#include "common/status.hpp"
 #include "netlist/netlist.hpp"
 
 namespace gap::netlist {
 
-/// Result of a structural check: empty `problems` means the netlist is
-/// well-formed.
+/// Result of a structural check: empty means the netlist is well-formed.
+/// verify() reports *all* violations in one pass, never just the first —
+/// `problems` keeps the legacy human-readable strings, `diagnostics`
+/// carries the same findings with structured error codes (one entry each,
+/// same order).
 struct CheckResult {
   std::vector<std::string> problems;
-  [[nodiscard]] bool ok() const { return problems.empty(); }
+  std::vector<common::Diagnostic> diagnostics;
+  [[nodiscard]] bool ok() const { return diagnostics.empty(); }
 };
 
 /// Check: every net has exactly one driver and consistent sink lists,
-/// instance pin counts match cells, no combinational cycles.
+/// instance pin counts match cells, no combinational cycles. All
+/// violations are collected; the check never stops at the first failure.
 [[nodiscard]] CheckResult verify(const Netlist& nl);
 
 /// Topological order of all instances for combinational propagation:

@@ -9,6 +9,7 @@
 #include <iosfwd>
 #include <string>
 
+#include "common/status.hpp"
 #include "netlist/netlist.hpp"
 
 namespace gap::netlist {
@@ -24,9 +25,14 @@ void write_verilog(const Netlist& nl, std::ostream& os);
 [[nodiscard]] std::string to_verilog(const Netlist& nl);
 
 /// Parse a module produced by write_verilog back into a netlist bound to
-/// `lib`. Throws via contract violation on malformed input; returns the
-/// reconstructed netlist otherwise. Cell names must exist in `lib`.
-[[nodiscard]] Netlist read_verilog(const std::string& text,
-                                   const library::CellLibrary& lib);
+/// `lib`.
+///
+/// Untrusted-input path: never aborts. Unknown cells/nets/pins, dangling
+/// or doubly-connected pins, multiply-driven nets, redeclarations, and
+/// truncated input all come back as a failed Status with an ErrorCode and
+/// the line:column of the offending token. Modules written by
+/// write_verilog() round-trip bit-identically.
+[[nodiscard]] common::Result<Netlist> read_verilog(
+    const std::string& text, const library::CellLibrary& lib);
 
 }  // namespace gap::netlist

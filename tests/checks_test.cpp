@@ -1,0 +1,152 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "library/builders.hpp"
+#include "netlist/checks.hpp"
+#include "netlist/netlist.hpp"
+#include "tech/technology.hpp"
+
+namespace gap::netlist {
+namespace {
+
+using library::Family;
+using library::Func;
+
+bool mentions(const CheckResult& r, const std::string& needle) {
+  return std::any_of(r.problems.begin(), r.problems.end(),
+                     [&](const std::string& p) {
+                       return p.find(needle) != std::string::npos;
+                     });
+}
+
+class ChecksTest : public ::testing::Test {
+ protected:
+  ChecksTest() : lib_(library::make_rich_asic_library(tech::asic_025um())) {}
+
+  CellId cell(Func f) { return *lib_.smallest(f, Family::kStatic); }
+
+  library::CellLibrary lib_;
+};
+
+TEST_F(ChecksTest, CleanNetlistHasNoDiagnostics) {
+  Netlist nl("t", &lib_);
+  const PortId a = nl.add_input("a");
+  const NetId out = nl.add_net("out");
+  nl.add_instance("u1", cell(Func::kInv), {nl.port(a).net}, out);
+  nl.add_output("y", out);
+
+  const CheckResult r = verify(nl);
+  EXPECT_TRUE(r.ok());
+  EXPECT_TRUE(r.problems.empty());
+  EXPECT_TRUE(r.diagnostics.empty());
+}
+
+TEST_F(ChecksTest, DanglingNetReported) {
+  Netlist nl("t", &lib_);
+  nl.add_input("a");
+  const NetId dang = nl.add_net("dang");  // never driven
+  const NetId out = nl.add_net("out");
+  nl.add_instance("u1", cell(Func::kInv), {dang}, out);
+  nl.add_output("y", out);
+
+  const CheckResult r = verify(nl);
+  EXPECT_FALSE(r.ok());
+  EXPECT_TRUE(mentions(r, "'dang' has sinks but no driver"));
+}
+
+TEST_F(ChecksTest, CombinationalCycleReportedWithMembers) {
+  Netlist nl("t", &lib_);
+  const PortId a = nl.add_input("a");
+  const NetId n1 = nl.add_net("n1");
+  const NetId n2 = nl.add_net("n2");
+  const InstanceId u1 =
+      nl.add_instance("u1", cell(Func::kInv), {nl.port(a).net}, n1);
+  nl.add_instance("u2", cell(Func::kInv), {n1}, n2);
+  nl.add_output("y", n2);
+  nl.rewire_input(u1, 0, n2);  // u1 -> u2 -> u1
+
+  const CheckResult r = verify(nl);
+  EXPECT_FALSE(r.ok());
+  EXPECT_TRUE(mentions(r, "combinational cycle"));
+  EXPECT_TRUE(mentions(r, "'u1'"));
+  EXPECT_TRUE(mentions(r, "'u2'"));
+  EXPECT_TRUE(topo_order(nl).empty());
+  EXPECT_EQ(logic_depth(nl), -1);
+}
+
+TEST_F(ChecksTest, MultiplyDrivenNetReported) {
+  Netlist nl("t", &lib_);
+  const PortId a = nl.add_input("a");
+  const PortId b = nl.add_input("b");
+  const NetId out = nl.add_net("out");
+  nl.add_instance("u1", cell(Func::kInv), {nl.port(a).net}, out);
+  nl.add_output("y", out);
+  // Fabricate a contention: point input port b at the instance-driven net.
+  nl.port(b).net = out;
+
+  const CheckResult r = verify(nl);
+  EXPECT_FALSE(r.ok());
+  EXPECT_TRUE(mentions(r, "'out' has 2 drivers"));
+}
+
+TEST_F(ChecksTest, AllViolationsCollectedInOnePass) {
+  // One netlist carrying a dangling net, a multiply-driven net, AND a
+  // combinational cycle; verify() must surface every one of them.
+  Netlist nl("t", &lib_);
+  const PortId a = nl.add_input("a");
+  const PortId b = nl.add_input("b");
+  const NetId dang = nl.add_net("dang");
+  const NetId n1 = nl.add_net("n1");
+  const NetId n2 = nl.add_net("n2");
+  const InstanceId u1 =
+      nl.add_instance("u1", cell(Func::kNand2), {nl.port(a).net, dang}, n1);
+  nl.add_instance("u2", cell(Func::kInv), {n1}, n2);
+  nl.add_output("y", n2);
+  nl.rewire_input(u1, 0, n2);  // cycle u1 <-> u2
+  nl.port(b).net = n1;         // n1 now claimed by u1 and port b
+
+  const CheckResult r = verify(nl);
+  EXPECT_FALSE(r.ok());
+  EXPECT_TRUE(mentions(r, "'dang' has sinks but no driver"));
+  EXPECT_TRUE(mentions(r, "'n1' has 2 drivers"));
+  EXPECT_TRUE(mentions(r, "combinational cycle"));
+  EXPECT_GE(r.problems.size(), 3u);
+}
+
+TEST_F(ChecksTest, DiagnosticsMirrorProblemsWithCodes) {
+  Netlist nl("bad", &lib_);
+  const NetId dang = nl.add_net("dang");
+  const NetId out = nl.add_net("out");
+  nl.add_instance("u1", cell(Func::kInv), {dang}, out);
+  nl.add_output("y", out);
+
+  const CheckResult r = verify(nl);
+  ASSERT_EQ(r.diagnostics.size(), r.problems.size());
+  for (std::size_t i = 0; i < r.diagnostics.size(); ++i) {
+    const common::Diagnostic& d = r.diagnostics[i];
+    EXPECT_EQ(d.message, r.problems[i]);
+    EXPECT_EQ(d.code, common::ErrorCode::kStructural);
+    EXPECT_EQ(d.severity, common::Severity::kError);
+    EXPECT_EQ(d.where, "netlist:bad");
+    EXPECT_NE(d.format().find("structural"), std::string::npos);
+  }
+}
+
+TEST_F(ChecksTest, PinCountMismatchReported) {
+  Netlist nl("t", &lib_);
+  const PortId a = nl.add_input("a");
+  const NetId out = nl.add_net("out");
+  const InstanceId u1 =
+      nl.add_instance("u1", cell(Func::kInv), {nl.port(a).net}, out);
+  nl.add_output("y", out);
+  // Swap in a 2-input cell without fixing the pin list.
+  nl.instance(u1).cell = cell(Func::kNand2);
+
+  const CheckResult r = verify(nl);
+  EXPECT_FALSE(r.ok());
+  EXPECT_TRUE(mentions(r, "'u1' pin count mismatch"));
+}
+
+}  // namespace
+}  // namespace gap::netlist

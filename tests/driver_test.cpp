@@ -1,0 +1,233 @@
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "core/driver.hpp"
+#include "core/flow.hpp"
+#include "core/gap.hpp"
+#include "designs/registry.hpp"
+#include "library/builders.hpp"
+#include "library/liberty.hpp"
+#include "tech/technology.hpp"
+
+namespace gap::core::cli {
+namespace {
+
+struct RunCapture {
+  int code = 0;
+  std::string out;
+  std::string err;
+};
+
+RunCapture invoke(std::vector<std::string> args) {
+  args.insert(args.begin(), "gapflow");
+  std::ostringstream out;
+  std::ostringstream err;
+  RunCapture r;
+  r.code = run(args, out, err);
+  r.out = out.str();
+  r.err = err.str();
+  return r;
+}
+
+int count_lines(const std::string& s) {
+  int n = 0;
+  for (char c : s)
+    if (c == '\n') ++n;
+  return n;
+}
+
+TEST(DriverArgsTest, UnknownFlagIsUsageError) {
+  const auto r = parse_args({"gapflow", "--bogus"});
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), common::ErrorCode::kUsage);
+  EXPECT_NE(r.status().message().find("--bogus"), std::string::npos);
+}
+
+TEST(DriverArgsTest, MissingValueIsReportedPerFlag) {
+  for (const char* flag :
+       {"--design", "--methodology", "--tech", "--corner", "--stages", "--mc",
+        "--report", "--write-verilog", "--check-liberty"}) {
+    const auto r = parse_args({"gapflow", flag});
+    ASSERT_FALSE(r.ok()) << flag;
+    EXPECT_EQ(r.status().code(), common::ErrorCode::kMissingValue) << flag;
+    EXPECT_NE(r.status().message().find(flag), std::string::npos);
+  }
+}
+
+TEST(DriverArgsTest, NonNumericValueIsInvalidNotAbort) {
+  // The legacy driver std::stoi'd these and died on an uncaught exception.
+  for (const char* bad : {"abc", "", "12x", "1e9", "99999999999999"}) {
+    const auto r = parse_args({"gapflow", "--stages", bad});
+    ASSERT_FALSE(r.ok()) << bad;
+    EXPECT_EQ(r.status().code(), common::ErrorCode::kInvalidValue) << bad;
+  }
+  const auto neg = parse_args({"gapflow", "--threads", "-2"});
+  ASSERT_FALSE(neg.ok());
+  EXPECT_EQ(neg.status().code(), common::ErrorCode::kInvalidValue);
+}
+
+TEST(DriverArgsTest, GoodLineParses) {
+  const auto r = parse_args({"gapflow", "--design", "mac16", "--stages", "4",
+                             "--corner", "worst", "--diagnostics"});
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->design, "mac16");
+  EXPECT_EQ(*r->stages, 4);
+  EXPECT_EQ(*r->corner, "worst");
+  EXPECT_TRUE(r->diagnostics);
+}
+
+TEST(DriverExitCodeTest, MappingIsDocumentedAndDistinct) {
+  using common::ErrorCode;
+  EXPECT_EQ(exit_code_for(ErrorCode::kOk), 0);
+  EXPECT_EQ(exit_code_for(ErrorCode::kUsage), 2);
+  EXPECT_EQ(exit_code_for(ErrorCode::kMissingValue), 3);
+  EXPECT_EQ(exit_code_for(ErrorCode::kInvalidValue), 3);
+  EXPECT_EQ(exit_code_for(ErrorCode::kUnknownName), 4);
+  EXPECT_EQ(exit_code_for(ErrorCode::kParse), 5);
+  EXPECT_EQ(exit_code_for(ErrorCode::kIo), 5);
+  EXPECT_EQ(exit_code_for(ErrorCode::kStructural), 6);
+  EXPECT_EQ(exit_code_for(ErrorCode::kContract), 6);
+}
+
+TEST(DriverRunTest, UnknownFlagOneLineDiagnosticExit2) {
+  const RunCapture r = invoke({"--frobnicate"});
+  EXPECT_EQ(r.code, 2);
+  EXPECT_NE(r.err.find("error[usage]"), std::string::npos);
+  EXPECT_NE(r.err.find("--frobnicate"), std::string::npos);
+  EXPECT_EQ(count_lines(r.err), 2);  // diagnostic + --help hint
+}
+
+TEST(DriverRunTest, MissingValueExit3) {
+  const RunCapture r = invoke({"--design"});
+  EXPECT_EQ(r.code, 3);
+  EXPECT_NE(r.err.find("missing value"), std::string::npos);
+}
+
+TEST(DriverRunTest, UnknownNamesExit4) {
+  const RunCapture d = invoke({"--design", "no_such_core"});
+  EXPECT_EQ(d.code, 4);
+  EXPECT_NE(d.err.find("no_such_core"), std::string::npos);
+
+  const RunCapture t = invoke({"--tech", "asic999"});
+  EXPECT_EQ(t.code, 4);
+  EXPECT_NE(t.err.find("asic999"), std::string::npos);
+
+  const RunCapture c = invoke({"--corner", "bestest"});
+  EXPECT_EQ(c.code, 4);
+  EXPECT_NE(c.err.find("bestest"), std::string::npos);
+
+  const RunCapture m = invoke({"--methodology", "heroic"});
+  EXPECT_EQ(m.code, 4);
+  EXPECT_NE(m.err.find("heroic"), std::string::npos);
+}
+
+TEST(DriverRunTest, ArgumentErrorCodesAreNonZeroAndDistinct) {
+  const int unknown_flag = invoke({"--frobnicate"}).code;
+  const int missing_value = invoke({"--tech"}).code;
+  const int unknown_name = invoke({"--tech", "asic999"}).code;
+  EXPECT_NE(unknown_flag, 0);
+  EXPECT_NE(missing_value, 0);
+  EXPECT_NE(unknown_name, 0);
+  EXPECT_NE(unknown_flag, missing_value);
+  EXPECT_NE(missing_value, unknown_name);
+  EXPECT_NE(unknown_flag, unknown_name);
+}
+
+TEST(DriverRunTest, HelpAndListDesignsExitZero) {
+  const RunCapture h = invoke({"--help"});
+  EXPECT_EQ(h.code, 0);
+  EXPECT_NE(h.out.find("exit codes"), std::string::npos);
+
+  const RunCapture l = invoke({"--list-designs"});
+  EXPECT_EQ(l.code, 0);
+  EXPECT_NE(l.out.find("alu32"), std::string::npos);
+}
+
+TEST(DriverRunTest, CheckLibertyMissingFileExit5) {
+  const RunCapture r = invoke({"--check-liberty", "/no/such/file.lib"});
+  EXPECT_EQ(r.code, 5);
+  EXPECT_NE(r.err.find("error[io]"), std::string::npos);
+}
+
+TEST(DriverRunTest, CheckLibertyLintsGoodAndBadFiles) {
+  const std::string good_path = "driver_test_good.lib";
+  {
+    std::ofstream os(good_path);
+    library::write_liberty(
+        library::make_rich_asic_library(tech::asic_025um()), os);
+  }
+  const RunCapture good = invoke({"--check-liberty", good_path});
+  EXPECT_EQ(good.code, 0);
+  EXPECT_NE(good.out.find("ok ("), std::string::npos);
+
+  const std::string bad_path = "driver_test_bad.lib";
+  {
+    std::ofstream os(bad_path);
+    os << "library (broken) { cell (x) { area : -3; } }\n";
+  }
+  const RunCapture bad = invoke({"--check-liberty", bad_path});
+  EXPECT_NE(bad.code, 0);
+  EXPECT_NE(bad.err.find(bad_path), std::string::npos);
+  EXPECT_NE(bad.err.find(":1:"), std::string::npos);  // carries line info
+
+  std::remove(good_path.c_str());
+  std::remove(bad_path.c_str());
+}
+
+TEST(DriverRunTest, SuccessPathPrintsSummaryAndFlowReport) {
+  const RunCapture r =
+      invoke({"--design", "alu16", "--methodology", "typical",
+              "--diagnostics"});
+  EXPECT_EQ(r.code, 0);
+  EXPECT_TRUE(r.err.empty()) << r.err;
+  EXPECT_NE(r.out.find("frequency"), std::string::npos);
+  EXPECT_NE(r.out.find("flow report:"), std::string::npos);
+  for (const char* stage : {"map", "pipeline", "place", "route", "signoff"})
+    EXPECT_NE(r.out.find(stage), std::string::npos) << stage;
+}
+
+TEST(FlowReportTest, EveryStageTimedAndOk) {
+  Flow flow(tech::asic_025um());
+  const auto aig =
+      designs::make_design("alu16", designs::DatapathStyle::kSynthesized);
+  const FlowResult r = flow.run(aig, typical_asic());
+  ASSERT_NE(r.nl, nullptr);
+  EXPECT_TRUE(r.ok());
+  ASSERT_EQ(r.report.stages.size(), 6u);
+  const char* expected[] = {"map", "pipeline", "place",
+                            "route", "size", "signoff"};
+  for (std::size_t i = 0; i < 6; ++i) {
+    const StageReport& s = r.report.stages[i];
+    EXPECT_EQ(s.name, expected[i]);
+    EXPECT_NE(s.status, StageStatus::kFailed) << s.name;
+    if (s.status == StageStatus::kOk) EXPECT_GE(s.wall_ms, 0.0) << s.name;
+    EXPECT_TRUE(s.diagnostics.empty()) << s.name;
+  }
+  EXPECT_EQ(r.report.failed_stage(), nullptr);
+  EXPECT_FALSE(r.report.format().empty());
+}
+
+TEST(FlowReportTest, SizingNoneIsSkippedNotFailed) {
+  Flow flow(tech::asic_025um());
+  const auto aig =
+      designs::make_design("alu16", designs::DatapathStyle::kSynthesized);
+  Methodology m = typical_asic();
+  m.sizing = SizingLevel::kNone;
+  const FlowResult r = flow.run(aig, m);
+  EXPECT_TRUE(r.ok());
+  bool saw_size = false;
+  for (const StageReport& s : r.report.stages)
+    if (s.name == "size") {
+      saw_size = true;
+      EXPECT_EQ(s.status, StageStatus::kSkipped);
+    }
+  EXPECT_TRUE(saw_size);
+}
+
+}  // namespace
+}  // namespace gap::core::cli

@@ -1,0 +1,329 @@
+/// \file fault_injection_test.cpp
+/// Robustness harness for the untrusted-input readers: mutate well-formed
+/// Liberty and Verilog text (truncation, bit flips, token scrambles,
+/// splices, garbage insertion) and prove that no mutant ever aborts the
+/// process — every rejection is a Status with an error code, a source
+/// location, and the right subsystem tag, and unmutated inputs round-trip
+/// bit-identically. Runs standalone via `ctest -L fault`.
+
+#include <gtest/gtest.h>
+
+#include <cctype>
+#include <string>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "common/status.hpp"
+#include "datapath/adders.hpp"
+#include "library/builders.hpp"
+#include "library/liberty.hpp"
+#include "netlist/verilog.hpp"
+#include "pipeline/pipeline.hpp"
+#include "synth/mapper.hpp"
+#include "tech/technology.hpp"
+
+namespace gap {
+namespace {
+
+using common::ErrorCode;
+using common::Status;
+using datapath::AdderKind;
+using library::CellLibrary;
+
+// --- mutation engine -------------------------------------------------------
+
+std::string truncate(const std::string& s, Rng& rng) {
+  if (s.empty()) return s;
+  return s.substr(0, rng.uniform_index(s.size()));
+}
+
+std::string bit_flip(std::string s, Rng& rng) {
+  if (s.empty()) return s;
+  const int flips = 1 + static_cast<int>(rng.uniform_index(8));
+  for (int i = 0; i < flips; ++i) {
+    const std::size_t at = rng.uniform_index(s.size());
+    s[at] = static_cast<char>(s[at] ^ (1u << rng.uniform_index(8)));
+  }
+  return s;
+}
+
+std::string token_scramble(const std::string& s, Rng& rng) {
+  struct Span {
+    std::size_t begin, end;
+  };
+  std::vector<Span> spans;
+  std::size_t i = 0;
+  while (i < s.size()) {
+    if (std::isspace(static_cast<unsigned char>(s[i]))) {
+      ++i;
+      continue;
+    }
+    const std::size_t b = i;
+    while (i < s.size() && !std::isspace(static_cast<unsigned char>(s[i])))
+      ++i;
+    spans.push_back({b, i});
+  }
+  if (spans.size() < 2) return s;
+  std::size_t x = rng.uniform_index(spans.size());
+  std::size_t y = rng.uniform_index(spans.size());
+  if (x == y) y = (y + 1) % spans.size();
+  if (x > y) std::swap(x, y);
+  const std::string tx = s.substr(spans[x].begin, spans[x].end - spans[x].begin);
+  const std::string ty = s.substr(spans[y].begin, spans[y].end - spans[y].begin);
+  return s.substr(0, spans[x].begin) + ty +
+         s.substr(spans[x].end, spans[y].begin - spans[x].end) + tx +
+         s.substr(spans[y].end);
+}
+
+std::string splice(const std::string& s, Rng& rng) {
+  if (s.size() < 4) return s;
+  const std::size_t len = 1 + rng.uniform_index(s.size() / 2);
+  const std::size_t from = rng.uniform_index(s.size() - len + 1);
+  const std::size_t to = rng.uniform_index(s.size());
+  return s.substr(0, to) + s.substr(from, len) + s.substr(to);
+}
+
+std::string insert_garbage(const std::string& s, Rng& rng) {
+  static const char kJunk[] =
+      "(){};:.\"\\,*/!@#$%^&-+=0123456789abcxyz_ \n\t";
+  const std::size_t n = 1 + rng.uniform_index(16);
+  std::string g;
+  for (std::size_t i = 0; i < n; ++i)
+    g += kJunk[rng.uniform_index(sizeof(kJunk) - 1)];
+  const std::size_t at = rng.uniform_index(s.size() + 1);
+  return s.substr(0, at) + g + s.substr(at);
+}
+
+std::string mutate(const std::string& base, Rng& rng) {
+  switch (rng.uniform_index(5)) {
+    case 0: return truncate(base, rng);
+    case 1: return bit_flip(base, rng);
+    case 2: return token_scramble(base, rng);
+    case 3: return splice(base, rng);
+    default: return insert_garbage(base, rng);
+  }
+}
+
+/// A rejection must carry a real error code, a source location, and the
+/// subsystem tag — and must come from validation, never from a captured
+/// contract failure or an unexpected exception.
+void expect_well_formed_rejection(const Status& s, const char* where) {
+  EXPECT_NE(s.code(), ErrorCode::kOk);
+  EXPECT_NE(s.code(), ErrorCode::kContract)
+      << "parser leaked a contract failure: " << s.message();
+  EXPECT_NE(s.code(), ErrorCode::kInternal)
+      << "parser leaked an exception: " << s.message();
+  EXPECT_TRUE(s.loc().valid()) << s.message();
+  EXPECT_EQ(s.where(), where);
+  EXPECT_FALSE(s.message().empty());
+}
+
+std::string replace_first(std::string s, const std::string& from,
+                          const std::string& to) {
+  const std::size_t at = s.find(from);
+  EXPECT_NE(at, std::string::npos) << from;
+  if (at != std::string::npos) s.replace(at, from.size(), to);
+  return s;
+}
+
+// --- corpora ---------------------------------------------------------------
+
+std::vector<std::string> liberty_corpus() {
+  const tech::Technology t = tech::asic_025um();
+  CellLibrary rich = library::make_rich_asic_library(t);
+  library::add_domino_cells(rich);
+  return {library::to_liberty(rich),
+          library::to_liberty(library::make_custom_library(t)),
+          library::to_liberty(library::make_poor_asic_library(t))};
+}
+
+struct VerilogCorpus {
+  CellLibrary lib;
+  std::vector<std::string> texts;
+};
+
+VerilogCorpus verilog_corpus() {
+  VerilogCorpus c{library::make_rich_asic_library(tech::asic_025um()), {}};
+  const auto rip = datapath::make_adder_aig(AdderKind::kRipple, 4);
+  const auto cla = datapath::make_adder_aig(AdderKind::kCarryLookahead, 8);
+  auto nl1 = synth::map_to_netlist(rip, c.lib, synth::MapOptions{}, "add4");
+  auto nl2 = synth::map_to_netlist(cla, c.lib, synth::MapOptions{}, "cla8");
+  pipeline::PipelineOptions popt;
+  popt.stages = 2;
+  auto piped = pipeline::pipeline_insert(nl1, popt).nl;
+  c.texts = {netlist::to_verilog(nl1), netlist::to_verilog(nl2),
+             netlist::to_verilog(piped)};
+  return c;
+}
+
+// --- the harness -----------------------------------------------------------
+
+TEST(FaultInjectionTest, MutatedLibertyNeverAborts) {
+  const std::vector<std::string> corpus = liberty_corpus();
+  int rejected = 0;
+  for (int i = 0; i < 300; ++i) {
+    Rng rng = Rng::stream(0xFA017'11B, static_cast<std::uint64_t>(i));
+    std::string text = corpus[rng.uniform_index(corpus.size())];
+    const int rounds = 1 + static_cast<int>(rng.uniform_index(3));
+    for (int r = 0; r < rounds; ++r) text = mutate(text, rng);
+    SCOPED_TRACE("liberty mutant #" + std::to_string(i));
+    const auto result = library::read_liberty(text);
+    if (!result.ok()) {
+      ++rejected;
+      expect_well_formed_rejection(result.status(), "liberty");
+    }
+  }
+  // Most mutants must actually be rejected, or the harness tests nothing.
+  EXPECT_GT(rejected, 100);
+}
+
+TEST(FaultInjectionTest, MutatedVerilogNeverAborts) {
+  const VerilogCorpus corpus = verilog_corpus();
+  int rejected = 0;
+  for (int i = 0; i < 300; ++i) {
+    Rng rng = Rng::stream(0xFA017'BEE, static_cast<std::uint64_t>(i));
+    std::string text = corpus.texts[rng.uniform_index(corpus.texts.size())];
+    const int rounds = 1 + static_cast<int>(rng.uniform_index(3));
+    for (int r = 0; r < rounds; ++r) text = mutate(text, rng);
+    SCOPED_TRACE("verilog mutant #" + std::to_string(i));
+    const auto result = netlist::read_verilog(text, corpus.lib);
+    if (!result.ok()) {
+      ++rejected;
+      expect_well_formed_rejection(result.status(), "verilog");
+    }
+  }
+  EXPECT_GT(rejected, 100);
+}
+
+TEST(FaultInjectionTest, UnmutatedLibertyRoundTripsBitIdentically) {
+  for (const std::string& text : liberty_corpus()) {
+    const auto lib = library::read_liberty(text);
+    ASSERT_TRUE(lib.ok()) << lib.status().to_string();
+    EXPECT_EQ(library::to_liberty(*lib), text);
+  }
+}
+
+TEST(FaultInjectionTest, UnmutatedVerilogRoundTripsBitIdentically) {
+  const VerilogCorpus corpus = verilog_corpus();
+  for (const std::string& text : corpus.texts) {
+    const auto nl = netlist::read_verilog(text, corpus.lib);
+    ASSERT_TRUE(nl.ok()) << nl.status().to_string();
+    EXPECT_EQ(netlist::to_verilog(*nl), text);
+  }
+}
+
+// --- targeted mutations: each fault class maps to its documented code ------
+
+TEST(FaultInjectionTest, LibertyTargetedFaultsCarrySpecificCodes) {
+  const std::string good = liberty_corpus().front();
+
+  const auto empty = library::read_liberty("");
+  ASSERT_FALSE(empty.ok());
+  EXPECT_EQ(empty.status().code(), ErrorCode::kParse);
+  expect_well_formed_rejection(empty.status(), "liberty");
+
+  const auto unterminated = library::read_liberty("library (x) {");
+  ASSERT_FALSE(unterminated.ok());
+  EXPECT_EQ(unterminated.status().code(), ErrorCode::kParse);
+
+  const auto bad_func =
+      library::read_liberty(replace_first(good, "gap_func : \"inv\"",
+                                          "gap_func : \"warp_core\""));
+  ASSERT_FALSE(bad_func.ok());
+  EXPECT_EQ(bad_func.status().code(), ErrorCode::kUnknownName);
+  EXPECT_TRUE(bad_func.status().loc().valid());
+
+  const auto bad_phases = library::read_liberty(
+      replace_first(good, "gap_clock_phases : ", "gap_clock_phases : -"));
+  ASSERT_FALSE(bad_phases.ok());
+  EXPECT_EQ(bad_phases.status().code(), ErrorCode::kInvalidValue);
+
+  // Duplicate the first cell group's name in a fresh trailing cell.
+  const std::size_t cell_at = good.find("cell (");
+  ASSERT_NE(cell_at, std::string::npos);
+  const std::size_t name_b = cell_at + 6;
+  const std::size_t name_e = good.find(')', name_b);
+  const std::string cell_name = good.substr(name_b, name_e - name_b);
+  const std::size_t close = good.rfind('}');
+  const std::string dup = good.substr(0, close) + "  cell (" + cell_name +
+                          ") { gap_drive : 1; }\n" + good.substr(close);
+  const auto duplicated = library::read_liberty(dup);
+  ASSERT_FALSE(duplicated.ok());
+  EXPECT_EQ(duplicated.status().code(), ErrorCode::kDuplicate);
+  EXPECT_TRUE(duplicated.status().loc().valid());
+
+  const auto bad_drive = library::read_liberty(
+      replace_first(good, "gap_drive : 1;", "gap_drive : -2;"));
+  ASSERT_FALSE(bad_drive.ok());
+  EXPECT_EQ(bad_drive.status().code(), ErrorCode::kInvalidValue);
+}
+
+TEST(FaultInjectionTest, VerilogTargetedFaultsCarrySpecificCodes) {
+  const CellLibrary lib = library::make_rich_asic_library(tech::asic_025um());
+  netlist::Netlist tiny("t", &lib);
+  const PortId a = tiny.add_input("a");
+  const NetId out = tiny.add_net("out");
+  tiny.add_instance("u1",
+                    *lib.smallest(library::Func::kInv, library::Family::kStatic),
+                    {tiny.port(a).net}, out);
+  tiny.add_output("y", out);
+  const std::string good = netlist::to_verilog(tiny);
+
+  const auto empty = netlist::read_verilog("", lib);
+  ASSERT_FALSE(empty.ok());
+  EXPECT_EQ(empty.status().code(), ErrorCode::kParse);
+  expect_well_formed_rejection(empty.status(), "verilog");
+
+  const auto unknown_net =
+      netlist::read_verilog(replace_first(good, "(.a(a)", "(.a(phantom)"), lib);
+  ASSERT_FALSE(unknown_net.ok());
+  EXPECT_EQ(unknown_net.status().code(), ErrorCode::kUnknownName);
+  EXPECT_TRUE(unknown_net.status().loc().valid());
+
+  const auto unknown_pin =
+      netlist::read_verilog(replace_first(good, "(.a(a)", "(.zz(a)"), lib);
+  ASSERT_FALSE(unknown_pin.ok());
+  EXPECT_EQ(unknown_pin.status().code(), ErrorCode::kUnknownName);
+
+  const auto redeclared =
+      netlist::read_verilog(replace_first(good, "  input a;",
+                                          "  input a;\n  input a;"),
+                            lib);
+  ASSERT_FALSE(redeclared.ok());
+  EXPECT_EQ(redeclared.status().code(), ErrorCode::kDuplicate);
+
+  const auto dangling_pin =
+      netlist::read_verilog(replace_first(good, ".a(a), ", ""), lib);
+  ASSERT_FALSE(dangling_pin.ok());
+  EXPECT_EQ(dangling_pin.status().code(), ErrorCode::kStructural);
+
+  const std::size_t em = good.find("endmodule");
+  ASSERT_NE(em, std::string::npos);
+  const std::size_t u1_at = good.find(" u1 (");
+  ASSERT_NE(u1_at, std::string::npos);
+  const std::size_t inst_b = good.rfind('\n', u1_at) + 1;
+  const std::string inst_line =
+      good.substr(inst_b, good.find('\n', inst_b) + 1 - inst_b);
+  const std::string twice_driven =
+      good.substr(0, em) +
+      replace_first(inst_line, " u1 ", " u2 ") + good.substr(em);
+  const auto multi = netlist::read_verilog(twice_driven, lib);
+  ASSERT_FALSE(multi.ok());
+  EXPECT_EQ(multi.status().code(), ErrorCode::kStructural);
+  EXPECT_NE(multi.status().message().find("multiply driven"),
+            std::string::npos);
+}
+
+// --- determinism: same seed, same verdicts ---------------------------------
+
+TEST(FaultInjectionTest, MutationStreamIsDeterministic) {
+  const std::string base = liberty_corpus().front();
+  for (int i = 0; i < 10; ++i) {
+    Rng r1 = Rng::stream(42, static_cast<std::uint64_t>(i));
+    Rng r2 = Rng::stream(42, static_cast<std::uint64_t>(i));
+    EXPECT_EQ(mutate(base, r1), mutate(base, r2));
+  }
+}
+
+}  // namespace
+}  // namespace gap

@@ -40,7 +40,7 @@ TEST_F(VerilogTest, EmitsWellFormedModule) {
 TEST_F(VerilogTest, RoundTripPreservesStructure) {
   const auto aig = datapath::make_adder_aig(AdderKind::kCarryLookahead, 8);
   const auto nl = synth::map_to_netlist(aig, lib_, synth::MapOptions{}, "cla8");
-  const auto back = netlist::read_verilog(netlist::to_verilog(nl), lib_);
+  const auto back = netlist::read_verilog(netlist::to_verilog(nl), lib_).value();
   EXPECT_TRUE(netlist::verify(back).ok());
   EXPECT_EQ(back.num_instances(), nl.num_instances());
   EXPECT_EQ(back.num_ports(), nl.num_ports());
@@ -54,7 +54,7 @@ TEST_F(VerilogTest, RoundTripPreservesStructure) {
 TEST_F(VerilogTest, RoundTripPreservesFunction) {
   const auto aig = datapath::make_adder_aig(AdderKind::kKoggeStone, 8);
   const auto nl = synth::map_to_netlist(aig, lib_, synth::MapOptions{}, "ks8");
-  const auto back = netlist::read_verilog(netlist::to_verilog(nl), lib_);
+  const auto back = netlist::read_verilog(netlist::to_verilog(nl), lib_).value();
   Rng rng(0x7E57);
   for (int round = 0; round < 16; ++round) {
     std::vector<std::uint64_t> pi(17);
@@ -69,7 +69,7 @@ TEST_F(VerilogTest, SequentialRoundTrip) {
   pipeline::PipelineOptions popt;
   popt.stages = 2;
   const auto nl = pipeline::pipeline_insert(comb, popt).nl;
-  const auto back = netlist::read_verilog(netlist::to_verilog(nl), lib_);
+  const auto back = netlist::read_verilog(netlist::to_verilog(nl), lib_).value();
   EXPECT_EQ(back.num_sequential(), nl.num_sequential());
   EXPECT_TRUE(netlist::verify(back).ok());
 }
@@ -85,7 +85,7 @@ TEST_F(VerilogTest, SanitizesAwkwardNames) {
   EXPECT_EQ(v.find('['), std::string::npos);
   EXPECT_EQ(v.find('$'), std::string::npos);
   // Still parseable.
-  const auto back = netlist::read_verilog(v, lib_);
+  const auto back = netlist::read_verilog(v, lib_).value();
   EXPECT_EQ(back.num_instances(), 1u);
 }
 
@@ -99,7 +99,7 @@ TEST_F(VerilogTest, DuplicateNamesAreUniquified) {
   nl.add_instance("u", inv, {nl.port(a).net}, n1);
   nl.add_instance("u", inv, {n1}, n2);  // duplicate instance name too
   nl.add_output("y", n2);
-  const auto back = netlist::read_verilog(netlist::to_verilog(nl), lib_);
+  const auto back = netlist::read_verilog(netlist::to_verilog(nl), lib_).value();
   EXPECT_EQ(back.num_instances(), 2u);
   EXPECT_TRUE(netlist::verify(back).ok());
 }
@@ -114,7 +114,7 @@ TEST_F(LibertyTest, FunctionStringsCoverAllFuncs) {
 TEST_F(LibertyTest, RoundTripRichLibrary) {
   CellLibrary lib = library::make_rich_asic_library(tech::asic_025um());
   library::add_domino_cells(lib);
-  const CellLibrary back = library::read_liberty(library::to_liberty(lib));
+  const CellLibrary back = library::read_liberty(library::to_liberty(lib)).value();
 
   ASSERT_EQ(back.size(), lib.size());
   EXPECT_EQ(back.name(), lib.name());
@@ -139,7 +139,7 @@ TEST_F(LibertyTest, RoundTripRichLibrary) {
 
 TEST_F(LibertyTest, RoundTripCustomLibraryCapabilities) {
   const CellLibrary lib = library::make_custom_library(tech::asic_025um());
-  const CellLibrary back = library::read_liberty(library::to_liberty(lib));
+  const CellLibrary back = library::read_liberty(library::to_liberty(lib)).value();
   EXPECT_TRUE(back.continuous_sizing);
   EXPECT_EQ(back.clock_phases, 4);
   EXPECT_FALSE(back.guard_banded_sequentials);
@@ -148,7 +148,7 @@ TEST_F(LibertyTest, RoundTripCustomLibraryCapabilities) {
 TEST_F(LibertyTest, ReparsedLibraryDrivesTheFlow) {
   // A library that survived serialization must still map designs.
   const CellLibrary lib = library::make_rich_asic_library(tech::asic_025um());
-  const CellLibrary back = library::read_liberty(library::to_liberty(lib));
+  const CellLibrary back = library::read_liberty(library::to_liberty(lib)).value();
   const auto aig = datapath::make_adder_aig(AdderKind::kRipple, 8);
   const auto nl = synth::map_to_netlist(aig, back, synth::MapOptions{}, "t");
   EXPECT_TRUE(netlist::verify(nl).ok());

@@ -130,7 +130,7 @@ TEST_P(RandomAigProperty, VerilogRoundTripOnRandomLogic) {
   const Aig aig = random_aig(GetParam(), 6, 80, 4);
   const CellLibrary lib = library::make_rich_asic_library(tech::asic_025um());
   const auto nl = synth::map_to_netlist(aig, lib, synth::MapOptions{}, "r");
-  const auto back = netlist::read_verilog(netlist::to_verilog(nl), lib);
+  const auto back = netlist::read_verilog(netlist::to_verilog(nl), lib).value();
   Rng rng(GetParam() + 99);
   for (int round = 0; round < 4; ++round) {
     std::vector<std::uint64_t> pi(aig.num_pis());

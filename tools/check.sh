@@ -1,13 +1,19 @@
 #!/usr/bin/env bash
-# tools/check.sh — build & test gate for the parallel execution layer.
+# tools/check.sh — build & test gate for the parallel execution layer and
+# the robustness (fault-injection) layer.
 #
-#   tools/check.sh          # TSan build, then run parallel_test + sta_test
+#   tools/check.sh          # TSan pass + ASan/UBSan fault-injection pass
 #   tools/check.sh all      # additionally: regular build + full ctest suite
 #
-# The ThreadSanitizer pass is the point: gap::common::ThreadPool and its
-# consumers (MC-STA, parameter sweeps, variation binning) must be race-free
-# at any thread count, not merely deterministic. Uses a separate build tree
-# (build-tsan) so it never perturbs the primary build/.
+# The ThreadSanitizer pass: gap::common::ThreadPool and its consumers
+# (MC-STA, parameter sweeps, variation binning) must be race-free at any
+# thread count, not merely deterministic.
+#
+# The ASan/UBSan pass: the untrusted-input readers must reject hundreds of
+# mutated Liberty/Verilog inputs without aborting AND without any latent
+# memory or UB errors masked by a clean exit. Both passes reuse the
+# GAP_SANITIZE cache option and separate build trees (build-tsan,
+# build-asan) so they never perturb the primary build/.
 
 set -euo pipefail
 cd "$(dirname "$0")/.."
@@ -23,6 +29,23 @@ TSAN_OPTIONS="${TSAN_OPTIONS:-halt_on_error=1}" ./build-tsan/tests/parallel_test
 
 echo "== sta_test under TSan =="
 TSAN_OPTIONS="${TSAN_OPTIONS:-halt_on_error=1}" ./build-tsan/tests/sta_test
+
+echo "== ASan/UBSan build (build-asan) =="
+cmake -B build-asan -S . -DGAP_SANITIZE=address,undefined \
+  -DCMAKE_BUILD_TYPE=RelWithDebInfo
+cmake --build build-asan -j "$JOBS" \
+  --target fault_injection_test io_test diagnostics_test
+
+echo "== fault_injection_test under ASan/UBSan =="
+ASAN_OPTIONS="${ASAN_OPTIONS:-halt_on_error=1}" \
+  ./build-asan/tests/fault_injection_test
+
+echo "== io_test under ASan/UBSan =="
+ASAN_OPTIONS="${ASAN_OPTIONS:-halt_on_error=1}" ./build-asan/tests/io_test
+
+echo "== diagnostics_test under ASan/UBSan =="
+ASAN_OPTIONS="${ASAN_OPTIONS:-halt_on_error=1}" \
+  ./build-asan/tests/diagnostics_test
 
 if [[ "${1:-}" == "all" ]]; then
   echo "== regular build + full test suite =="

@@ -5,278 +5,17 @@
 ///   gapflow --design alu32 --methodology custom --report all
 ///   gapflow --design mac16 --stages 4 --corner worst
 ///           --write-verilog mac16.v --write-liberty rich.lib
+///   gapflow --check-verilog mac16.v --diagnostics
 ///   gapflow --list-designs
 ///
-/// Output: implementation summary, optional timing/power reports, and
-/// optional Verilog / Liberty dumps of the implemented netlist and the
-/// library it was built in.
+/// All logic lives in core/driver.{hpp,cpp} so the argument handling and
+/// exit codes are covered by tests/driver_test.cpp; this file only binds
+/// it to the process.
 
-#include <cstdio>
-#include <cstring>
-#include <fstream>
-#include <optional>
-#include <string>
+#include <iostream>
 
-#include "common/table.hpp"
-#include "core/flow.hpp"
-#include "core/gap.hpp"
-#include "designs/registry.hpp"
-#include "dft/scan.hpp"
-#include "noise/crosstalk.hpp"
-#include "library/liberty.hpp"
-#include "netlist/stats.hpp"
-#include "netlist/verilog.hpp"
-#include "power/power.hpp"
-#include "sta/report.hpp"
-#include "sta/statistical.hpp"
-
-namespace {
-
-using namespace gap;
-
-struct Args {
-  std::string design = "alu32";
-  std::string methodology = "reference";
-  std::string tech = "asic025";
-  std::string report;           // "", "timing", "power", "all"
-  std::string verilog_out;
-  std::string liberty_out;
-  std::optional<int> stages;
-  std::optional<std::string> corner;
-  int mc_samples = 0;
-  int threads = 0;
-  bool macro_style = false;
-  bool scan = false;
-  bool list_designs = false;
-  bool help = false;
-};
-
-void print_help() {
-  std::printf(
-      "gapflow — implement a design and report timing/power\n\n"
-      "usage: gapflow [options]\n"
-      "  --design NAME          design from the registry (default alu32)\n"
-      "  --list-designs         print available designs and exit\n"
-      "  --methodology M        typical | good | custom | reference\n"
-      "  --tech T               asic025 | custom025 | ibm018 | asic035\n"
-      "  --stages N             override pipeline stage count\n"
-      "  --corner C             typical | worst | conservative | fast\n"
-      "  --macro                use macro-cell datapath style\n"
-      "  --scan                 insert a scan chain before signoff\n"
-      "  --report R             timing | power | noise | all\n"
-      "  --mc N                 Monte Carlo statistical signoff, N samples\n"
-      "  --threads N            fan-out thread count (0 = all cores);\n"
-      "                         results are identical at any setting\n"
-      "  --write-verilog FILE   dump the implemented netlist\n"
-      "  --write-liberty FILE   dump the methodology's cell library\n"
-      "  --help                 this text\n");
-}
-
-std::optional<Args> parse(int argc, char** argv) {
-  Args a;
-  for (int i = 1; i < argc; ++i) {
-    const std::string flag = argv[i];
-    auto value = [&]() -> std::optional<std::string> {
-      if (i + 1 >= argc) return std::nullopt;
-      return std::string(argv[++i]);
-    };
-    if (flag == "--help") a.help = true;
-    else if (flag == "--list-designs") a.list_designs = true;
-    else if (flag == "--macro") a.macro_style = true;
-    else if (flag == "--scan") a.scan = true;
-    else if (flag == "--design") {
-      if (auto v = value()) a.design = *v; else return std::nullopt;
-    } else if (flag == "--methodology") {
-      if (auto v = value()) a.methodology = *v; else return std::nullopt;
-    } else if (flag == "--tech") {
-      if (auto v = value()) a.tech = *v; else return std::nullopt;
-    } else if (flag == "--report") {
-      if (auto v = value()) a.report = *v; else return std::nullopt;
-    } else if (flag == "--write-verilog") {
-      if (auto v = value()) a.verilog_out = *v; else return std::nullopt;
-    } else if (flag == "--write-liberty") {
-      if (auto v = value()) a.liberty_out = *v; else return std::nullopt;
-    } else if (flag == "--stages") {
-      if (auto v = value()) a.stages = std::stoi(*v); else return std::nullopt;
-    } else if (flag == "--mc") {
-      if (auto v = value()) a.mc_samples = std::stoi(*v);
-      else return std::nullopt;
-    } else if (flag == "--threads") {
-      if (auto v = value()) a.threads = std::stoi(*v);
-      else return std::nullopt;
-      if (a.threads < 0) return std::nullopt;
-    } else if (flag == "--corner") {
-      if (auto v = value()) a.corner = *v; else return std::nullopt;
-    } else {
-      std::fprintf(stderr, "unknown flag: %s\n", flag.c_str());
-      return std::nullopt;
-    }
-  }
-  return a;
-}
-
-std::optional<tech::Technology> tech_of(const std::string& name) {
-  if (name == "asic025") return tech::asic_025um();
-  if (name == "custom025") return tech::custom_025um();
-  if (name == "ibm018") return tech::ibm_018um();
-  if (name == "asic035") return tech::asic_035um();
-  return std::nullopt;
-}
-
-std::optional<core::Methodology> methodology_of(const std::string& name) {
-  if (name == "typical") return core::typical_asic();
-  if (name == "good") return core::good_asic();
-  if (name == "custom") return core::full_custom();
-  if (name == "reference") return core::reference_methodology();
-  return std::nullopt;
-}
-
-std::optional<tech::ProcessCorner> corner_of(const std::string& name) {
-  if (name == "typical") return tech::corner_typical();
-  if (name == "worst") return tech::corner_worst_case();
-  if (name == "conservative") return tech::corner_conservative();
-  if (name == "fast") return tech::corner_fast_bin();
-  return std::nullopt;
-}
-
-}  // namespace
+#include "core/driver.hpp"
 
 int main(int argc, char** argv) {
-  const auto parsed = parse(argc, argv);
-  if (!parsed) {
-    print_help();
-    return 2;
-  }
-  const Args& args = *parsed;
-  if (args.help) {
-    print_help();
-    return 0;
-  }
-  if (args.list_designs) {
-    for (const std::string& name : designs::design_names())
-      std::printf("%s\n", name.c_str());
-    return 0;
-  }
-
-  const auto t = tech_of(args.tech);
-  auto m = methodology_of(args.methodology);
-  if (!t || !m) {
-    std::fprintf(stderr, "unknown --tech or --methodology\n");
-    return 2;
-  }
-  if (args.stages) m->pipeline_stages = *args.stages;
-  if (args.corner) {
-    const auto c = corner_of(*args.corner);
-    if (!c) {
-      std::fprintf(stderr, "unknown --corner\n");
-      return 2;
-    }
-    m->corner = *c;
-  }
-  if (args.macro_style) m->datapath = designs::DatapathStyle::kMacro;
-
-  bool known = false;
-  for (const std::string& name : designs::design_names())
-    if (name == args.design) known = true;
-  if (!known) {
-    std::fprintf(stderr, "unknown design '%s' (--list-designs)\n",
-                 args.design.c_str());
-    return 2;
-  }
-
-  core::Flow flow(*t);
-  const auto design = designs::make_design(args.design, m->datapath);
-  core::FlowResult r = flow.run(design, *m);
-
-  sta::StaOptions sta_opt;
-  sta_opt.corner_delay_factor = m->corner.delay_factor;
-  sta_opt.clock.skew_fraction = m->skew_fraction;
-  sta_opt.optimal_repeaters = m->optimal_repeaters;
-
-  if (args.scan) {
-    const auto scan = dft::insert_scan(*r.nl);
-    std::printf("scan chain inserted: %d flops, %d muxes\n",
-                scan.chain_length, scan.muxes_added);
-    r.timing = sta::analyze(*r.nl, sta_opt);
-    r.freq_mhz = r.timing.frequency_mhz();
-    r.area_um2 = r.nl->total_area_um2();
-  }
-
-  std::printf("gapflow: %s under %s in %s\n\n", args.design.c_str(),
-              m->name.c_str(), t->name.c_str());
-  const auto stats = netlist::collect_stats(*r.nl);
-  std::printf("  frequency : %.0f MHz (%.1f FO4/cycle)\n", r.freq_mhz,
-              r.timing.min_period_fo4);
-  std::printf("  area      : %.0f um^2 (%zu instances, %zu registers)\n",
-              r.area_um2, stats.instances, stats.sequential);
-  std::printf("  die       : %.0f x %.0f um\n", r.die_w_um, r.die_h_um);
-  std::printf("  stages    : %d (%d registers inserted)\n\n",
-              m->pipeline_stages, r.pipeline_registers);
-
-  if (args.report == "timing" || args.report == "all") {
-    std::printf("%s\n",
-                sta::format_critical_path(*r.nl, sta_opt, r.timing).c_str());
-    std::printf("%s\n",
-                sta::format_slack_histogram(*r.nl, sta_opt,
-                                            r.timing.min_period_tau)
-                    .c_str());
-  }
-  if (args.report == "power" || args.report == "all") {
-    power::PowerOptions popt;
-    popt.freq_mhz = r.freq_mhz;
-    const auto p = power::estimate_power(*r.nl, popt);
-    std::printf("power @ %.0f MHz:\n", r.freq_mhz);
-    std::printf("  dynamic   : %.2f mW\n", p.dynamic_mw);
-    std::printf("  clock     : %.2f mW\n", p.clock_mw);
-    std::printf("  precharge : %.2f mW\n", p.precharge_mw);
-    std::printf("  leakage   : %.3f mW\n", p.leakage_mw);
-    std::printf("  total     : %.2f mW (%.1f MHz/mW)\n\n", p.total_mw(),
-                r.freq_mhz / p.total_mw());
-  }
-
-  if (args.mc_samples > 0) {
-    sta::McStaOptions mc;
-    mc.base = sta_opt;
-    mc.samples = args.mc_samples;
-    mc.threads = args.threads;
-    const auto r_mc = sta::monte_carlo_sta(*r.nl, mc);
-    const double med = r_mc.period_tau.quantile(0.5);
-    std::printf("statistical signoff (%d samples, %d thread(s)):\n",
-                mc.samples, args.threads);
-    std::printf("  nominal   : %.1f tau (%.0f MHz at signoff corner)\n",
-                r_mc.nominal_period_tau, r.freq_mhz);
-    std::printf("  median    : %.1f tau (mean shift %+.1f%%)\n", med,
-                100.0 * r_mc.mean_shift());
-    std::printf("  q05..q95  : %.1f .. %.1f tau (spread %.1f%%)\n\n",
-                r_mc.period_tau.quantile(0.05), r_mc.period_tau.quantile(0.95),
-                100.0 * r_mc.relative_spread());
-  }
-
-  if (args.report == "noise" || args.report == "all") {
-    const auto noise = noise::analyze_noise(*r.nl, noise::NoiseOptions{});
-    std::printf("crosstalk: worst bump %.2f Vdd, %zu static / %zu domino "
-                "margin failures over %zu coupled nets\n\n",
-                noise.worst_bump_fraction, noise.static_failures,
-                noise.domino_failures, noise.nets.size());
-  }
-
-  if (!args.verilog_out.empty()) {
-    std::ofstream os(args.verilog_out);
-    if (!os) {
-      std::fprintf(stderr, "cannot write %s\n", args.verilog_out.c_str());
-      return 1;
-    }
-    netlist::write_verilog(*r.nl, os);
-    std::printf("wrote %s\n", args.verilog_out.c_str());
-  }
-  if (!args.liberty_out.empty()) {
-    std::ofstream os(args.liberty_out);
-    if (!os) {
-      std::fprintf(stderr, "cannot write %s\n", args.liberty_out.c_str());
-      return 1;
-    }
-    library::write_liberty(flow.library_for(m->library), os);
-    std::printf("wrote %s\n", args.liberty_out.c_str());
-  }
-  return 0;
+  return gap::core::cli::run(argc, argv, std::cout, std::cerr);
 }
