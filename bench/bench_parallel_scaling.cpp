@@ -14,6 +14,7 @@
 #include <algorithm>
 #include <chrono>
 #include <cstdio>
+#include <cstdlib>
 #include <string>
 #include <vector>
 
@@ -44,6 +45,10 @@ std::vector<int> thread_grid() {
   return grid;
 }
 
+/// GAP_BENCH_QUICK=1 shrinks the workloads so the CI job (ci.yml)
+/// finishes in minutes; the determinism check runs either way.
+bool quick_mode() { return std::getenv("GAP_BENCH_QUICK") != nullptr; }
+
 }  // namespace
 
 int main() {
@@ -58,13 +63,17 @@ int main() {
               common::resolve_threads(0));
   bool identical = true;
 
-  // --- Monte Carlo statistical STA: 200 full timing passes. ---
+  const int mc_samples = quick_mode() ? 40 : 200;
+  const int sweep_side = quick_mode() ? 4 : 8;
+  const int binning_dies = quick_mode() ? 20000 : 200000;
+
+  // --- Monte Carlo statistical STA: full timing passes. ---
   Table mc({"threads", "wall (ms)", "per-sample (ms)", "speedup", "median",
             "q95"});
   double mc_serial_ms = 0.0, mc_ref_median = 0.0, mc_ref_q95 = 0.0;
   for (int threads : thread_grid()) {
     sta::McStaOptions opt;
-    opt.samples = 200;
+    opt.samples = mc_samples;
     opt.sigma_gate = 0.10;
     opt.sigma_die = 0.05;
     opt.threads = threads;
@@ -83,13 +92,13 @@ int main() {
                 fmt(ms / opt.samples, 3), fmt(mc_serial_ms / ms, 2),
                 fmt(med, 6), fmt(q95, 6)});
   }
-  std::printf("Monte Carlo STA, 200 samples, alu16:\n%s\n",
+  std::printf("Monte Carlo STA, %d samples, alu16:\n%s\n", mc_samples,
               mc.render().c_str());
 
-  // --- Netlist parameter sweep: 64-point wire what-if grid. ---
+  // --- Netlist parameter sweep: wire what-if grid. ---
   std::vector<netlist::SweepPoint> points;
-  for (int w = 0; w < 8; ++w)
-    for (int l = 0; l < 8; ++l)
+  for (int w = 0; w < sweep_side; ++w)
+    for (int l = 0; l < sweep_side; ++l)
       points.push_back({1.0 + 0.25 * w, 0.5 + 0.25 * l, 0.0});
   const auto metric = [](const netlist::Netlist& n) {
     return sta::analyze(n, sta::StaOptions{}).min_period_tau;
@@ -114,13 +123,13 @@ int main() {
   std::printf("parameter sweep, %zu points, alu16:\n%s\n", points.size(),
               sw.render().c_str());
 
-  // --- Variation binning: 200k dies through the lognormal model. ---
+  // --- Variation binning: dies through the lognormal model. ---
   Table bn({"threads", "wall (ms)", "speedup", "typical", "fast bin"});
   double bn_serial_ms = 0.0, bn_ref_typ = 0.0;
   for (int threads : thread_grid()) {
     const auto t0 = Clock::now();
     const auto speeds =
-        variation::monte_carlo_speeds(variation::best_fab(), 200000, 1,
+        variation::monte_carlo_speeds(variation::best_fab(), binning_dies, 1,
                                       threads);
     const auto b = variation::bin_stats(speeds, variation::SignoffDerating{});
     const double ms = ms_since(t0);
@@ -132,7 +141,8 @@ int main() {
     bn.add_row({std::to_string(threads), fmt(ms, 1), fmt(bn_serial_ms / ms, 2),
                 fmt(b.typical, 6), fmt(b.fast_bin, 6)});
   }
-  std::printf("variation binning, 200000 dies:\n%s\n", bn.render().c_str());
+  std::printf("variation binning, %d dies:\n%s\n", binning_dies,
+              bn.render().c_str());
 
   std::printf("bit-identical statistics across thread counts: %s\n",
               identical ? "PASS" : "FAIL");

@@ -5,6 +5,10 @@
 
 #include <benchmark/benchmark.h>
 
+#include <cstdlib>
+#include <string>
+#include <vector>
+
 #include "datapath/multipliers.hpp"
 #include "designs/registry.hpp"
 #include "library/builders.hpp"
@@ -136,4 +140,24 @@ BENCHMARK(BM_MonteCarloSta)->Arg(20)->Arg(100);
 
 }  // namespace
 
-BENCHMARK_MAIN();
+// Custom main instead of BENCHMARK_MAIN(): GAP_BENCH_QUICK=1 caps the
+// per-benchmark measuring time so the CI snapshot job (ci.yml) finishes
+// in minutes; an explicit --benchmark_min_time on the command line wins.
+int main(int argc, char** argv) {
+  std::vector<char*> args(argv, argv + argc);
+  static std::string quick_min_time = "--benchmark_min_time=0.05";
+  bool user_min_time = false;
+  for (int i = 1; i < argc; ++i)
+    if (std::string(argv[i]).rfind("--benchmark_min_time", 0) == 0)
+      user_min_time = true;
+  if (std::getenv("GAP_BENCH_QUICK") != nullptr && !user_min_time)
+    args.insert(args.begin() + 1, quick_min_time.data());
+
+  int args_count = static_cast<int>(args.size());
+  benchmark::Initialize(&args_count, args.data());
+  if (benchmark::ReportUnrecognizedArguments(args_count, args.data()))
+    return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -1,0 +1,45 @@
+#pragma once
+/// \file json.hpp
+/// Minimal JSON emission helpers shared by the observability exporters
+/// (trace.cpp, metrics.cpp). Writing only — the repository never parses
+/// JSON; consumers are chrome://tracing, Perfetto and CI scripts.
+
+#include <cstdio>
+#include <string>
+
+namespace gap::common::json {
+
+/// Escape a string for use inside JSON double quotes.
+inline std::string escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size() + 2);
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x",
+                        static_cast<unsigned>(static_cast<unsigned char>(c)));
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+/// A finite double as a JSON number (non-finite values are not valid
+/// JSON; callers must clamp before emitting).
+inline std::string number(double v) {
+  char buf[40];
+  std::snprintf(buf, sizeof(buf), "%.17g", v);
+  return buf;
+}
+
+}  // namespace gap::common::json

@@ -1,0 +1,165 @@
+#include "common/metrics.hpp"
+
+#include <bit>
+#include <cmath>
+#include <ostream>
+#include <sstream>
+
+#include "common/json.hpp"
+
+namespace gap::common {
+namespace {
+
+/// Monotonic CAS update: keep the extreme of `bits` and the stored value
+/// under `cmp` on the decoded doubles. Only nonnegative finite doubles
+/// are stored, for which raw-bit ordering matches double ordering.
+template <typename Cmp>
+void update_extreme(std::atomic<std::uint64_t>& slot, double v, Cmp cmp) {
+  const std::uint64_t bits = std::bit_cast<std::uint64_t>(v);
+  std::uint64_t cur = slot.load(std::memory_order_relaxed);
+  while (cmp(v, std::bit_cast<double>(cur)) &&
+         !slot.compare_exchange_weak(cur, bits, std::memory_order_relaxed)) {
+  }
+}
+
+}  // namespace
+
+int Histogram::bucket_of(double v) {
+  if (!(v > 0.0)) return 0;  // zero, negatives, NaN
+  int exp = 0;
+  (void)std::frexp(v, &exp);  // v = m * 2^exp, m in [0.5, 1)
+  // v in [1, 2) has exp == 1 and must land in kUnitBucket.
+  const int idx = kUnitBucket + exp - 1;
+  if (idx < 0) return 0;
+  if (idx >= kNumBuckets) return kNumBuckets - 1;
+  return idx;
+}
+
+void Histogram::record(double v) {
+  if (!std::isfinite(v)) return;  // NaN / inf samples are dropped
+  if (v < 0.0) v = 0.0;
+  buckets_[bucket_of(v)].fetch_add(1, std::memory_order_relaxed);
+  count_.fetch_add(1, std::memory_order_release);
+  update_extreme(min_bits_, v, [](double a, double b) { return a < b; });
+  update_extreme(max_bits_, v, [](double a, double b) { return a > b; });
+}
+
+HistogramData Histogram::data() const {
+  HistogramData d;
+  d.count = count_.load(std::memory_order_acquire);
+  if (d.count > 0) {
+    d.min = std::bit_cast<double>(min_bits_.load(std::memory_order_acquire));
+    d.max = std::bit_cast<double>(max_bits_.load(std::memory_order_acquire));
+  }
+  d.buckets.resize(kNumBuckets);
+  for (int i = 0; i < kNumBuckets; ++i)
+    d.buckets[static_cast<std::size_t>(i)] =
+        buckets_[i].load(std::memory_order_relaxed);
+  return d;
+}
+
+void Histogram::reset() {
+  count_.store(0, std::memory_order_relaxed);
+  min_bits_.store(kMinInit, std::memory_order_relaxed);
+  max_bits_.store(0, std::memory_order_relaxed);
+  for (auto& b : buckets_) b.store(0, std::memory_order_relaxed);
+}
+
+std::vector<std::pair<std::string, std::uint64_t>>
+MetricsSnapshot::counter_deltas_since(const MetricsSnapshot& before) const {
+  std::vector<std::pair<std::string, std::uint64_t>> out;
+  for (const auto& [name, value] : counters) {
+    std::uint64_t prev = 0;
+    if (auto it = before.counters.find(name); it != before.counters.end())
+      prev = it->second;
+    if (value > prev) out.emplace_back(name, value - prev);
+  }
+  return out;
+}
+
+Counter& MetricsRegistry::counter(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto& slot = counters_[name];
+  if (!slot) slot = std::make_unique<Counter>();
+  return *slot;
+}
+
+Gauge& MetricsRegistry::gauge(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto& slot = gauges_[name];
+  if (!slot) slot = std::make_unique<Gauge>();
+  return *slot;
+}
+
+Histogram& MetricsRegistry::histogram(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto& slot = histograms_[name];
+  if (!slot) slot = std::make_unique<Histogram>();
+  return *slot;
+}
+
+void MetricsRegistry::reset() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  for (auto& [name, c] : counters_) c->reset();
+  for (auto& [name, g] : gauges_) g->reset();
+  for (auto& [name, h] : histograms_) h->reset();
+}
+
+MetricsSnapshot MetricsRegistry::snapshot() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  MetricsSnapshot s;
+  for (const auto& [name, c] : counters_) s.counters[name] = c->value();
+  for (const auto& [name, g] : gauges_) s.gauges[name] = g->value();
+  for (const auto& [name, h] : histograms_) s.histograms[name] = h->data();
+  return s;
+}
+
+void MetricsRegistry::write_json(std::ostream& os) const {
+  const MetricsSnapshot s = snapshot();
+  os << "{\"counters\":{";
+  bool first = true;
+  for (const auto& [name, v] : s.counters) {
+    if (!first) os << ',';
+    first = false;
+    os << '"' << json::escape(name) << "\":" << v;
+  }
+  os << "},\"gauges\":{";
+  first = true;
+  for (const auto& [name, v] : s.gauges) {
+    if (!first) os << ',';
+    first = false;
+    const double safe = std::isfinite(v) ? v : 0.0;
+    os << '"' << json::escape(name) << "\":" << json::number(safe);
+  }
+  os << "},\"histograms\":{";
+  first = true;
+  for (const auto& [name, h] : s.histograms) {
+    if (!first) os << ',';
+    first = false;
+    os << '"' << json::escape(name) << "\":{\"count\":" << h.count
+       << ",\"min\":" << json::number(h.min)
+       << ",\"max\":" << json::number(h.max) << ",\"buckets\":[";
+    bool bfirst = true;
+    for (std::size_t i = 0; i < h.buckets.size(); ++i) {
+      if (h.buckets[i] == 0) continue;
+      if (!bfirst) os << ',';
+      bfirst = false;
+      os << '[' << i << ',' << h.buckets[i] << ']';
+    }
+    os << "]}";
+  }
+  os << "}}\n";
+}
+
+std::string MetricsRegistry::json() const {
+  std::ostringstream os;
+  write_json(os);
+  return os.str();
+}
+
+MetricsRegistry& metrics() {
+  static MetricsRegistry* registry = new MetricsRegistry();
+  return *registry;
+}
+
+}  // namespace gap::common

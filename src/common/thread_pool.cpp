@@ -3,6 +3,8 @@
 #include <algorithm>
 
 #include "common/check.hpp"
+#include "common/metrics.hpp"
+#include "common/trace.hpp"
 
 namespace gap::common {
 
@@ -36,6 +38,9 @@ void ThreadPool::run_block(const Job& job, int lane) noexcept {
   const std::size_t begin = job.n * ulane / lanes;
   const std::size_t end = job.n * (ulane + 1) / lanes;
   try {
+    // One span per lane block makes the fork-join fan-out visible in the
+    // trace viewer; spans inside fn nest under it on this lane's row.
+    GAP_TRACE_SPAN("pool::lane");
     for (std::size_t i = begin; i < end; ++i) (*job.fn)(i);
   } catch (...) {
     errors_[ulane] = std::current_exception();
@@ -61,9 +66,21 @@ void ThreadPool::worker_loop(int lane) {
   }
 }
 
+namespace {
+
+/// Counted at dispatch (not per lane) so the total is the same at any
+/// thread count, including the serial fallback paths.
+void count_dispatched(std::size_t n) {
+  static Counter& items = metrics().counter("pool.items_dispatched");
+  items.add(n);
+}
+
+}  // namespace
+
 void ThreadPool::parallel_for(std::size_t n,
                               const std::function<void(std::size_t)>& fn) {
   if (n == 0) return;
+  count_dispatched(n);
   const int lanes =
       static_cast<int>(std::min<std::size_t>(static_cast<std::size_t>(size_), n));
   if (lanes == 1) {
@@ -96,6 +113,7 @@ void ThreadPool::parallel_for(std::size_t n,
 void parallel_for(int threads, std::size_t n,
                   const std::function<void(std::size_t)>& fn) {
   if (resolve_threads(threads) == 1 || n <= 1) {
+    if (n > 0) count_dispatched(n);
     for (std::size_t i = 0; i < n; ++i) fn(i);
     return;
   }

@@ -1,0 +1,129 @@
+#pragma once
+/// \file trace.hpp
+/// Low-overhead scoped tracing for the flow engines. Spans are RAII:
+///
+///   void propagate(...) {
+///     GAP_TRACE_SPAN("sta::propagate");
+///     ...
+///   }
+///
+/// and nest naturally, including across gap::common::ThreadPool workers:
+/// every thread appends completed spans to its own buffer, so recording
+/// never contends between lanes and never perturbs results (spans read
+/// the clock and a thread id — they do not touch RNG streams, so the
+/// determinism contract of docs/parallelism.md holds with tracing on).
+///
+/// Disabled cost: one relaxed atomic load per span, no allocation, no
+/// clock read. Tracing is off by default and enabled explicitly
+/// (gapflow --trace-out FILE).
+///
+/// Output is Chrome trace_event JSON ("X" complete events), loadable in
+/// chrome://tracing or https://ui.perfetto.dev. See docs/observability.md
+/// for naming conventions and measured overhead.
+
+#include <atomic>
+#include <cstdint>
+#include <iosfwd>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace gap::common {
+
+/// One completed span, in microseconds since the tracer's time origin.
+struct TraceEvent {
+  std::string name;
+  double ts_us = 0.0;   ///< start, relative to the tracer origin
+  double dur_us = 0.0;  ///< duration
+  int tid = 0;          ///< stable per-thread id (registration order)
+};
+
+/// Process-wide collector of TraceEvents. Thread-safe: each recording
+/// thread owns a buffer guarded by its own (uncontended) mutex; the
+/// registry of buffers is guarded by a global one. Buffers outlive their
+/// threads, so spans recorded on transient ThreadPool workers survive
+/// pool destruction.
+class Tracer {
+ public:
+  /// Enable/disable recording. Spans check this once at entry; a span
+  /// that began while enabled is recorded even if tracing is disabled
+  /// before it ends.
+  void set_enabled(bool on) {
+    enabled_.store(on, std::memory_order_relaxed);
+  }
+  [[nodiscard]] bool enabled() const {
+    return enabled_.load(std::memory_order_relaxed);
+  }
+
+  /// Drop all recorded events (buffer registrations are kept).
+  void clear();
+
+  /// Snapshot of all completed spans, in (tid, ts) order.
+  [[nodiscard]] std::vector<TraceEvent> events() const;
+  [[nodiscard]] std::size_t event_count() const;
+
+  /// Chrome trace_event JSON: {"traceEvents":[...]}.
+  void write_chrome_json(std::ostream& os) const;
+  [[nodiscard]] std::string chrome_json() const;
+
+  /// Time since the tracer's origin, microseconds. Monotonic.
+  [[nodiscard]] double now_us() const;
+
+  /// The calling thread's buffer, registering it on first use.
+  void record(TraceEvent ev);
+
+ private:
+  struct ThreadBuffer {
+    mutable std::mutex mutex;
+    std::vector<TraceEvent> events;
+    int tid = 0;
+  };
+
+  ThreadBuffer& local_buffer();
+
+  std::atomic<bool> enabled_{false};
+  mutable std::mutex registry_mutex_;
+  std::vector<std::shared_ptr<ThreadBuffer>> buffers_;
+};
+
+/// The process-wide tracer behind GAP_TRACE_SPAN.
+[[nodiscard]] Tracer& tracer();
+
+/// RAII span: records [construction, destruction) when tracing was
+/// enabled at construction. The name is copied only on the enabled path.
+class TraceSpan {
+ public:
+  explicit TraceSpan(const char* name) {
+    if (tracer().enabled()) arm(name);
+  }
+  explicit TraceSpan(const std::string& name) {
+    if (tracer().enabled()) arm(name.c_str());
+  }
+  /// Span named `prefix + suffix`; the concatenation (and any
+  /// allocation) happens only when tracing is enabled.
+  TraceSpan(const char* prefix, const std::string& suffix) {
+    if (tracer().enabled()) arm((prefix + suffix).c_str());
+  }
+  ~TraceSpan() {
+    if (armed_) finish();
+  }
+  TraceSpan(const TraceSpan&) = delete;
+  TraceSpan& operator=(const TraceSpan&) = delete;
+
+ private:
+  void arm(const char* name);
+  void finish();
+
+  bool armed_ = false;
+  double start_us_ = 0.0;
+  std::string name_;
+};
+
+#define GAP_TRACE_CAT2(a, b) a##b
+#define GAP_TRACE_CAT(a, b) GAP_TRACE_CAT2(a, b)
+/// Trace the enclosing scope under `name` (a C string or std::string).
+#define GAP_TRACE_SPAN(name) \
+  ::gap::common::TraceSpan GAP_TRACE_CAT(gap_trace_span_, __LINE__) { name }
+
+}  // namespace gap::common

@@ -6,6 +6,8 @@
 #include <ostream>
 #include <sstream>
 
+#include "common/metrics.hpp"
+#include "common/trace.hpp"
 #include "core/flow.hpp"
 #include "core/gap.hpp"
 #include "designs/registry.hpp"
@@ -48,6 +50,10 @@ void print_help(std::ostream& os) {
         "  --threads N            fan-out thread count (0 = all cores);\n"
         "                         results are identical at any setting\n"
         "  --diagnostics          dump the per-stage flow report\n"
+        "  --trace-out FILE       write a Chrome trace_event JSON of the\n"
+        "                         run (chrome://tracing / Perfetto)\n"
+        "  --metrics-out FILE     write engine counters/histograms as\n"
+        "                         JSON (docs/observability.md)\n"
         "  --check-liberty FILE   lint a Liberty file and exit\n"
         "  --check-verilog FILE   lint a Verilog file (against the\n"
         "                         methodology's library) and exit\n"
@@ -103,6 +109,58 @@ int report_failure(const Status& s, std::ostream& err) {
   err << s.to_diagnostic().format() << '\n';
   return exit_code_for(s.code());
 }
+
+/// Arm the observability sinks requested on the command line, then write
+/// them with finish(). The registry/tracer are process-wide, so each run
+/// starts from a clean slate to report only its own work; tracing is
+/// switched off again after the dump so in-process callers (tests,
+/// sweeps) do not inherit an enabled tracer.
+class ObservabilityOutputs {
+ public:
+  explicit ObservabilityOutputs(const DriverArgs& args)
+      : trace_path_(args.trace_out), metrics_path_(args.metrics_out) {
+    if (!metrics_path_.empty()) common::metrics().reset();
+    if (!trace_path_.empty()) {
+      common::tracer().clear();
+      common::tracer().set_enabled(true);
+    }
+  }
+
+  /// Write the requested files; empty Status on success.
+  [[nodiscard]] Status finish(std::ostream& out) {
+    if (!trace_path_.empty()) {
+      common::tracer().set_enabled(false);
+      std::ofstream os(trace_path_);
+      if (!os)
+        return Status::error(ErrorCode::kIo,
+                             "cannot write '" + trace_path_ + "'", {},
+                             "gapflow");
+      common::tracer().write_chrome_json(os);
+      out << "wrote " << trace_path_ << '\n';
+      trace_path_.clear();
+    }
+    if (!metrics_path_.empty()) {
+      std::ofstream os(metrics_path_);
+      if (!os)
+        return Status::error(ErrorCode::kIo,
+                             "cannot write '" + metrics_path_ + "'", {},
+                             "gapflow");
+      common::metrics().write_json(os);
+      out << "wrote " << metrics_path_ << '\n';
+      metrics_path_.clear();
+    }
+    return Status();
+  }
+
+  ~ObservabilityOutputs() {
+    // Never leave the process-wide tracer enabled past this run.
+    if (!trace_path_.empty()) common::tracer().set_enabled(false);
+  }
+
+ private:
+  std::string trace_path_;
+  std::string metrics_path_;
+};
 
 Result<std::string> read_file(const std::string& path) {
   std::ifstream is(path, std::ios::binary);
@@ -176,6 +234,8 @@ Result<DriverArgs> parse_args(const std::vector<std::string>& argv) {
     else if (flag == "--write-liberty") bad = string_arg(a.liberty_out);
     else if (flag == "--check-liberty") bad = string_arg(a.check_liberty);
     else if (flag == "--check-verilog") bad = string_arg(a.check_verilog);
+    else if (flag == "--trace-out") bad = string_arg(a.trace_out);
+    else if (flag == "--metrics-out") bad = string_arg(a.metrics_out);
     else if (flag == "--corner") {
       std::string c;
       bad = string_arg(c);
@@ -261,6 +321,10 @@ int run(const std::vector<std::string>& argv, std::ostream& out,
     return 0;
   }
 
+  // Arm tracing/metrics before the Flow is built so library construction
+  // and every stage land in the dump.
+  ObservabilityOutputs obs(args);
+
   core::Flow flow(*t);
   const library::CellLibrary& lib = flow.library_for(m->library);
 
@@ -294,9 +358,16 @@ int run(const std::vector<std::string>& argv, std::ostream& out,
   core::FlowResult r = flow.run(design, *m, fopt);
 
   if (args.diagnostics || !r.ok()) {
-    out << "flow report:\n" << r.report.format();
+    // With --metrics-out the registry was reset for this run, so the
+    // per-stage counter deltas are meaningful; show them.
+    out << "flow report:\n"
+        << (args.metrics_out.empty() ? r.report.format()
+                                     : r.report.format_with_metrics());
   }
   if (!r.ok() || !r.nl) {
+    // Dump trace/metrics for failed flows too: per-stage visibility is
+    // most valuable exactly when a stage died.
+    if (const Status s = obs.finish(out); !s.ok()) report_failure(s, err);
     for (const common::Diagnostic& d : r.report.all_diagnostics())
       err << d.format() << '\n';
     const StageReport* failed = r.report.failed_stage();
@@ -399,6 +470,7 @@ int run(const std::vector<std::string>& argv, std::ostream& out,
     library::write_liberty(lib, os);
     out << "wrote " << args.liberty_out << '\n';
   }
+  if (const Status s = obs.finish(out); !s.ok()) return report_failure(s, err);
   return 0;
 }
 

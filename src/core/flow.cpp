@@ -1,11 +1,14 @@
 #include "core/flow.hpp"
 
+#include <algorithm>
 #include <chrono>
 #include <cstdio>
 #include <exception>
 #include <sstream>
 
 #include "common/check.hpp"
+#include "common/metrics.hpp"
+#include "common/trace.hpp"
 #include "library/builders.hpp"
 #include "netlist/checks.hpp"
 #include "pipeline/pipeline.hpp"
@@ -54,8 +57,10 @@ class StageRunner {
       report_.stages.push_back(std::move(sr));
       return false;
     }
+    const common::MetricsSnapshot before = common::metrics().snapshot();
     const auto t0 = std::chrono::steady_clock::now();
     try {
+      const common::TraceSpan stage_span("flow::", name);
       if (opt_.capture_contract_failures) {
         const ScopedContractCapture guard;
         body(sr);
@@ -72,6 +77,8 @@ class StageRunner {
     const auto t1 = std::chrono::steady_clock::now();
     sr.wall_ms =
         std::chrono::duration<double, std::milli>(t1 - t0).count();
+    sr.metric_deltas =
+        common::metrics().snapshot().counter_deltas_since(before);
     if (!sr.diagnostics.empty()) {
       sr.status = StageStatus::kFailed;
       failed_ = true;
@@ -129,6 +136,26 @@ std::vector<common::Diagnostic> FlowReport::all_diagnostics() const {
   return out;
 }
 
+std::string FlowReport::format_with_metrics() const {
+  std::ostringstream os;
+  for (const StageReport& s : stages) {
+    os << "  " << s.name;
+    for (std::size_t i = s.name.size(); i < 10; ++i) os << ' ';
+    os << to_string(s.status);
+    if (s.status != StageStatus::kSkipped) {
+      char buf[32];
+      std::snprintf(buf, sizeof(buf), "  %8.2f ms", s.wall_ms);
+      os << buf;
+    }
+    os << '\n';
+    for (const auto& [name, delta] : s.metric_deltas)
+      os << "    " << name << " +" << delta << '\n';
+    for (const common::Diagnostic& d : s.diagnostics)
+      os << "    " << d.format() << '\n';
+  }
+  return os.str();
+}
+
 std::string FlowReport::format() const {
   std::ostringstream os;
   for (const StageReport& s : stages) {
@@ -179,6 +206,9 @@ FlowResult Flow::run(const logic::Aig& design, const Methodology& m) const {
 
 FlowResult Flow::run(const logic::Aig& design, const Methodology& m,
                      const FlowOptions& opt) const {
+  GAP_TRACE_SPAN("flow::run");
+  static common::Counter& runs = common::metrics().counter("flow.runs");
+  runs.add();
   const library::CellLibrary& lib = library_for(m.library);
   FlowResult result;
   StageRunner stages(result.report, opt);

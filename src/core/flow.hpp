@@ -10,9 +10,11 @@
 /// per-stage report instead of aborting the process, and downstream
 /// stages are skipped (or continued best-effort) after a failure.
 
+#include <cstdint>
 #include <memory>
 #include <optional>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "common/status.hpp"
@@ -26,12 +28,18 @@ namespace gap::core {
 enum class StageStatus : std::uint8_t { kOk, kFailed, kSkipped };
 [[nodiscard]] std::string to_string(StageStatus s);
 
-/// Record of one flow stage: what ran, how long it took, what went wrong.
+/// Record of one flow stage: what ran, how long it took, what the
+/// engines did (counter deltas over the stage), what went wrong.
 struct StageReport {
   std::string name;
   StageStatus status = StageStatus::kOk;
   double wall_ms = 0.0;
   std::vector<common::Diagnostic> diagnostics;
+  /// gap::common::metrics() counters that grew while this stage ran,
+  /// with their per-stage deltas ("tilos.moves_accepted" -> 17, ...).
+  /// Sorted by name. Attribution is exact while one flow runs at a time
+  /// (the registry is process-wide, so concurrent flows blend).
+  std::vector<std::pair<std::string, std::uint64_t>> metric_deltas;
 };
 
 /// Per-stage account of a flow run. A flow whose report is not ok()
@@ -46,6 +54,8 @@ struct FlowReport {
   [[nodiscard]] std::vector<common::Diagnostic> all_diagnostics() const;
   /// Human-readable table: one line per stage plus indented diagnostics.
   [[nodiscard]] std::string format() const;
+  /// format() plus per-stage counter deltas, one indented line each.
+  [[nodiscard]] std::string format_with_metrics() const;
 };
 
 /// Knobs for the stage guard.

@@ -4,7 +4,9 @@
 #include <cmath>
 
 #include "common/check.hpp"
+#include "common/metrics.hpp"
 #include "common/rng.hpp"
+#include "common/trace.hpp"
 #include "netlist/checks.hpp"
 
 namespace gap::place {
@@ -54,9 +56,16 @@ double total_hpwl(const netlist::Netlist& nl) {
 }
 
 PlaceResult place(netlist::Netlist& nl, const PlaceOptions& options) {
+  GAP_TRACE_SPAN("place::place");
+  static common::Counter& runs = common::metrics().counter("place.runs");
+  static common::Counter& placed =
+      common::metrics().counter("place.instances_placed");
+  runs.add();
+
   PlaceResult result;
   Rng rng(options.seed);
   if (nl.num_instances() == 0) return result;
+  placed.add(nl.num_instances());
 
   // --- determine die and regions ---
   double die_w, die_h;
@@ -126,6 +135,9 @@ PlaceResult place(netlist::Netlist& nl, const PlaceOptions& options) {
 
   // --- SA refinement (careful mode only) ---
   if (options.mode == PlacementMode::kCareful && options.sa_moves > 0) {
+    GAP_TRACE_SPAN("place::sa_refine");
+    std::uint64_t accepted = 0;
+    std::uint64_t rejected = 0;
     // Nets touching an instance, for incremental cost evaluation.
     auto nets_of = [&](InstanceId id) {
       std::vector<NetId> nets = nl.instance(id).inputs;
@@ -163,9 +175,19 @@ PlaceResult place(netlist::Netlist& nl, const PlaceOptions& options) {
       if (!(delta <= 0.0 || rng.uniform() < std::exp(-delta / temp))) {
         std::swap(ia.x_um, ib.x_um);  // reject: swap back
         std::swap(ia.y_um, ib.y_um);
+        ++rejected;
+      } else {
+        ++accepted;
       }
       temp *= cooling;
     }
+    // Batched adds: the SA loop stays free of atomics.
+    static common::Counter& acc =
+        common::metrics().counter("place.sa_moves_accepted");
+    static common::Counter& rej =
+        common::metrics().counter("place.sa_moves_rejected");
+    acc.add(accepted);
+    rej.add(rejected);
   }
 
   annotate_net_lengths(nl);

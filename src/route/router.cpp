@@ -5,6 +5,8 @@
 #include <unordered_set>
 
 #include "common/check.hpp"
+#include "common/metrics.hpp"
+#include "common/trace.hpp"
 
 namespace gap::route {
 namespace {
@@ -133,8 +135,19 @@ std::vector<std::size_t> best_route(const Grid& g, int ax, int ay, int bx,
 }  // namespace
 
 RouteResult route(Netlist& nl, const RouteOptions& options) {
+  GAP_TRACE_SPAN("route::route");
   GAP_EXPECTS(options.grid_bins >= 2);
   GAP_EXPECTS(options.capacity_per_edge > 0.0);
+  static common::Counter& runs = common::metrics().counter("route.runs");
+  static common::Counter& nets_routed =
+      common::metrics().counter("route.nets_routed");
+  static common::Counter& segments =
+      common::metrics().counter("route.segments_committed");
+  static common::Counter& detours =
+      common::metrics().counter("route.detoured_nets");
+  runs.add();
+  std::uint64_t local_nets = 0;
+  std::uint64_t local_segments = 0;
 
   // Placement bounding box.
   double x0 = 1e300, y0 = 1e300, x1 = -1e300, y1 = -1e300;
@@ -179,6 +192,8 @@ RouteResult route(Netlist& nl, const RouteOptions& options) {
         net_edges.insert(e);  // trunk sharing within the net
     }
     for (std::size_t e : net_edges) grid.commit(e);
+    ++local_nets;
+    local_segments += net_edges.size();
 
     const double hpwl = (hx1 - hx0) + (hy1 - hy0);
     const double routed = std::max(
@@ -197,6 +212,10 @@ RouteResult route(Netlist& nl, const RouteOptions& options) {
   }
   result.overflow_edges =
       static_cast<double>(over) / static_cast<double>(grid.num_edges());
+  nets_routed.add(local_nets);
+  segments.add(local_segments);
+  detours.add(static_cast<std::uint64_t>(result.detoured_nets));
+  common::metrics().gauge("route.max_utilization").set(result.max_utilization);
   return result;
 }
 

@@ -4,6 +4,8 @@
 #include <unordered_set>
 
 #include "common/check.hpp"
+#include "common/metrics.hpp"
+#include "common/trace.hpp"
 #include "netlist/checks.hpp"
 
 namespace gap::sizing {
@@ -111,6 +113,16 @@ void initial_drive_assignment(Netlist& nl, double stage_effort,
 }
 
 SizingResult tilos_size(Netlist& nl, const SizingOptions& options) {
+  GAP_TRACE_SPAN("sizing::tilos");
+  static common::Counter& runs = common::metrics().counter("tilos.runs");
+  static common::Counter& iterations =
+      common::metrics().counter("tilos.iterations");
+  static common::Counter& accepted =
+      common::metrics().counter("tilos.moves_accepted");
+  static common::Counter& rejected =
+      common::metrics().counter("tilos.moves_rejected");
+  runs.add();
+
   SizingResult result;
   sta::TimingResult timing = sta::analyze(nl, options.sta);
   result.initial_period_tau = timing.min_period_tau;
@@ -121,6 +133,7 @@ SizingResult tilos_size(Netlist& nl, const SizingOptions& options) {
   std::unordered_set<std::uint32_t> blocked;
 
   while (result.moves < options.max_moves) {
+    iterations.add();
     // Best estimated move along the current critical path.
     std::optional<Move> best;
     for (InstanceId id : timing.critical_path) {
@@ -139,10 +152,12 @@ SizingResult tilos_size(Netlist& nl, const SizingOptions& options) {
       timing = after;
       result.final_period_tau = after.min_period_tau;
       ++result.moves;
+      accepted.add();
       blocked.clear();  // the landscape changed; retry earlier failures
     } else {
       undo(nl, *best, old_cell, old_override);
       blocked.insert(best->inst.value());
+      rejected.add();
     }
   }
   return result;

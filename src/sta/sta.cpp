@@ -4,6 +4,8 @@
 #include <cmath>
 #include <limits>
 
+#include "common/metrics.hpp"
+#include "common/trace.hpp"
 #include "netlist/checks.hpp"
 #include "wire/repeaters.hpp"
 
@@ -95,6 +97,16 @@ double arc_delay(const Netlist& nl, InstanceId id, double load_units) {
 }
 
 Propagation propagate(const Netlist& nl, const StaOptions& opt) {
+  GAP_TRACE_SPAN("sta::arrival_pass");
+  // One batched add per pass (not per instance): exact totals under
+  // MC-STA lanes, negligible cost on the serial path.
+  static common::Counter& passes =
+      common::metrics().counter("sta.arrival_passes");
+  static common::Counter& props =
+      common::metrics().counter("sta.arrival_propagations");
+  passes.add();
+  props.add(nl.num_instances());
+
   Propagation p;
   p.arrival.assign(nl.num_nets(), kNegInf);
   p.wire_delay.resize(nl.num_nets());
@@ -179,8 +191,11 @@ Endpoint worst_endpoint(const Netlist& nl, const StaOptions& opt,
 }  // namespace
 
 TimingResult analyze(const Netlist& nl, const StaOptions& options) {
+  GAP_TRACE_SPAN("sta::analyze");
   GAP_EXPECTS(options.clock.skew_fraction >= 0.0 &&
               options.clock.skew_fraction < 1.0);
+  static common::Counter& analyses = common::metrics().counter("sta.analyses");
+  analyses.add();
   const Propagation p = propagate(nl, options);
   const Endpoint e = worst_endpoint(nl, options, p);
 

@@ -5,15 +5,22 @@
 #include <vector>
 
 #include "common/check.hpp"
+#include "common/metrics.hpp"
 #include "common/rng.hpp"
 #include "common/thread_pool.hpp"
+#include "common/trace.hpp"
 
 namespace gap::sta {
 
 McStaResult monte_carlo_sta(const netlist::Netlist& nl,
                             const McStaOptions& options) {
+  GAP_TRACE_SPAN("sta::monte_carlo");
   GAP_EXPECTS(options.samples > 0);
   GAP_EXPECTS(options.sigma_gate >= 0.0 && options.sigma_die >= 0.0);
+  // Per-sample work is deterministic, so one batched add keeps the total
+  // exact and identical at any thread count.
+  static common::Counter& samples = common::metrics().counter("sta.mc_samples");
+  samples.add(static_cast<std::uint64_t>(options.samples));
 
   McStaResult result;
   result.nominal_period_tau = analyze(nl, options.base).min_period_tau;
@@ -36,7 +43,12 @@ McStaResult monte_carlo_sta(const netlist::Netlist& nl,
   const std::vector<double> periods = common::parallel_map(
       options.threads, static_cast<std::size_t>(options.samples),
       sample_period);
-  for (double p : periods) result.period_tau.add(p);
+  static common::Histogram& period_hist =
+      common::metrics().histogram("sta.mc_period_tau");
+  for (double p : periods) {
+    result.period_tau.add(p);
+    period_hist.record(p);
+  }
   return result;
 }
 

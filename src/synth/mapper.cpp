@@ -4,6 +4,8 @@
 #include <unordered_map>
 
 #include "common/check.hpp"
+#include "common/metrics.hpp"
+#include "common/trace.hpp"
 #include "logic/transforms.hpp"
 #include "netlist/checks.hpp"
 
@@ -306,10 +308,21 @@ Aig lower_for_library(const Aig& aig, const CellLibrary& lib, Family family) {
 MapResult map_into(const Aig& aig, const MapOptions& options, Netlist& nl,
                    const std::vector<NetId>& input_nets,
                    const std::string& prefix) {
+  GAP_TRACE_SPAN("synth::map");
+  static common::Counter& runs = common::metrics().counter("mapper.runs");
+  static common::Counter& nodes =
+      common::metrics().counter("mapper.aig_nodes_covered");
+  static common::Counter& gates =
+      common::metrics().counter("mapper.gates_mapped");
+
   const Aig lowered = lower_for_library(aig, nl.lib(), options.family);
+  const std::size_t before = nl.num_instances();
   Mapper mapper(lowered, nl.lib(), options);
   MapResult r = mapper.extract(nl, input_nets, prefix);
   r.mapped_depth = netlist::logic_depth(nl);
+  runs.add();
+  nodes.add(lowered.num_nodes());
+  gates.add(nl.num_instances() - before);
   return r;
 }
 

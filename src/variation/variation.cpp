@@ -4,7 +4,9 @@
 #include <cmath>
 
 #include "common/check.hpp"
+#include "common/metrics.hpp"
 #include "common/thread_pool.hpp"
+#include "common/trace.hpp"
 
 namespace gap::variation {
 
@@ -51,7 +53,11 @@ double sample_delay_factor(const VariationModel& m, Rng& rng) {
 
 std::vector<double> monte_carlo_speeds(const FabProfile& fab, int n,
                                        std::uint64_t seed, int threads) {
+  GAP_TRACE_SPAN("variation::monte_carlo");
   GAP_EXPECTS(n > 0);
+  static common::Counter& samples =
+      common::metrics().counter("variation.mc_samples");
+  samples.add(static_cast<std::uint64_t>(n));
   // One counter-based stream per die: die i's draws depend only on
   // (seed, i), never on which lane samples it or how many dies precede
   // it on that lane — the determinism contract of docs/parallelism.md.

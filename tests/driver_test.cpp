@@ -13,6 +13,7 @@
 #include "library/builders.hpp"
 #include "library/liberty.hpp"
 #include "tech/technology.hpp"
+#include "json_lint.hpp"
 
 namespace gap::core::cli {
 namespace {
@@ -189,6 +190,112 @@ TEST(DriverRunTest, SuccessPathPrintsSummaryAndFlowReport) {
   EXPECT_NE(r.out.find("flow report:"), std::string::npos);
   for (const char* stage : {"map", "pipeline", "place", "route", "signoff"})
     EXPECT_NE(r.out.find(stage), std::string::npos) << stage;
+}
+
+TEST(DriverRunTest, TraceAndMetricsOutProduceValidJson) {
+  const std::string trace_path = "driver_test_trace.json";
+  const std::string metrics_path = "driver_test_metrics.json";
+  const RunCapture r = invoke({"--design", "alu16", "--trace-out", trace_path,
+                               "--metrics-out", metrics_path});
+  EXPECT_EQ(r.code, 0);
+  EXPECT_TRUE(r.err.empty()) << r.err;
+  EXPECT_NE(r.out.find("wrote " + trace_path), std::string::npos);
+  EXPECT_NE(r.out.find("wrote " + metrics_path), std::string::npos);
+
+  const auto slurp = [](const std::string& path) {
+    std::ifstream is(path);
+    std::ostringstream ss;
+    ss << is.rdbuf();
+    return ss.str();
+  };
+
+  const std::string trace = slurp(trace_path);
+  ASSERT_FALSE(trace.empty());
+  EXPECT_TRUE(gap::testing::JsonLint::valid(trace));
+  EXPECT_NE(trace.find("\"traceEvents\""), std::string::npos);
+  // Per-stage flow spans must be present (Perfetto top-level rows).
+  for (const char* span : {"flow::run", "flow::map", "flow::place",
+                           "flow::route", "flow::signoff"})
+    EXPECT_NE(trace.find(span), std::string::npos) << span;
+
+  const std::string metrics = slurp(metrics_path);
+  ASSERT_FALSE(metrics.empty());
+  EXPECT_TRUE(gap::testing::JsonLint::valid(metrics));
+  // Live counters from at least the five instrumented engines.
+  for (const char* counter :
+       {"\"mapper.gates_mapped\"", "\"sta.arrival_passes\"",
+        "\"place.instances_placed\"", "\"route.nets_routed\"",
+        "\"tilos.iterations\""})
+    EXPECT_NE(metrics.find(counter), std::string::npos) << counter;
+
+  std::remove(trace_path.c_str());
+  std::remove(metrics_path.c_str());
+}
+
+TEST(DriverRunTest, ObservabilityFlagsDoNotChangeFlowOutput) {
+  const std::string trace_path = "driver_test_trace2.json";
+  const std::string metrics_path = "driver_test_metrics2.json";
+  const RunCapture plain = invoke({"--design", "alu16"});
+  const RunCapture observed =
+      invoke({"--design", "alu16", "--trace-out", trace_path, "--metrics-out",
+              metrics_path});
+  ASSERT_EQ(plain.code, 0);
+  ASSERT_EQ(observed.code, 0);
+  // The observed run prints the plain report plus exactly two "wrote"
+  // lines — everything before them is byte-identical.
+  EXPECT_EQ(observed.out.substr(0, plain.out.size()), plain.out);
+  const std::string tail = observed.out.substr(plain.out.size());
+  EXPECT_NE(tail.find("wrote " + trace_path), std::string::npos);
+  EXPECT_NE(tail.find("wrote " + metrics_path), std::string::npos);
+  std::remove(trace_path.c_str());
+  std::remove(metrics_path.c_str());
+}
+
+TEST(DriverRunTest, MetricsDeterministicAcrossThreadCounts) {
+  const std::string m1 = "driver_test_metrics_t1.json";
+  const std::string mN = "driver_test_metrics_tN.json";
+  const RunCapture r1 = invoke({"--design", "alu16", "--mc", "16", "--threads",
+                                "1", "--metrics-out", m1});
+  const RunCapture rN = invoke({"--design", "alu16", "--mc", "16", "--threads",
+                                "4", "--metrics-out", mN});
+  ASSERT_EQ(r1.code, 0) << r1.err;
+  ASSERT_EQ(rN.code, 0) << rN.err;
+
+  const auto slurp = [](const std::string& path) {
+    std::ifstream is(path);
+    std::ostringstream ss;
+    ss << is.rdbuf();
+    return ss.str();
+  };
+  const std::string a = slurp(m1);
+  const std::string b = slurp(mN);
+  ASSERT_FALSE(a.empty());
+  EXPECT_EQ(a, b);  // byte-identical metric files at any thread count
+  std::remove(m1.c_str());
+  std::remove(mN.c_str());
+}
+
+TEST(DriverRunTest, TraceOutUnwritablePathIsIoError) {
+  const RunCapture r = invoke({"--design", "alu16", "--trace-out",
+                               "/no/such/dir/trace.json"});
+  EXPECT_EQ(r.code, 5);
+  EXPECT_NE(r.err.find("error[io]"), std::string::npos);
+}
+
+TEST(FlowReportTest, StageReportsCarryMetricDeltas) {
+  Flow flow(tech::asic_025um());
+  const auto aig =
+      designs::make_design("alu16", designs::DatapathStyle::kSynthesized);
+  const FlowResult r = flow.run(aig, typical_asic());
+  ASSERT_TRUE(r.ok());
+  bool map_counted = false;
+  for (const StageReport& s : r.report.stages) {
+    if (s.name != "map") continue;
+    for (const auto& [name, delta] : s.metric_deltas)
+      if (name == "mapper.gates_mapped" && delta > 0) map_counted = true;
+  }
+  EXPECT_TRUE(map_counted);
+  EXPECT_FALSE(r.report.format_with_metrics().empty());
 }
 
 TEST(FlowReportTest, EveryStageTimedAndOk) {

@@ -1,0 +1,204 @@
+/// \file trace_test.cpp
+/// gap::common tracing facility: disabled-by-default no-op, RAII span
+/// nesting (including across ThreadPool lanes), well-formed Chrome
+/// trace_event JSON, and the no-perturbation contract — enabling tracing
+/// must not change any computed result.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstddef>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "common/thread_pool.hpp"
+#include "common/trace.hpp"
+#include "json_lint.hpp"
+
+namespace gap::common {
+namespace {
+
+/// Restores global tracer state (disabled, empty) around each test so the
+/// suite never leaks spans between cases or into other suites.
+class TraceTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    tracer().set_enabled(false);
+    tracer().clear();
+  }
+  void TearDown() override {
+    tracer().set_enabled(false);
+    tracer().clear();
+  }
+};
+
+TEST_F(TraceTest, DisabledByDefaultRecordsNothing) {
+  ASSERT_FALSE(tracer().enabled());
+  {
+    GAP_TRACE_SPAN("should::not::appear");
+    GAP_TRACE_SPAN(std::string("neither::this"));
+  }
+  EXPECT_EQ(tracer().event_count(), 0u);
+}
+
+TEST_F(TraceTest, SpanRecordsNameAndNonNegativeDuration) {
+  tracer().set_enabled(true);
+  {
+    GAP_TRACE_SPAN("unit::outer");
+  }
+  const auto evs = tracer().events();
+  ASSERT_EQ(evs.size(), 1u);
+  EXPECT_EQ(evs[0].name, "unit::outer");
+  EXPECT_GE(evs[0].ts_us, 0.0);
+  EXPECT_GE(evs[0].dur_us, 0.0);
+}
+
+TEST_F(TraceTest, SpansNestAndOuterEnclosesInner) {
+  tracer().set_enabled(true);
+  {
+    GAP_TRACE_SPAN("nest::outer");
+    {
+      GAP_TRACE_SPAN("nest::inner");
+    }
+  }
+  auto evs = tracer().events();
+  ASSERT_EQ(evs.size(), 2u);
+  // events() sorts by (tid, start): the outer span started first.
+  const auto& outer = evs[0];
+  const auto& inner = evs[1];
+  ASSERT_EQ(outer.name, "nest::outer");
+  ASSERT_EQ(inner.name, "nest::inner");
+  EXPECT_LE(outer.ts_us, inner.ts_us);
+  EXPECT_GE(outer.ts_us + outer.dur_us, inner.ts_us + inner.dur_us);
+}
+
+TEST_F(TraceTest, PrefixSuffixSpanConcatenatesOnlyWhenEnabled) {
+  tracer().set_enabled(true);
+  {
+    const TraceSpan span("flow::", std::string("route"));
+  }
+  const auto evs = tracer().events();
+  ASSERT_EQ(evs.size(), 1u);
+  EXPECT_EQ(evs[0].name, "flow::route");
+}
+
+TEST_F(TraceTest, SpansSurviveAcrossThreadPoolLanes) {
+  tracer().set_enabled(true);
+  constexpr std::size_t kItems = 64;
+  {
+    ThreadPool pool(4);
+    GAP_TRACE_SPAN("pool::dispatch");
+    pool.parallel_for(kItems, [](std::size_t) {
+      GAP_TRACE_SPAN("pool::item");
+    });
+  }  // pool (and its worker threads) destroyed — events must survive
+  const auto evs = tracer().events();
+  const auto items = std::count_if(
+      evs.begin(), evs.end(),
+      [](const TraceEvent& e) { return e.name == "pool::item"; });
+  EXPECT_EQ(static_cast<std::size_t>(items), kItems);
+  EXPECT_EQ(std::count_if(
+                evs.begin(), evs.end(),
+                [](const TraceEvent& e) { return e.name == "pool::dispatch"; }),
+            1);
+  // Snapshot order contract: sorted by (tid, ts).
+  EXPECT_TRUE(std::is_sorted(evs.begin(), evs.end(),
+                             [](const TraceEvent& a, const TraceEvent& b) {
+                               if (a.tid != b.tid) return a.tid < b.tid;
+                               return a.ts_us < b.ts_us;
+                             }));
+}
+
+TEST_F(TraceTest, ChromeJsonIsWellFormedAndEscaped) {
+  tracer().set_enabled(true);
+  {
+    GAP_TRACE_SPAN("quote\"back\\slash\nnewline");
+    GAP_TRACE_SPAN("plain::name");
+  }
+  const std::string json = tracer().chrome_json();
+  EXPECT_TRUE(gap::testing::JsonLint::valid(json)) << json;
+  EXPECT_NE(json.find("\"traceEvents\""), std::string::npos);
+  EXPECT_NE(json.find("\"ph\":\"X\""), std::string::npos);
+  EXPECT_NE(json.find("plain::name"), std::string::npos);
+}
+
+TEST_F(TraceTest, EmptyTraceIsStillValidJson) {
+  const std::string json = tracer().chrome_json();
+  EXPECT_TRUE(gap::testing::JsonLint::valid(json)) << json;
+  EXPECT_NE(json.find("\"traceEvents\""), std::string::npos);
+}
+
+TEST_F(TraceTest, ClearDropsEventsButKeepsRecording) {
+  tracer().set_enabled(true);
+  {
+    GAP_TRACE_SPAN("before::clear");
+  }
+  ASSERT_EQ(tracer().event_count(), 1u);
+  tracer().clear();
+  EXPECT_EQ(tracer().event_count(), 0u);
+  {
+    GAP_TRACE_SPAN("after::clear");
+  }
+  const auto evs = tracer().events();
+  ASSERT_EQ(evs.size(), 1u);
+  EXPECT_EQ(evs[0].name, "after::clear");
+}
+
+TEST_F(TraceTest, SpanStartedWhileEnabledIsKeptAfterDisable) {
+  tracer().set_enabled(true);
+  {
+    GAP_TRACE_SPAN("straddles::disable");
+    tracer().set_enabled(false);
+  }
+  EXPECT_EQ(tracer().event_count(), 1u);
+}
+
+/// The no-perturbation contract: a traced parallel_map computes exactly
+/// the bytes an untraced one does. Spans never touch RNG streams.
+TEST_F(TraceTest, TracingDoesNotChangeParallelMapResults) {
+  constexpr std::size_t kSamples = 256;
+  const auto work = [](std::size_t i) {
+    Rng rng = Rng::stream(12345u, static_cast<std::uint64_t>(i));
+    GAP_TRACE_SPAN("perturb::sample");
+    double acc = 0.0;
+    for (int k = 0; k < 16; ++k) acc += rng.normal(1.0, 0.1);
+    return acc;
+  };
+
+  const auto untraced = parallel_map(4, kSamples, work);
+  tracer().set_enabled(true);
+  const auto traced = parallel_map(4, kSamples, work);
+  tracer().set_enabled(false);
+
+  ASSERT_EQ(traced.size(), untraced.size());
+  for (std::size_t i = 0; i < traced.size(); ++i)
+    EXPECT_EQ(traced[i], untraced[i]) << "sample " << i;
+  EXPECT_GE(tracer().event_count(), kSamples);
+}
+
+TEST_F(TraceTest, ConcurrentRawThreadsEachGetOwnTid) {
+  tracer().set_enabled(true);
+  constexpr int kThreads = 4;
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t)
+    threads.emplace_back([] {
+      for (int i = 0; i < 50; ++i) {
+        GAP_TRACE_SPAN("raw::thread");
+      }
+    });
+  for (auto& th : threads) th.join();
+
+  const auto evs = tracer().events();
+  ASSERT_EQ(evs.size(), static_cast<std::size_t>(kThreads) * 50u);
+  std::vector<int> tids;
+  for (const auto& e : evs) tids.push_back(e.tid);
+  std::sort(tids.begin(), tids.end());
+  tids.erase(std::unique(tids.begin(), tids.end()), tids.end());
+  EXPECT_EQ(tids.size(), static_cast<std::size_t>(kThreads));
+}
+
+}  // namespace
+}  // namespace gap::common

@@ -1,0 +1,98 @@
+#!/usr/bin/env python3
+"""Diff two google-benchmark JSON snapshots and flag regressions.
+
+Usage:
+    tools/bench_compare.py BASELINE.json CURRENT.json [--threshold 0.15]
+
+Both files come from `bench_perf_tools --benchmark_format=json
+--benchmark_out=FILE` (the CI benchmark-snapshot job stores them as
+BENCH_*.json artifacts). Benchmarks are matched by name; for each pair the
+real-time delta is reported, and any benchmark slower by more than
+`--threshold` (default 15%) is flagged.
+
+Exit codes: 0 = no regressions, 1 = at least one regression flagged,
+2 = bad input. The CI step running this is non-blocking (a report, not a
+gate) — benchmark noise on shared runners makes a hard gate flaky — but
+the exit code lets stricter pipelines gate on it if they choose.
+"""
+
+import argparse
+import json
+import sys
+
+
+def load_benchmarks(path):
+    """name -> real_time in ns (aggregates like _mean are kept as-is)."""
+    try:
+        with open(path, "r", encoding="utf-8") as f:
+            doc = json.load(f)
+    except (OSError, json.JSONDecodeError) as e:
+        sys.exit(f"bench_compare: cannot read '{path}': {e}")
+    out = {}
+    for b in doc.get("benchmarks", []):
+        name = b.get("name")
+        t = b.get("real_time")
+        if name is None or t is None:
+            continue
+        unit = b.get("time_unit", "ns")
+        scale = {"ns": 1.0, "us": 1e3, "ms": 1e6, "s": 1e9}.get(unit)
+        if scale is None:
+            continue
+        out[name] = t * scale
+    return out
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("baseline", help="older snapshot (BENCH_*.json)")
+    ap.add_argument("current", help="newer snapshot (BENCH_*.json)")
+    ap.add_argument(
+        "--threshold",
+        type=float,
+        default=0.15,
+        help="relative slowdown that counts as a regression (default 0.15)",
+    )
+    args = ap.parse_args()
+
+    base = load_benchmarks(args.baseline)
+    cur = load_benchmarks(args.current)
+    if not base or not cur:
+        sys.exit("bench_compare: no benchmarks found in one of the inputs")
+
+    common = sorted(set(base) & set(cur))
+    gone = sorted(set(base) - set(cur))
+    new = sorted(set(cur) - set(base))
+
+    regressions = []
+    print(f"{'benchmark':50s} {'baseline':>12s} {'current':>12s} {'delta':>8s}")
+    for name in common:
+        b, c = base[name], cur[name]
+        delta = (c - b) / b if b > 0 else 0.0
+        mark = ""
+        if delta > args.threshold:
+            mark = "  << REGRESSION"
+            regressions.append((name, delta))
+        elif delta < -args.threshold:
+            mark = "  (improved)"
+        print(f"{name:50s} {b:10.0f}ns {c:10.0f}ns {delta:+7.1%}{mark}")
+    for name in new:
+        print(f"{name:50s} {'-':>12s} {cur[name]:10.0f}ns      new")
+    for name in gone:
+        print(f"{name:50s} {base[name]:10.0f}ns {'-':>12s}  removed")
+
+    if regressions:
+        print(
+            f"\n{len(regressions)} regression(s) over "
+            f"{args.threshold:.0%}:",
+            file=sys.stderr,
+        )
+        for name, delta in regressions:
+            print(f"  {name}: {delta:+.1%}", file=sys.stderr)
+        return 1
+    print(f"\nno regressions over {args.threshold:.0%} "
+          f"({len(common)} benchmarks compared)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -2,8 +2,10 @@
 # tools/check.sh — build & test gate for the parallel execution layer and
 # the robustness (fault-injection) layer.
 #
-#   tools/check.sh          # TSan pass + ASan/UBSan fault-injection pass
-#   tools/check.sh all      # additionally: regular build + full ctest suite
+#   tools/check.sh          # TSan pass + ASan/UBSan pass
+#   tools/check.sh tsan     # ThreadSanitizer pass only
+#   tools/check.sh asan     # ASan/UBSan fault-injection pass only
+#   tools/check.sh all      # both passes + regular build + full ctest suite
 #
 # The ThreadSanitizer pass: gap::common::ThreadPool and its consumers
 # (MC-STA, parameter sweeps, variation binning) must be race-free at any
@@ -11,47 +13,91 @@
 #
 # The ASan/UBSan pass: the untrusted-input readers must reject hundreds of
 # mutated Liberty/Verilog inputs without aborting AND without any latent
-# memory or UB errors masked by a clean exit. Both passes reuse the
-# GAP_SANITIZE cache option and separate build trees (build-tsan,
-# build-asan) so they never perturb the primary build/.
+# memory or UB errors masked by a clean exit.
+#
+# Build trees default to build-tsan / build-asan next to the primary
+# build/, overridable so CI and local runs never collide:
+#
+#   GAP_BUILD_TSAN=/tmp/ci-tsan GAP_BUILD_ASAN=/tmp/ci-asan tools/check.sh
 
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-JOBS="${JOBS:-$(nproc)}"
+MODE="${1:-sanitizers}"
+case "$MODE" in
+  sanitizers|tsan|asan|all) ;;
+  *)
+    echo "check.sh: unknown mode '$MODE' (expected: tsan | asan | all)" >&2
+    exit 2
+    ;;
+esac
 
-echo "== ThreadSanitizer build (build-tsan) =="
-cmake -B build-tsan -S . -DGAP_SANITIZE=thread -DCMAKE_BUILD_TYPE=RelWithDebInfo
-cmake --build build-tsan -j "$JOBS" --target parallel_test sta_test
-
-echo "== parallel_test under TSan =="
-TSAN_OPTIONS="${TSAN_OPTIONS:-halt_on_error=1}" ./build-tsan/tests/parallel_test
-
-echo "== sta_test under TSan =="
-TSAN_OPTIONS="${TSAN_OPTIONS:-halt_on_error=1}" ./build-tsan/tests/sta_test
-
-echo "== ASan/UBSan build (build-asan) =="
-cmake -B build-asan -S . -DGAP_SANITIZE=address,undefined \
-  -DCMAKE_BUILD_TYPE=RelWithDebInfo
-cmake --build build-asan -j "$JOBS" \
-  --target fault_injection_test io_test diagnostics_test
-
-echo "== fault_injection_test under ASan/UBSan =="
-ASAN_OPTIONS="${ASAN_OPTIONS:-halt_on_error=1}" \
-  ./build-asan/tests/fault_injection_test
-
-echo "== io_test under ASan/UBSan =="
-ASAN_OPTIONS="${ASAN_OPTIONS:-halt_on_error=1}" ./build-asan/tests/io_test
-
-echo "== diagnostics_test under ASan/UBSan =="
-ASAN_OPTIONS="${ASAN_OPTIONS:-halt_on_error=1}" \
-  ./build-asan/tests/diagnostics_test
-
-if [[ "${1:-}" == "all" ]]; then
-  echo "== regular build + full test suite =="
-  cmake -B build -S .
-  cmake --build build -j "$JOBS"
-  ctest --test-dir build --output-on-failure -j "$JOBS"
+# Fail fast, with a message naming the missing prerequisite, instead of
+# dying on an opaque cmake backtrace halfway through.
+require() {
+  if ! command -v "$1" >/dev/null 2>&1; then
+    echo "check.sh: prerequisite '$1' not found in PATH — $2" >&2
+    exit 3
+  fi
+}
+require cmake "install CMake >= 3.16 (e.g. 'apt install cmake')"
+if ! command -v c++ >/dev/null 2>&1 && ! command -v g++ >/dev/null 2>&1 \
+    && ! command -v clang++ >/dev/null 2>&1; then
+  echo "check.sh: no C++ compiler (c++/g++/clang++) found in PATH — install g++ or clang" >&2
+  exit 3
 fi
+
+JOBS="${JOBS:-$(nproc)}"
+BUILD_TSAN="${GAP_BUILD_TSAN:-build-tsan}"
+BUILD_ASAN="${GAP_BUILD_ASAN:-build-asan}"
+
+run_tsan() {
+  echo "== ThreadSanitizer build ($BUILD_TSAN) =="
+  cmake -B "$BUILD_TSAN" -S . -DGAP_SANITIZE=thread \
+    -DCMAKE_BUILD_TYPE=RelWithDebInfo
+  cmake --build "$BUILD_TSAN" -j "$JOBS" --target parallel_test sta_test
+
+  echo "== parallel_test under TSan =="
+  TSAN_OPTIONS="${TSAN_OPTIONS:-halt_on_error=1}" \
+    "$BUILD_TSAN/tests/parallel_test"
+
+  echo "== sta_test under TSan =="
+  TSAN_OPTIONS="${TSAN_OPTIONS:-halt_on_error=1}" \
+    "$BUILD_TSAN/tests/sta_test"
+}
+
+run_asan() {
+  echo "== ASan/UBSan build ($BUILD_ASAN) =="
+  cmake -B "$BUILD_ASAN" -S . -DGAP_SANITIZE=address,undefined \
+    -DCMAKE_BUILD_TYPE=RelWithDebInfo
+  cmake --build "$BUILD_ASAN" -j "$JOBS" \
+    --target fault_injection_test io_test diagnostics_test
+
+  echo "== fault_injection_test under ASan/UBSan =="
+  ASAN_OPTIONS="${ASAN_OPTIONS:-halt_on_error=1}" \
+    "$BUILD_ASAN/tests/fault_injection_test"
+
+  echo "== io_test under ASan/UBSan =="
+  ASAN_OPTIONS="${ASAN_OPTIONS:-halt_on_error=1}" \
+    "$BUILD_ASAN/tests/io_test"
+
+  echo "== diagnostics_test under ASan/UBSan =="
+  ASAN_OPTIONS="${ASAN_OPTIONS:-halt_on_error=1}" \
+    "$BUILD_ASAN/tests/diagnostics_test"
+}
+
+case "$MODE" in
+  tsan) run_tsan ;;
+  asan) run_asan ;;
+  sanitizers) run_tsan; run_asan ;;
+  all)
+    run_tsan
+    run_asan
+    echo "== regular build + full test suite =="
+    cmake -B build -S .
+    cmake --build build -j "$JOBS"
+    ctest --test-dir build --output-on-failure -j "$JOBS"
+    ;;
+esac
 
 echo "check.sh: OK"
