@@ -10,10 +10,12 @@
 
 #include <cstdio>
 
+#include "common/check.hpp"
 #include "common/table.hpp"
 #include "core/flow.hpp"
 #include "core/gap.hpp"
 #include "designs/registry.hpp"
+#include "qor/attribution.hpp"
 
 int main() {
   using namespace gap;
@@ -59,6 +61,47 @@ int main() {
   s.add_row({"typical ASIC vs full custom (flow)*", fmt_factor(realized, 1),
              "x6-x8", verdict(realized, 6.0, 10.5)});
   std::printf("%s\n", s.render().c_str());
+
+  // Cross-check: gap::qor estimates the same factors from ONE finished
+  // run (critical-path bucket attribution) instead of re-running the flow
+  // with knobs flipped — the estimate `gapflow --qor-out` ships in every
+  // manifest. The two methods should agree to within 2x per factor.
+  {
+    core::Methodology all_asic = core::reference_methodology();
+    const auto factors = core::paper_factors();
+    for (const core::Factor& f : factors) f.apply_asic(all_asic);
+    const auto run = flow.run(
+        designs::make_design("alu32", all_asic.datapath), all_asic);
+
+    sta::StaOptions so;
+    so.corner_delay_factor = all_asic.corner.delay_factor;
+    so.clock.skew_fraction = all_asic.skew_fraction;
+    so.optimal_repeaters = all_asic.optimal_repeaters;
+    GAP_EXPECTS(run.ok() && run.nl != nullptr);
+    const auto paths = sta::top_critical_paths(*run.nl, so, 1);
+    GAP_EXPECTS(!paths.empty());
+    const auto attr = qor::attribute_path(*run.nl, paths.front(), so);
+
+    qor::RunContext ctx;
+    ctx.skew_fraction = all_asic.skew_fraction;
+    ctx.pipeline_stages = all_asic.pipeline_stages;
+    ctx.corner_delay_factor = all_asic.corner.delay_factor;
+    ctx.dynamic_logic = all_asic.dynamic_logic;
+    const qor::GapScore score = qor::gap_score(attr, ctx);
+
+    const double est[] = {score.pipelining, score.placement_wire,
+                          score.sizing, score.logic_style, score.process};
+    Table q({"factor", "measured (re-runs)", "estimated (1 run)"});
+    for (std::size_t i = 0; i < report.rows.size() && i < 5; ++i)
+      q.add_row({report.rows[i].name, fmt_factor(report.rows[i].individual),
+                 fmt_factor(est[i])});
+    q.add_row({"composed", fmt_factor(report.product_individual, 1),
+               fmt_factor(score.composed(), 1)});
+    std::printf("single-run gap-score estimate vs measured decomposition\n"
+                "(all-ASIC run, %.0f MHz; estimate from the worst path's\n"
+                "factor buckets — see docs/qor.md):\n%s\n",
+                run.freq_mhz, q.render().c_str());
+  }
 
   std::printf("typical ASIC: %.0f MHz (%.1f FO4/cycle, paper: 120-150 MHz)\n",
               typ.freq_mhz, typ.timing.min_period_fo4);

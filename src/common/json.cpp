@@ -1,0 +1,214 @@
+#include "common/json.hpp"
+
+#include <cctype>
+#include <cstdlib>
+
+namespace gap::common::json {
+namespace {
+
+/// Recursive-descent parser over a string. Mirrors the grammar the
+/// emitters produce plus the rest of RFC 8259; depth-limited so a
+/// maliciously nested input cannot blow the stack.
+class Parser {
+ public:
+  explicit Parser(const std::string& text) : text_(text) {}
+
+  std::optional<Value> parse() {
+    skip_ws();
+    Value v;
+    if (!value(v, 0)) return std::nullopt;
+    skip_ws();
+    if (pos_ != text_.size()) return std::nullopt;
+    return v;
+  }
+
+ private:
+  static constexpr int kMaxDepth = 64;
+
+  [[nodiscard]] char peek() const {
+    return pos_ < text_.size() ? text_[pos_] : '\0';
+  }
+  bool eat(char c) {
+    if (peek() != c) return false;
+    ++pos_;
+    return true;
+  }
+  void skip_ws() {
+    while (pos_ < text_.size() &&
+           (text_[pos_] == ' ' || text_[pos_] == '\t' || text_[pos_] == '\n' ||
+            text_[pos_] == '\r'))
+      ++pos_;
+  }
+
+  bool literal(const char* s) {
+    std::size_t i = 0;
+    while (s[i] != '\0') {
+      if (pos_ + i >= text_.size() || text_[pos_ + i] != s[i]) return false;
+      ++i;
+    }
+    pos_ += i;
+    return true;
+  }
+
+  static void append_utf8(std::string& out, unsigned cp) {
+    if (cp < 0x80) {
+      out += static_cast<char>(cp);
+    } else if (cp < 0x800) {
+      out += static_cast<char>(0xC0 | (cp >> 6));
+      out += static_cast<char>(0x80 | (cp & 0x3F));
+    } else {
+      out += static_cast<char>(0xE0 | (cp >> 12));
+      out += static_cast<char>(0x80 | ((cp >> 6) & 0x3F));
+      out += static_cast<char>(0x80 | (cp & 0x3F));
+    }
+  }
+
+  bool string(std::string& out) {
+    if (!eat('"')) return false;
+    while (pos_ < text_.size()) {
+      const char c = text_[pos_++];
+      if (c == '"') return true;
+      if (static_cast<unsigned char>(c) < 0x20) return false;
+      if (c != '\\') {
+        out += c;
+        continue;
+      }
+      if (pos_ >= text_.size()) return false;
+      const char e = text_[pos_++];
+      switch (e) {
+        case '"': out += '"'; break;
+        case '\\': out += '\\'; break;
+        case '/': out += '/'; break;
+        case 'b': out += '\b'; break;
+        case 'f': out += '\f'; break;
+        case 'n': out += '\n'; break;
+        case 'r': out += '\r'; break;
+        case 't': out += '\t'; break;
+        case 'u': {
+          unsigned cp = 0;
+          for (int i = 0; i < 4; ++i) {
+            if (pos_ >= text_.size()) return false;
+            const char h = text_[pos_++];
+            cp <<= 4;
+            if (h >= '0' && h <= '9') cp |= static_cast<unsigned>(h - '0');
+            else if (h >= 'a' && h <= 'f')
+              cp |= static_cast<unsigned>(h - 'a' + 10);
+            else if (h >= 'A' && h <= 'F')
+              cp |= static_cast<unsigned>(h - 'A' + 10);
+            else
+              return false;
+          }
+          append_utf8(out, cp);
+          break;
+        }
+        default: return false;
+      }
+    }
+    return false;  // unterminated
+  }
+
+  bool number(double& out) {
+    const std::size_t start = pos_;
+    eat('-');
+    if (!std::isdigit(static_cast<unsigned char>(peek()))) return false;
+    while (std::isdigit(static_cast<unsigned char>(peek()))) ++pos_;
+    if (eat('.')) {
+      if (!std::isdigit(static_cast<unsigned char>(peek()))) return false;
+      while (std::isdigit(static_cast<unsigned char>(peek()))) ++pos_;
+    }
+    if (peek() == 'e' || peek() == 'E') {
+      ++pos_;
+      if (peek() == '+' || peek() == '-') ++pos_;
+      if (!std::isdigit(static_cast<unsigned char>(peek()))) return false;
+      while (std::isdigit(static_cast<unsigned char>(peek()))) ++pos_;
+    }
+    out = std::strtod(text_.substr(start, pos_ - start).c_str(), nullptr);
+    return true;
+  }
+
+  bool value(Value& v, int depth) {  // NOLINT(misc-no-recursion)
+    if (depth > kMaxDepth) return false;
+    skip_ws();
+    switch (peek()) {
+      case '{': {
+        v.kind = Value::Kind::kObject;
+        ++pos_;
+        skip_ws();
+        if (eat('}')) return true;
+        while (true) {
+          skip_ws();
+          std::string key;
+          if (!string(key)) return false;
+          skip_ws();
+          if (!eat(':')) return false;
+          Value member;
+          if (!value(member, depth + 1)) return false;
+          v.object.emplace_back(std::move(key), std::move(member));
+          skip_ws();
+          if (eat('}')) return true;
+          if (!eat(',')) return false;
+        }
+      }
+      case '[': {
+        v.kind = Value::Kind::kArray;
+        ++pos_;
+        skip_ws();
+        if (eat(']')) return true;
+        while (true) {
+          Value element;
+          if (!value(element, depth + 1)) return false;
+          v.array.push_back(std::move(element));
+          skip_ws();
+          if (eat(']')) return true;
+          if (!eat(',')) return false;
+        }
+      }
+      case '"':
+        v.kind = Value::Kind::kString;
+        return string(v.str);
+      case 't':
+        v.kind = Value::Kind::kBool;
+        v.boolean = true;
+        return literal("true");
+      case 'f':
+        v.kind = Value::Kind::kBool;
+        v.boolean = false;
+        return literal("false");
+      case 'n':
+        v.kind = Value::Kind::kNull;
+        return literal("null");
+      default:
+        v.kind = Value::Kind::kNumber;
+        return number(v.num);
+    }
+  }
+
+  const std::string& text_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace
+
+std::optional<Value> Value::parse(const std::string& text) {
+  return Parser(text).parse();
+}
+
+const Value* Value::find(const std::string& key) const {
+  if (kind != Kind::kObject) return nullptr;
+  for (const auto& [k, v] : object)
+    if (k == key) return &v;
+  return nullptr;
+}
+
+double Value::member_number(const std::string& key, double def) const {
+  const Value* v = find(key);
+  return v != nullptr ? v->number_or(def) : def;
+}
+
+std::string Value::member_string(const std::string& key,
+                                std::string def) const {
+  const Value* v = find(key);
+  return v != nullptr ? v->string_or(std::move(def)) : def;
+}
+
+}  // namespace gap::common::json

@@ -1,11 +1,17 @@
 #pragma once
 /// \file json.hpp
-/// Minimal JSON emission helpers shared by the observability exporters
-/// (trace.cpp, metrics.cpp). Writing only — the repository never parses
-/// JSON; consumers are chrome://tracing, Perfetto and CI scripts.
+/// Minimal JSON helpers shared by the observability exporters (trace.cpp,
+/// metrics.cpp, qor/manifest.cpp) and the one in-repo consumer that reads
+/// JSON back: `gapreport`, which diffs QoR run manifests. Emission is
+/// header-only; parsing lives in json.cpp as a small recursive-descent
+/// DOM (`Value`) with no external dependency.
 
 #include <cstdio>
+#include <memory>
+#include <optional>
 #include <string>
+#include <utility>
+#include <vector>
 
 namespace gap::common::json {
 
@@ -41,5 +47,46 @@ inline std::string number(double v) {
   std::snprintf(buf, sizeof(buf), "%.17g", v);
   return buf;
 }
+
+/// Parsed JSON value. Objects preserve insertion order (manifest diffs
+/// report keys in the order the writer emitted them); lookup is linear,
+/// which is fine at manifest sizes.
+class Value {
+ public:
+  enum class Kind { kNull, kBool, kNumber, kString, kArray, kObject };
+
+  Kind kind = Kind::kNull;
+  bool boolean = false;
+  double num = 0.0;
+  std::string str;
+  std::vector<Value> array;
+  std::vector<std::pair<std::string, Value>> object;
+
+  /// Parse one complete JSON document; nullopt on any syntax error or
+  /// trailing garbage. Escapes are decoded (\uXXXX to UTF-8; surrogate
+  /// pairs are not needed by any in-repo writer and decode independently).
+  [[nodiscard]] static std::optional<Value> parse(const std::string& text);
+
+  [[nodiscard]] bool is_object() const { return kind == Kind::kObject; }
+  [[nodiscard]] bool is_array() const { return kind == Kind::kArray; }
+  [[nodiscard]] bool is_number() const { return kind == Kind::kNumber; }
+  [[nodiscard]] bool is_string() const { return kind == Kind::kString; }
+
+  /// Object member by key; nullptr when absent or not an object.
+  [[nodiscard]] const Value* find(const std::string& key) const;
+
+  /// Convenience accessors with fallback defaults.
+  [[nodiscard]] double number_or(double def) const {
+    return kind == Kind::kNumber ? num : def;
+  }
+  [[nodiscard]] std::string string_or(std::string def) const {
+    return kind == Kind::kString ? str : std::move(def);
+  }
+
+  /// Member lookups combining find() + the accessor above.
+  [[nodiscard]] double member_number(const std::string& key, double def) const;
+  [[nodiscard]] std::string member_string(const std::string& key,
+                                          std::string def) const;
+};
 
 }  // namespace gap::common::json

@@ -17,6 +17,7 @@
 #include "netlist/verilog.hpp"
 #include "noise/crosstalk.hpp"
 #include "power/power.hpp"
+#include "qor/manifest.hpp"
 #include "sta/report.hpp"
 #include "sta/statistical.hpp"
 
@@ -54,6 +55,9 @@ void print_help(std::ostream& os) {
         "                         run (chrome://tracing / Perfetto)\n"
         "  --metrics-out FILE     write engine counters/histograms as\n"
         "                         JSON (docs/observability.md)\n"
+        "  --qor-out FILE         write the QoR run manifest: per-stage\n"
+        "                         snapshots + gap-factor attribution\n"
+        "                         (docs/qor.md, diff with gapreport)\n"
         "  --check-liberty FILE   lint a Liberty file and exit\n"
         "  --check-verilog FILE   lint a Verilog file (against the\n"
         "                         methodology's library) and exit\n"
@@ -162,6 +166,74 @@ class ObservabilityOutputs {
   std::string metrics_path_;
 };
 
+/// Critical paths attributed in the manifest's gap-factor section.
+constexpr int kManifestTopPaths = 5;
+
+/// Assemble the QoR run manifest from a finished (or failed) flow. The
+/// manifest deliberately records neither wall times nor the thread count:
+/// results are thread-invariant by the determinism contract, and only
+/// run-describing inputs belong in a diffable document (docs/qor.md).
+qor::RunManifest build_manifest(const DriverArgs& args, const Methodology& m,
+                                const Flow& flow, const FlowResult& r) {
+  qor::RunManifest man;
+  man.design = args.design;
+  man.context.skew_fraction = m.skew_fraction;
+  man.context.pipeline_stages = m.pipeline_stages;
+  man.context.corner_delay_factor = m.corner.delay_factor;
+  man.context.dynamic_logic = m.dynamic_logic;
+  man.context.methodology_name = m.name;
+  man.context.corner_name = m.corner.name;
+  man.seed = flow.seed();
+  man.config = {
+      {"design", args.design},
+      {"methodology", args.methodology},
+      {"tech", args.tech},
+      {"corner", m.corner.name},
+      {"pipeline_stages", std::to_string(m.pipeline_stages)},
+      {"macro", args.macro_style ? "true" : "false"},
+      {"scan", args.scan ? "true" : "false"},
+      {"mc_samples", std::to_string(args.mc_samples)},
+  };
+
+  for (const StageReport& s : r.report.stages) {
+    qor::ManifestStage ms;
+    ms.name = s.name;
+    ms.status = to_string(s.status);
+    ms.diagnostics = s.diagnostics.size();
+    ms.metric_deltas = s.metric_deltas;
+    ms.qor = s.qor;
+    man.stages.push_back(std::move(ms));
+    for (const common::Diagnostic& d : s.diagnostics) {
+      if (d.severity == common::Severity::kNote) ++man.notes;
+      else if (d.severity == common::Severity::kWarning) ++man.warnings;
+      else ++man.errors;
+    }
+  }
+
+  man.ok = r.ok();
+  if (r.ok() && r.nl) {
+    man.freq_mhz = r.freq_mhz;
+    man.area_um2 = r.area_um2;
+    man.pipeline_registers = r.pipeline_registers;
+    man.sizing_moves = r.sizing_moves;
+
+    sta::StaOptions so;
+    so.corner_delay_factor = m.corner.delay_factor;
+    so.clock.skew_fraction = m.skew_fraction;
+    so.optimal_repeaters = m.optimal_repeaters;
+    const auto paths =
+        sta::top_critical_paths(*r.nl, so, kManifestTopPaths);
+    if (!paths.empty()) {
+      qor::ManifestAttribution attr;
+      for (const sta::CriticalPath& p : paths)
+        attr.paths.push_back(qor::attribute_path(*r.nl, p, so));
+      attr.score = qor::gap_score(attr.paths.front(), man.context);
+      man.attribution = std::move(attr);
+    }
+  }
+  return man;
+}
+
 Result<std::string> read_file(const std::string& path) {
   std::ifstream is(path, std::ios::binary);
   if (!is)
@@ -236,6 +308,7 @@ Result<DriverArgs> parse_args(const std::vector<std::string>& argv) {
     else if (flag == "--check-verilog") bad = string_arg(a.check_verilog);
     else if (flag == "--trace-out") bad = string_arg(a.trace_out);
     else if (flag == "--metrics-out") bad = string_arg(a.metrics_out);
+    else if (flag == "--qor-out") bad = string_arg(a.qor_out);
     else if (flag == "--corner") {
       std::string c;
       bad = string_arg(c);
@@ -355,7 +428,28 @@ int run(const std::vector<std::string>& argv, std::ostream& out,
 
   const auto design = designs::make_design(args.design, m->datapath);
   FlowOptions fopt;
+  if (!args.qor_out.empty()) {
+    fopt.qor.enabled = true;
+    fopt.qor.mc_samples = args.mc_samples;
+    fopt.qor.mc_seed = flow.seed();
+    fopt.qor.mc_threads = args.threads;
+  }
   core::FlowResult r = flow.run(design, *m, fopt);
+
+  // Manifest I/O shared by the success and failure paths; a run that
+  // died mid-flow still records which stage failed and the QoR it
+  // reached (status "failed"/"skipped" stages simply carry no snapshot).
+  const auto write_manifest = [&]() -> Status {
+    if (args.qor_out.empty()) return Status();
+    std::ofstream os(args.qor_out, std::ios::binary);
+    if (!os)
+      return Status::error(ErrorCode::kIo,
+                           "cannot write '" + args.qor_out + "'", {},
+                           "gapflow");
+    os << qor::write_json(build_manifest(args, *m, flow, r));
+    out << "wrote " << args.qor_out << '\n';
+    return Status();
+  };
 
   if (args.diagnostics || !r.ok()) {
     // With --metrics-out the registry was reset for this run, so the
@@ -365,8 +459,9 @@ int run(const std::vector<std::string>& argv, std::ostream& out,
                                      : r.report.format_with_metrics());
   }
   if (!r.ok() || !r.nl) {
-    // Dump trace/metrics for failed flows too: per-stage visibility is
-    // most valuable exactly when a stage died.
+    // Dump trace/metrics/manifest for failed flows too: per-stage
+    // visibility is most valuable exactly when a stage died.
+    if (const Status s = write_manifest(); !s.ok()) return report_failure(s, err);
     if (const Status s = obs.finish(out); !s.ok()) report_failure(s, err);
     for (const common::Diagnostic& d : r.report.all_diagnostics())
       err << d.format() << '\n';
@@ -470,6 +565,7 @@ int run(const std::vector<std::string>& argv, std::ostream& out,
     library::write_liberty(lib, os);
     out << "wrote " << args.liberty_out << '\n';
   }
+  if (const Status s = write_manifest(); !s.ok()) return report_failure(s, err);
   if (const Status s = obs.finish(out); !s.ok()) return report_failure(s, err);
   return 0;
 }

@@ -212,10 +212,30 @@ FlowResult Flow::run(const logic::Aig& design, const Methodology& m,
   const library::CellLibrary& lib = library_for(m.library);
   FlowResult result;
   StageRunner stages(result.report, opt);
+  const sta::StaOptions sta_opt = sta_options_for(m);
+
+  // QoR capture runs after a stage's guard (and outside its timer), on
+  // whatever netlist the stage left behind. The Monte Carlo spread is
+  // signoff-only; every other stage gets the cheap deterministic set.
+  const auto capture_qor = [&](bool ok, const netlist::Netlist* nl,
+                               bool with_mc = false) {
+    if (!opt.qor.enabled || !ok || nl == nullptr) return;
+    qor::SnapshotOptions so;
+    so.sta = sta_opt;
+    so.histogram_buckets = opt.qor.histogram_buckets;
+    so.continuous_sizing =
+        m.sizing == SizingLevel::kContinuous && lib.continuous_sizing;
+    if (with_mc) {
+      so.mc_samples = opt.qor.mc_samples;
+      so.mc_seed = opt.qor.mc_seed;
+      so.mc_threads = opt.qor.mc_threads;
+    }
+    result.report.stages.back().qor = qor::capture(*nl, so);
+  };
 
   // 1. Technology mapping.
   std::optional<netlist::Netlist> mapped;
-  stages.run("map", true, [&](StageReport& sr) {
+  bool ok = stages.run("map", true, [&](StageReport& sr) {
     synth::MapOptions map_opt;
     map_opt.objective = synth::MapObjective::kDelay;
     map_opt.family = m.dynamic_logic ? library::Family::kDomino
@@ -225,9 +245,10 @@ FlowResult Flow::run(const logic::Aig& design, const Methodology& m,
     stages.verify_into(sr, *mapped, "map");
     if (!sr.diagnostics.empty()) mapped.reset();
   });
+  capture_qor(ok, mapped ? &*mapped : nullptr);
 
   // 2. Pipelining (stages == 1 just register-bounds the design).
-  stages.run("pipeline", mapped.has_value(), [&](StageReport& sr) {
+  ok = stages.run("pipeline", mapped.has_value(), [&](StageReport& sr) {
     pipeline::PipelineOptions pipe_opt;
     pipe_opt.stages = m.pipeline_stages;
     pipe_opt.balanced = m.balanced_stages;
@@ -238,13 +259,13 @@ FlowResult Flow::run(const logic::Aig& design, const Methodology& m,
     stages.verify_into(sr, *result.nl, "pipeline");
     if (!sr.diagnostics.empty()) result.nl.reset();
   });
+  capture_qor(ok, result.nl.get());
 
   const bool have_nl = result.nl != nullptr;
-  const sta::StaOptions sta_opt = sta_options_for(m);
 
   // 3. Placement, then global routing: net lengths come from the routed
   // topology (HPWL plus congestion detours), not bare bounding boxes.
-  stages.run("place", have_nl, [&](StageReport& sr) {
+  ok = stages.run("place", have_nl, [&](StageReport& sr) {
     place::PlaceOptions place_opt;
     place_opt.mode = m.placement;
     place_opt.seed = seed_;
@@ -253,14 +274,16 @@ FlowResult Flow::run(const logic::Aig& design, const Methodology& m,
     result.die_h_um = placed.die_h_um;
     stages.verify_into(sr, *result.nl, "place");
   });
-  stages.run("route", have_nl, [&](StageReport&) {
+  capture_qor(ok, result.nl.get());
+  ok = stages.run("route", have_nl, [&](StageReport&) {
     route::route(*result.nl, route::RouteOptions{});
   });
+  capture_qor(ok, result.nl.get());
 
   // 4. Gate sizing: fanout buffering of overloaded nets, synthesis-style
   // initial drive selection against the post-placement loads, then TILOS
   // refinement on the critical path.
-  stages.run("size", have_nl && m.sizing != SizingLevel::kNone,
+  ok = stages.run("size", have_nl && m.sizing != SizingLevel::kNone,
              [&](StageReport& sr) {
                netlist::Netlist& nl = *result.nl;
                sizing::initial_drive_assignment(nl);
@@ -286,13 +309,15 @@ FlowResult Flow::run(const logic::Aig& design, const Methodology& m,
                }
                stages.verify_into(sr, nl, "size");
              });
+  capture_qor(ok, result.nl.get());
 
   // 5. Sign-off timing.
-  stages.run("signoff", have_nl, [&](StageReport&) {
+  ok = stages.run("signoff", have_nl, [&](StageReport&) {
     result.timing = sta::analyze(*result.nl, sta_opt);
     result.freq_mhz = result.timing.frequency_mhz();
     result.area_um2 = result.nl->total_area_um2();
   });
+  capture_qor(ok, result.nl.get(), /*with_mc=*/true);
 
   return result;
 }

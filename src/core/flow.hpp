@@ -21,6 +21,7 @@
 #include "core/methodology.hpp"
 #include "logic/aig.hpp"
 #include "netlist/netlist.hpp"
+#include "qor/snapshot.hpp"
 #include "sta/sta.hpp"
 
 namespace gap::core {
@@ -40,6 +41,11 @@ struct StageReport {
   /// Sorted by name. Attribution is exact while one flow runs at a time
   /// (the registry is process-wide, so concurrent flows blend).
   std::vector<std::pair<std::string, std::uint64_t>> metric_deltas;
+  /// QoR snapshot of the netlist after this stage, when the flow ran with
+  /// FlowOptions::qor.enabled and the stage both succeeded and left a
+  /// netlist to measure. Captured outside the stage timer, so wall_ms is
+  /// unaffected by the capture itself.
+  std::optional<qor::QorSnapshot> qor;
 };
 
 /// Per-stage account of a flow run. A flow whose report is not ok()
@@ -58,6 +64,19 @@ struct FlowReport {
   [[nodiscard]] std::string format_with_metrics() const;
 };
 
+/// Per-stage QoR capture (gap::qor). Off by default: a run without
+/// --qor-out is bit-identical to one built before this subsystem existed.
+struct QorCaptureOptions {
+  bool enabled = false;
+  int histogram_buckets = 10;
+  /// Monte Carlo variation spread at signoff only (0 disables). The seed
+  /// and thread count feed sta::monte_carlo_sta; results are
+  /// thread-invariant by the determinism contract.
+  int mc_samples = 0;
+  std::uint64_t mc_seed = 1;
+  int mc_threads = 1;
+};
+
 /// Knobs for the stage guard.
 struct FlowOptions {
   /// Turn GAP_EXPECTS/GAP_ENSURES failures inside a stage into kContract
@@ -70,6 +89,8 @@ struct FlowOptions {
   /// Run netlist::verify after each netlist-mutating stage and fail the
   /// stage on any structural violation.
   bool verify_between_stages = true;
+  /// Per-stage QoR snapshots for the run manifest (gapflow --qor-out).
+  QorCaptureOptions qor;
 };
 
 struct FlowResult {
@@ -102,6 +123,7 @@ class Flow {
 
   [[nodiscard]] const library::CellLibrary& library_for(LibraryKind k) const;
   [[nodiscard]] const tech::Technology& technology() const { return tech_; }
+  [[nodiscard]] std::uint64_t seed() const { return seed_; }
 
  private:
   tech::Technology tech_;

@@ -1,0 +1,57 @@
+#include "qor/snapshot.hpp"
+
+#include <unordered_set>
+
+#include "sizing/tilos.hpp"
+#include "sta/statistical.hpp"
+#include "variation/variation.hpp"
+
+namespace gap::qor {
+
+QorSnapshot capture(const netlist::Netlist& nl,
+                    const SnapshotOptions& options) {
+  QorSnapshot s;
+
+  const sta::TimingResult timing = sta::analyze(nl, options.sta);
+  s.worst_path_tau = timing.worst_path_tau;
+  s.min_period_tau = timing.min_period_tau;
+  s.min_period_ps = timing.min_period_ps;
+  s.min_period_fo4 = timing.min_period_fo4;
+  s.critical_path_fo4 = timing.worst_path_tau / 5.0;
+  s.critical_path_gates = timing.critical_path.size();
+  s.endpoints = timing.num_endpoints;
+  s.slack_histogram = sta::compute_slack_histogram(
+      nl, options.sta, timing.min_period_tau, options.histogram_buckets);
+
+  s.area_um2 = nl.total_area_um2();
+  for (NetId id : nl.all_nets()) s.total_wirelength_um += nl.net(id).length_um;
+  // Each distinct net on the critical path counts once, even when the
+  // path visits it through several gates.
+  std::unordered_set<NetId> seen;
+  for (InstanceId id : timing.critical_path) {
+    const NetId out = nl.instance(id).output;
+    if (seen.insert(out).second)
+      s.critical_wirelength_um += nl.net(out).length_um;
+  }
+
+  sizing::SizingOptions sopt;
+  sopt.sta = options.sta;
+  sopt.continuous = options.continuous_sizing;
+  s.sizing_headroom_tau =
+      sizing::path_upsize_headroom_tau(nl, timing.critical_path, sopt);
+
+  if (options.mc_samples > 0) {
+    sta::McStaOptions mc;
+    mc.base = options.sta;
+    mc.samples = options.mc_samples;
+    mc.seed = options.mc_seed;
+    mc.threads = options.mc_threads;
+    const sta::McStaResult r = sta::monte_carlo_sta(nl, mc);
+    s.mc_samples = options.mc_samples;
+    s.mc_relative_spread = r.relative_spread();
+    s.mc_mean_shift = r.mean_shift();
+  }
+  return s;
+}
+
+}  // namespace gap::qor

@@ -220,4 +220,16 @@ double recover_area(Netlist& nl, const SizingOptions& options,
   return area_before - nl.total_area_um2();
 }
 
+double path_upsize_headroom_tau(const Netlist& nl,
+                                const std::vector<InstanceId>& path,
+                                const SizingOptions& options) {
+  double headroom = 0.0;
+  for (InstanceId id : path) {
+    if (nl.is_sequential(id)) continue;
+    const auto m = upsize_move(nl, id, options);
+    if (m && m->gain_estimate > 0.0) headroom += m->gain_estimate;
+  }
+  return headroom;
+}
+
 }  // namespace gap::sizing

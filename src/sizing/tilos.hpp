@@ -56,4 +56,13 @@ SizingResult tilos_size(netlist::Netlist& nl, const SizingOptions& options);
 double recover_area(netlist::Netlist& nl, const SizingOptions& options,
                     double period_tau);
 
+/// Remaining sizing headroom along a path (tau): the sum of the positive
+/// TILOS gain estimates of the best next upsize of each gate on `path`.
+/// Zero for a path TILOS has fully converged on; a large value flags a
+/// run that left critical-path sizing on the table (the paper's section 6
+/// ">= 20% critical-path sizing" sub-claim). Read-only: no move is made.
+[[nodiscard]] double path_upsize_headroom_tau(
+    const netlist::Netlist& nl, const std::vector<InstanceId>& path,
+    const SizingOptions& options);
+
 }  // namespace gap::sizing

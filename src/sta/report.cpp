@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cstdio>
 
+#include "common/json.hpp"
 #include "common/stats.hpp"
 
 namespace gap::sta {
@@ -44,34 +45,90 @@ std::string format_critical_path(const netlist::Netlist& nl,
   return out;
 }
 
-std::string format_slack_histogram(const netlist::Netlist& nl,
-                                   const StaOptions& options,
-                                   double period_tau, int buckets) {
+std::string critical_path_json(const netlist::Netlist& nl,
+                               const StaOptions& options,
+                               const TimingResult& timing) {
+  namespace json = common::json;
+  const tech::Technology& t = nl.lib().technology();
+  const auto arrivals = net_arrivals(nl, options);
+  std::string out = "{\"path\":[";
+  bool first = true;
+  for (InstanceId id : timing.critical_path) {
+    const netlist::Instance& inst = nl.instance(id);
+    const library::Cell& c = nl.cell_of(id);
+    if (!first) out += ',';
+    first = false;
+    out += "{\"instance\":\"" + json::escape(inst.name) + "\",\"cell\":\"" +
+           json::escape(c.name) + "\",\"drive\":" +
+           json::number(nl.drive_of(id)) +
+           ",\"load\":" + json::number(nl.net_load(inst.output)) +
+           ",\"arrival_ps\":" +
+           json::number(t.tau_to_ps(arrivals[inst.output.index()])) + "}";
+  }
+  out += "],\"min_period_ps\":" + json::number(timing.min_period_ps) +
+         ",\"min_period_fo4\":" + json::number(timing.min_period_fo4) +
+         ",\"frequency_mhz\":" + json::number(timing.frequency_mhz()) +
+         ",\"endpoints\":" + std::to_string(timing.num_endpoints) + "}";
+  return out;
+}
+
+SlackHistogramData compute_slack_histogram(const netlist::Netlist& nl,
+                                           const StaOptions& options,
+                                           double period_tau, int buckets) {
+  SlackHistogramData data;
   const auto slacks = net_slacks(nl, options, period_tau);
   SampleStats s;
   for (double v : slacks)
     if (v < 1e29) s.add(v);
-  if (s.count() == 0) return "(no constrained nets)\n";
+  data.constrained = s.count();
+  if (s.count() == 0) return data;
 
-  const double lo = s.min();
-  const double hi = std::max(s.max(), lo + 1e-9);
-  Histogram h(lo, hi, static_cast<std::size_t>(buckets));
+  data.lo = s.min();
+  data.hi = std::max(s.max(), data.lo + 1e-9);
+  Histogram h(data.lo, data.hi, static_cast<std::size_t>(buckets));
   for (double v : s.samples()) h.add(v);
+  for (std::size_t b = 0; b < h.bins(); ++b) {
+    data.centers.push_back(h.bin_center(b));
+    data.counts.push_back(h.bin_count(b));
+  }
+  return data;
+}
+
+std::string format_slack_histogram(const netlist::Netlist& nl,
+                                   const StaOptions& options,
+                                   double period_tau, int buckets) {
+  const SlackHistogramData h =
+      compute_slack_histogram(nl, options, period_tau, buckets);
+  if (h.constrained == 0) return "(no constrained nets)\n";
 
   std::string out = "slack histogram (tau):\n";
   std::size_t peak = 1;
-  for (std::size_t b = 0; b < h.bins(); ++b)
-    peak = std::max(peak, h.bin_count(b));
+  for (std::size_t c : h.counts) peak = std::max(peak, c);
   char line[160];
-  for (std::size_t b = 0; b < h.bins(); ++b) {
+  for (std::size_t b = 0; b < h.counts.size(); ++b) {
     const int bar =
-        static_cast<int>(50.0 * static_cast<double>(h.bin_count(b)) /
+        static_cast<int>(50.0 * static_cast<double>(h.counts[b]) /
                          static_cast<double>(peak));
-    std::snprintf(line, sizeof line, "  %8.1f |%-50s| %zu\n", h.bin_center(b),
+    std::snprintf(line, sizeof line, "  %8.1f |%-50s| %zu\n", h.centers[b],
                   std::string(static_cast<std::size_t>(bar), '#').c_str(),
-                  h.bin_count(b));
+                  h.counts[b]);
     out += line;
   }
+  return out;
+}
+
+std::string slack_histogram_json(const SlackHistogramData& h) {
+  namespace json = common::json;
+  std::string out = "{\"lo\":" + json::number(h.lo) +
+                    ",\"hi\":" + json::number(h.hi) +
+                    ",\"constrained\":" + std::to_string(h.constrained) +
+                    ",\"buckets\":[";
+  for (std::size_t b = 0; b < h.counts.size(); ++b) {
+    if (b != 0) out += ',';
+    out += "[" + json::number(h.centers[b]) + "," +
+           std::to_string(h.counts[b]) + "]";
+  }
+  out += "]}";
   return out;
 }
 

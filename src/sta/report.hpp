@@ -1,9 +1,14 @@
 #pragma once
 /// \file report.hpp
-/// Human-readable timing reports: critical-path listing (PrimeTime-style)
-/// and an endpoint slack histogram, for the CLI and examples.
+/// Timing reports: critical-path listing (PrimeTime-style) and an
+/// endpoint slack histogram, each in two renderings — human-readable text
+/// for the CLI/examples and machine-readable JSON for the QoR run
+/// manifest (gap::qor) and CI. Both renderings share one computation
+/// (compute_slack_histogram), so bucket semantics cannot drift apart.
 
+#include <cstddef>
 #include <string>
+#include <vector>
 
 #include "sta/sta.hpp"
 
@@ -16,11 +21,36 @@ namespace gap::sta {
                                                const TimingResult& timing,
                                                int max_lines = 40);
 
+/// The same listing as one JSON object:
+///   {"path":[{"instance","cell","drive","load","arrival_ps"},...],
+///    "min_period_ps","min_period_fo4","frequency_mhz","endpoints"}
+[[nodiscard]] std::string critical_path_json(const netlist::Netlist& nl,
+                                             const StaOptions& options,
+                                             const TimingResult& timing);
+
+/// Computed endpoint-slack distribution at a period: fixed-width buckets
+/// from the worst to the best observed slack.
+struct SlackHistogramData {
+  double lo = 0.0;            ///< worst slack over constrained nets (tau)
+  double hi = 0.0;            ///< best slack (tau)
+  std::size_t constrained = 0;  ///< nets with a finite slack
+  std::vector<double> centers;  ///< bucket centers (tau)
+  std::vector<std::size_t> counts;
+};
+
+[[nodiscard]] SlackHistogramData compute_slack_histogram(
+    const netlist::Netlist& nl, const StaOptions& options, double period_tau,
+    int buckets = 10);
+
 /// Endpoint slack histogram at the given period: a fixed number of
 /// buckets from the worst slack to the period, one text bar per bucket.
 [[nodiscard]] std::string format_slack_histogram(const netlist::Netlist& nl,
                                                  const StaOptions& options,
                                                  double period_tau,
                                                  int buckets = 10);
+
+/// The histogram as one JSON object:
+///   {"lo","hi","constrained","buckets":[[center,count],...]}
+[[nodiscard]] std::string slack_histogram_json(const SlackHistogramData& h);
 
 }  // namespace gap::sta

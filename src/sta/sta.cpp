@@ -28,19 +28,15 @@ struct Propagation {
   std::vector<InstanceId> order;
 };
 
+}  // namespace
+
 /// Wire modeling of one net: delay added at every sink, and the load the
 /// driver actually sees. For a long net with optimal repeaters, the first
 /// repeater sits adjacent to the driver, so the driver is unloaded from
 /// the wire and the repeated-line delay covers everything to the sinks.
-struct NetWireModel {
-  double delay_tau = 0.0;
-  double driver_load_units = 0.0;
-};
-
-NetWireModel net_wire_model(const Netlist& nl, NetId id,
-                            const StaOptions& opt) {
+WireModel wire_model(const Netlist& nl, NetId id, const StaOptions& opt) {
   const netlist::Net& n = nl.net(id);
-  NetWireModel m;
+  WireModel m;
   m.driver_load_units = nl.net_load(id);
   if (!opt.include_wire_delay || n.length_um <= 0.0) return m;
   const tech::Technology& t = nl.lib().technology();
@@ -82,6 +78,8 @@ NetWireModel net_wire_model(const Netlist& nl, NetId id,
   return m;
 }
 
+namespace {
+
 /// Per-instance statistical delay multiplier (1.0 without MC sampling).
 double inst_factor(const StaOptions& opt, InstanceId id) {
   if (opt.instance_delay_factors == nullptr) return 1.0;
@@ -115,7 +113,7 @@ Propagation propagate(const Netlist& nl, const StaOptions& opt) {
   const double k = opt.corner_delay_factor;
 
   for (NetId n : nl.all_nets()) {
-    const NetWireModel m = net_wire_model(nl, n, opt);
+    const WireModel m = wire_model(nl, n, opt);
     p.wire_delay[n.index()] = k * m.delay_tau;
     p.driver_load[n.index()] = m.driver_load_units;
   }
@@ -220,6 +218,78 @@ TimingResult analyze(const Netlist& nl, const StaOptions& options) {
   }
   std::reverse(r.critical_path.begin(), r.critical_path.end());
   return r;
+}
+
+std::vector<CriticalPath> top_critical_paths(const Netlist& nl,
+                                             const StaOptions& options,
+                                             int k) {
+  std::vector<CriticalPath> out;
+  if (k <= 0) return out;
+  const Propagation p = propagate(nl, options);
+  const double corner = options.corner_delay_factor;
+
+  // Every timing endpoint with its full path delay.
+  struct Candidate {
+    double path_tau;
+    NetId net;
+    NetSink sink;
+  };
+  std::vector<Candidate> candidates;
+  for (NetId nid : nl.all_nets()) {
+    if (p.arrival[nid.index()] == kNegInf) continue;
+    for (const NetSink& s : nl.net(nid).sinks) {
+      double path = kNegInf;
+      if (s.kind == NetSink::Kind::kPrimaryOutput) {
+        path = p.arrival[nid.index()] + p.wire_delay[nid.index()];
+      } else if (nl.is_sequential(s.inst)) {
+        path = p.arrival[nid.index()] + p.wire_delay[nid.index()] +
+               corner * inst_factor(options, s.inst) *
+                   nl.cell_of(s.inst).setup_tau;
+      } else {
+        continue;
+      }
+      candidates.push_back({path, nid, s});
+    }
+  }
+  std::sort(candidates.begin(), candidates.end(),
+            [](const Candidate& a, const Candidate& b) {
+              if (a.path_tau != b.path_tau) return a.path_tau > b.path_tau;
+              if (a.net.index() != b.net.index())
+                return a.net.index() < b.net.index();
+              if (a.sink.kind != b.sink.kind) return a.sink.kind < b.sink.kind;
+              if (a.sink.kind == NetSink::Kind::kInstancePin) {
+                if (a.sink.inst.index() != b.sink.inst.index())
+                  return a.sink.inst.index() < b.sink.inst.index();
+                return a.sink.pin < b.sink.pin;
+              }
+              return a.sink.port.index() < b.sink.port.index();
+            });
+  if (candidates.size() > static_cast<std::size_t>(k))
+    candidates.resize(static_cast<std::size_t>(k));
+
+  for (const Candidate& c : candidates) {
+    CriticalPath path;
+    path.endpoint_net = c.net;
+    path.endpoint = c.sink;
+    path.path_tau = c.path_tau;
+    // Backtrack through the worst-input chain, as analyze() does.
+    NetId net = c.net;
+    while (net.valid()) {
+      const NetDriver& d = nl.net(net).driver;
+      if (d.kind != NetDriver::Kind::kInstance) break;
+      PathNode node;
+      node.inst = d.inst;
+      node.arrival_tau = p.arrival[nl.instance(d.inst).output.index()];
+      if (!nl.is_sequential(d.inst))
+        node.input_net = p.crit_input[d.inst.index()];
+      path.nodes.push_back(node);
+      if (nl.is_sequential(d.inst)) break;  // launch point
+      net = p.crit_input[d.inst.index()];
+    }
+    std::reverse(path.nodes.begin(), path.nodes.end());
+    out.push_back(std::move(path));
+  }
+  return out;
 }
 
 std::vector<double> net_arrivals(const Netlist& nl, const StaOptions& options) {

@@ -58,6 +58,42 @@ struct TimingResult {
 [[nodiscard]] TimingResult analyze(const netlist::Netlist& nl,
                                    const StaOptions& options);
 
+/// Wire modeling of one net exactly as the arrival propagation applies it
+/// (Elmore delay, optionally replaced by an optimally repeated line), in
+/// tau *before* the corner delay factor. Exposed for consumers that
+/// decompose path delay into components (sta::report, gap::qor).
+struct WireModel {
+  double delay_tau = 0.0;         ///< added at every sink, pre-corner
+  double driver_load_units = 0.0; ///< load the driver actually sees
+};
+
+[[nodiscard]] WireModel wire_model(const netlist::Netlist& nl, NetId id,
+                                   const StaOptions& options);
+
+/// One gate on an extracted critical path.
+struct PathNode {
+  InstanceId inst;
+  /// The worst (arrival-setting) input net of `inst`; invalid for a
+  /// sequential launch point (its data path starts at the clock edge).
+  NetId input_net;
+  /// Arrival at the instance output, in tau.
+  double arrival_tau = 0.0;
+};
+
+/// A register-to-register (or PI/PO-bounded) critical path.
+struct CriticalPath {
+  std::vector<PathNode> nodes;  ///< launch to capture driver, in order
+  NetId endpoint_net;           ///< net feeding the endpoint
+  netlist::NetSink endpoint;    ///< the capturing sink (D pin or PO)
+  double path_tau = 0.0;        ///< full path delay incl. capture setup
+};
+
+/// The `k` worst endpoint paths, sorted from worst to best. Endpoints are
+/// distinct (net, sink) pairs; ties break on net then sink indices so the
+/// result is deterministic. Paths may share gates near the launch.
+[[nodiscard]] std::vector<CriticalPath> top_critical_paths(
+    const netlist::Netlist& nl, const StaOptions& options, int k);
+
 /// Arrival time at every net (tau, at the driver pin), for passes that
 /// need per-node criticality (sizing). Index by NetId::index().
 [[nodiscard]] std::vector<double> net_arrivals(const netlist::Netlist& nl,

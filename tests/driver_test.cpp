@@ -282,6 +282,74 @@ TEST(DriverRunTest, TraceOutUnwritablePathIsIoError) {
   EXPECT_NE(r.err.find("error[io]"), std::string::npos);
 }
 
+TEST(DriverRunTest, QorOutWritesValidManifest) {
+  const std::string path = "driver_test_qor.json";
+  const RunCapture r = invoke({"--design", "alu16", "--qor-out", path});
+  ASSERT_EQ(r.code, 0) << r.err;
+  EXPECT_NE(r.out.find("wrote " + path), std::string::npos);
+
+  std::ifstream is(path);
+  std::ostringstream ss;
+  ss << is.rdbuf();
+  const std::string manifest = ss.str();
+  ASSERT_FALSE(manifest.empty());
+  EXPECT_TRUE(gap::testing::JsonLint::valid(manifest));
+  for (const char* key :
+       {"\"schema_version\"", "\"stages\"", "\"qor\"", "\"min_period_tau\"",
+        "\"attribution\"", "\"gap_score\"", "\"slack_histogram\"",
+        "\"metric_deltas\"", "\"result\""})
+    EXPECT_NE(manifest.find(key), std::string::npos) << key;
+  // Execution details must not leak into a diffable document.
+  EXPECT_EQ(manifest.find("wall_ms"), std::string::npos);
+  EXPECT_EQ(manifest.find("threads"), std::string::npos);
+  std::remove(path.c_str());
+}
+
+TEST(DriverRunTest, QorOutDeterministicAcrossThreadCounts) {
+  const std::string q1 = "driver_test_qor_t1.json";
+  const std::string qN = "driver_test_qor_tN.json";
+  const RunCapture r1 = invoke({"--design", "alu16", "--mc", "16", "--threads",
+                                "1", "--qor-out", q1});
+  const RunCapture rN = invoke({"--design", "alu16", "--mc", "16", "--threads",
+                                "4", "--qor-out", qN});
+  ASSERT_EQ(r1.code, 0) << r1.err;
+  ASSERT_EQ(rN.code, 0) << rN.err;
+
+  const auto slurp = [](const std::string& path) {
+    std::ifstream is(path);
+    std::ostringstream ss;
+    ss << is.rdbuf();
+    return ss.str();
+  };
+  const std::string a = slurp(q1);
+  const std::string b = slurp(qN);
+  ASSERT_FALSE(a.empty());
+  EXPECT_EQ(a, b);  // byte-identical manifests at any thread count
+  // The MC variation section must be present (signoff snapshot).
+  EXPECT_NE(a.find("\"variation\""), std::string::npos);
+  std::remove(q1.c_str());
+  std::remove(qN.c_str());
+}
+
+TEST(DriverRunTest, QorOutDoesNotChangeFlowOutput) {
+  const std::string path = "driver_test_qor3.json";
+  const RunCapture plain = invoke({"--design", "alu16"});
+  const RunCapture with_qor = invoke({"--design", "alu16", "--qor-out", path});
+  ASSERT_EQ(plain.code, 0);
+  ASSERT_EQ(with_qor.code, 0);
+  // Same report, plus exactly the "wrote" line at the end.
+  EXPECT_EQ(with_qor.out.substr(0, plain.out.size()), plain.out);
+  EXPECT_EQ(with_qor.out.substr(plain.out.size()), "wrote " + path + "\n");
+  std::remove(path.c_str());
+}
+
+TEST(DriverRunTest, QorOutUnwritablePathIsIoError) {
+  const RunCapture r = invoke({"--design", "alu16", "--qor-out",
+                               "/no/such/dir/qor.json"});
+  EXPECT_EQ(r.code, 5);
+  EXPECT_NE(r.err.find("error[io]"), std::string::npos);
+}
+
 TEST(FlowReportTest, StageReportsCarryMetricDeltas) {
   Flow flow(tech::asic_025um());
   const auto aig =

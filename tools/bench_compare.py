@@ -3,21 +3,26 @@
 
 Usage:
     tools/bench_compare.py BASELINE.json CURRENT.json [--threshold 0.15]
+    tools/bench_compare.py CURRENT.json --baseline BENCH_baseline.json
+    tools/bench_compare.py CURRENT.json --baseline FILE --write-baseline
 
-Both files come from `bench_perf_tools --benchmark_format=json
+All snapshots come from `bench_perf_tools --benchmark_format=json
 --benchmark_out=FILE` (the CI benchmark-snapshot job stores them as
-BENCH_*.json artifacts). Benchmarks are matched by name; for each pair the
-real-time delta is reported, and any benchmark slower by more than
-`--threshold` (default 15%) is flagged.
+BENCH_*.json artifacts; the committed BENCH_baseline.json is the repo's
+reference point, captured under GAP_BENCH_QUICK=1). Benchmarks are matched
+by name; for each pair the real-time delta is reported, and any benchmark
+slower by more than `--threshold` (default 15%) is flagged.
 
-Exit codes: 0 = no regressions, 1 = at least one regression flagged,
-2 = bad input. The CI step running this is non-blocking (a report, not a
-gate) — benchmark noise on shared runners makes a hard gate flaky — but
-the exit code lets stricter pipelines gate on it if they choose.
+Exit codes: 0 = compared (regressions are reported but do not fail),
+1 = at least one regression flagged AND --strict was given, 2 = bad input.
+The default is report-only because benchmark noise on shared runners makes
+a hard gate flaky; pipelines that control their hardware pass --strict.
+--write-baseline refreshes the baseline file from CURRENT and exits 0.
 """
 
 import argparse
 import json
+import shutil
 import sys
 
 
@@ -44,18 +49,54 @@ def load_benchmarks(path):
 
 def main():
     ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
-    ap.add_argument("baseline", help="older snapshot (BENCH_*.json)")
-    ap.add_argument("current", help="newer snapshot (BENCH_*.json)")
+    ap.add_argument(
+        "files",
+        nargs="+",
+        metavar="SNAPSHOT.json",
+        help="BASELINE CURRENT, or just CURRENT with --baseline",
+    )
+    ap.add_argument(
+        "--baseline",
+        metavar="PATH",
+        help="baseline snapshot (e.g. the committed BENCH_baseline.json)",
+    )
+    ap.add_argument(
+        "--write-baseline",
+        action="store_true",
+        help="copy CURRENT over the --baseline file and exit",
+    )
     ap.add_argument(
         "--threshold",
         type=float,
         default=0.15,
         help="relative slowdown that counts as a regression (default 0.15)",
     )
+    ap.add_argument(
+        "--strict",
+        action="store_true",
+        help="exit 1 on regressions (default: report only, exit 0)",
+    )
     args = ap.parse_args()
 
-    base = load_benchmarks(args.baseline)
-    cur = load_benchmarks(args.current)
+    if len(args.files) == 2 and args.baseline is None:
+        baseline_path, current_path = args.files
+    elif len(args.files) == 1 and args.baseline is not None:
+        baseline_path, current_path = args.baseline, args.files[0]
+    else:
+        sys.exit(
+            "bench_compare: pass BASELINE CURRENT, or CURRENT --baseline PATH"
+        )
+
+    if args.write_baseline:
+        if args.baseline is None:
+            sys.exit("bench_compare: --write-baseline requires --baseline")
+        load_benchmarks(current_path)  # validate before overwriting
+        shutil.copyfile(current_path, baseline_path)
+        print(f"wrote {baseline_path} from {current_path}")
+        return 0
+
+    base = load_benchmarks(baseline_path)
+    cur = load_benchmarks(current_path)
     if not base or not cur:
         sys.exit("bench_compare: no benchmarks found in one of the inputs")
 
@@ -88,7 +129,7 @@ def main():
         )
         for name, delta in regressions:
             print(f"  {name}: {delta:+.1%}", file=sys.stderr)
-        return 1
+        return 1 if args.strict else 0
     print(f"\nno regressions over {args.threshold:.0%} "
           f"({len(common)} benchmarks compared)")
     return 0

@@ -1,0 +1,12 @@
+/// \file gapreport.cpp
+/// QoR manifest viewer and differ. All logic lives in
+/// gap::qor::run_gapreport (src/qor/report_cli.cpp) so the test suite can
+/// exercise it in-process; this file is only the process entry point.
+
+#include <iostream>
+
+#include "qor/report_cli.hpp"
+
+int main(int argc, char** argv) {
+  return gap::qor::run_gapreport(argc - 1, argv + 1, std::cout, std::cerr);
+}
