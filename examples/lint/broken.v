@@ -1,0 +1,65 @@
+// gaplint example: an intentionally broken module. Together with
+// broken.lib and broken.toml it makes every rule in the catalog fire at
+// least once (GL-K001 fires when run *without* the config); the CI
+// `lint` job asserts exactly that. Kept human-readable: each block below
+// names the rules it trips.
+module broken_core (p1, p2, p3, k3in, s1y, s2y, s3y, e1a, e1b, e1c, e4y, r2q, c3q, lq, k3out);
+  input p1;
+  input p2;
+  input p3;
+  input k3in;
+  output s1y;
+  output s2y;
+  output s3y;
+  output e1a;
+  output e1b;
+  output e1c;
+  output e4y;
+  output r2q;
+  output c3q;
+  output lq;
+  output k3out;
+  wire und;
+  wire cya;
+  wire cyb;
+  wire e1;
+  wire dbg_a;
+  wire dbg_b;
+  wire c3a;
+  // GL-S001: two drivers claim s1y.
+  inv_x1 s1a (.a(p1), .y(s1y));
+  inv_x1 s1b (.a(p2), .y(s1y));
+  // GL-S002: und has a sink but no driver.
+  inv_x1 s2 (.a(und), .y(s2y));
+  // GL-S003: floating input on s3a, unconnected output on s3b.
+  inv_x1 s3a (.y(s3y));
+  inv_x1 s3b (.a(p3));
+  // GL-S004 (+ GL-S006 for both members): combinational loop.
+  inv_x1 c1 (.a(cyb), .y(cya));
+  inv_x1 c2 (.a(cya), .y(cyb));
+  // GL-S005: dangling driven nets; broken.toml waives dbg_a only.
+  inv_x1 d5a (.a(p1), .y(dbg_a));
+  inv_x1 d5b (.a(p1), .y(dbg_b));
+  // GL-E001/E002/E003: weak_inv's Liberty max_* limits are far below
+  // the three-sink load on e1.
+  weak_inv w1 (.a(p1), .y(e1));
+  inv_x1 f1 (.a(e1), .y(e1a));
+  inv_x1 f2 (.a(e1), .y(e1b));
+  inv_x1 f3 (.a(e1), .y(e1c));
+  // GL-E004: e4y is 1200 um long (directive below) behind a 1x driver.
+  inv_x1 e4 (.a(p2), .y(e4y));
+  // GL-C001: clock phase 5 (directive below), library has 1 phase.
+  dff_x1 r2 (.d(p1), .q(r2q));
+  // GL-C003: register pair feeding only each other, never a primary
+  // input.
+  dff_x1 r3 (.d(c3q), .q(c3a));
+  dff_x1 r4 (.d(c3a), .q(c3q));
+  // GL-C002: a latch among the flip-flops above.
+  latch_x1 l1 (.d(p3), .q(lq));
+  // GL-K003: zero external drive / load (directives below).
+  inv_x1 k3 (.a(k3in), .y(k3out));
+endmodule
+// gap: length e4y 1200
+// gap: phase r2 5
+// gap: drive k3in 0
+// gap: load k3out 0

@@ -1,0 +1,12 @@
+// gaplint example: a well-formed two-register core. With clean.toml
+// supplying the clock period, `gaplint clean.v --config clean.toml`
+// reports nothing and exits 0.
+module clean_core (d_in, q_out);
+  input d_in;
+  output q_out;
+  wire q0;
+  wire n1;
+  dff_x2 r0 (.d(d_in), .q(q0));
+  inv_x2 u0 (.a(q0), .y(n1));
+  dff_x2 r1 (.d(n1), .q(q_out));
+endmodule

@@ -15,6 +15,7 @@ const char* to_string(ErrorCode code) {
     case ErrorCode::kContract: return "contract";
     case ErrorCode::kIo: return "io";
     case ErrorCode::kInternal: return "internal";
+    case ErrorCode::kLint: return "lint";
   }
   return "unknown";
 }

@@ -30,6 +30,7 @@ enum class ErrorCode : std::uint8_t {
   kContract,      ///< captured internal contract violation
   kIo,            ///< file read/write failure
   kInternal,      ///< unexpected internal failure
+  kLint,          ///< design static-analysis finding (gap::lint)
 };
 
 [[nodiscard]] const char* to_string(ErrorCode code);

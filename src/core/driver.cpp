@@ -51,6 +51,9 @@ void print_help(std::ostream& os) {
         "  --threads N            fan-out thread count (0 = all cores);\n"
         "                         results are identical at any setting\n"
         "  --diagnostics          dump the per-stage flow report\n"
+        "  --lint                 run the gap::lint gate on the mapped\n"
+        "                         netlist (error findings fail the flow;\n"
+        "                         see gaplint for the standalone tool)\n"
         "  --trace-out FILE       write a Chrome trace_event JSON of the\n"
         "                         run (chrome://tracing / Perfetto)\n"
         "  --metrics-out FILE     write engine counters/histograms as\n"
@@ -258,7 +261,8 @@ int exit_code_for(ErrorCode code) {
     case ErrorCode::kIo: return 5;
     case ErrorCode::kStructural:
     case ErrorCode::kContract:
-    case ErrorCode::kInternal: return 6;
+    case ErrorCode::kInternal:
+    case ErrorCode::kLint: return 6;
   }
   return 6;
 }
@@ -298,6 +302,7 @@ Result<DriverArgs> parse_args(const std::vector<std::string>& argv) {
     else if (flag == "--macro") a.macro_style = true;
     else if (flag == "--scan") a.scan = true;
     else if (flag == "--diagnostics") a.diagnostics = true;
+    else if (flag == "--lint") a.lint = true;
     else if (flag == "--design") bad = string_arg(a.design);
     else if (flag == "--methodology") bad = string_arg(a.methodology);
     else if (flag == "--tech") bad = string_arg(a.tech);
@@ -428,6 +433,7 @@ int run(const std::vector<std::string>& argv, std::ostream& out,
 
   const auto design = designs::make_design(args.design, m->datapath);
   FlowOptions fopt;
+  fopt.lint = args.lint;
   if (!args.qor_out.empty()) {
     fopt.qor.enabled = true;
     fopt.qor.mc_samples = args.mc_samples;

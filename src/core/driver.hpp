@@ -42,6 +42,7 @@ struct DriverArgs {
   bool scan = false;
   bool list_designs = false;
   bool diagnostics = false;  ///< dump the per-stage FlowReport
+  bool lint = false;         ///< run the gap::lint gate after mapping
   bool help = false;
 };
 

@@ -10,6 +10,7 @@
 #include "common/metrics.hpp"
 #include "common/trace.hpp"
 #include "library/builders.hpp"
+#include "lint/lint.hpp"
 #include "netlist/checks.hpp"
 #include "pipeline/pipeline.hpp"
 #include "route/router.hpp"
@@ -79,7 +80,12 @@ class StageRunner {
         std::chrono::duration<double, std::milli>(t1 - t0).count();
     sr.metric_deltas =
         common::metrics().snapshot().counter_deltas_since(before);
-    if (!sr.diagnostics.empty()) {
+    // Only error-or-worse diagnostics fail the stage; the lint stage
+    // records warning findings on an otherwise healthy run.
+    bool blocking = false;
+    for (const common::Diagnostic& d : sr.diagnostics)
+      blocking = blocking || d.severity >= common::Severity::kError;
+    if (blocking) {
       sr.status = StageStatus::kFailed;
       failed_ = true;
     }
@@ -246,6 +252,46 @@ FlowResult Flow::run(const logic::Aig& design, const Methodology& m,
     if (!sr.diagnostics.empty()) mapped.reset();
   });
   capture_qor(ok, mapped ? &*mapped : nullptr);
+
+  // 1b. Optional pre-flow lint gate on the mapped netlist. Error
+  // findings block the flow like a failed verify; warnings ride along as
+  // diagnostics. The stage only exists when requested, so default runs
+  // (and their QoR manifests) are untouched.
+  if (opt.lint) {
+    stages.run("lint", mapped.has_value(), [&](StageReport& sr) {
+      const lint::RuleRegistry registry = lint::default_registry();
+      lint::LintConfig config;
+      // The flow derives its own period from signoff STA; the missing-
+      // period rule has nothing to check here.
+      config.rule_levels.emplace_back("GL-K001",
+                                      lint::SeverityOverride::kOff);
+      // The mapped netlist is unsized (1x drives everywhere): electrical
+      // violations at this point are the *input* to the size stage, not
+      // design errors, so the gate checks everything else.
+      for (std::size_t i = 0; i < registry.size(); ++i) {
+        const lint::RuleInfo& info = registry.rule(i).info();
+        if (info.category == lint::Category::kElectrical)
+          config.rule_levels.emplace_back(info.id,
+                                          lint::SeverityOverride::kOff);
+      }
+      lint::LintContext ctx;
+      ctx.nl = &*mapped;
+      ctx.limits = tech::default_electrical_limits();
+      ctx.constraints.skew_fraction = m.skew_fraction;
+      const lint::LintReport rep = lint::run_lint(registry, ctx, config);
+      for (const lint::Finding& f : rep.findings) {
+        if (f.waived) continue;
+        common::Diagnostic d;
+        d.severity = f.severity;
+        d.code = common::ErrorCode::kLint;
+        d.message = "[" + f.rule + "] " +
+                    std::string(lint::to_string(f.anchor)) + " '" +
+                    f.anchor_name + "': " + f.message;
+        d.where = "flow:lint";
+        sr.diagnostics.push_back(std::move(d));
+      }
+    });
+  }
 
   // 2. Pipelining (stages == 1 just register-bounds the design).
   ok = stages.run("pipeline", mapped.has_value(), [&](StageReport& sr) {

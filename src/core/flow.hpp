@@ -91,6 +91,12 @@ struct FlowOptions {
   bool verify_between_stages = true;
   /// Per-stage QoR snapshots for the run manifest (gapflow --qor-out).
   QorCaptureOptions qor;
+  /// Run the gap::lint rule catalog on the mapped netlist as a "lint"
+  /// stage between map and pipeline. Error findings fail the stage;
+  /// warnings are recorded as diagnostics without failing it. Off by
+  /// default: the stage is absent entirely, so existing reports and QoR
+  /// manifests are unchanged.
+  bool lint = false;
 };
 
 struct FlowResult {

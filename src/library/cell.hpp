@@ -86,6 +86,16 @@ struct Cell {
   double clk_to_q_tau = 0.0;
   double hold_tau = 0.0;
 
+  // Electrical design-rule limits on the output pin, serialized as the
+  // standard Liberty `max_capacitance` / `max_transition` / `max_fanout`
+  // attributes. Stored in the Liberty file's own units (fF and ps per its
+  // capacitive_load_unit/time_unit) so round-trips are bit-exact; 0 means
+  // "not characterized" and gap::lint falls back to the
+  // tech::ElectricalLimits defaults.
+  double max_capacitance_ff = 0.0;
+  double max_transition_ps = 0.0;
+  double max_fanout = 0.0;
+
   /// Input capacitance per data pin, in unit input capacitances.
   [[nodiscard]] double input_cap() const { return logical_effort * drive; }
 

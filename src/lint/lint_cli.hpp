@@ -1,0 +1,35 @@
+#pragma once
+/// \file lint_cli.hpp
+/// Implementation of the `gaplint` command-line tool: run the gap::lint
+/// rule catalog over a structural Verilog module and render the findings
+/// as text, JSON, or SARIF. Lives in the library (not tools/gaplint.cpp)
+/// so tests can drive it in-process with captured streams.
+///
+///   gaplint FILE [--lib FILE] [--config FILE] [--format text|json|sarif]
+///           [--out FILE] [--threads N] [--period-tau F]
+///           [--skew-fraction F]
+///   gaplint --list-rules
+///
+/// Exit codes:
+///   0  clean, or only warnings / notes / waived findings
+///   1  at least one unwaived error-severity finding
+///   2  malformed command line (unknown flag, missing or bad value)
+///   3  input did not parse (Verilog, Liberty, or config)
+///   5  file unreadable or output unwritable
+
+#include <ostream>
+
+namespace gap::lint {
+
+inline constexpr int kExitOk = 0;
+inline constexpr int kExitFindings = 1;
+inline constexpr int kExitUsage = 2;
+inline constexpr int kExitParse = 3;
+inline constexpr int kExitIo = 5;
+
+/// Run the tool. `argv` excludes the program name (pass argc-1/argv+1
+/// from main). Reports go to `out`, errors to `err`.
+int run_gaplint(int argc, const char* const* argv, std::ostream& out,
+                std::ostream& err);
+
+}  // namespace gap::lint

@@ -68,18 +68,18 @@ std::vector<InstanceId> topo_order_impl(const Netlist& nl,
 
 }  // namespace
 
-CheckResult verify(const Netlist& nl) {
-  CheckResult r;
-  auto add = [&](common::ErrorCode code, std::string msg) {
-    r.problems.push_back(msg);
-    common::Diagnostic d;
-    d.severity = common::Severity::kError;
-    d.code = code;
-    d.message = std::move(msg);
-    d.where = "netlist:" + nl.name();
-    r.diagnostics.push_back(std::move(d));
+std::vector<StructuralViolation> structural_scan(const Netlist& nl) {
+  std::vector<StructuralViolation> out;
+  auto add = [&](StructuralViolation::Kind kind, NetId net, InstanceId inst,
+                 std::string msg) {
+    StructuralViolation v;
+    v.kind = kind;
+    v.net = net;
+    v.inst = inst;
+    v.message = std::move(msg);
+    out.push_back(std::move(v));
   };
-  using common::ErrorCode;
+  using Kind = StructuralViolation::Kind;
 
   // Driver multiplicity: each net must have at most one source (a primary
   // input or one instance output). The Net::driver field can only record
@@ -88,27 +88,27 @@ CheckResult verify(const Netlist& nl) {
   for (PortId p : nl.all_ports())
     if (nl.port(p).is_input) ++driver_claims[nl.port(p).net.index()];
   for (InstanceId iid : nl.all_instances()) {
-    const NetId out = nl.instance(iid).output;
-    if (out.valid() && out.index() < nl.num_nets())
-      ++driver_claims[out.index()];
+    const NetId out_net = nl.instance(iid).output;
+    if (out_net.valid() && out_net.index() < nl.num_nets())
+      ++driver_claims[out_net.index()];
   }
   for (NetId nid : nl.all_nets())
     if (driver_claims[nid.index()] > 1)
-      add(ErrorCode::kStructural,
+      add(Kind::kMultiplyDriven, nid, InstanceId{},
           "net '" + nl.net(nid).name + "' has " +
               std::to_string(driver_claims[nid.index()]) + " drivers");
 
   for (NetId nid : nl.all_nets()) {
     const Net& n = nl.net(nid);
     if (n.driver.kind == NetDriver::Kind::kNone && !n.sinks.empty())
-      add(ErrorCode::kStructural,
+      add(Kind::kUndriven, nid, InstanceId{},
           "net '" + n.name + "' has sinks but no driver");
     for (const NetSink& s : n.sinks) {
       if (s.kind != NetSink::Kind::kInstancePin) continue;
       const Instance& inst = nl.instance(s.inst);
       if (s.pin < 0 || s.pin >= static_cast<int>(inst.inputs.size()) ||
           inst.inputs[s.pin] != nid)
-        add(ErrorCode::kStructural,
+        add(Kind::kSinkMismatch, nid, s.inst,
             "net '" + n.name + "' sink list inconsistent with instance '" +
                 inst.name + "'");
     }
@@ -118,26 +118,47 @@ CheckResult verify(const Netlist& nl) {
     const Instance& inst = nl.instance(iid);
     const library::Cell& c = nl.lib().cell(inst.cell);
     if (static_cast<int>(inst.inputs.size()) != c.num_inputs())
-      add(ErrorCode::kStructural,
+      add(Kind::kPinCountMismatch, NetId{}, iid,
           "instance '" + inst.name + "' pin count mismatch");
-    const Net& out = nl.net(inst.output);
-    if (out.driver.kind != NetDriver::Kind::kInstance ||
-        out.driver.inst != iid)
-      add(ErrorCode::kStructural,
+    const Net& out_net = nl.net(inst.output);
+    if (out_net.driver.kind != NetDriver::Kind::kInstance ||
+        out_net.driver.inst != iid)
+      add(Kind::kOutputDriverMismatch, NetId{}, iid,
           "instance '" + inst.name + "' output net driver mismatch");
   }
 
   std::vector<InstanceId> on_cycle;
   if (topo_order_impl(nl, &on_cycle).empty() && nl.num_instances() > 0) {
+    // Deduplicated, sorted member names: the message must not depend on
+    // instance construction order (or on aliased names appearing twice).
+    std::vector<std::string> names;
+    names.reserve(on_cycle.size());
+    for (InstanceId id : on_cycle) names.push_back(nl.instance(id).name);
+    std::sort(names.begin(), names.end());
+    names.erase(std::unique(names.begin(), names.end()), names.end());
     std::string msg = "combinational cycle detected involving:";
-    const std::size_t shown = std::min<std::size_t>(on_cycle.size(), 8);
+    const std::size_t shown = std::min<std::size_t>(names.size(), 8);
     for (std::size_t i = 0; i < shown; ++i)
-      msg += (i ? ", '" : " '") + nl.instance(on_cycle[i]).name + "'";
-    if (on_cycle.size() > shown)
-      msg += " (+" + std::to_string(on_cycle.size() - shown) + " more)";
-    add(ErrorCode::kStructural, std::move(msg));
+      msg += (i ? ", '" : " '") + names[i] + "'";
+    if (names.size() > shown)
+      msg += " (+" + std::to_string(names.size() - shown) + " more)";
+    add(Kind::kCombinationalCycle, NetId{}, InstanceId{}, std::move(msg));
   }
 
+  return out;
+}
+
+CheckResult verify(const Netlist& nl) {
+  CheckResult r;
+  for (StructuralViolation& v : structural_scan(nl)) {
+    r.problems.push_back(v.message);
+    common::Diagnostic d;
+    d.severity = common::Severity::kError;
+    d.code = common::ErrorCode::kStructural;
+    d.message = std::move(v.message);
+    d.where = "netlist:" + nl.name();
+    r.diagnostics.push_back(std::move(d));
+  }
   return r;
 }
 

@@ -4,6 +4,11 @@
 /// flow stage calls verify() after transforming a netlist; a malformed
 /// netlist (multiple drivers, dangling pins, combinational cycles) would
 /// silently corrupt all downstream timing numbers.
+///
+/// The checks themselves live in structural_scan(), which reports typed
+/// violations with net/instance anchors. verify() is a thin formatter over
+/// that scan (the blocking subset), and gap::lint's structural rules
+/// consume the same scan so the two can never disagree.
 
 #include <string>
 #include <vector>
@@ -12,6 +17,30 @@
 #include "netlist/netlist.hpp"
 
 namespace gap::netlist {
+
+/// One structural violation with a machine-readable kind and an anchor
+/// (net and/or instance id; invalid when not applicable).
+struct StructuralViolation {
+  enum class Kind : std::uint8_t {
+    kMultiplyDriven,        ///< net claimed by more than one source
+    kUndriven,              ///< net has sinks but no driver
+    kSinkMismatch,          ///< net's sink list disagrees with instance pins
+    kPinCountMismatch,      ///< instance pin count != cell pin count
+    kOutputDriverMismatch,  ///< instance output net does not record it
+    kCombinationalCycle,    ///< combinational feedback loop
+  };
+  Kind kind = Kind::kMultiplyDriven;
+  NetId net;        ///< valid for net-anchored kinds
+  InstanceId inst;  ///< valid for instance-anchored kinds
+  std::string message;
+};
+
+/// Report *all* structural violations in one pass, never stopping at the
+/// first. The combinational-cycle message lists the member instances
+/// deduplicated and sorted by name, so it is stable across construction
+/// orderings.
+[[nodiscard]] std::vector<StructuralViolation> structural_scan(
+    const Netlist& nl);
 
 /// Result of a structural check: empty means the netlist is well-formed.
 /// verify() reports *all* violations in one pass, never just the first —
@@ -25,8 +54,8 @@ struct CheckResult {
 };
 
 /// Check: every net has exactly one driver and consistent sink lists,
-/// instance pin counts match cells, no combinational cycles. All
-/// violations are collected; the check never stops at the first failure.
+/// instance pin counts match cells, no combinational cycles. Thin wrapper
+/// over structural_scan(): every violation it finds is blocking.
 [[nodiscard]] CheckResult verify(const Netlist& nl);
 
 /// Topological order of all instances for combinational propagation:

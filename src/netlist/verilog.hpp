@@ -5,9 +5,23 @@
 /// supported subset is exactly what write_verilog() emits — one module,
 /// scalar ports, `wire` declarations, and named-pin cell instantiations —
 /// which is also the subset the era's ASIC handoff flows exchanged.
+///
+/// Annotations the module syntax cannot carry (port drive/load
+/// assumptions, routed net lengths, latch clock phases) travel in `// gap:`
+/// comment directives, emitted after `endmodule` and applied after parse:
+///
+///   // gap: drive <input-port> <unit-inverter multiples>
+///   // gap: load <output-port> <unit input capacitances>
+///   // gap: length <net> <um>
+///   // gap: phase <instance> <clock phase index>
+///
+/// Plain comments are still skipped; only comments whose first word is
+/// `gap:` are interpreted (and rejected with a located error when
+/// malformed).
 
 #include <iosfwd>
 #include <string>
+#include <vector>
 
 #include "common/status.hpp"
 #include "netlist/netlist.hpp"
@@ -20,7 +34,10 @@ namespace gap::netlist {
 [[nodiscard]] std::string verilog_output_pin(library::Func f);
 
 /// Emit the netlist as structural Verilog. Net and instance names are
-/// sanitized to [A-Za-z0-9_] identifiers deterministically.
+/// sanitized to [A-Za-z0-9_] identifiers deterministically. Non-default
+/// annotations (see file comment) are emitted as `// gap:` directives, so
+/// read_verilog() reconstructs them losslessly; a netlist without such
+/// annotations emits byte-identical text to earlier versions.
 void write_verilog(const Netlist& nl, std::ostream& os);
 [[nodiscard]] std::string to_verilog(const Netlist& nl);
 
@@ -33,6 +50,43 @@ void write_verilog(const Netlist& nl, std::ostream& os);
 /// the line:column of the offending token. Modules written by
 /// write_verilog() round-trip bit-identically.
 [[nodiscard]] common::Result<Netlist> read_verilog(
+    const std::string& text, const library::CellLibrary& lib);
+
+/// One structural problem recorded (instead of rejected) by the lenient
+/// reader. The anchors are names, not ids: the repaired netlist rewires
+/// the offending connection to a synthetic net, so the original target is
+/// only known by name.
+struct VerilogViolation {
+  enum class Kind : std::uint8_t {
+    kMultiplyDriven,      ///< net already had a driver; extra claim severed
+    kFloatingInput,       ///< input pin left unconnected; tied to a new net
+    kUnconnectedOutput,   ///< output pin left unconnected; given a new net
+  };
+  Kind kind = Kind::kMultiplyDriven;
+  std::string net;       ///< offending net (kMultiplyDriven)
+  std::string instance;  ///< offending instance (pin kinds)
+  std::string pin;       ///< offending pin name (pin kinds)
+  common::SourceLoc loc;
+  std::string message;
+};
+
+/// Nets fabricated by the lenient reader to stand in for broken
+/// connections are named with this prefix; lint's unloaded/undriven rules
+/// skip them (the violation is already reported with its real anchor).
+inline constexpr const char* kSyntheticNetPrefix = "__gaplint";
+
+/// Lenient parse: the netlist plus every structural problem found.
+struct LenientParse {
+  Netlist nl;
+  std::vector<VerilogViolation> violations;
+};
+
+/// Parse like read_verilog(), but record structural violations (multiply
+/// driven nets, unconnected pins) with their source locations and keep
+/// going best-effort, repairing the netlist with synthetic nets so it
+/// stays loadable. Syntax errors, unknown names, and malformed directives
+/// still fail hard — gaplint needs a module to analyze at all.
+[[nodiscard]] common::Result<LenientParse> read_verilog_lenient(
     const std::string& text, const library::CellLibrary& lib);
 
 }  // namespace gap::netlist

@@ -46,6 +46,8 @@ Technology ibm_018um() {
   return t;
 }
 
+ElectricalLimits default_electrical_limits() { return ElectricalLimits{}; }
+
 ProcessCorner corner_typical() { return {"typical", 1.0}; }
 
 ProcessCorner corner_worst_case() { return {"worst-case", 1.65}; }

@@ -67,6 +67,41 @@ struct Technology {
   [[nodiscard]] double fo4_to_tau(double fo4) const { return fo4 * 5.0; }
 };
 
+/// Process-level electrical design-rule limits used by gap::lint's
+/// electrical rules when a cell does not carry explicit Liberty
+/// `max_capacitance` / `max_transition` / `max_fanout` attributes. The
+/// values are expressed in the flow's normalized units so one set of
+/// defaults serves every technology.
+struct ElectricalLimits {
+  /// Maximum load per unit of driver strength, in unit input
+  /// capacitances. A unit inverter at this load has electrical delay of
+  /// `max_load_units_per_drive` tau — far past the 4-8 tau of a sized
+  /// design, but short of where the first-order RC model loses meaning.
+  double max_load_units_per_drive = 48.0;
+
+  /// Maximum output transition proxy in tau (electrical effort plus the
+  /// Elmore wire term). Signals slower than this degrade noise margins
+  /// and short-circuit power beyond what the cell characterization saw.
+  double max_transition_tau = 40.0;
+
+  /// Maximum sink count per net regardless of capacitance: very wide
+  /// fanout hurts routability and yield even when the load is buffered.
+  double max_fanout = 16.0;
+
+  /// Wires at or beyond this length need an adequately sized driver (or
+  /// repeaters); see `weak_drive`.
+  double long_wire_um = 800.0;
+
+  /// Drivers weaker than this (unit-inverter multiples) on a long wire
+  /// are flagged: the wire RC dominates and repeater insertion or
+  /// upsizing is mandatory.
+  double weak_drive = 2.0;
+};
+
+/// The default limits. Kept as a function (not constants) so a future
+/// per-technology override has an obvious seam.
+[[nodiscard]] ElectricalLimits default_electrical_limits();
+
 /// Typical merchant ASIC 0.25 um process (aluminum interconnect).
 /// Leff = 0.18 um per the paper's footnote 2 -> FO4 = 90 ps.
 [[nodiscard]] Technology asic_025um();

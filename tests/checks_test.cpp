@@ -75,6 +75,46 @@ TEST_F(ChecksTest, CombinationalCycleReportedWithMembers) {
   EXPECT_EQ(logic_depth(nl), -1);
 }
 
+TEST_F(ChecksTest, CycleMessageIsSortedAndInsertionOrderInvariant) {
+  // The member list in the cycle message is deduplicated and sorted, so
+  // the same loop built in two different instance-insertion orders must
+  // produce byte-identical messages.
+  auto cycle_message = [&](bool u1_first) {
+    Netlist nl("t", &lib_);
+    const PortId a = nl.add_input("a");
+    const NetId n1 = nl.add_net("n1");
+    const NetId n2 = nl.add_net("n2");
+    if (u1_first) {
+      const InstanceId u1 =
+          nl.add_instance("u1", cell(Func::kInv), {nl.port(a).net}, n1);
+      nl.add_instance("u2", cell(Func::kInv), {n1}, n2);
+      nl.rewire_input(u1, 0, n2);
+    } else {
+      const InstanceId u2 =
+          nl.add_instance("u2", cell(Func::kInv), {nl.port(a).net}, n2);
+      nl.add_instance("u1", cell(Func::kInv), {n2}, n1);
+      nl.rewire_input(u2, 0, n1);
+    }
+    nl.add_output("y", n2);
+    const CheckResult r = verify(nl);
+    for (const std::string& p : r.problems)
+      if (p.find("combinational cycle") != std::string::npos) return p;
+    return std::string();
+  };
+
+  const std::string forward = cycle_message(true);
+  const std::string reverse = cycle_message(false);
+  ASSERT_FALSE(forward.empty());
+  EXPECT_EQ(forward, reverse);
+  // Sorted member order: 'u1' before 'u2', each exactly once.
+  const std::size_t u1_pos = forward.find("'u1'");
+  const std::size_t u2_pos = forward.find("'u2'");
+  ASSERT_NE(u1_pos, std::string::npos);
+  ASSERT_NE(u2_pos, std::string::npos);
+  EXPECT_LT(u1_pos, u2_pos);
+  EXPECT_EQ(forward.find("'u1'", u1_pos + 1), std::string::npos);
+}
+
 TEST_F(ChecksTest, MultiplyDrivenNetReported) {
   Netlist nl("t", &lib_);
   const PortId a = nl.add_input("a");

@@ -192,6 +192,18 @@ TEST(DriverRunTest, SuccessPathPrintsSummaryAndFlowReport) {
     EXPECT_NE(r.out.find(stage), std::string::npos) << stage;
 }
 
+TEST(DriverRunTest, LintGateRunsOnlyWhenRequested) {
+  const RunCapture with =
+      invoke({"--design", "alu16", "--lint", "--diagnostics"});
+  EXPECT_EQ(with.code, 0) << with.err;
+  EXPECT_NE(with.out.find("lint"), std::string::npos);
+
+  const RunCapture without = invoke({"--design", "alu16", "--diagnostics"});
+  EXPECT_EQ(without.code, 0);
+  // No lint stage in the flow report unless --lint was given.
+  EXPECT_EQ(without.out.find("lint"), std::string::npos);
+}
+
 TEST(DriverRunTest, TraceAndMetricsOutProduceValidJson) {
   const std::string trace_path = "driver_test_trace.json";
   const std::string metrics_path = "driver_test_metrics.json";

@@ -17,6 +17,7 @@
 #include "datapath/adders.hpp"
 #include "library/builders.hpp"
 #include "library/liberty.hpp"
+#include "lint/lint.hpp"
 #include "netlist/verilog.hpp"
 #include "pipeline/pipeline.hpp"
 #include "synth/mapper.hpp"
@@ -128,13 +129,31 @@ std::string replace_first(std::string s, const std::string& from,
 
 // --- corpora ---------------------------------------------------------------
 
+/// A small library whose cells carry Liberty max_* limits, so the
+/// electrical attributes are part of the mutated (and round-tripped)
+/// corpus.
+CellLibrary limited_library() {
+  const tech::Technology t = tech::asic_025um();
+  CellLibrary lib("limited", t);
+  library::Cell c;
+  c.name = "inv_lim";
+  c.func = library::Func::kInv;
+  c.drive = 2.0;
+  c.max_capacitance_ff = 8.0;
+  c.max_transition_ps = 36.0;
+  c.max_fanout = 4.0;
+  lib.add(c);
+  return lib;
+}
+
 std::vector<std::string> liberty_corpus() {
   const tech::Technology t = tech::asic_025um();
   CellLibrary rich = library::make_rich_asic_library(t);
   library::add_domino_cells(rich);
   return {library::to_liberty(rich),
           library::to_liberty(library::make_custom_library(t)),
-          library::to_liberty(library::make_poor_asic_library(t))};
+          library::to_liberty(library::make_poor_asic_library(t)),
+          library::to_liberty(limited_library())};
 }
 
 struct VerilogCorpus {
@@ -256,6 +275,14 @@ TEST(FaultInjectionTest, LibertyTargetedFaultsCarrySpecificCodes) {
       replace_first(good, "gap_drive : 1;", "gap_drive : -2;"));
   ASSERT_FALSE(bad_drive.ok());
   EXPECT_EQ(bad_drive.status().code(), ErrorCode::kInvalidValue);
+
+  // Electrical limits must be validated like every other attribute.
+  const auto bad_max = library::read_liberty(
+      replace_first(library::to_liberty(limited_library()),
+                    "max_capacitance : 8", "max_capacitance : -8"));
+  ASSERT_FALSE(bad_max.ok());
+  EXPECT_EQ(bad_max.status().code(), ErrorCode::kInvalidValue);
+  EXPECT_TRUE(bad_max.status().loc().valid());
 }
 
 TEST(FaultInjectionTest, VerilogTargetedFaultsCarrySpecificCodes) {
@@ -312,6 +339,101 @@ TEST(FaultInjectionTest, VerilogTargetedFaultsCarrySpecificCodes) {
   EXPECT_EQ(multi.status().code(), ErrorCode::kStructural);
   EXPECT_NE(multi.status().message().find("multiply driven"),
             std::string::npos);
+}
+
+// --- gaplint inputs: config, lenient Verilog, and the rules themselves -----
+
+TEST(FaultInjectionTest, MutatedLintConfigNeverAborts) {
+  const lint::RuleRegistry registry = lint::default_registry();
+  const std::string base =
+      "# fixture config\n"
+      "[rules]\n"
+      "GL-S005 = \"off\"\n"
+      "GL-E001 = \"error\"\n"
+      "\n"
+      "[constraints]\n"
+      "period_tau = 40\n"
+      "skew_fraction = 0.1\n"
+      "\n"
+      "[[waive]]\n"
+      "rule = \"GL-S001\"\n"
+      "net = \"dbg_*\"\n"
+      "justify = \"bring-up probe\"\n";
+  int rejected = 0;
+  for (int i = 0; i < 300; ++i) {
+    Rng rng = Rng::stream(0xFA017'C0F, static_cast<std::uint64_t>(i));
+    std::string text = base;
+    const int rounds = 1 + static_cast<int>(rng.uniform_index(3));
+    for (int r = 0; r < rounds; ++r) text = mutate(text, rng);
+    SCOPED_TRACE("config mutant #" + std::to_string(i));
+    const auto cfg = lint::parse_config(text, registry);
+    if (!cfg.ok()) {
+      ++rejected;
+      expect_well_formed_rejection(cfg.status(), "gaplint-config");
+    }
+  }
+  EXPECT_GT(rejected, 100);
+}
+
+TEST(FaultInjectionTest, MutatedLenientVerilogNeverAbortsAndLintsSafely) {
+  // The lenient reader repairs what it can and rejects the rest; whatever
+  // it accepts, the full rule catalog must analyze without aborting.
+  const VerilogCorpus corpus = verilog_corpus();
+  const lint::RuleRegistry registry = lint::default_registry();
+  int rejected = 0;
+  int linted = 0;
+  for (int i = 0; i < 300; ++i) {
+    Rng rng = Rng::stream(0xFA017'1E2, static_cast<std::uint64_t>(i));
+    std::string text = corpus.texts[rng.uniform_index(corpus.texts.size())];
+    const int rounds = 1 + static_cast<int>(rng.uniform_index(3));
+    for (int r = 0; r < rounds; ++r) text = mutate(text, rng);
+    SCOPED_TRACE("lenient verilog mutant #" + std::to_string(i));
+    const auto result = netlist::read_verilog_lenient(text, corpus.lib);
+    if (!result.ok()) {
+      ++rejected;
+      expect_well_formed_rejection(result.status(), "verilog");
+      continue;
+    }
+    lint::LintContext ctx;
+    ctx.nl = &result->nl;
+    ctx.limits = tech::default_electrical_limits();
+    ctx.parse_violations = &result->violations;
+    const lint::LintReport report = lint::run_lint(registry, ctx, {}, 1);
+    EXPECT_GE(report.findings.size(), result->violations.size());
+    ++linted;
+  }
+  EXPECT_GT(rejected, 100);
+
+  // Random mutants mostly break the syntax outright, so exercise the
+  // accept path with structured mutants the reader is built to repair:
+  // drop one named pin connection (", .pin(net)") per mutant.
+  for (int i = 0; i < 50; ++i) {
+    Rng rng = Rng::stream(0xFA017'1E3, static_cast<std::uint64_t>(i));
+    std::string text = corpus.texts[rng.uniform_index(corpus.texts.size())];
+    std::vector<std::size_t> spots;
+    for (std::size_t at = text.find(", ."); at != std::string::npos;
+         at = text.find(", .", at + 1))
+      spots.push_back(at);
+    ASSERT_FALSE(spots.empty());
+    const std::size_t at = spots[rng.uniform_index(spots.size())];
+    const std::size_t close = text.find(')', at);
+    ASSERT_NE(close, std::string::npos);
+    text.erase(at, close - at + 1);
+
+    SCOPED_TRACE("pin-drop mutant #" + std::to_string(i));
+    const auto result = netlist::read_verilog_lenient(text, corpus.lib);
+    ASSERT_TRUE(result.ok()) << result.status().to_string();
+    EXPECT_FALSE(result->violations.empty());
+    lint::LintContext ctx;
+    ctx.nl = &result->nl;
+    ctx.limits = tech::default_electrical_limits();
+    ctx.parse_violations = &result->violations;
+    const lint::LintReport report = lint::run_lint(registry, ctx, {}, 1);
+    // Every repaired pin shows up as a GL-S003 (or GL-S001) finding.
+    EXPECT_GE(report.findings.size(), result->violations.size());
+    ++linted;
+  }
+  EXPECT_GT(linted, 50);
 }
 
 // --- determinism: same seed, same verdicts ---------------------------------

@@ -137,6 +137,42 @@ TEST_F(LibertyTest, RoundTripRichLibrary) {
   }
 }
 
+TEST_F(LibertyTest, MaxAttributesRoundTripAndStayOptional) {
+  // Cells without limits write no max_* lines; cells with limits get the
+  // standard Liberty attributes back bit-exact.
+  CellLibrary lib("limits", tech::asic_025um());
+  library::Cell plain;
+  plain.name = "inv_plain";
+  plain.func = Func::kInv;
+  lib.add(plain);
+  library::Cell lim;
+  lim.name = "inv_lim";
+  lim.func = Func::kInv;
+  lim.drive = 2.0;
+  lim.max_capacitance_ff = 8.5;
+  lim.max_transition_ps = 36.0;
+  lim.max_fanout = 4.0;
+  lib.add(lim);
+
+  const std::string text = library::to_liberty(lib);
+  EXPECT_NE(text.find("max_capacitance : 8.5;"), std::string::npos);
+  EXPECT_NE(text.find("max_transition : 36;"), std::string::npos);
+  EXPECT_NE(text.find("max_fanout : 4;"), std::string::npos);
+  // Exactly one cell carries them.
+  EXPECT_EQ(text.find("max_capacitance"), text.rfind("max_capacitance"));
+
+  const CellLibrary back = library::read_liberty(text).value();
+  const library::Cell& b = back.cell(*back.find("inv_lim"));
+  EXPECT_NEAR(b.max_capacitance_ff, 8.5, 1e-9);
+  EXPECT_NEAR(b.max_transition_ps, 36.0, 1e-9);
+  EXPECT_NEAR(b.max_fanout, 4.0, 1e-9);
+  const library::Cell& p = back.cell(*back.find("inv_plain"));
+  EXPECT_EQ(p.max_capacitance_ff, 0.0);
+  EXPECT_EQ(p.max_transition_ps, 0.0);
+  EXPECT_EQ(p.max_fanout, 0.0);
+  EXPECT_EQ(library::to_liberty(back), text);
+}
+
 TEST_F(LibertyTest, RoundTripCustomLibraryCapabilities) {
   const CellLibrary lib = library::make_custom_library(tech::asic_025um());
   const CellLibrary back = library::read_liberty(library::to_liberty(lib)).value();

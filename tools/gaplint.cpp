@@ -1,0 +1,12 @@
+/// \file gaplint.cpp
+/// Design static-analysis CLI. All logic lives in gap::lint::run_gaplint
+/// (src/lint/lint_cli.cpp) so the test suite can exercise it in-process;
+/// this file is only the process entry point.
+
+#include <iostream>
+
+#include "lint/lint_cli.hpp"
+
+int main(int argc, char** argv) {
+  return gap::lint::run_gaplint(argc - 1, argv + 1, std::cout, std::cerr);
+}
