@@ -98,6 +98,7 @@ class RuleRegistry {
   void add(std::unique_ptr<Rule> rule);
 
   [[nodiscard]] std::size_t size() const { return rules_.size(); }
+  [[nodiscard]] bool empty() const { return rules_.empty(); }
   [[nodiscard]] const Rule& rule(std::size_t i) const { return *rules_[i]; }
   [[nodiscard]] const Rule* find(const std::string& id) const;
 

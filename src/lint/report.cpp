@@ -131,7 +131,7 @@ std::string write_sarif(const RuleRegistry& registry,
         << quoted(to_string(info.category)) << " }\n";
     out << "            }";
   }
-  out << (registry.size() == 0 ? "]\n" : "\n          ]\n");
+  out << (registry.empty() ? "]\n" : "\n          ]\n");
   out << "        }\n      },\n";
   out << "      \"results\": [";
   for (std::size_t i = 0; i < report.findings.size(); ++i) {
