@@ -5,6 +5,7 @@
 
 #include <benchmark/benchmark.h>
 
+#include <cstdint>
 #include <cstdlib>
 #include <string>
 #include <vector>
@@ -16,6 +17,7 @@
 #include "pipeline/retiming.hpp"
 #include "place/place.hpp"
 #include "route/router.hpp"
+#include "sta/incremental.hpp"
 #include "sta/statistical.hpp"
 #include "sizing/tilos.hpp"
 #include "sta/sta.hpp"
@@ -67,6 +69,55 @@ void BM_StaFullAnalysis(benchmark::State& state) {
   state.counters["instances"] = static_cast<double>(nl.num_instances());
 }
 BENCHMARK(BM_StaFullAnalysis);
+
+// Incremental-vs-full re-time after a single-gate edit — the inner loop
+// of any sizing/ECO tool. mac16 is the largest registry design when
+// mapped. The victim is the last mapped gate (it drives a primary
+// output, so its fanout cone — the work an incremental timer must redo
+// — is a handful of nodes, which is where sizing fixes land; a gate at
+// the design's midpoint fans out to ~80% of the netlist and would
+// measure cone size, not engine overhead). Each iteration toggles the
+// victim's drive override (a real edit every time, never a cached
+// no-op) and asks for the new min period. The two benchmarks answer
+// byte-identically (the contract tests/incremental_sta_test.cpp
+// enforces); only the work differs.
+void BM_StaFullRetimeSingleEdit(benchmark::State& state) {
+  const auto aig =
+      designs::make_design("mac16", designs::DatapathStyle::kSynthesized);
+  auto nl = synth::map_to_netlist(aig, rich_lib(), synth::MapOptions{}, "m");
+  const sta::StaOptions opt;
+  const InstanceId victim{
+      static_cast<std::uint32_t>(nl.num_instances() - 1)};
+  double drive = 4.0;
+  for (auto _ : state) {
+    nl.instance(victim).drive_override = drive;
+    const auto r = sta::analyze(nl, opt);
+    benchmark::DoNotOptimize(r.min_period_tau);
+    drive = drive == 4.0 ? 8.0 : 4.0;
+  }
+  state.counters["instances"] = static_cast<double>(nl.num_instances());
+}
+BENCHMARK(BM_StaFullRetimeSingleEdit);
+
+void BM_StaIncrementalRetimeSingleEdit(benchmark::State& state) {
+  const auto aig =
+      designs::make_design("mac16", designs::DatapathStyle::kSynthesized);
+  auto nl = synth::map_to_netlist(aig, rich_lib(), synth::MapOptions{}, "m");
+  sta::IncrementalTimer timer(nl, sta::StaOptions{}, /*threads=*/1);
+  benchmark::DoNotOptimize(timer.timing().min_period_tau);  // warm build
+  const InstanceId victim{
+      static_cast<std::uint32_t>(nl.num_instances() - 1)};
+  double drive = 4.0;
+  for (auto _ : state) {
+    const auto st = timer.apply(sta::Edit::set_drive(victim, drive));
+    benchmark::DoNotOptimize(st.ok());
+    const auto r = timer.timing();
+    benchmark::DoNotOptimize(r.min_period_tau);
+    drive = drive == 4.0 ? 8.0 : 4.0;
+  }
+  state.counters["instances"] = static_cast<double>(nl.num_instances());
+}
+BENCHMARK(BM_StaIncrementalRetimeSingleEdit);
 
 void BM_Placement(benchmark::State& state) {
   const auto aig =

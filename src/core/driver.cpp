@@ -50,6 +50,11 @@ void print_help(std::ostream& os) {
         "  --mc N                 Monte Carlo statistical signoff, N samples\n"
         "  --threads N            fan-out thread count (0 = all cores);\n"
         "                         results are identical at any setting\n"
+        "  --sta MODE             incremental | full: re-time sizing moves\n"
+        "                         and sign-off through a resident\n"
+        "                         incremental timer (default) or from\n"
+        "                         scratch; results are byte-identical\n"
+        "                         (docs/incremental-sta.md)\n"
         "  --diagnostics          dump the per-stage flow report\n"
         "  --lint                 run the gap::lint gate on the mapped\n"
         "                         netlist (error findings fail the flow;\n"
@@ -203,7 +208,12 @@ qor::RunManifest build_manifest(const DriverArgs& args, const Methodology& m,
     ms.name = s.name;
     ms.status = to_string(s.status);
     ms.diagnostics = s.diagnostics.size();
-    ms.metric_deltas = s.metric_deltas;
+    // Counter deltas describe which engine did the work (e.g. the
+    // incremental timer's wavefront counters vs full re-analyses), not
+    // the design's QoR, so they belong in the manifest only on an
+    // observability run: plain manifests stay byte-comparable across
+    // --sta modes, and the CI incremental-vs-full cmp relies on that.
+    if (!args.metrics_out.empty()) ms.metric_deltas = s.metric_deltas;
     ms.qor = s.qor;
     man.stages.push_back(std::move(ms));
     for (const common::Diagnostic& d : s.diagnostics) {
@@ -322,6 +332,17 @@ Result<DriverArgs> parse_args(const std::vector<std::string>& argv) {
       int n = 0;
       bad = int_arg(n);
       if (!bad) a.stages = n;
+    } else if (flag == "--sta") {
+      std::string v;
+      bad = string_arg(v);
+      if (!bad) {
+        if (v == "incremental") a.sta_incremental = true;
+        else if (v == "full") a.sta_incremental = false;
+        else
+          bad = usage_error(ErrorCode::kInvalidValue,
+                            "invalid value '" + v +
+                                "' for --sta (incremental | full)");
+      }
     } else if (flag == "--mc") {
       bad = int_arg(a.mc_samples);
     } else if (flag == "--threads") {
@@ -434,6 +455,7 @@ int run(const std::vector<std::string>& argv, std::ostream& out,
   const auto design = designs::make_design(args.design, m->datapath);
   FlowOptions fopt;
   fopt.lint = args.lint;
+  fopt.incremental_sta = args.sta_incremental;
   if (!args.qor_out.empty()) {
     fopt.qor.enabled = true;
     fopt.qor.mc_samples = args.mc_samples;

@@ -17,6 +17,7 @@
 #include "sizing/buffers.hpp"
 #include "sizing/tilos.hpp"
 #include "sizing/wires.hpp"
+#include "sta/incremental.hpp"
 #include "synth/mapper.hpp"
 
 namespace gap::core {
@@ -220,6 +221,12 @@ FlowResult Flow::run(const logic::Aig& design, const Methodology& m,
   StageRunner stages(result.report, opt);
   const sta::StaOptions sta_opt = sta_options_for(m);
 
+  // Resident incremental timer, created by the size stage and shared with
+  // sign-off and the QoR captures after it (FlowOptions::incremental_sta).
+  // It references *result.nl, whose address is stable once the pipeline
+  // stage allocates it.
+  std::optional<sta::IncrementalTimer> timer;
+
   // QoR capture runs after a stage's guard (and outside its timer), on
   // whatever netlist the stage left behind. The Monte Carlo spread is
   // signoff-only; every other stage gets the cheap deterministic set.
@@ -236,7 +243,9 @@ FlowResult Flow::run(const logic::Aig& design, const Methodology& m,
       so.mc_seed = opt.qor.mc_seed;
       so.mc_threads = opt.qor.mc_threads;
     }
-    result.report.stages.back().qor = qor::capture(*nl, so);
+    result.report.stages.back().qor = timer && nl == &timer->netlist()
+                                          ? qor::capture(*timer, so)
+                                          : qor::capture(*nl, so);
   };
 
   // 1. Technology mapping.
@@ -342,8 +351,11 @@ FlowResult Flow::run(const logic::Aig& design, const Methodology& m,
                size_opt.continuous = m.sizing == SizingLevel::kContinuous &&
                                      lib.continuous_sizing;
                size_opt.continuous_step = 1.25;
+               size_opt.incremental = opt.incremental_sta;
+               if (opt.incremental_sta) timer.emplace(nl, sta_opt);
                const sizing::SizingResult sized =
-                   sizing::tilos_size(nl, size_opt);
+                   timer ? sizing::tilos_size(*timer, size_opt)
+                         : sizing::tilos_size(nl, size_opt);
                result.sizing_moves = sized.moves;
                if (m.sizing == SizingLevel::kContinuous) {
                  // Custom teams also size wires (section 6: "wires may be
@@ -352,14 +364,18 @@ FlowResult Flow::run(const logic::Aig& design, const Methodology& m,
                  sizing::WireSizingOptions wopt;
                  wopt.sta = sta_opt;
                  sizing::widen_critical_wires(nl, wopt);
+                 // Wire widths changed behind the timer's back.
+                 if (timer) timer->invalidate_all();
                }
                stages.verify_into(sr, nl, "size");
              });
   capture_qor(ok, result.nl.get());
 
-  // 5. Sign-off timing.
+  // 5. Sign-off timing, answered by the resident timer when the size
+  // stage left one (byte-identical to the from-scratch analysis).
   ok = stages.run("signoff", have_nl, [&](StageReport&) {
-    result.timing = sta::analyze(*result.nl, sta_opt);
+    result.timing = timer ? timer->timing()
+                          : sta::analyze(*result.nl, sta_opt);
     result.freq_mhz = result.timing.frequency_mhz();
     result.area_um2 = result.nl->total_area_um2();
   });

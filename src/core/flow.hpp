@@ -89,6 +89,14 @@ struct FlowOptions {
   /// Run netlist::verify after each netlist-mutating stage and fail the
   /// stage on any structural violation.
   bool verify_between_stages = true;
+  /// Keep one resident sta::IncrementalTimer from the size stage through
+  /// sign-off: TILOS re-times each move through the timer's dirty-cone
+  /// wavefronts instead of a from-scratch analysis, and the signoff stage
+  /// and QoR snapshots answer from the same cached state. Every timing
+  /// number is byte-identical either way (the incremental engine's
+  /// contract, enforced by tests/incremental_sta_test.cpp), so this knob
+  /// changes work done, never results.
+  bool incremental_sta = true;
   /// Per-stage QoR snapshots for the run manifest (gapflow --qor-out).
   QorCaptureOptions qor;
   /// Run the gap::lint rule catalog on the mapped netlist as a "lint"

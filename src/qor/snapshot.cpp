@@ -1,18 +1,22 @@
 #include "qor/snapshot.hpp"
 
 #include <unordered_set>
+#include <utility>
 
 #include "sizing/tilos.hpp"
 #include "sta/statistical.hpp"
 #include "variation/variation.hpp"
 
 namespace gap::qor {
+namespace {
 
-QorSnapshot capture(const netlist::Netlist& nl,
-                    const SnapshotOptions& options) {
+/// Everything in a snapshot besides the arrival/slack analysis itself:
+/// both capture() overloads feed their (identical, by the incremental
+/// contract) timing result and histogram through this one body.
+QorSnapshot assemble(const netlist::Netlist& nl, const SnapshotOptions& options,
+                     const sta::TimingResult& timing,
+                     sta::SlackHistogramData histogram) {
   QorSnapshot s;
-
-  const sta::TimingResult timing = sta::analyze(nl, options.sta);
   s.worst_path_tau = timing.worst_path_tau;
   s.min_period_tau = timing.min_period_tau;
   s.min_period_ps = timing.min_period_ps;
@@ -20,8 +24,7 @@ QorSnapshot capture(const netlist::Netlist& nl,
   s.critical_path_fo4 = timing.worst_path_tau / 5.0;
   s.critical_path_gates = timing.critical_path.size();
   s.endpoints = timing.num_endpoints;
-  s.slack_histogram = sta::compute_slack_histogram(
-      nl, options.sta, timing.min_period_tau, options.histogram_buckets);
+  s.slack_histogram = std::move(histogram);
 
   s.area_um2 = nl.total_area_um2();
   for (NetId id : nl.all_nets()) s.total_wirelength_um += nl.net(id).length_um;
@@ -52,6 +55,26 @@ QorSnapshot capture(const netlist::Netlist& nl,
     s.mc_mean_shift = r.mean_shift();
   }
   return s;
+}
+
+}  // namespace
+
+QorSnapshot capture(const netlist::Netlist& nl,
+                    const SnapshotOptions& options) {
+  const sta::TimingResult timing = sta::analyze(nl, options.sta);
+  return assemble(nl, options, timing,
+                  sta::compute_slack_histogram(nl, options.sta,
+                                               timing.min_period_tau,
+                                               options.histogram_buckets));
+}
+
+QorSnapshot capture(sta::IncrementalTimer& timer,
+                    const SnapshotOptions& options) {
+  const sta::TimingResult timing = timer.timing();
+  return assemble(timer.netlist(), options, timing,
+                  sta::slack_histogram_from_slacks(
+                      timer.slacks(timing.min_period_tau),
+                      options.histogram_buckets));
 }
 
 }  // namespace gap::qor

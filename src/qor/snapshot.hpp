@@ -18,6 +18,7 @@
 #include <cstdint>
 
 #include "netlist/netlist.hpp"
+#include "sta/incremental.hpp"
 #include "sta/report.hpp"
 #include "sta/sta.hpp"
 
@@ -72,6 +73,14 @@ struct QorSnapshot {
 /// Measure the netlist as it stands. Runs STA (arrival + required-time
 /// passes) plus, when requested, a Monte Carlo; read-only.
 [[nodiscard]] QorSnapshot capture(const netlist::Netlist& nl,
+                                  const SnapshotOptions& options);
+
+/// capture() through a resident incremental timer: the deterministic
+/// timing numbers come from the timer's cached state instead of a
+/// from-scratch analysis. Byte-identical to capture(timer.netlist(), ...)
+/// with matching options.sta — the timer's contract — just cheaper after
+/// a small edit. The MC probe still builds its own per-sample analyses.
+[[nodiscard]] QorSnapshot capture(sta::IncrementalTimer& timer,
                                   const SnapshotOptions& options);
 
 }  // namespace gap::qor

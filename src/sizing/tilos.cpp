@@ -77,18 +77,158 @@ std::optional<Move> upsize_move(const Netlist& nl, InstanceId id,
   return m;
 }
 
-void apply(Netlist& nl, const Move& m) {
-  if (m.new_override > 0.0)
-    nl.instance(m.inst).drive_override = m.new_override;
+/// Route a resize through the resident timer when there is one (keeping
+/// its dirty cones exact), directly into the netlist otherwise. These
+/// moves are generated from the library ladder, so timer validation
+/// cannot fail — a rejection would be an internal contract violation.
+void set_drive_override(Netlist& nl, sta::IncrementalTimer* timer,
+                        InstanceId inst, double value) {
+  if (timer != nullptr)
+    GAP_EXPECTS(timer->apply(sta::Edit::set_drive(inst, value)).ok());
   else
-    nl.replace_cell(m.inst, m.new_cell);
+    nl.instance(inst).drive_override = value;
 }
 
-void undo(Netlist& nl, const Move& m, CellId old_cell, double old_override) {
-  if (m.new_override > 0.0)
-    nl.instance(m.inst).drive_override = old_override;
+void set_cell(Netlist& nl, sta::IncrementalTimer* timer, InstanceId inst,
+              CellId cell) {
+  if (timer != nullptr)
+    GAP_EXPECTS(timer->apply(sta::Edit::replace_cell(inst, cell)).ok());
   else
-    nl.replace_cell(m.inst, old_cell);
+    nl.replace_cell(inst, cell);
+}
+
+void apply(Netlist& nl, sta::IncrementalTimer* timer, const Move& m) {
+  if (m.new_override > 0.0)
+    set_drive_override(nl, timer, m.inst, m.new_override);
+  else
+    set_cell(nl, timer, m.inst, m.new_cell);
+}
+
+void undo(Netlist& nl, sta::IncrementalTimer* timer, const Move& m,
+          CellId old_cell, double old_override) {
+  if (m.new_override > 0.0)
+    set_drive_override(nl, timer, m.inst, old_override);
+  else
+    set_cell(nl, timer, m.inst, old_cell);
+}
+
+SizingResult tilos_size_impl(Netlist& nl, const SizingOptions& options,
+                             const sta::StaOptions& sta_options,
+                             sta::IncrementalTimer* timer) {
+  GAP_TRACE_SPAN("sizing::tilos");
+  static common::Counter& runs = common::metrics().counter("tilos.runs");
+  static common::Counter& iterations =
+      common::metrics().counter("tilos.iterations");
+  static common::Counter& accepted =
+      common::metrics().counter("tilos.moves_accepted");
+  static common::Counter& rejected =
+      common::metrics().counter("tilos.moves_rejected");
+  runs.add();
+
+  const auto retime = [&] {
+    return timer != nullptr ? timer->timing() : sta::analyze(nl, sta_options);
+  };
+
+  SizingResult result;
+  sta::TimingResult timing = retime();
+  result.initial_period_tau = timing.min_period_tau;
+  result.final_period_tau = timing.min_period_tau;
+  if (timing.num_endpoints == 0) return result;
+
+  // Instances whose upsize was tried and made things worse.
+  std::unordered_set<std::uint32_t> blocked;
+
+  while (result.moves < options.max_moves) {
+    iterations.add();
+    // Best estimated move along the current critical path.
+    std::optional<Move> best;
+    for (InstanceId id : timing.critical_path) {
+      if (blocked.contains(id.value())) continue;
+      const auto m = upsize_move(nl, id, options);
+      if (!m) continue;
+      if (!best || m->gain_estimate > best->gain_estimate) best = m;
+    }
+    if (!best || best->gain_estimate <= options.min_gain_tau) break;
+
+    const CellId old_cell = nl.instance(best->inst).cell;
+    const double old_override = nl.instance(best->inst).drive_override;
+    apply(nl, timer, *best);
+    const sta::TimingResult after = retime();
+    if (after.min_period_tau < result.final_period_tau - options.min_gain_tau) {
+      timing = after;
+      result.final_period_tau = after.min_period_tau;
+      ++result.moves;
+      accepted.add();
+      blocked.clear();  // the landscape changed; retry earlier failures
+    } else {
+      undo(nl, timer, *best, old_cell, old_override);
+      blocked.insert(best->inst.value());
+      rejected.add();
+    }
+  }
+  return result;
+}
+
+double recover_area_impl(Netlist& nl, const SizingOptions& options,
+                         const sta::StaOptions& sta_options,
+                         sta::IncrementalTimer* timer, double period_tau) {
+  const double area_before = nl.total_area_um2();
+  struct Applied {
+    InstanceId inst;
+    CellId old_cell;
+    double old_override;
+  };
+  const auto reslack = [&] {
+    return timer != nullptr ? timer->slacks(period_tau)
+                            : sta::net_slacks(nl, sta_options, period_tau);
+  };
+
+  double safety = 0.5;  // accept a move only if est. delta < safety * slack
+  for (int round = 0; round < 20; ++round) {
+    const auto slacks = reslack();
+    std::vector<Applied> batch;
+    for (InstanceId id : nl.all_instances()) {
+      const library::Cell& c = nl.cell_of(id);
+      const double slack = slacks[nl.instance(id).output.index()];
+      if (slack < 0.5) continue;  // keep margin on near-critical gates
+
+      // Next cell down the ladder.
+      const double cur = nl.drive_of(id);
+      const auto& ladder = nl.lib().cells_of(c.func, c.family);
+      CellId smaller;
+      for (auto it = ladder.rbegin(); it != ladder.rend(); ++it) {
+        if (nl.lib().cell(*it).drive < cur - 1e-12) {
+          smaller = *it;
+          break;
+        }
+      }
+      if (!smaller.valid()) continue;
+      // Own delay increase bound: load / s_small - load / s_cur.
+      const double load = nl.net_load(nl.instance(id).output);
+      const double delta = load / nl.lib().cell(smaller).drive - load / cur;
+      if (delta >= slack * safety) continue;
+      batch.push_back(
+          {id, nl.instance(id).cell, nl.instance(id).drive_override});
+      set_drive_override(nl, timer, id, 0.0);
+      set_cell(nl, timer, id, smaller);
+    }
+    if (batch.empty()) break;
+
+    // One global verification per batch; revert wholesale on violation
+    // and retry more conservatively.
+    const auto after = reslack();
+    double worst = 1e30;
+    for (double s : after) worst = std::min(worst, s);
+    if (worst < 0.0) {
+      for (auto it = batch.rbegin(); it != batch.rend(); ++it) {
+        set_cell(nl, timer, it->inst, it->old_cell);
+        set_drive_override(nl, timer, it->inst, it->old_override);
+      }
+      safety *= 0.5;
+      if (safety < 0.05) break;
+    }
+  }
+  return area_before - nl.total_area_um2();
 }
 
 }  // namespace
@@ -113,111 +253,31 @@ void initial_drive_assignment(Netlist& nl, double stage_effort,
 }
 
 SizingResult tilos_size(Netlist& nl, const SizingOptions& options) {
-  GAP_TRACE_SPAN("sizing::tilos");
-  static common::Counter& runs = common::metrics().counter("tilos.runs");
-  static common::Counter& iterations =
-      common::metrics().counter("tilos.iterations");
-  static common::Counter& accepted =
-      common::metrics().counter("tilos.moves_accepted");
-  static common::Counter& rejected =
-      common::metrics().counter("tilos.moves_rejected");
-  runs.add();
-
-  SizingResult result;
-  sta::TimingResult timing = sta::analyze(nl, options.sta);
-  result.initial_period_tau = timing.min_period_tau;
-  result.final_period_tau = timing.min_period_tau;
-  if (timing.num_endpoints == 0) return result;
-
-  // Instances whose upsize was tried and made things worse.
-  std::unordered_set<std::uint32_t> blocked;
-
-  while (result.moves < options.max_moves) {
-    iterations.add();
-    // Best estimated move along the current critical path.
-    std::optional<Move> best;
-    for (InstanceId id : timing.critical_path) {
-      if (blocked.contains(id.value())) continue;
-      const auto m = upsize_move(nl, id, options);
-      if (!m) continue;
-      if (!best || m->gain_estimate > best->gain_estimate) best = m;
-    }
-    if (!best || best->gain_estimate <= options.min_gain_tau) break;
-
-    const CellId old_cell = nl.instance(best->inst).cell;
-    const double old_override = nl.instance(best->inst).drive_override;
-    apply(nl, *best);
-    const sta::TimingResult after = sta::analyze(nl, options.sta);
-    if (after.min_period_tau < result.final_period_tau - options.min_gain_tau) {
-      timing = after;
-      result.final_period_tau = after.min_period_tau;
-      ++result.moves;
-      accepted.add();
-      blocked.clear();  // the landscape changed; retry earlier failures
-    } else {
-      undo(nl, *best, old_cell, old_override);
-      blocked.insert(best->inst.value());
-      rejected.add();
-    }
+  if (options.incremental) {
+    sta::IncrementalTimer timer(nl, options.sta);
+    return tilos_size_impl(nl, options, options.sta, &timer);
   }
-  return result;
+  return tilos_size_impl(nl, options, options.sta, nullptr);
+}
+
+SizingResult tilos_size(sta::IncrementalTimer& timer,
+                        const SizingOptions& options) {
+  return tilos_size_impl(timer.netlist(), options, timer.options(), &timer);
 }
 
 double recover_area(Netlist& nl, const SizingOptions& options,
                     double period_tau) {
-  const double area_before = nl.total_area_um2();
-  struct Applied {
-    InstanceId inst;
-    CellId old_cell;
-    double old_override;
-  };
-
-  double safety = 0.5;  // accept a move only if est. delta < safety * slack
-  for (int round = 0; round < 20; ++round) {
-    const auto slacks = sta::net_slacks(nl, options.sta, period_tau);
-    std::vector<Applied> batch;
-    for (InstanceId id : nl.all_instances()) {
-      const library::Cell& c = nl.cell_of(id);
-      const double slack = slacks[nl.instance(id).output.index()];
-      if (slack < 0.5) continue;  // keep margin on near-critical gates
-
-      // Next cell down the ladder.
-      const double cur = nl.drive_of(id);
-      const auto& ladder = nl.lib().cells_of(c.func, c.family);
-      CellId smaller;
-      for (auto it = ladder.rbegin(); it != ladder.rend(); ++it) {
-        if (nl.lib().cell(*it).drive < cur - 1e-12) {
-          smaller = *it;
-          break;
-        }
-      }
-      if (!smaller.valid()) continue;
-      // Own delay increase bound: load / s_small - load / s_cur.
-      const double load = nl.net_load(nl.instance(id).output);
-      const double delta = load / nl.lib().cell(smaller).drive - load / cur;
-      if (delta >= slack * safety) continue;
-      batch.push_back(
-          {id, nl.instance(id).cell, nl.instance(id).drive_override});
-      nl.instance(id).drive_override = 0.0;
-      nl.replace_cell(id, smaller);
-    }
-    if (batch.empty()) break;
-
-    // One global verification per batch; revert wholesale on violation
-    // and retry more conservatively.
-    const auto after = sta::net_slacks(nl, options.sta, period_tau);
-    double worst = 1e30;
-    for (double s : after) worst = std::min(worst, s);
-    if (worst < 0.0) {
-      for (auto it = batch.rbegin(); it != batch.rend(); ++it) {
-        nl.replace_cell(it->inst, it->old_cell);
-        nl.instance(it->inst).drive_override = it->old_override;
-      }
-      safety *= 0.5;
-      if (safety < 0.05) break;
-    }
+  if (options.incremental) {
+    sta::IncrementalTimer timer(nl, options.sta);
+    return recover_area_impl(nl, options, options.sta, &timer, period_tau);
   }
-  return area_before - nl.total_area_um2();
+  return recover_area_impl(nl, options, options.sta, nullptr, period_tau);
+}
+
+double recover_area(sta::IncrementalTimer& timer,
+                    const SizingOptions& options, double period_tau) {
+  return recover_area_impl(timer.netlist(), options, timer.options(), &timer,
+                           period_tau);
 }
 
 double path_upsize_headroom_tau(const Netlist& nl,

@@ -75,8 +75,13 @@ std::string critical_path_json(const netlist::Netlist& nl,
 SlackHistogramData compute_slack_histogram(const netlist::Netlist& nl,
                                            const StaOptions& options,
                                            double period_tau, int buckets) {
+  return slack_histogram_from_slacks(net_slacks(nl, options, period_tau),
+                                     buckets);
+}
+
+SlackHistogramData slack_histogram_from_slacks(
+    const std::vector<double>& slacks, int buckets) {
   SlackHistogramData data;
-  const auto slacks = net_slacks(nl, options, period_tau);
   SampleStats s;
   for (double v : slacks)
     if (v < 1e29) s.add(v);

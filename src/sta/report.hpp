@@ -42,6 +42,12 @@ struct SlackHistogramData {
     const netlist::Netlist& nl, const StaOptions& options, double period_tau,
     int buckets = 10);
 
+/// Bucket an already-computed per-net slack array (sta::net_slacks or
+/// IncrementalTimer::slacks — bit-identical by contract, so so are the
+/// histograms). compute_slack_histogram delegates here.
+[[nodiscard]] SlackHistogramData slack_histogram_from_slacks(
+    const std::vector<double>& slacks, int buckets = 10);
+
 /// Endpoint slack histogram at the given period: a fixed number of
 /// buckets from the worst slack to the period, one text bar per bucket.
 [[nodiscard]] std::string format_slack_histogram(const netlist::Netlist& nl,

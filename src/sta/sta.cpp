@@ -7,6 +7,7 @@
 #include "common/metrics.hpp"
 #include "common/trace.hpp"
 #include "netlist/checks.hpp"
+#include "sta/propagation.hpp"
 #include "wire/repeaters.hpp"
 
 namespace gap::sta {
@@ -19,12 +20,12 @@ using netlist::NetSink;
 constexpr double kNegInf = -std::numeric_limits<double>::infinity();
 constexpr double kPosInf = std::numeric_limits<double>::infinity();
 
-/// Shared forward-propagation state.
+/// Shared forward-propagation state: the per-net arrays plus the topo
+/// order they were filled in. The arithmetic itself lives in
+/// sta/propagation.cpp so the incremental engine reuses the exact same
+/// compiled kernels (see propagation.hpp for the byte-identity contract).
 struct Propagation {
-  std::vector<double> arrival;      ///< per net, at the driver output
-  std::vector<double> wire_delay;   ///< per net, added at every sink
-  std::vector<double> driver_load;  ///< per net, load seen by the driver
-  std::vector<NetId> crit_input;    ///< per instance, worst input net
+  detail::ArrivalState st;
   std::vector<InstanceId> order;
 };
 
@@ -80,20 +81,6 @@ WireModel wire_model(const Netlist& nl, NetId id, const StaOptions& opt) {
 
 namespace {
 
-/// Per-instance statistical delay multiplier (1.0 without MC sampling).
-double inst_factor(const StaOptions& opt, InstanceId id) {
-  if (opt.instance_delay_factors == nullptr) return 1.0;
-  return (*opt.instance_delay_factors)[id.index()];
-}
-
-/// Arc delay of an instance driving the given load, in tau (pre-corner).
-double arc_delay(const Netlist& nl, InstanceId id, double load_units) {
-  const library::Cell& c = nl.cell_of(id);
-  double d = c.parasitic + load_units / nl.drive_of(id);
-  if (c.is_sequential()) d += c.clk_to_q_tau;
-  return d;
-}
-
 Propagation propagate(const Netlist& nl, const StaOptions& opt) {
   GAP_TRACE_SPAN("sta::arrival_pass");
   // One batched add per pass (not per instance): exact totals under
@@ -106,84 +93,29 @@ Propagation propagate(const Netlist& nl, const StaOptions& opt) {
   props.add(nl.num_instances());
 
   Propagation p;
-  p.arrival.assign(nl.num_nets(), kNegInf);
-  p.wire_delay.resize(nl.num_nets());
-  p.driver_load.resize(nl.num_nets());
-  p.crit_input.assign(nl.num_instances(), NetId{});
+  p.st.arrival.assign(nl.num_nets(), kNegInf);
+  p.st.wire_delay.resize(nl.num_nets());
+  p.st.driver_load.resize(nl.num_nets());
+  p.st.crit_input.assign(nl.num_instances(), NetId{});
   const double k = opt.corner_delay_factor;
 
   for (NetId n : nl.all_nets()) {
     const WireModel m = wire_model(nl, n, opt);
-    p.wire_delay[n.index()] = k * m.delay_tau;
-    p.driver_load[n.index()] = m.driver_load_units;
+    p.st.wire_delay[n.index()] = k * m.delay_tau;
+    p.st.driver_load[n.index()] = m.driver_load_units;
   }
 
   // Primary inputs: external driver of the port's declared strength.
   for (PortId pid : nl.all_ports()) {
     const netlist::Port& port = nl.port(pid);
     if (!port.is_input) continue;
-    p.arrival[port.net.index()] =
-        k * p.driver_load[port.net.index()] / port.ext_drive;
+    p.st.arrival[port.net.index()] = detail::pi_arrival(opt, p.st, port);
   }
 
   p.order = netlist::topo_order(nl);
   GAP_EXPECTS(p.order.size() == nl.num_instances());
-  for (InstanceId id : p.order) {
-    const netlist::Instance& inst = nl.instance(id);
-    double in_arr = 0.0;
-    if (nl.is_sequential(id)) {
-      in_arr = 0.0;  // launched by the clock edge
-    } else {
-      in_arr = kNegInf;
-      for (NetId in : inst.inputs) {
-        const double a = p.arrival[in.index()] + p.wire_delay[in.index()];
-        if (a > in_arr) {
-          in_arr = a;
-          p.crit_input[id.index()] = in;
-        }
-      }
-      if (in_arr == kNegInf) in_arr = 0.0;  // undriven (floating) inputs
-    }
-    p.arrival[inst.output.index()] =
-        in_arr + k * inst_factor(opt, id) *
-                     arc_delay(nl, id, p.driver_load[inst.output.index()]);
-  }
+  for (InstanceId id : p.order) detail::relax_instance(nl, opt, p.st, id);
   return p;
-}
-
-/// Worst endpoint: PO nets and sequential D pins.
-struct Endpoint {
-  double path_tau = kNegInf;
-  NetId net;
-  std::size_t count = 0;
-};
-
-Endpoint worst_endpoint(const Netlist& nl, const StaOptions& opt,
-                        const Propagation& p) {
-  Endpoint e;
-  const double k = opt.corner_delay_factor;
-  for (NetId nid : nl.all_nets()) {
-    const netlist::Net& n = nl.net(nid);
-    if (p.arrival[nid.index()] == kNegInf) continue;
-    for (const NetSink& s : n.sinks) {
-      double path = kNegInf;
-      if (s.kind == NetSink::Kind::kPrimaryOutput) {
-        path = p.arrival[nid.index()] + p.wire_delay[nid.index()];
-        ++e.count;
-      } else if (nl.is_sequential(s.inst)) {
-        path = p.arrival[nid.index()] + p.wire_delay[nid.index()] +
-               k * inst_factor(opt, s.inst) * nl.cell_of(s.inst).setup_tau;
-        ++e.count;
-      } else {
-        continue;
-      }
-      if (path > e.path_tau) {
-        e.path_tau = path;
-        e.net = nid;
-      }
-    }
-  }
-  return e;
 }
 
 }  // namespace
@@ -195,152 +127,30 @@ TimingResult analyze(const Netlist& nl, const StaOptions& options) {
   static common::Counter& analyses = common::metrics().counter("sta.analyses");
   analyses.add();
   const Propagation p = propagate(nl, options);
-  const Endpoint e = worst_endpoint(nl, options, p);
-
-  TimingResult r;
-  r.num_endpoints = e.count;
-  if (e.count == 0 || e.path_tau == kNegInf) return r;
-  r.worst_path_tau = e.path_tau;
-  r.min_period_tau = (e.path_tau + options.clock.extra_skew_tau) /
-                     (1.0 - options.clock.skew_fraction);
-  const tech::Technology& t = nl.lib().technology();
-  r.min_period_ps = t.tau_to_ps(r.min_period_tau);
-  r.min_period_fo4 = t.tau_to_fo4(r.min_period_tau);
-
-  // Trace the critical path back from the worst endpoint.
-  NetId net = e.net;
-  while (net.valid()) {
-    const NetDriver& d = nl.net(net).driver;
-    if (d.kind != NetDriver::Kind::kInstance) break;
-    r.critical_path.push_back(d.inst);
-    if (nl.is_sequential(d.inst)) break;  // launch point
-    net = p.crit_input[d.inst.index()];
-  }
-  std::reverse(r.critical_path.begin(), r.critical_path.end());
-  return r;
+  const detail::WorstEndpoint e =
+      detail::worst_endpoint_from_state(nl, options, p.st);
+  return detail::timing_result_from_state(nl, options, p.st, e);
 }
 
 std::vector<CriticalPath> top_critical_paths(const Netlist& nl,
                                              const StaOptions& options,
                                              int k) {
-  std::vector<CriticalPath> out;
-  if (k <= 0) return out;
+  if (k <= 0) return {};
   const Propagation p = propagate(nl, options);
-  const double corner = options.corner_delay_factor;
-
-  // Every timing endpoint with its full path delay.
-  struct Candidate {
-    double path_tau;
-    NetId net;
-    NetSink sink;
-  };
-  std::vector<Candidate> candidates;
-  for (NetId nid : nl.all_nets()) {
-    if (p.arrival[nid.index()] == kNegInf) continue;
-    for (const NetSink& s : nl.net(nid).sinks) {
-      double path = kNegInf;
-      if (s.kind == NetSink::Kind::kPrimaryOutput) {
-        path = p.arrival[nid.index()] + p.wire_delay[nid.index()];
-      } else if (nl.is_sequential(s.inst)) {
-        path = p.arrival[nid.index()] + p.wire_delay[nid.index()] +
-               corner * inst_factor(options, s.inst) *
-                   nl.cell_of(s.inst).setup_tau;
-      } else {
-        continue;
-      }
-      candidates.push_back({path, nid, s});
-    }
-  }
-  std::sort(candidates.begin(), candidates.end(),
-            [](const Candidate& a, const Candidate& b) {
-              if (a.path_tau != b.path_tau) return a.path_tau > b.path_tau;
-              if (a.net.index() != b.net.index())
-                return a.net.index() < b.net.index();
-              if (a.sink.kind != b.sink.kind) return a.sink.kind < b.sink.kind;
-              if (a.sink.kind == NetSink::Kind::kInstancePin) {
-                if (a.sink.inst.index() != b.sink.inst.index())
-                  return a.sink.inst.index() < b.sink.inst.index();
-                return a.sink.pin < b.sink.pin;
-              }
-              return a.sink.port.index() < b.sink.port.index();
-            });
-  if (candidates.size() > static_cast<std::size_t>(k))
-    candidates.resize(static_cast<std::size_t>(k));
-
-  for (const Candidate& c : candidates) {
-    CriticalPath path;
-    path.endpoint_net = c.net;
-    path.endpoint = c.sink;
-    path.path_tau = c.path_tau;
-    // Backtrack through the worst-input chain, as analyze() does.
-    NetId net = c.net;
-    while (net.valid()) {
-      const NetDriver& d = nl.net(net).driver;
-      if (d.kind != NetDriver::Kind::kInstance) break;
-      PathNode node;
-      node.inst = d.inst;
-      node.arrival_tau = p.arrival[nl.instance(d.inst).output.index()];
-      if (!nl.is_sequential(d.inst))
-        node.input_net = p.crit_input[d.inst.index()];
-      path.nodes.push_back(node);
-      if (nl.is_sequential(d.inst)) break;  // launch point
-      net = p.crit_input[d.inst.index()];
-    }
-    std::reverse(path.nodes.begin(), path.nodes.end());
-    out.push_back(std::move(path));
-  }
-  return out;
+  return detail::top_paths_from_state(nl, options, p.st, k);
 }
 
 std::vector<double> net_arrivals(const Netlist& nl, const StaOptions& options) {
-  return propagate(nl, options).arrival;
+  return propagate(nl, options).st.arrival;
 }
 
 std::vector<double> net_slacks(const Netlist& nl, const StaOptions& options,
                                double period_tau) {
   const Propagation p = propagate(nl, options);
-  const double k = options.corner_delay_factor;
-  // Data budget inside one cycle once skew is taken out.
-  const double budget = period_tau * (1.0 - options.clock.skew_fraction) -
-                        options.clock.extra_skew_tau;
-
-  std::vector<double> required(nl.num_nets(), kPosInf);
-  for (NetId nid : nl.all_nets()) {
-    const netlist::Net& n = nl.net(nid);
-    for (const NetSink& s : n.sinks) {
-      double req = kPosInf;
-      if (s.kind == NetSink::Kind::kPrimaryOutput)
-        req = budget - p.wire_delay[nid.index()];
-      else if (nl.is_sequential(s.inst))
-        req = budget - k * nl.cell_of(s.inst).setup_tau -
-              p.wire_delay[nid.index()];
-      required[nid.index()] = std::min(required[nid.index()], req);
-    }
-  }
-
-  // Backward propagation through combinational instances.
-  for (auto it = p.order.rbegin(); it != p.order.rend(); ++it) {
-    const InstanceId id = *it;
-    if (nl.is_sequential(id)) continue;
-    const netlist::Instance& inst = nl.instance(id);
-    const double req_out = required[inst.output.index()];
-    if (req_out == kPosInf) continue;
-    const double req_in =
-        req_out - k * inst_factor(options, id) *
-                      arc_delay(nl, id, p.driver_load[inst.output.index()]);
-    for (NetId in : inst.inputs) {
-      const double r = req_in - p.wire_delay[in.index()];
-      required[in.index()] = std::min(required[in.index()], r);
-    }
-  }
-
-  std::vector<double> slack(nl.num_nets(), kPosInf);
-  for (NetId nid : nl.all_nets()) {
-    if (p.arrival[nid.index()] == kNegInf || required[nid.index()] == kPosInf)
-      continue;
-    slack[nid.index()] = required[nid.index()] - p.arrival[nid.index()];
-  }
-  return slack;
+  const double budget = detail::cycle_budget(options, period_tau);
+  const std::vector<double> required =
+      detail::compute_required(nl, options, p.st, p.order, budget);
+  return detail::slacks_from_state(nl, p.st, required);
 }
 
 namespace {
@@ -364,7 +174,7 @@ std::vector<double> min_arrivals(const Netlist& nl, const StaOptions& opt) {
         in_arr = std::min(in_arr, arrival[in.index()]);
       if (in_arr == kPosInf) continue;  // PI-only cone: no internal launch
     }
-    const double d = k * arc_delay(nl, id, nl.net_load(inst.output));
+    const double d = k * detail::arc_delay(nl, id, nl.net_load(inst.output));
     arrival[inst.output.index()] =
         std::min(arrival[inst.output.index()], in_arr + d);
   }

@@ -309,12 +309,66 @@ TEST(DriverRunTest, QorOutWritesValidManifest) {
   for (const char* key :
        {"\"schema_version\"", "\"stages\"", "\"qor\"", "\"min_period_tau\"",
         "\"attribution\"", "\"gap_score\"", "\"slack_histogram\"",
-        "\"metric_deltas\"", "\"result\""})
+        "\"result\""})
     EXPECT_NE(manifest.find(key), std::string::npos) << key;
-  // Execution details must not leak into a diffable document.
+  // Execution details must not leak into a diffable document: wall
+  // times, thread counts, and (without --metrics-out) engine counter
+  // deltas, which describe which timing engine ran rather than QoR.
   EXPECT_EQ(manifest.find("wall_ms"), std::string::npos);
   EXPECT_EQ(manifest.find("threads"), std::string::npos);
+  EXPECT_EQ(manifest.find("metric_deltas"), std::string::npos);
   std::remove(path.c_str());
+}
+
+TEST(DriverRunTest, QorOutWithMetricsOutCarriesMetricDeltas) {
+  const std::string qpath = "driver_test_qor_metrics.json";
+  const std::string mpath = "driver_test_qor_metrics_m.json";
+  const RunCapture r = invoke({"--design", "alu16", "--qor-out", qpath,
+                               "--metrics-out", mpath});
+  ASSERT_EQ(r.code, 0) << r.err;
+  std::ifstream is(qpath);
+  std::ostringstream ss;
+  ss << is.rdbuf();
+  const std::string manifest = ss.str();
+  ASSERT_FALSE(manifest.empty());
+  EXPECT_TRUE(gap::testing::JsonLint::valid(manifest));
+  // An observability run records the per-stage engine counters.
+  EXPECT_NE(manifest.find("\"metric_deltas\""), std::string::npos);
+  EXPECT_NE(manifest.find("mapper.gates_mapped"), std::string::npos);
+  std::remove(qpath.c_str());
+  std::remove(mpath.c_str());
+}
+
+TEST(DriverRunTest, StaModeDoesNotChangeOutputOrManifest) {
+  const std::string qi = "driver_test_sta_inc.json";
+  const std::string qf = "driver_test_sta_full.json";
+  const RunCapture ri = invoke({"--design", "alu16", "--sta", "incremental",
+                                "--qor-out", qi});
+  const RunCapture rf = invoke({"--design", "alu16", "--sta", "full",
+                                "--qor-out", qf});
+  ASSERT_EQ(ri.code, 0) << ri.err;
+  ASSERT_EQ(rf.code, 0) << rf.err;
+  const auto slurp = [](const std::string& path) {
+    std::ifstream is(path);
+    std::ostringstream ss;
+    ss << is.rdbuf();
+    return ss.str();
+  };
+  // The incremental timer's byte-identity contract, end to end: the
+  // human report and the QoR manifest cannot depend on the engine.
+  EXPECT_EQ(ri.out.substr(0, ri.out.find("wrote ")),
+            rf.out.substr(0, rf.out.find("wrote ")));
+  const std::string a = slurp(qi);
+  ASSERT_FALSE(a.empty());
+  EXPECT_EQ(a, slurp(qf));
+  std::remove(qi.c_str());
+  std::remove(qf.c_str());
+}
+
+TEST(DriverArgsTest, BadStaModeIsInvalidValue) {
+  const RunCapture r = invoke({"--design", "alu16", "--sta", "sometimes"});
+  EXPECT_EQ(r.code, 3);
+  EXPECT_NE(r.err.find("--sta"), std::string::npos);
 }
 
 TEST(DriverRunTest, QorOutDeterministicAcrossThreadCounts) {

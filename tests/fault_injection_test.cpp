@@ -9,6 +9,8 @@
 #include <gtest/gtest.h>
 
 #include <cctype>
+#include <cstring>
+#include <limits>
 #include <string>
 #include <vector>
 
@@ -20,6 +22,7 @@
 #include "lint/lint.hpp"
 #include "netlist/verilog.hpp"
 #include "pipeline/pipeline.hpp"
+#include "sta/incremental.hpp"
 #include "synth/mapper.hpp"
 #include "tech/technology.hpp"
 
@@ -434,6 +437,187 @@ TEST(FaultInjectionTest, MutatedLenientVerilogNeverAbortsAndLintsSafely) {
     ++linted;
   }
   EXPECT_GT(linted, 50);
+}
+
+// --- incremental-timer edits: malformed edits reject, never abort ----------
+
+/// Timer rejections are validation verdicts, not parser errors: a real
+/// code, the subsystem tag, a message — and never a leaked contract
+/// failure or exception. (No source location: edits are constructed in
+/// memory, not read from a file.)
+void expect_timer_rejection(const Status& s, ErrorCode code) {
+  EXPECT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), code) << s.message();
+  EXPECT_NE(s.code(), ErrorCode::kContract) << s.message();
+  EXPECT_NE(s.code(), ErrorCode::kInternal) << s.message();
+  EXPECT_EQ(s.where(), "sta.incremental");
+  EXPECT_FALSE(s.message().empty());
+}
+
+TEST(FaultInjectionTest, MalformedTimerEditsRejectWithCodesAndExactState) {
+  using sta::Edit;
+  const CellLibrary lib = library::make_rich_asic_library(tech::asic_025um());
+  const auto cla = datapath::make_adder_aig(AdderKind::kCarryLookahead, 8);
+  auto nl = synth::map_to_netlist(cla, lib, synth::MapOptions{}, "cla8");
+  pipeline::PipelineOptions popt;
+  popt.stages = 2;
+  nl = pipeline::pipeline_insert(nl, popt).nl;
+
+  sta::IncrementalTimer timer(nl, sta::StaOptions{}, 2);
+  const sta::TimingResult baseline = timer.timing();
+  const std::string netlist_before = netlist::to_verilog(nl);
+
+  const auto n_inst = static_cast<std::uint32_t>(nl.num_instances());
+  const auto n_nets = static_cast<std::uint32_t>(nl.num_nets());
+
+  // A combinational instance with inputs, for the structural mutants.
+  InstanceId comb;
+  for (InstanceId id : nl.all_instances())
+    if (!nl.is_sequential(id) && !nl.instance(id).inputs.empty()) {
+      comb = id;
+      break;
+    }
+  ASSERT_TRUE(comb.valid());
+  // A library cell with a different function than comb's, for the
+  // function-changing swap.
+  CellId other_func;
+  for (std::uint32_t i = 0; i < lib.size(); ++i) {
+    const CellId c{i};
+    if (lib.cell(c).func != nl.cell_of(comb).func) {
+      other_func = c;
+      break;
+    }
+  }
+  ASSERT_TRUE(other_func.valid());
+
+  // Unknown instances: the invalid sentinel and one past the end.
+  expect_timer_rejection(timer.apply(Edit::set_drive(InstanceId{}, 4.0)),
+                         ErrorCode::kUnknownName);
+  expect_timer_rejection(
+      timer.apply(Edit::replace_cell(InstanceId{n_inst}, CellId{0})),
+      ErrorCode::kUnknownName);
+  expect_timer_rejection(timer.apply(Edit::rewire(InstanceId{n_inst + 7}, 0,
+                                                  NetId{0})),
+                         ErrorCode::kUnknownName);
+
+  // Unknown cells: bad id, and a name the library has never heard of.
+  expect_timer_rejection(
+      timer.apply(Edit::replace_cell(comb, CellId{})),
+      ErrorCode::kUnknownName);
+  expect_timer_rejection(
+      timer.apply(Edit::replace_cell(
+          comb, CellId{static_cast<std::uint32_t>(lib.size())})),
+      ErrorCode::kUnknownName);
+  expect_timer_rejection(
+      timer.apply(Edit::replace_cell_named(comb, "warp_core_9000")),
+      ErrorCode::kUnknownName);
+
+  // Semantic violations: function-changing swap, unphysical drives,
+  // out-of-range pins, and a clock spec outside its domain.
+  expect_timer_rejection(timer.apply(Edit::replace_cell(comb, other_func)),
+                         ErrorCode::kInvalidValue);
+  expect_timer_rejection(timer.apply(Edit::set_drive(comb, -1.0)),
+                         ErrorCode::kInvalidValue);
+  expect_timer_rejection(
+      timer.apply(Edit::set_drive(comb, std::numeric_limits<double>::infinity())),
+      ErrorCode::kInvalidValue);
+  expect_timer_rejection(
+      timer.apply(Edit::set_drive(comb,
+                                  std::numeric_limits<double>::quiet_NaN())),
+      ErrorCode::kInvalidValue);
+  expect_timer_rejection(timer.apply(Edit::rewire(comb, -1, NetId{0})),
+                         ErrorCode::kInvalidValue);
+  expect_timer_rejection(
+      timer.apply(Edit::rewire(
+          comb, static_cast<int>(nl.instance(comb).inputs.size()), NetId{0})),
+      ErrorCode::kInvalidValue);
+  sta::ClockSpec bad_clock;
+  bad_clock.skew_fraction = 1.5;
+  expect_timer_rejection(timer.apply(Edit::set_clock(bad_clock)),
+                         ErrorCode::kInvalidValue);
+  bad_clock.skew_fraction = std::numeric_limits<double>::quiet_NaN();
+  expect_timer_rejection(timer.apply(Edit::set_clock(bad_clock)),
+                         ErrorCode::kInvalidValue);
+
+  // Unknown net, then a rewire that would close a combinational loop
+  // (an input fed by the instance's own output).
+  expect_timer_rejection(timer.apply(Edit::rewire(comb, 0, NetId{n_nets})),
+                         ErrorCode::kUnknownName);
+  expect_timer_rejection(
+      timer.apply(Edit::rewire(comb, 0, nl.instance(comb).output)),
+      ErrorCode::kStructural);
+
+  // apply_undoable must reject identically, returning no inverse.
+  const auto undoable = timer.apply_undoable(Edit::set_drive(comb, -3.0));
+  ASSERT_FALSE(undoable.ok());
+  expect_timer_rejection(undoable.status(), ErrorCode::kInvalidValue);
+
+  // After every mutant: nothing pending, netlist byte-identical, timing
+  // byte-identical — rejection left no trace.
+  EXPECT_EQ(timer.pending_dirty(), 0u);
+  EXPECT_EQ(netlist::to_verilog(nl), netlist_before);
+  const sta::TimingResult after = timer.timing();
+  EXPECT_EQ(std::memcmp(&after.min_period_tau, &baseline.min_period_tau,
+                        sizeof(double)),
+            0);
+  EXPECT_EQ(after.critical_path, baseline.critical_path);
+}
+
+TEST(FaultInjectionTest, RandomGarbageEditsNeverAbortTheTimer) {
+  using sta::Edit;
+  const CellLibrary lib = library::make_rich_asic_library(tech::asic_025um());
+  const auto rip = datapath::make_adder_aig(AdderKind::kRipple, 8);
+  auto nl = synth::map_to_netlist(rip, lib, synth::MapOptions{}, "add8");
+  sta::IncrementalTimer timer(nl, sta::StaOptions{}, 1);
+  (void)timer.timing();
+
+  int rejected = 0;
+  for (int i = 0; i < 300; ++i) {
+    Rng rng = Rng::stream(0xFA017'5Au, static_cast<std::uint64_t>(i));
+    // Raw ids drawn from twice the valid range, drives/skews from well
+    // outside their domains: roughly half of everything is garbage.
+    const InstanceId inst{
+        static_cast<std::uint32_t>(rng.uniform_index(2 * nl.num_instances()))};
+    Edit e;
+    switch (rng.uniform_index(4)) {
+      case 0:
+        e = Edit::replace_cell(
+            inst,
+            CellId{static_cast<std::uint32_t>(rng.uniform_index(2 * lib.size()))});
+        break;
+      case 1:
+        e = Edit::set_drive(inst, rng.uniform(-8.0, 8.0));
+        break;
+      case 2:
+        e = Edit::rewire(
+            inst, static_cast<int>(rng.uniform_index(6)) - 1,
+            NetId{static_cast<std::uint32_t>(rng.uniform_index(2 * nl.num_nets()))});
+        break;
+      default: {
+        sta::ClockSpec ck;
+        ck.skew_fraction = rng.uniform(-0.5, 1.5);
+        e = Edit::set_clock(ck);
+        break;
+      }
+    }
+    SCOPED_TRACE("garbage edit #" + std::to_string(i));
+    const Status s = timer.apply(e);
+    if (!s.ok()) {
+      ++rejected;
+      EXPECT_EQ(s.where(), "sta.incremental");
+      EXPECT_NE(s.code(), ErrorCode::kContract) << s.message();
+      EXPECT_NE(s.code(), ErrorCode::kInternal) << s.message();
+    }
+  }
+  EXPECT_GT(rejected, 100);
+  // The survivors were legal edits; the timer still answers, and still
+  // byte-identically to a from-scratch recompute.
+  const sta::TimingResult inc = timer.timing();
+  const sta::TimingResult full = sta::analyze(nl, timer.options());
+  EXPECT_EQ(std::memcmp(&inc.min_period_tau, &full.min_period_tau,
+                        sizeof(double)),
+            0);
+  EXPECT_EQ(inc.critical_path, full.critical_path);
 }
 
 // --- determinism: same seed, same verdicts ---------------------------------

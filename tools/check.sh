@@ -8,8 +8,9 @@
 #   tools/check.sh all      # both passes + regular build + full ctest suite
 #
 # The ThreadSanitizer pass: gap::common::ThreadPool and its consumers
-# (MC-STA, parameter sweeps, variation binning) must be race-free at any
-# thread count, not merely deterministic.
+# (MC-STA, parameter sweeps, variation binning, incremental-STA
+# wavefronts) must be race-free at any thread count, not merely
+# deterministic.
 #
 # The ASan/UBSan pass: the untrusted-input readers must reject hundreds of
 # mutated Liberty/Verilog inputs without aborting AND without any latent
@@ -55,7 +56,8 @@ run_tsan() {
   echo "== ThreadSanitizer build ($BUILD_TSAN) =="
   cmake -B "$BUILD_TSAN" -S . -DGAP_SANITIZE=thread \
     -DCMAKE_BUILD_TYPE=RelWithDebInfo
-  cmake --build "$BUILD_TSAN" -j "$JOBS" --target parallel_test sta_test
+  cmake --build "$BUILD_TSAN" -j "$JOBS" \
+    --target parallel_test sta_test incremental_sta_test
 
   echo "== parallel_test under TSan =="
   TSAN_OPTIONS="${TSAN_OPTIONS:-halt_on_error=1}" \
@@ -64,6 +66,10 @@ run_tsan() {
   echo "== sta_test under TSan =="
   TSAN_OPTIONS="${TSAN_OPTIONS:-halt_on_error=1}" \
     "$BUILD_TSAN/tests/sta_test"
+
+  echo "== incremental_sta_test under TSan =="
+  TSAN_OPTIONS="${TSAN_OPTIONS:-halt_on_error=1}" \
+    "$BUILD_TSAN/tests/incremental_sta_test"
 }
 
 run_asan() {
