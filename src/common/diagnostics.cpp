@@ -2,8 +2,31 @@
 
 namespace gap::common {
 
+void DiagnosticEngine::set_capacity(std::size_t capacity) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  capacity_ = capacity;
+  if (capacity_ != 0 && diags_.size() > capacity_) {
+    dropped_ += diags_.size() - capacity_;
+    diags_.resize(capacity_);
+  }
+}
+
+std::size_t DiagnosticEngine::capacity() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return capacity_;
+}
+
+std::size_t DiagnosticEngine::dropped() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return dropped_;
+}
+
 void DiagnosticEngine::report(Diagnostic d) {
   const std::lock_guard<std::mutex> lock(mutex_);
+  if (capacity_ != 0 && diags_.size() >= capacity_) {
+    ++dropped_;
+    return;
+  }
   diags_.push_back(std::move(d));
 }
 
@@ -55,6 +78,7 @@ std::string DiagnosticEngine::format_all() const {
 void DiagnosticEngine::clear() {
   const std::lock_guard<std::mutex> lock(mutex_);
   diags_.clear();
+  dropped_ = 0;
 }
 
 }  // namespace gap::common

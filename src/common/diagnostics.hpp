@@ -22,6 +22,16 @@ class DiagnosticEngine {
   DiagnosticEngine(const DiagnosticEngine&) = delete;
   DiagnosticEngine& operator=(const DiagnosticEngine&) = delete;
 
+  /// Bound retention: once `capacity` diagnostics are held, further
+  /// reports are counted (dropped()) but not stored, so a long-lived
+  /// process (gapd) cannot grow a session's diagnostics without bound.
+  /// 0 (the default) keeps the historical unbounded behavior. Shrinking
+  /// below the current size discards the newest surplus entries.
+  void set_capacity(std::size_t capacity);
+  [[nodiscard]] std::size_t capacity() const;
+  /// Diagnostics discarded because the engine was at capacity.
+  [[nodiscard]] std::size_t dropped() const;
+
   void report(Diagnostic d);
   void report(Severity severity, ErrorCode code, std::string message,
               SourceLoc loc = {}, std::string where = {});
@@ -45,6 +55,8 @@ class DiagnosticEngine {
  private:
   mutable std::mutex mutex_;
   std::vector<Diagnostic> diags_;
+  std::size_t capacity_ = 0;  ///< 0 = unbounded
+  std::size_t dropped_ = 0;
 };
 
 }  // namespace gap::common

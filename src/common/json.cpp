@@ -8,7 +8,8 @@ namespace {
 
 /// Recursive-descent parser over a string. Mirrors the grammar the
 /// emitters produce plus the rest of RFC 8259; depth-limited so a
-/// maliciously nested input cannot blow the stack.
+/// maliciously nested input cannot blow the stack. Failures record the
+/// first offending byte and a coded reason for parse_checked().
 class Parser {
  public:
   explicit Parser(const std::string& text) : text_(text) {}
@@ -18,13 +19,30 @@ class Parser {
     Value v;
     if (!value(v, 0)) return std::nullopt;
     skip_ws();
-    if (pos_ != text_.size()) return std::nullopt;
+    if (pos_ != text_.size()) {
+      fail(ErrorCode::kParse, "trailing characters after JSON document");
+      return std::nullopt;
+    }
     return v;
   }
 
- private:
-  static constexpr int kMaxDepth = 64;
+  /// Status for the recorded failure, locating the offending byte.
+  [[nodiscard]] Status error() const {
+    SourceLoc loc;
+    loc.line = 1;
+    loc.column = 1;
+    for (std::size_t i = 0; i < err_pos_ && i < text_.size(); ++i) {
+      if (text_[i] == '\n') {
+        ++loc.line;
+        loc.column = 1;
+      } else {
+        ++loc.column;
+      }
+    }
+    return Status::error(err_code_, err_msg_, loc, "json");
+  }
 
+ private:
   [[nodiscard]] char peek() const {
     return pos_ < text_.size() ? text_[pos_] : '\0';
   }
@@ -40,10 +58,28 @@ class Parser {
       ++pos_;
   }
 
+  /// Record the first failure only: the deepest callee saw the actual
+  /// offending byte; callers unwinding through it must not overwrite.
+  bool fail(ErrorCode code, std::string msg) {
+    if (err_code_ == ErrorCode::kOk) {
+      err_code_ = code;
+      err_msg_ = std::move(msg);
+      err_pos_ = pos_;
+    }
+    return false;
+  }
+
+  bool expect(char c, const char* what) {
+    if (eat(c)) return true;
+    return fail(ErrorCode::kParse, std::string("expected ") + what);
+  }
+
   bool literal(const char* s) {
     std::size_t i = 0;
     while (s[i] != '\0') {
-      if (pos_ + i >= text_.size() || text_[pos_ + i] != s[i]) return false;
+      if (pos_ + i >= text_.size() || text_[pos_ + i] != s[i])
+        return fail(ErrorCode::kParse,
+                    std::string("invalid literal (expected '") + s + "')");
       ++i;
     }
     pos_ += i;
@@ -64,16 +100,21 @@ class Parser {
   }
 
   bool string(std::string& out) {
-    if (!eat('"')) return false;
+    if (!eat('"')) return fail(ErrorCode::kParse, "expected '\"'");
     while (pos_ < text_.size()) {
       const char c = text_[pos_++];
       if (c == '"') return true;
-      if (static_cast<unsigned char>(c) < 0x20) return false;
+      if (static_cast<unsigned char>(c) < 0x20) {
+        --pos_;
+        return fail(ErrorCode::kParse,
+                    "unescaped control character in string");
+      }
       if (c != '\\') {
         out += c;
         continue;
       }
-      if (pos_ >= text_.size()) return false;
+      if (pos_ >= text_.size())
+        return fail(ErrorCode::kParse, "unterminated escape sequence");
       const char e = text_[pos_++];
       switch (e) {
         case '"': out += '"'; break;
@@ -87,7 +128,8 @@ class Parser {
         case 'u': {
           unsigned cp = 0;
           for (int i = 0; i < 4; ++i) {
-            if (pos_ >= text_.size()) return false;
+            if (pos_ >= text_.size())
+              return fail(ErrorCode::kParse, "truncated \\u escape");
             const char h = text_[pos_++];
             cp <<= 4;
             if (h >= '0' && h <= '9') cp |= static_cast<unsigned>(h - '0');
@@ -95,31 +137,38 @@ class Parser {
               cp |= static_cast<unsigned>(h - 'a' + 10);
             else if (h >= 'A' && h <= 'F')
               cp |= static_cast<unsigned>(h - 'A' + 10);
-            else
-              return false;
+            else {
+              --pos_;
+              return fail(ErrorCode::kParse, "invalid \\u escape digit");
+            }
           }
           append_utf8(out, cp);
           break;
         }
-        default: return false;
+        default:
+          --pos_;
+          return fail(ErrorCode::kParse, "invalid escape character");
       }
     }
-    return false;  // unterminated
+    return fail(ErrorCode::kParse, "unterminated string");
   }
 
   bool number(double& out) {
     const std::size_t start = pos_;
     eat('-');
-    if (!std::isdigit(static_cast<unsigned char>(peek()))) return false;
+    if (!std::isdigit(static_cast<unsigned char>(peek())))
+      return fail(ErrorCode::kParse, "invalid JSON value");
     while (std::isdigit(static_cast<unsigned char>(peek()))) ++pos_;
     if (eat('.')) {
-      if (!std::isdigit(static_cast<unsigned char>(peek()))) return false;
+      if (!std::isdigit(static_cast<unsigned char>(peek())))
+        return fail(ErrorCode::kParse, "expected digit after '.'");
       while (std::isdigit(static_cast<unsigned char>(peek()))) ++pos_;
     }
     if (peek() == 'e' || peek() == 'E') {
       ++pos_;
       if (peek() == '+' || peek() == '-') ++pos_;
-      if (!std::isdigit(static_cast<unsigned char>(peek()))) return false;
+      if (!std::isdigit(static_cast<unsigned char>(peek())))
+        return fail(ErrorCode::kParse, "expected digit in exponent");
       while (std::isdigit(static_cast<unsigned char>(peek()))) ++pos_;
     }
     out = std::strtod(text_.substr(start, pos_ - start).c_str(), nullptr);
@@ -127,10 +176,13 @@ class Parser {
   }
 
   bool value(Value& v, int depth) {  // NOLINT(misc-no-recursion)
-    if (depth > kMaxDepth) return false;
     skip_ws();
     switch (peek()) {
       case '{': {
+        if (depth >= Value::kMaxParseDepth)
+          return fail(ErrorCode::kInvalidValue,
+                      "nesting deeper than " +
+                          std::to_string(Value::kMaxParseDepth) + " levels");
         v.kind = Value::Kind::kObject;
         ++pos_;
         skip_ws();
@@ -140,16 +192,20 @@ class Parser {
           std::string key;
           if (!string(key)) return false;
           skip_ws();
-          if (!eat(':')) return false;
+          if (!expect(':', "':' after object key")) return false;
           Value member;
           if (!value(member, depth + 1)) return false;
           v.object.emplace_back(std::move(key), std::move(member));
           skip_ws();
           if (eat('}')) return true;
-          if (!eat(',')) return false;
+          if (!expect(',', "',' or '}' in object")) return false;
         }
       }
       case '[': {
+        if (depth >= Value::kMaxParseDepth)
+          return fail(ErrorCode::kInvalidValue,
+                      "nesting deeper than " +
+                          std::to_string(Value::kMaxParseDepth) + " levels");
         v.kind = Value::Kind::kArray;
         ++pos_;
         skip_ws();
@@ -160,7 +216,7 @@ class Parser {
           v.array.push_back(std::move(element));
           skip_ws();
           if (eat(']')) return true;
-          if (!eat(',')) return false;
+          if (!expect(',', "',' or ']' in array")) return false;
         }
       }
       case '"':
@@ -185,12 +241,66 @@ class Parser {
 
   const std::string& text_;
   std::size_t pos_ = 0;
+
+  ErrorCode err_code_ = ErrorCode::kOk;
+  std::string err_msg_;
+  std::size_t err_pos_ = 0;
 };
+
+void dump_to(const Value& v, std::string& out) {  // NOLINT(misc-no-recursion)
+  switch (v.kind) {
+    case Value::Kind::kNull: out += "null"; break;
+    case Value::Kind::kBool: out += v.boolean ? "true" : "false"; break;
+    case Value::Kind::kNumber: out += number(v.num); break;
+    case Value::Kind::kString:
+      out += '"';
+      out += escape(v.str);
+      out += '"';
+      break;
+    case Value::Kind::kArray: {
+      out += '[';
+      bool first = true;
+      for (const Value& e : v.array) {
+        if (!first) out += ',';
+        first = false;
+        dump_to(e, out);
+      }
+      out += ']';
+      break;
+    }
+    case Value::Kind::kObject: {
+      out += '{';
+      bool first = true;
+      for (const auto& [k, m] : v.object) {
+        if (!first) out += ',';
+        first = false;
+        out += '"';
+        out += escape(k);
+        out += "\":";
+        dump_to(m, out);
+      }
+      out += '}';
+      break;
+    }
+  }
+}
 
 }  // namespace
 
 std::optional<Value> Value::parse(const std::string& text) {
   return Parser(text).parse();
+}
+
+Result<Value> Value::parse_checked(const std::string& text) {
+  Parser p(text);
+  if (auto v = p.parse()) return *std::move(v);
+  return p.error();
+}
+
+std::string Value::dump() const {
+  std::string out;
+  dump_to(*this, out);
+  return out;
 }
 
 const Value* Value::find(const std::string& key) const {

@@ -1,10 +1,15 @@
 #pragma once
 /// \file json.hpp
 /// Minimal JSON helpers shared by the observability exporters (trace.cpp,
-/// metrics.cpp, qor/manifest.cpp) and the one in-repo consumer that reads
-/// JSON back: `gapreport`, which diffs QoR run manifests. Emission is
-/// header-only; parsing lives in json.cpp as a small recursive-descent
-/// DOM (`Value`) with no external dependency.
+/// metrics.cpp, qor/manifest.cpp) and the in-repo consumers that read
+/// JSON back: `gapreport`, which diffs QoR run manifests, and `gapd`,
+/// which parses untrusted protocol frames. Emission is header-only;
+/// parsing lives in json.cpp as a small recursive-descent DOM (`Value`)
+/// with no external dependency.
+///
+/// Untrusted input: parse_checked() never aborts and never overflows the
+/// stack — nesting is depth-limited (kMaxParseDepth), and every rejection
+/// carries a coded diagnostic with the line:column of the offending byte.
 
 #include <cstdio>
 #include <memory>
@@ -12,6 +17,8 @@
 #include <string>
 #include <utility>
 #include <vector>
+
+#include "common/status.hpp"
 
 namespace gap::common::json {
 
@@ -62,10 +69,28 @@ class Value {
   std::vector<Value> array;
   std::vector<std::pair<std::string, Value>> object;
 
+  /// Maximum container nesting parse()/parse_checked() accept. Inputs
+  /// nested deeper (e.g. a 100k-deep "[[[[...") are rejected with
+  /// ErrorCode::kInvalidValue instead of recursing toward a stack
+  /// overflow.
+  static constexpr int kMaxParseDepth = 64;
+
   /// Parse one complete JSON document; nullopt on any syntax error or
   /// trailing garbage. Escapes are decoded (\uXXXX to UTF-8; surrogate
   /// pairs are not needed by any in-repo writer and decode independently).
   [[nodiscard]] static std::optional<Value> parse(const std::string& text);
+
+  /// parse() for untrusted input: rejections come back as a failed Status
+  /// with a coded diagnostic — kParse for syntax errors, kInvalidValue
+  /// for semantic limits (nesting beyond kMaxParseDepth) — whose
+  /// SourceLoc is the 1-based line:column of the offending byte.
+  [[nodiscard]] static Result<Value> parse_checked(const std::string& text);
+
+  /// Compact single-line serialization (no spaces, no newlines; object
+  /// members in stored order, numbers via number()). parse(dump()) is the
+  /// identity on the DOM, and dump() output never contains a raw newline,
+  /// so any parsed document can be embedded in a line-delimited protocol.
+  [[nodiscard]] std::string dump() const;
 
   [[nodiscard]] bool is_object() const { return kind == Kind::kObject; }
   [[nodiscard]] bool is_array() const { return kind == Kind::kArray; }

@@ -91,30 +91,6 @@ std::optional<int> parse_int(const std::string& s) {
   return static_cast<int>(v);
 }
 
-std::optional<tech::Technology> tech_of(const std::string& name) {
-  if (name == "asic025") return tech::asic_025um();
-  if (name == "custom025") return tech::custom_025um();
-  if (name == "ibm018") return tech::ibm_018um();
-  if (name == "asic035") return tech::asic_035um();
-  return std::nullopt;
-}
-
-std::optional<core::Methodology> methodology_of(const std::string& name) {
-  if (name == "typical") return core::typical_asic();
-  if (name == "good") return core::good_asic();
-  if (name == "custom") return core::full_custom();
-  if (name == "reference") return core::reference_methodology();
-  return std::nullopt;
-}
-
-std::optional<tech::ProcessCorner> corner_of(const std::string& name) {
-  if (name == "typical") return tech::corner_typical();
-  if (name == "worst") return tech::corner_worst_case();
-  if (name == "conservative") return tech::corner_conservative();
-  if (name == "fast") return tech::corner_fast_bin();
-  return std::nullopt;
-}
-
 /// Emit the one-line diagnostic for a failed status and return its exit
 /// code.
 int report_failure(const Status& s, std::ostream& err) {
@@ -380,12 +356,12 @@ int run(const std::vector<std::string>& argv, std::ostream& out,
     return 0;
   }
 
-  const auto t = tech_of(args.tech);
+  const auto t = tech::technology_by_name(args.tech);
   if (!t)
     return report_failure(usage_error(ErrorCode::kUnknownName,
                                       "unknown --tech '" + args.tech + "'"),
                           err);
-  auto m = methodology_of(args.methodology);
+  auto m = core::methodology_by_name(args.methodology);
   if (!m)
     return report_failure(
         usage_error(ErrorCode::kUnknownName,
@@ -393,7 +369,7 @@ int run(const std::vector<std::string>& argv, std::ostream& out,
         err);
   if (args.stages) m->pipeline_stages = *args.stages;
   if (args.corner) {
-    const auto c = corner_of(*args.corner);
+    const auto c = tech::corner_by_name(*args.corner);
     if (!c)
       return report_failure(
           usage_error(ErrorCode::kUnknownName,

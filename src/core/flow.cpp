@@ -23,14 +23,6 @@
 namespace gap::core {
 namespace {
 
-sta::StaOptions sta_options_for(const Methodology& m) {
-  sta::StaOptions opt;
-  opt.corner_delay_factor = m.corner.delay_factor;
-  opt.clock.skew_fraction = m.skew_fraction;
-  opt.optimal_repeaters = m.optimal_repeaters;
-  return opt;
-}
-
 common::Diagnostic make_diag(common::ErrorCode code, std::string msg,
                              const std::string& stage) {
   common::Diagnostic d;
@@ -114,6 +106,14 @@ class StageRunner {
 };
 
 }  // namespace
+
+sta::StaOptions signoff_sta_options(const Methodology& m) {
+  sta::StaOptions opt;
+  opt.corner_delay_factor = m.corner.delay_factor;
+  opt.clock.skew_fraction = m.skew_fraction;
+  opt.optimal_repeaters = m.optimal_repeaters;
+  return opt;
+}
 
 std::string to_string(StageStatus s) {
   switch (s) {
@@ -219,7 +219,7 @@ FlowResult Flow::run(const logic::Aig& design, const Methodology& m,
   const library::CellLibrary& lib = library_for(m.library);
   FlowResult result;
   StageRunner stages(result.report, opt);
-  const sta::StaOptions sta_opt = sta_options_for(m);
+  const sta::StaOptions sta_opt = signoff_sta_options(m);
 
   // Resident incremental timer, created by the size stage and shared with
   // sign-off and the QoR captures after it (FlowOptions::incremental_sta).

@@ -121,6 +121,12 @@ struct FlowResult {
   [[nodiscard]] bool ok() const { return report.ok(); }
 };
 
+/// The STA options the flow signs off with under methodology `m` (corner
+/// delay factor, clock skew, repeater policy). Exposed so resident
+/// services (gapd) can build an IncrementalTimer whose queries are
+/// byte-identical to the flow's own signoff numbers.
+[[nodiscard]] sta::StaOptions signoff_sta_options(const Methodology& m);
+
 /// Owns the cell libraries for one technology and runs flows against it.
 class Flow {
  public:

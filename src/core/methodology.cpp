@@ -1,5 +1,7 @@
 #include "core/methodology.hpp"
 
+#include "core/gap.hpp"
+
 namespace gap::core {
 
 Methodology typical_asic() {
@@ -44,6 +46,18 @@ Methodology full_custom() {
   m.dynamic_logic = true;
   m.corner = tech::corner_fast_bin();
   return m;
+}
+
+std::optional<Methodology> methodology_by_name(const std::string& name) {
+  if (name == "typical") return typical_asic();
+  if (name == "good") return good_asic();
+  if (name == "custom") return full_custom();
+  if (name == "reference") return reference_methodology();
+  return std::nullopt;
+}
+
+std::vector<std::string> methodology_names() {
+  return {"typical", "good", "custom", "reference"};
 }
 
 }  // namespace gap::core

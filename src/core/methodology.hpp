@@ -4,7 +4,9 @@
 /// enumerates. Toggling groups of these knobs between their ASIC and
 /// custom settings reproduces the paper's factor decomposition.
 
+#include <optional>
 #include <string>
+#include <vector>
 
 #include "designs/alu.hpp"
 #include "library/library.hpp"
@@ -68,5 +70,11 @@ struct Methodology {
 /// manual floorplanning, continuous sizing, domino on the paths, fast-bin
 /// silicon off the best line.
 [[nodiscard]] Methodology full_custom();
+
+/// CLI-facing name lookup ("typical" | "good" | "custom" | "reference"),
+/// shared by gapflow and gapd so the accepted vocabulary cannot drift.
+[[nodiscard]] std::optional<Methodology> methodology_by_name(
+    const std::string& name);
+[[nodiscard]] std::vector<std::string> methodology_names();
 
 }  // namespace gap::core

@@ -1,0 +1,115 @@
+#include "serve/serve_cli.hpp"
+
+#include <cstdlib>
+#include <ostream>
+#include <string>
+
+#include "serve/server.hpp"
+
+namespace gap::serve {
+
+namespace {
+
+constexpr const char* kUsage =
+    "usage: gapd [--journal-dir DIR] [--threads N] [--max-sessions N]\n"
+    "            [--max-frame-bytes N] [--max-journal-edits N]\n"
+    "            [--max-session-diags N] [--deadline-us F] [--no-recover]\n"
+    "\n"
+    "Resident timing service: answers gap-serve-v1 JSON frames (one per\n"
+    "line) on stdout until stdin closes or a shutdown frame arrives.\n"
+    "With --journal-dir, edits are write-ahead journaled and sessions\n"
+    "are recovered on startup. See docs/gapd.md for the protocol.\n";
+
+/// Parse a non-negative number; false on garbage or trailing characters.
+bool parse_number(const std::string& text, double* out) {
+  if (text.empty()) return false;
+  char* end = nullptr;
+  const double v = std::strtod(text.c_str(), &end);
+  if (end != text.c_str() + text.size() || !(v >= 0.0)) return false;
+  *out = v;
+  return true;
+}
+
+int usage_error(std::ostream& err, const std::string& message) {
+  err << "gapd: error: " << message << '\n' << kUsage;
+  return kExitUsage;
+}
+
+}  // namespace
+
+int run_gapd(int argc, const char* const* argv, std::istream& in,
+             std::ostream& out, std::ostream& err) {
+  ServerOptions options;
+  bool recover = true;
+  for (int i = 0; i < argc; ++i) {
+    const std::string arg = argv[i];
+    const auto value = [&](std::string* into) {
+      if (i + 1 >= argc) return false;
+      *into = argv[++i];
+      return true;
+    };
+    const auto number = [&](double* into, double lo, double hi) {
+      std::string text;
+      if (!value(&text)) return false;
+      double v = 0.0;
+      if (!parse_number(text, &v) || v < lo || v > hi) return false;
+      *into = v;
+      return true;
+    };
+    double v = 0.0;
+    if (arg == "--help" || arg == "-h") {
+      out << kUsage;
+      return kExitOk;
+    } else if (arg == "--journal-dir") {
+      if (!value(&options.journal_dir))
+        return usage_error(err, "--journal-dir needs a directory");
+    } else if (arg == "--threads") {
+      if (!number(&v, 0, 1024))
+        return usage_error(err, "--threads needs an integer in [0, 1024]");
+      options.threads = static_cast<int>(v);
+    } else if (arg == "--max-sessions") {
+      if (!number(&v, 1, 1024))
+        return usage_error(err, "--max-sessions needs an integer in [1, 1024]");
+      options.max_sessions = static_cast<std::size_t>(v);
+    } else if (arg == "--max-frame-bytes") {
+      if (!number(&v, 64, 1e9))
+        return usage_error(err,
+                           "--max-frame-bytes needs an integer in [64, 1e9]");
+      options.max_frame_bytes = static_cast<std::size_t>(v);
+    } else if (arg == "--max-journal-edits") {
+      if (!number(&v, 1, 1e9))
+        return usage_error(err,
+                           "--max-journal-edits needs an integer in [1, 1e9]");
+      options.max_journal_edits = static_cast<std::uint64_t>(v);
+    } else if (arg == "--max-session-diags") {
+      if (!number(&v, 1, 1e6))
+        return usage_error(err,
+                           "--max-session-diags needs an integer in [1, 1e6]");
+      options.max_session_diags = static_cast<std::size_t>(v);
+    } else if (arg == "--deadline-us") {
+      if (!number(&v, 0, 1e12))
+        return usage_error(err, "--deadline-us needs a number in [0, 1e12]");
+      options.default_deadline_us = v;
+    } else if (arg == "--no-recover") {
+      recover = false;
+    } else {
+      return usage_error(err, "unknown flag '" + arg + "'");
+    }
+  }
+
+  Server server(std::move(options));
+  if (recover) {
+    const common::Status st = server.recover();
+    if (!st.ok()) {
+      err << "gapd: " << st.to_string() << '\n';
+      return kExitIo;
+    }
+  }
+  const int code = server.serve(in, out);
+  if (code == kExitIo)
+    err << "gapd: error[io]: short write on stdout (reader closed the "
+           "pipe?)\n";
+  return code;
+}
+
+}  // namespace gap::serve

@@ -1,0 +1,35 @@
+#pragma once
+/// \file serve_cli.hpp
+/// Implementation of the `gapd` resident timing daemon: recover journaled
+/// sessions, then answer gap-serve-v1 frames from stdin on stdout until
+/// EOF or a shutdown request. Lives in the library (not tools/gapd.cpp)
+/// so tests can drive it in-process with captured streams.
+///
+///   gapd [--journal-dir DIR] [--threads N] [--max-sessions N]
+///        [--max-frame-bytes N] [--max-journal-edits N]
+///        [--max-session-diags N] [--deadline-us F] [--no-recover]
+///
+/// Exit codes (the same vocabulary as the other tools):
+///   0  clean EOF or an acknowledged shutdown request
+///   2  malformed command line (unknown flag, missing or bad value)
+///   5  I/O failure: journal directory unscannable, or stdout broke
+///      mid-serve (client closed the pipe)
+///
+/// Protocol errors never affect the exit code: a malformed frame gets a
+/// coded error *reply*, and the daemon keeps serving (docs/gapd.md).
+
+#include <iosfwd>
+
+namespace gap::serve {
+
+inline constexpr int kExitOk = 0;
+inline constexpr int kExitUsage = 2;
+inline constexpr int kExitIo = 5;
+
+/// Run the daemon over explicit streams. `argv` excludes the program
+/// name (pass argc-1/argv+1 from main). Frames are read from `in`,
+/// replies go to `out`, startup diagnostics to `err`.
+int run_gapd(int argc, const char* const* argv, std::istream& in,
+             std::ostream& out, std::ostream& err);
+
+}  // namespace gap::serve

@@ -1,0 +1,932 @@
+#include "serve/server.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <exception>
+#include <filesystem>
+#include <fstream>
+#include <istream>
+#include <ostream>
+#include <sstream>
+#include <utility>
+#include <vector>
+
+#include "common/check.hpp"
+#include "common/diagnostics.hpp"
+#include "common/metrics.hpp"
+#include "common/trace.hpp"
+#include "core/flow.hpp"
+#include "core/methodology.hpp"
+#include "designs/registry.hpp"
+#include "lint/lint.hpp"
+#include "lint/report.hpp"
+#include "qor/snapshot.hpp"
+#include "serve/journal.hpp"
+#include "sta/report.hpp"
+
+namespace gap::serve {
+
+namespace json = common::json;
+using common::ErrorCode;
+using common::Result;
+using common::Status;
+
+namespace {
+
+[[nodiscard]] bool valid_session_name(const std::string& name) {
+  if (name.empty() || name.size() > 64) return false;
+  for (char c : name) {
+    const bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                    (c >= '0' && c <= '9') || c == '_' || c == '-';
+    if (!ok) return false;
+  }
+  return true;
+}
+
+/// Run untrusted-path work with contract failures captured into a Status
+/// instead of aborting the process.
+template <typename Fn>
+[[nodiscard]] Status run_guarded(Fn&& fn) {
+  try {
+    const ScopedContractCapture guard;
+    fn();
+    return {};
+  } catch (const ContractViolation& v) {
+    return Status::error(ErrorCode::kContract, v.what(), {}, "serve");
+  } catch (const std::exception& e) {
+    return Status::error(ErrorCode::kInternal, e.what(), {}, "serve");
+  }
+}
+
+/// Re-emit a (possibly pretty-printed) renderer output as one compact
+/// line, so every reply stays line-delimited.
+[[nodiscard]] Result<std::string> compact(const std::string& text) {
+  auto v = json::Value::parse_checked(text);
+  if (!v.ok())
+    return Status::error(ErrorCode::kInternal,
+                         "renderer emitted unparseable JSON: " +
+                             v.status().message(),
+                         {}, "serve");
+  return v->dump();
+}
+
+[[nodiscard]] std::string bool_json(bool b) { return b ? "true" : "false"; }
+
+/// Optional positive-integer parameter with range checking.
+[[nodiscard]] Result<int> int_param(const json::Value& frame, const char* key,
+                                    int def, int lo, int hi) {
+  const json::Value* f = frame.find(key);
+  if (f == nullptr) return def;
+  if (!f->is_number() || f->num != std::floor(f->num) || f->num < lo ||
+      f->num > hi)
+    return Status::error(ErrorCode::kInvalidValue,
+                         std::string("\"") + key + "\" must be an integer in [" +
+                             std::to_string(lo) + ", " + std::to_string(hi) +
+                             "]",
+                         {}, "serve");
+  return static_cast<int>(f->num);
+}
+
+[[nodiscard]] std::string names_list(const std::vector<std::string>& names) {
+  std::string out;
+  for (const std::string& n : names) {
+    if (!out.empty()) out += ", ";
+    out += n;
+  }
+  return out;
+}
+
+}  // namespace
+
+/// One resident design. The Flow owns the cell libraries the netlist
+/// references, so it must outlive both the netlist and the timer.
+struct Server::Session {
+  std::string name;
+  std::string design;
+  std::string methodology;
+  std::string tech;
+  std::string corner;  ///< empty = the methodology's default corner
+  core::Methodology meth;
+
+  std::unique_ptr<core::Flow> flow;
+  std::shared_ptr<netlist::Netlist> nl;
+  std::unique_ptr<sta::IncrementalTimer> timer;
+
+  Journal journal;  ///< !is_open() when journaling is disabled
+  std::uint64_t seq = 0;
+  std::vector<sta::Edit> undo;
+  bool degraded = false;
+  bool recovered = false;
+  common::DiagnosticEngine diags;
+
+  [[nodiscard]] std::string header_record() const {
+    std::string rec = "{\"gapd_journal\":1,\"session\":\"";
+    rec += json::escape(name);
+    rec += "\",\"design\":\"";
+    rec += json::escape(design);
+    rec += "\",\"methodology\":\"";
+    rec += json::escape(methodology);
+    rec += "\",\"tech\":\"";
+    rec += json::escape(tech);
+    rec += "\",\"corner\":";
+    if (corner.empty()) {
+      rec += "null";
+    } else {
+      rec += '"';
+      rec += json::escape(corner);
+      rec += '"';
+    }
+    rec += '}';
+    return rec;
+  }
+};
+
+Server::Server(ServerOptions options) : options_(std::move(options)) {}
+Server::~Server() = default;
+
+void Server::bump(std::uint64_t ServerCounters::* field, const char* metric,
+                  std::uint64_t n) {
+  counters_.*field += n;
+  common::metrics().counter(metric).add(n);
+}
+
+std::string Server::journal_path(const std::string& session) const {
+  return options_.journal_dir + "/" + session + ".gapj";
+}
+
+bool Server::deadline_expired(const Request& req, double t0_us) const {
+  double budget = options_.default_deadline_us;
+  if (const json::Value* d = req.frame.find("deadline_us"))
+    budget = d->number_or(budget);
+  if (budget <= 0.0) return false;
+  return common::tracer().now_us() - t0_us > budget;
+}
+
+void Server::degrade(Session& s, const std::string& why) {
+  if (s.degraded) return;
+  s.degraded = true;
+  bump(&ServerCounters::degraded, "serve.degraded");
+  s.diags.report(common::Severity::kWarning, ErrorCode::kContract,
+                 "session degraded to from-scratch analysis: " + why, {},
+                 "serve");
+  // Whatever cached state the incremental engine holds is suspect; make
+  // the timer rebuild if it is ever consulted again.
+  const Status st = run_guarded([&] { s.timer->invalidate_all(); });
+  (void)st;  // a timer too broken to invalidate stays bypassed anyway
+}
+
+Server::Session* Server::find_session(const Request& req,
+                                      std::string& error_out) {
+  const json::Value* name = req.frame.find("session");
+  if (name == nullptr || !name->is_string()) {
+    bump(&ServerCounters::errors, "serve.errors");
+    error_out = error_reply(req.id_json, ReplyCode::kMissingValue,
+                            "request needs a \"session\" string");
+    return nullptr;
+  }
+  auto it = sessions_.find(name->str);
+  if (it == sessions_.end()) {
+    bump(&ServerCounters::errors, "serve.errors");
+    error_out = error_reply(req.id_json, ReplyCode::kUnknownName,
+                            "no session named '" + name->str + "'");
+    return nullptr;
+  }
+  return it->second.get();
+}
+
+// --- load / recover ------------------------------------------------------
+
+namespace {
+
+struct LoadInfo {
+  double freq_mhz = 0.0;
+  double area_um2 = 0.0;
+  int registers = 0;
+};
+
+/// Build a session from validated names: resolve methodology/tech/corner,
+/// run the flow, stand up the resident timer. Pure function of its
+/// arguments plus the deterministic flow, so a recover() rebuild lands on
+/// the same state the original load produced.
+[[nodiscard]] Result<std::unique_ptr<Server::Session>> build_session(
+    const std::string& name, const std::string& design,
+    const std::string& methodology, const std::string& tech,
+    const std::string& corner, int threads, std::size_t max_diags,
+    LoadInfo* info) {
+  auto s = std::make_unique<Server::Session>();
+  s->name = name;
+  s->design = design;
+  s->methodology = methodology;
+  s->tech = tech;
+  s->corner = corner;
+  s->diags.set_capacity(max_diags);
+
+  auto m = core::methodology_by_name(methodology);
+  if (!m)
+    return Status::error(ErrorCode::kUnknownName,
+                         "unknown methodology '" + methodology +
+                             "' (one of: " +
+                             names_list(core::methodology_names()) + ")",
+                         {}, "serve");
+  auto t = tech::technology_by_name(tech);
+  if (!t)
+    return Status::error(ErrorCode::kUnknownName,
+                         "unknown technology '" + tech + "' (one of: " +
+                             names_list(tech::technology_names()) + ")",
+                         {}, "serve");
+  if (!corner.empty()) {
+    auto c = tech::corner_by_name(corner);
+    if (!c)
+      return Status::error(ErrorCode::kUnknownName,
+                           "unknown corner '" + corner + "'", {}, "serve");
+    m->corner = *c;
+  }
+  const auto known_designs = designs::design_names();
+  if (std::find(known_designs.begin(), known_designs.end(), design) ==
+      known_designs.end())
+    return Status::error(ErrorCode::kUnknownName,
+                         "unknown design '" + design + "' (one of: " +
+                             names_list(known_designs) + ")",
+                         {}, "serve");
+  s->meth = *m;
+
+  core::FlowResult result;
+  const Status st = run_guarded([&] {
+    const logic::Aig aig = designs::make_design(design, m->datapath);
+    s->flow = std::make_unique<core::Flow>(*t);
+    result = s->flow->run(aig, *m);
+  });
+  if (!st.ok()) return st;
+  if (!result.ok() || !result.nl) {
+    std::string why = "flow failed";
+    if (const core::StageReport* failed = result.report.failed_stage()) {
+      why = "flow stage '" + failed->name + "' failed";
+      if (!failed->diagnostics.empty())
+        why += ": " + failed->diagnostics.front().message;
+    }
+    return Status::error(ErrorCode::kInternal, why, {}, "serve");
+  }
+  s->nl = result.nl;
+  const Status timer_st = run_guarded([&] {
+    s->timer = std::make_unique<sta::IncrementalTimer>(
+        *s->nl, core::signoff_sta_options(*m), threads);
+    s->timer->flush();
+  });
+  if (!timer_st.ok()) return timer_st;
+  if (info != nullptr) {
+    info->freq_mhz = result.freq_mhz;
+    info->area_um2 = result.area_um2;
+    info->registers = result.pipeline_registers;
+  }
+  return s;
+}
+
+}  // namespace
+
+std::string Server::cmd_load(const Request& req, double t0_us) {
+  const json::Value* name = req.frame.find("session");
+  if (name == nullptr || !name->is_string() ||
+      !valid_session_name(name->str)) {
+    bump(&ServerCounters::errors, "serve.errors");
+    return error_reply(
+        req.id_json, ReplyCode::kInvalidValue,
+        "load needs a \"session\" name matching [A-Za-z0-9_-]{1,64}");
+  }
+  if (sessions_.count(name->str) != 0) {
+    bump(&ServerCounters::errors, "serve.errors");
+    return error_reply(req.id_json, ReplyCode::kDuplicate,
+                       "session '" + name->str + "' already exists");
+  }
+  if (sessions_.size() >= options_.max_sessions) {
+    bump(&ServerCounters::errors, "serve.errors");
+    bump(&ServerCounters::overloaded, "serve.overloaded");
+    return error_reply(req.id_json, ReplyCode::kOverloaded,
+                       "session limit (" +
+                           std::to_string(options_.max_sessions) +
+                           ") reached");
+  }
+  const json::Value* design = req.frame.find("design");
+  if (design == nullptr || !design->is_string()) {
+    bump(&ServerCounters::errors, "serve.errors");
+    return error_reply(req.id_json, ReplyCode::kMissingValue,
+                       "load needs a \"design\" string");
+  }
+  const std::string methodology =
+      req.frame.member_string("methodology", "typical");
+  const std::string tech = req.frame.member_string("tech", "asic025");
+  const std::string corner = req.frame.member_string("corner", "");
+
+  LoadInfo info;
+  auto built =
+      build_session(name->str, design->str, methodology, tech, corner,
+                    options_.threads, options_.max_session_diags, &info);
+  if (!built.ok()) {
+    bump(&ServerCounters::errors, "serve.errors");
+    return error_reply(req.id_json, reply_code(built.status().code()),
+                       built.status().message());
+  }
+  if (deadline_expired(req, t0_us)) {
+    // The work is done but the client's budget expired: discard the
+    // session so a retry sees a clean slate, and say what happened.
+    bump(&ServerCounters::errors, "serve.errors");
+    bump(&ServerCounters::deadline_exceeded, "serve.deadline_exceeded");
+    return error_reply(req.id_json, ReplyCode::kDeadline,
+                       "load exceeded the request deadline");
+  }
+  std::unique_ptr<Session> s = std::move(built).value();
+  if (!options_.journal_dir.empty()) {
+    auto journal = Journal::open(journal_path(s->name));
+    Status append_st;
+    if (journal.ok()) {
+      s->journal = std::move(journal).value();
+      append_st = s->journal.append(s->header_record());
+    } else {
+      append_st = journal.status();
+    }
+    if (!append_st.ok()) {
+      bump(&ServerCounters::errors, "serve.errors");
+      return error_reply(req.id_json, ReplyCode::kIo, append_st.message());
+    }
+  }
+
+  std::string result = "{\"session\":\"" + json::escape(s->name) +
+                       "\",\"design\":\"" + json::escape(s->design) +
+                       "\",\"methodology\":\"" + json::escape(s->methodology) +
+                       "\",\"tech\":\"" + json::escape(s->tech) +
+                       "\",\"corner\":";
+  result += s->corner.empty() ? std::string("null")
+                              : "\"" + json::escape(s->corner) + "\"";
+  result += ",\"freq_mhz\":" + json::number(info.freq_mhz);
+  result += ",\"area_um2\":" + json::number(info.area_um2);
+  result += ",\"instances\":" + std::to_string(s->nl->num_instances());
+  result += ",\"registers\":" + std::to_string(info.registers);
+  result += '}';
+  const std::string session_name = s->name;
+  sessions_[session_name] = std::move(s);
+  return ok_reply(req.id_json, result);
+}
+
+Status Server::recover() {
+  if (options_.journal_dir.empty()) return {};
+  namespace fs = std::filesystem;
+  std::error_code ec;
+  std::vector<std::string> paths;
+  for (fs::directory_iterator it(options_.journal_dir, ec), end;
+       !ec && it != end; it.increment(ec)) {
+    if (it->path().extension() == ".gapj") paths.push_back(it->path().string());
+  }
+  if (ec)
+    return Status::error(ErrorCode::kIo,
+                         "cannot scan journal directory '" +
+                             options_.journal_dir + "': " + ec.message(),
+                         {}, "serve");
+  std::sort(paths.begin(), paths.end());
+
+  for (const std::string& path : paths) {
+    if (sessions_.size() >= options_.max_sessions) break;
+    std::ifstream in(path, std::ios::binary);
+    if (!in) continue;
+    std::ostringstream buf;
+    buf << in.rdbuf();
+    const Replay replay = replay_journal(buf.str());
+    if (replay.records.empty()) continue;  // torn header: never acknowledged
+
+    const json::Value& header = replay.records.front();
+    if (header.member_number("gapd_journal", 0) != 1.0) continue;
+    const std::string name = header.member_string("session", "");
+    if (!valid_session_name(name) || sessions_.count(name) != 0) continue;
+
+    auto built = build_session(
+        name, header.member_string("design", ""),
+        header.member_string("methodology", "typical"),
+        header.member_string("tech", "asic025"),
+        header.member_string("corner", ""), options_.threads,
+        options_.max_session_diags, nullptr);
+    if (!built.ok()) continue;  // names no longer resolve; leave the file
+    std::unique_ptr<Session> s = std::move(built).value();
+    s->recovered = true;
+
+    // Re-apply the acknowledged edits in journal order. Any divergence
+    // (bad record shape, rejected edit, seq gap) means the journal no
+    // longer matches the engine: stop at the consistent prefix and serve
+    // the session degraded rather than guess.
+    bool diverged = false;
+    for (std::size_t i = 1; i < replay.records.size() && !diverged; ++i) {
+      const json::Value& rec = replay.records[i];
+      const json::Value* edit_json = rec.find("edit");
+      const double rec_seq = rec.member_number("seq", -1.0);
+      if (edit_json == nullptr ||
+          rec_seq != static_cast<double>(s->seq + 1)) {
+        diverged = true;
+        break;
+      }
+      auto edit = edit_from_json(*edit_json);
+      if (!edit.ok()) {
+        diverged = true;
+        break;
+      }
+      Result<sta::Edit> inverse = sta::Edit{};
+      const Status st = run_guarded(
+          [&] { inverse = s->timer->apply_undoable(edit.value()); });
+      if (!st.ok() || !inverse.ok()) {
+        diverged = true;
+        break;
+      }
+      ++s->seq;
+      bump(&ServerCounters::recovered_edits, "serve.recovered_edits");
+      const json::Value* undo_flag = rec.find("undo");
+      if (undo_flag != nullptr && undo_flag->boolean) {
+        if (!s->undo.empty()) s->undo.pop_back();
+      } else {
+        s->undo.push_back(std::move(inverse).value());
+        if (s->undo.size() > options_.max_undo_depth)
+          s->undo.erase(s->undo.begin());
+      }
+    }
+    if (diverged || replay.halt == ReplayHalt::kCorrupt)
+      degrade(*s, diverged ? "journal diverged from the timing engine"
+                           : "journal corrupt: " + replay.detail);
+
+    auto journal = Journal::open(path);
+    if (journal.ok()) s->journal = std::move(journal).value();
+    bump(&ServerCounters::recovered_sessions, "serve.recovered_sessions");
+    sessions_[name] = std::move(s);
+  }
+  return {};
+}
+
+// --- edits ---------------------------------------------------------------
+
+std::string Server::cmd_edit(const Request& req, bool undo, double t0_us) {
+  std::string err;
+  Session* s = find_session(req, err);
+  if (s == nullptr) return err;
+
+  sta::Edit edit;
+  if (undo) {
+    if (s->undo.empty()) {
+      bump(&ServerCounters::errors, "serve.errors");
+      return error_reply(req.id_json, ReplyCode::kInvalidValue,
+                         "nothing to undo");
+    }
+    edit = s->undo.back();
+  } else {
+    const json::Value* edit_json = req.frame.find("edit");
+    if (edit_json == nullptr) {
+      bump(&ServerCounters::errors, "serve.errors");
+      return error_reply(req.id_json, ReplyCode::kMissingValue,
+                         "edit needs an \"edit\" object");
+    }
+    auto parsed = edit_from_json(*edit_json);
+    if (!parsed.ok()) {
+      bump(&ServerCounters::errors, "serve.errors");
+      bump(&ServerCounters::edits_rejected, "serve.edits_rejected");
+      s->diags.report(parsed.status());
+      return error_reply(req.id_json, reply_code(parsed.status().code()),
+                         parsed.status().message());
+    }
+    edit = std::move(parsed).value();
+  }
+
+  // 1. Validate against the current netlist (no mutation).
+  Status check_st;
+  const Status guard_st =
+      run_guarded([&] { check_st = s->timer->check(edit); });
+  if (!guard_st.ok()) {
+    degrade(*s, guard_st.message());
+    bump(&ServerCounters::errors, "serve.errors");
+    return error_reply(req.id_json, reply_code(guard_st.code()),
+                       guard_st.message());
+  }
+  if (!check_st.ok()) {
+    bump(&ServerCounters::errors, "serve.errors");
+    bump(&ServerCounters::edits_rejected, "serve.edits_rejected");
+    s->diags.report(check_st);
+    return error_reply(req.id_json, reply_code(check_st.code()),
+                       check_st.message(), check_st.loc());
+  }
+
+  // 2. Watchdog checks, before any side effect.
+  if (deadline_expired(req, t0_us)) {
+    bump(&ServerCounters::errors, "serve.errors");
+    bump(&ServerCounters::deadline_exceeded, "serve.deadline_exceeded");
+    return error_reply(req.id_json, ReplyCode::kDeadline,
+                       "deadline expired before the edit was committed");
+  }
+  if (s->journal.is_open() && s->seq >= options_.max_journal_edits) {
+    bump(&ServerCounters::errors, "serve.errors");
+    bump(&ServerCounters::overloaded, "serve.overloaded");
+    bump(&ServerCounters::journal_overflow, "serve.journal_overflow");
+    return error_reply(req.id_json, ReplyCode::kOverloaded,
+                       "session journal is full (" +
+                           std::to_string(options_.max_journal_edits) +
+                           " edits)");
+  }
+
+  // 3. Commit to the journal first (write-ahead): a crash after this
+  // point replays the edit; a failure here leaves state untouched.
+  if (s->journal.is_open()) {
+    // Undo records are flagged so replay maintains the same undo stack a
+    // live server would have (pop instead of push).
+    const std::string rec = "{\"seq\":" + std::to_string(s->seq + 1) +
+                            ",\"edit\":" + edit_to_json(edit) +
+                            (undo ? ",\"undo\":true}" : "}");
+    const Status jst = s->journal.append(rec);
+    if (!jst.ok()) {
+      bump(&ServerCounters::errors, "serve.errors");
+      s->diags.report(jst);
+      return error_reply(req.id_json, ReplyCode::kIo, jst.message());
+    }
+  }
+  ++s->seq;
+
+  // 4. Apply. check() passed, so a failure here is an engine fault:
+  // degrade the session (queries fall back to from-scratch analysis).
+  Result<sta::Edit> inverse = sta::Edit{};
+  const Status apply_st =
+      run_guarded([&] { inverse = s->timer->apply_undoable(edit); });
+  if (!apply_st.ok() || !inverse.ok()) {
+    const Status& why = apply_st.ok() ? inverse.status() : apply_st;
+    degrade(*s, why.message());
+    bump(&ServerCounters::errors, "serve.errors");
+    s->diags.report(why);
+    return error_reply(req.id_json, reply_code(why.code()), why.message());
+  }
+  bump(&ServerCounters::edits_applied, "serve.edits_applied");
+
+  std::string result = "{\"seq\":" + std::to_string(s->seq);
+  if (undo) {
+    s->undo.pop_back();
+    result += ",\"edit\":" + edit_to_json(edit);
+  } else {
+    s->undo.push_back(inverse.value());
+    if (s->undo.size() > options_.max_undo_depth)
+      s->undo.erase(s->undo.begin());
+    result += ",\"undo\":" + edit_to_json(inverse.value());
+  }
+  result += '}';
+  return ok_reply(req.id_json, result);
+}
+
+// --- queries -------------------------------------------------------------
+
+namespace {
+
+/// Compute a query result with the session's engine of record: the
+/// resident timer normally, the from-scratch batch engine when degraded.
+/// Both produce byte-identical numbers (the timer's contract), so
+/// degradation is invisible in query replies.
+template <typename Incremental, typename Batch>
+[[nodiscard]] Status query(Server::Session& s, Incremental&& inc,
+                           Batch&& batch, bool* degraded_now) {
+  *degraded_now = false;
+  if (!s.degraded) {
+    const Status st = run_guarded(inc);
+    if (st.ok()) return {};
+    *degraded_now = true;  // caller degrades with st's message
+    const Status fallback = run_guarded(batch);
+    return fallback.ok() ? Status{} : st;
+  }
+  return run_guarded(batch);
+}
+
+}  // namespace
+
+std::string Server::cmd_timing(const Request& req) {
+  std::string err;
+  Session* s = find_session(req, err);
+  if (s == nullptr) return err;
+
+  sta::TimingResult timing;
+  const sta::StaOptions& opts = s->timer->options();
+  bool degraded_now = false;
+  const Status st =
+      query(*s, [&] { timing = s->timer->timing(); },
+            [&] { timing = sta::analyze(*s->nl, opts); }, &degraded_now);
+  if (degraded_now) degrade(*s, "timing query tripped the engine");
+  if (!st.ok()) {
+    bump(&ServerCounters::errors, "serve.errors");
+    return error_reply(req.id_json, reply_code(st.code()), st.message());
+  }
+  auto result = compact(sta::critical_path_json(*s->nl, opts, timing));
+  if (!result.ok()) {
+    bump(&ServerCounters::errors, "serve.errors");
+    return error_reply(req.id_json, ReplyCode::kInternal,
+                       result.status().message());
+  }
+  return ok_reply(req.id_json, result.value());
+}
+
+std::string Server::cmd_slacks(const Request& req) {
+  std::string err;
+  Session* s = find_session(req, err);
+  if (s == nullptr) return err;
+
+  auto buckets = int_param(req.frame, "buckets", 10, 1, 1000);
+  if (!buckets.ok()) {
+    bump(&ServerCounters::errors, "serve.errors");
+    return error_reply(req.id_json, ReplyCode::kInvalidValue,
+                       buckets.status().message());
+  }
+  double period = 0.0;
+  if (const json::Value* p = req.frame.find("period_tau")) {
+    if (!p->is_number() || !(p->num > 0.0)) {
+      bump(&ServerCounters::errors, "serve.errors");
+      return error_reply(req.id_json, ReplyCode::kInvalidValue,
+                         "\"period_tau\" must be a positive number");
+    }
+    period = p->num;
+  }
+
+  const sta::StaOptions& opts = s->timer->options();
+  std::vector<double> slacks;
+  bool degraded_now = false;
+  const Status st = query(
+      *s,
+      [&] {
+        if (period <= 0.0) period = s->timer->timing().min_period_tau;
+        slacks = s->timer->slacks(period);
+      },
+      [&] {
+        if (period <= 0.0)
+          period = sta::analyze(*s->nl, opts).min_period_tau;
+        slacks = sta::net_slacks(*s->nl, opts, period);
+      },
+      &degraded_now);
+  if (degraded_now) degrade(*s, "slack query tripped the engine");
+  if (!st.ok()) {
+    bump(&ServerCounters::errors, "serve.errors");
+    return error_reply(req.id_json, reply_code(st.code()), st.message());
+  }
+  const sta::SlackHistogramData hist =
+      sta::slack_histogram_from_slacks(slacks, buckets.value());
+  auto hist_json = compact(sta::slack_histogram_json(hist));
+  if (!hist_json.ok()) {
+    bump(&ServerCounters::errors, "serve.errors");
+    return error_reply(req.id_json, ReplyCode::kInternal,
+                       hist_json.status().message());
+  }
+  return ok_reply(req.id_json, "{\"period_tau\":" + json::number(period) +
+                                   ",\"histogram\":" + hist_json.value() +
+                                   '}');
+}
+
+std::string Server::cmd_top_paths(const Request& req) {
+  std::string err;
+  Session* s = find_session(req, err);
+  if (s == nullptr) return err;
+
+  auto k = int_param(req.frame, "k", 5, 1, 1000);
+  if (!k.ok()) {
+    bump(&ServerCounters::errors, "serve.errors");
+    return error_reply(req.id_json, ReplyCode::kInvalidValue,
+                       k.status().message());
+  }
+  const sta::StaOptions& opts = s->timer->options();
+  std::vector<sta::CriticalPath> paths;
+  bool degraded_now = false;
+  const Status st = query(
+      *s, [&] { paths = s->timer->top_paths(k.value()); },
+      [&] { paths = sta::top_critical_paths(*s->nl, opts, k.value()); },
+      &degraded_now);
+  if (degraded_now) degrade(*s, "path query tripped the engine");
+  if (!st.ok()) {
+    bump(&ServerCounters::errors, "serve.errors");
+    return error_reply(req.id_json, reply_code(st.code()), st.message());
+  }
+
+  std::string result = "{\"paths\":[";
+  for (std::size_t i = 0; i < paths.size(); ++i) {
+    const sta::CriticalPath& p = paths[i];
+    if (i != 0) result += ',';
+    result += "{\"path_tau\":" + json::number(p.path_tau) +
+              ",\"endpoint_net\":" + std::to_string(p.endpoint_net.value()) +
+              ",\"nodes\":[";
+    for (std::size_t j = 0; j < p.nodes.size(); ++j) {
+      const sta::PathNode& n = p.nodes[j];
+      if (j != 0) result += ',';
+      result += "{\"inst\":" + std::to_string(n.inst.value()) +
+                ",\"name\":\"" + json::escape(s->nl->instance(n.inst).name) +
+                "\",\"arrival_tau\":" + json::number(n.arrival_tau) + '}';
+    }
+    result += "]}";
+  }
+  result += "]}";
+  return ok_reply(req.id_json, result);
+}
+
+std::string Server::cmd_qor(const Request& req) {
+  std::string err;
+  Session* s = find_session(req, err);
+  if (s == nullptr) return err;
+
+  auto buckets = int_param(req.frame, "buckets", 10, 1, 1000);
+  if (!buckets.ok()) {
+    bump(&ServerCounters::errors, "serve.errors");
+    return error_reply(req.id_json, ReplyCode::kInvalidValue,
+                       buckets.status().message());
+  }
+  qor::SnapshotOptions opts;
+  opts.sta = s->timer->options();
+  opts.histogram_buckets = buckets.value();
+  opts.continuous_sizing = s->meth.sizing == core::SizingLevel::kContinuous;
+
+  qor::QorSnapshot snap;
+  bool degraded_now = false;
+  const Status st =
+      query(*s, [&] { snap = qor::capture(*s->timer, opts); },
+            [&] { snap = qor::capture(*s->nl, opts); }, &degraded_now);
+  if (degraded_now) degrade(*s, "qor capture tripped the engine");
+  if (!st.ok()) {
+    bump(&ServerCounters::errors, "serve.errors");
+    return error_reply(req.id_json, reply_code(st.code()), st.message());
+  }
+  auto hist_json = compact(sta::slack_histogram_json(snap.slack_histogram));
+  if (!hist_json.ok()) {
+    bump(&ServerCounters::errors, "serve.errors");
+    return error_reply(req.id_json, ReplyCode::kInternal,
+                       hist_json.status().message());
+  }
+  std::string result =
+      "{\"worst_path_tau\":" + json::number(snap.worst_path_tau) +
+      ",\"min_period_tau\":" + json::number(snap.min_period_tau) +
+      ",\"min_period_ps\":" + json::number(snap.min_period_ps) +
+      ",\"min_period_fo4\":" + json::number(snap.min_period_fo4) +
+      ",\"critical_path_fo4\":" + json::number(snap.critical_path_fo4) +
+      ",\"critical_path_gates\":" +
+      std::to_string(snap.critical_path_gates) +
+      ",\"endpoints\":" + std::to_string(snap.endpoints) +
+      ",\"area_um2\":" + json::number(snap.area_um2) +
+      ",\"total_wirelength_um\":" + json::number(snap.total_wirelength_um) +
+      ",\"critical_wirelength_um\":" +
+      json::number(snap.critical_wirelength_um) +
+      ",\"sizing_headroom_tau\":" + json::number(snap.sizing_headroom_tau) +
+      ",\"slack_histogram\":" + hist_json.value() + '}';
+  return ok_reply(req.id_json, result);
+}
+
+std::string Server::cmd_lint(const Request& req) {
+  std::string err;
+  Session* s = find_session(req, err);
+  if (s == nullptr) return err;
+
+  std::string lint_json;
+  bool degraded_now = false;
+  const auto run = [&](double period_tau) {
+    const lint::RuleRegistry registry = lint::default_registry();
+    lint::LintContext ctx;
+    ctx.nl = s->nl.get();
+    ctx.limits = tech::default_electrical_limits();
+    ctx.constraints.period_tau = period_tau;
+    ctx.constraints.skew_fraction = s->timer->options().clock.skew_fraction;
+    const lint::LintReport report =
+        lint::run_lint(registry, ctx, lint::LintConfig{}, options_.threads);
+    lint_json = lint::write_json(registry, report, s->name);
+  };
+  const Status st = query(
+      *s, [&] { run(s->timer->timing().min_period_tau); },
+      [&] {
+        run(sta::analyze(*s->nl, s->timer->options()).min_period_tau);
+      },
+      &degraded_now);
+  if (degraded_now) degrade(*s, "lint run tripped the engine");
+  if (!st.ok()) {
+    bump(&ServerCounters::errors, "serve.errors");
+    return error_reply(req.id_json, reply_code(st.code()), st.message());
+  }
+  auto result = compact(lint_json);
+  if (!result.ok()) {
+    bump(&ServerCounters::errors, "serve.errors");
+    return error_reply(req.id_json, ReplyCode::kInternal,
+                       result.status().message());
+  }
+  return ok_reply(req.id_json, result.value());
+}
+
+// --- stats / shutdown ----------------------------------------------------
+
+std::string Server::cmd_stats(const Request& req) {
+  std::uint64_t dropped = 0;
+  std::string sessions = "[";
+  bool first = true;
+  for (const auto& [name, s] : sessions_) {
+    if (!first) sessions += ',';
+    first = false;
+    dropped += s->diags.dropped();
+    sessions += "{\"name\":\"" + json::escape(name) + "\",\"design\":\"" +
+                json::escape(s->design) + "\",\"seq\":" +
+                std::to_string(s->seq) + ",\"degraded\":" +
+                bool_json(s->degraded) + ",\"recovered\":" +
+                bool_json(s->recovered) + ",\"undo_depth\":" +
+                std::to_string(s->undo.size()) + ",\"diags\":" +
+                std::to_string(s->diags.size()) + ",\"diags_dropped\":" +
+                std::to_string(s->diags.dropped()) + ",\"journal\":" +
+                bool_json(s->journal.is_open()) + '}';
+  }
+  sessions += ']';
+  counters_.diags_dropped = dropped;
+
+  const ServerCounters& c = counters_;
+  std::string result =
+      "{\"sessions\":" + sessions + ",\"counters\":{\"requests\":" +
+      std::to_string(c.requests) + ",\"errors\":" + std::to_string(c.errors) +
+      ",\"edits_applied\":" + std::to_string(c.edits_applied) +
+      ",\"edits_rejected\":" + std::to_string(c.edits_rejected) +
+      ",\"degraded\":" + std::to_string(c.degraded) +
+      ",\"journal_overflow\":" + std::to_string(c.journal_overflow) +
+      ",\"overloaded\":" + std::to_string(c.overloaded) +
+      ",\"deadline_exceeded\":" + std::to_string(c.deadline_exceeded) +
+      ",\"oversized_frames\":" + std::to_string(c.oversized_frames) +
+      ",\"recovered_sessions\":" + std::to_string(c.recovered_sessions) +
+      ",\"recovered_edits\":" + std::to_string(c.recovered_edits) +
+      ",\"diags_dropped\":" + std::to_string(c.diags_dropped) + "}}";
+  return ok_reply(req.id_json, result);
+}
+
+// --- dispatch loop -------------------------------------------------------
+
+std::string Server::dispatch(const Request& req, double t0_us) {
+  if (req.cmd == "load") return cmd_load(req, t0_us);
+  if (req.cmd == "edit") return cmd_edit(req, /*undo=*/false, t0_us);
+  if (req.cmd == "undo") return cmd_edit(req, /*undo=*/true, t0_us);
+
+  std::string reply;
+  if (req.cmd == "timing") reply = cmd_timing(req);
+  else if (req.cmd == "slacks") reply = cmd_slacks(req);
+  else if (req.cmd == "top_paths") reply = cmd_top_paths(req);
+  else if (req.cmd == "qor") reply = cmd_qor(req);
+  else if (req.cmd == "lint") reply = cmd_lint(req);
+  else if (req.cmd == "stats") reply = cmd_stats(req);
+  else if (req.cmd == "shutdown") {
+    shutdown_ = true;
+    return ok_reply(req.id_json, "{\"shutdown\":true,\"sessions\":" +
+                                     std::to_string(sessions_.size()) + '}');
+  } else {
+    bump(&ServerCounters::errors, "serve.errors");
+    return error_reply(req.id_json, ReplyCode::kUnknownName,
+                       "unknown command '" + req.cmd + "'");
+  }
+  // Read-only commands have no side effects, so an expired budget can
+  // simply discard the computed reply.
+  if (deadline_expired(req, t0_us)) {
+    bump(&ServerCounters::errors, "serve.errors");
+    bump(&ServerCounters::deadline_exceeded, "serve.deadline_exceeded");
+    return error_reply(req.id_json, ReplyCode::kDeadline,
+                       "request exceeded its deadline");
+  }
+  return reply;
+}
+
+std::string Server::handle_line(const std::string& line) {
+  const double t0_us = common::tracer().now_us();
+  bump(&ServerCounters::requests, "serve.requests");
+  auto req = parse_request(line, options_.max_frame_bytes);
+  if (!req.ok()) {
+    if (options_.max_frame_bytes != 0 &&
+        line.size() > options_.max_frame_bytes)
+      bump(&ServerCounters::oversized_frames, "serve.oversized_frames");
+    bump(&ServerCounters::errors, "serve.errors");
+    return error_reply("null", reply_code(req.status().code()),
+                       req.status().message(), req.status().loc());
+  }
+  // The dispatch itself runs under one more guard: whatever slips through
+  // the per-command handling still becomes a reply, never an abort.
+  std::string reply;
+  const Status st = run_guarded([&] { reply = dispatch(*req, t0_us); });
+  if (!st.ok()) {
+    bump(&ServerCounters::errors, "serve.errors");
+    return error_reply(req->id_json, reply_code(st.code()), st.message());
+  }
+  return reply;
+}
+
+namespace {
+
+/// getline with a memory bound: keeps at most `cap + 1` bytes (enough for
+/// parse_request's size check to fire) and discards the rest of an
+/// oversized line, so a hostile multi-gigabyte frame costs bounded RSS.
+[[nodiscard]] bool read_frame_line(std::istream& in, std::string& line,
+                                   std::size_t cap) {
+  line.clear();
+  bool any = false;
+  for (int c = in.get(); c != std::char_traits<char>::eof(); c = in.get()) {
+    any = true;
+    if (c == '\n') return true;
+    if (cap == 0 || line.size() <= cap) line.push_back(static_cast<char>(c));
+  }
+  return any;
+}
+
+}  // namespace
+
+int Server::serve(std::istream& in, std::ostream& out) {
+  std::string line;
+  while (!shutdown_ &&
+         read_frame_line(in, line, options_.max_frame_bytes)) {
+    out << handle_line(line) << '\n' << std::flush;
+    if (!out) return 5;  // reader closed the pipe; exit code for I/O
+  }
+  return 0;
+}
+
+}  // namespace gap::serve

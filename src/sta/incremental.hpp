@@ -87,6 +87,14 @@ class IncrementalTimer {
   [[nodiscard]] const StaOptions& options() const { return options_; }
   [[nodiscard]] int threads() const { return threads_; }
 
+  /// Validate `e` against the current netlist without applying it. The
+  /// same checks apply() runs first; exposed so callers that must commit
+  /// an edit somewhere else before mutating (gapd's write-ahead journal)
+  /// can do so only for edits that will be accepted.
+  [[nodiscard]] common::Status check(const Edit& e) const {
+    return validate(e);
+  }
+
   /// Validate and apply one edit. On error the netlist and every cached
   /// timing value are exactly as before (coded diagnostics: kUnknownName
   /// for ids/names that resolve to nothing, kInvalidValue for semantic

@@ -56,4 +56,24 @@ ProcessCorner corner_conservative() { return {"conservative", 1.34}; }
 
 ProcessCorner corner_fast_bin() { return {"fast-bin", 0.87}; }
 
+std::optional<Technology> technology_by_name(const std::string& name) {
+  if (name == "asic025") return asic_025um();
+  if (name == "custom025") return custom_025um();
+  if (name == "ibm018") return ibm_018um();
+  if (name == "asic035") return asic_035um();
+  return std::nullopt;
+}
+
+std::vector<std::string> technology_names() {
+  return {"asic025", "custom025", "ibm018", "asic035"};
+}
+
+std::optional<ProcessCorner> corner_by_name(const std::string& name) {
+  if (name == "typical") return corner_typical();
+  if (name == "worst") return corner_worst_case();
+  if (name == "conservative") return corner_conservative();
+  if (name == "fast") return corner_fast_bin();
+  return std::nullopt;
+}
+
 }  // namespace gap::tech

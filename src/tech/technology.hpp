@@ -11,7 +11,9 @@
 /// With the canonical logical-effort inverter (g = 1, p = 1), an FO4 inverter
 /// has delay tau * (p + g*4) = 5 tau, so tau = FO4 / 5.
 
+#include <optional>
 #include <string>
+#include <vector>
 
 namespace gap::tech {
 
@@ -136,5 +138,14 @@ struct ElectricalLimits {
 /// with the worst-case signoff corner this gives the paper's overall
 /// process factor: 1.65 / 0.87 = x1.90.
 [[nodiscard]] ProcessCorner corner_fast_bin();
+
+/// CLI-facing name lookups, shared by gapflow and gapd so the two tools
+/// cannot drift apart on the accepted vocabulary. Names are the
+/// command-line spellings ("asic025", "worst"), not Technology::name.
+[[nodiscard]] std::optional<Technology> technology_by_name(
+    const std::string& name);
+[[nodiscard]] std::vector<std::string> technology_names();
+[[nodiscard]] std::optional<ProcessCorner> corner_by_name(
+    const std::string& name);
 
 }  // namespace gap::tech

@@ -3,6 +3,7 @@
 #include <cmath>
 
 #include "common/ids.hpp"
+#include "common/json.hpp"
 #include "common/rng.hpp"
 #include "common/stats.hpp"
 #include "common/table.hpp"
@@ -152,6 +153,76 @@ TEST(Format, Verdict) {
   EXPECT_EQ(verdict(3.0, 1.0, 2.0), "FAIL");
   EXPECT_EQ(verdict(0.85, 1.0, 2.0), "NEAR");  // within 20% of 1.0
   EXPECT_EQ(verdict(0.5, 1.0, 2.0), "FAIL");
+}
+
+
+TEST(JsonChecked, SyntaxErrorsCarryCodeAndLocation) {
+  const auto r = common::json::Value::parse_checked("{\"a\": }");
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), common::ErrorCode::kParse);
+  EXPECT_EQ(r.status().loc().line, 1);
+  EXPECT_GT(r.status().loc().column, 1);
+}
+
+TEST(JsonChecked, MultiLineLocationPointsAtOffendingByte) {
+  const auto r = common::json::Value::parse_checked("{\n  \"a\": 1,\n  !\n}");
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), common::ErrorCode::kParse);
+  EXPECT_EQ(r.status().loc().line, 3);
+  EXPECT_EQ(r.status().loc().column, 3);
+}
+
+TEST(JsonChecked, DepthLimitRejectsDeepNestingWithoutOverflow) {
+  // A 100k-deep "[[[[..." must come back as a coded rejection, not a
+  // stack overflow (the serve frontier feeds attacker-controlled text).
+  const std::string bomb(100000, '[');
+  const auto r = common::json::Value::parse_checked(bomb);
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), common::ErrorCode::kInvalidValue);
+
+  std::string mixed;
+  for (int i = 0; i < 100000; ++i) mixed += "{\"a\":[";
+  const auto r2 = common::json::Value::parse_checked(mixed);
+  ASSERT_FALSE(r2.ok());
+  EXPECT_EQ(r2.status().code(), common::ErrorCode::kInvalidValue);
+}
+
+TEST(JsonChecked, DepthLimitAdmitsDepthAtTheBound) {
+  std::string at_limit;
+  for (int i = 0; i < common::json::Value::kMaxParseDepth; ++i)
+    at_limit += '[';
+  std::string closed = at_limit;
+  for (int i = 0; i < common::json::Value::kMaxParseDepth; ++i)
+    closed += ']';
+  EXPECT_TRUE(common::json::Value::parse_checked(closed).ok());
+  const auto over =
+      common::json::Value::parse_checked("[" + closed + "]");
+  EXPECT_FALSE(over.ok());
+}
+
+TEST(JsonDump, RoundTripsCompactDocuments) {
+  const std::string doc =
+      "{\"a\":1,\"b\":[true,false,null],\"c\":{\"x\":\"s\\n\"},"
+      "\"d\":2.5,\"e\":[]}";
+  const auto v = common::json::Value::parse(doc);
+  ASSERT_TRUE(v.has_value());
+  EXPECT_EQ(v->dump(), doc);
+  // dump() output re-parses to an identical dump (fixed point).
+  const auto v2 = common::json::Value::parse(v->dump());
+  ASSERT_TRUE(v2.has_value());
+  EXPECT_EQ(v2->dump(), doc);
+}
+
+TEST(JsonDump, PreservesKeyOrderAndNumberPrecision) {
+  const std::string doc = "{\"z\":1,\"a\":0.1,\"m\":1e300}";
+  const auto v = common::json::Value::parse(doc);
+  ASSERT_TRUE(v.has_value());
+  const auto again = common::json::Value::parse(v->dump());
+  ASSERT_TRUE(again.has_value());
+  EXPECT_EQ(again->object[0].first, "z");
+  EXPECT_EQ(again->object[1].first, "a");
+  EXPECT_DOUBLE_EQ(again->object[1].second.num, 0.1);
+  EXPECT_DOUBLE_EQ(again->object[2].second.num, 1e300);
 }
 
 }  // namespace

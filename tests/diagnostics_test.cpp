@@ -156,5 +156,68 @@ TEST(ContractCaptureDeathTest, OutsideCaptureContractsStillAbort) {
   EXPECT_DEATH(GAP_EXPECTS(false), "Precondition");
 }
 
+
+TEST(DiagnosticCapTest, UnboundedByDefault) {
+  DiagnosticEngine de;
+  EXPECT_EQ(de.capacity(), 0u);
+  for (int i = 0; i < 1000; ++i)
+    de.report(Severity::kWarning, ErrorCode::kLint, "w");
+  EXPECT_EQ(de.size(), 1000u);
+  EXPECT_EQ(de.dropped(), 0u);
+}
+
+TEST(DiagnosticCapTest, CapDropsAndCounts) {
+  DiagnosticEngine de;
+  de.set_capacity(3);
+  for (int i = 0; i < 10; ++i)
+    de.report(Severity::kError, ErrorCode::kParse, "e" + std::to_string(i));
+  EXPECT_EQ(de.size(), 3u);
+  EXPECT_EQ(de.dropped(), 7u);
+  // The retained entries are the oldest ones (arrival order).
+  const auto all = de.diagnostics();
+  EXPECT_EQ(all.front().message, "e0");
+  EXPECT_EQ(all.back().message, "e2");
+  // Counts still reflect only what is retained; the drop counter is the
+  // caller's signal that history was truncated.
+  EXPECT_TRUE(de.has_errors());
+}
+
+TEST(DiagnosticCapTest, ShrinkingDiscardsNewestSurplus) {
+  DiagnosticEngine de;
+  for (int i = 0; i < 5; ++i)
+    de.report(Severity::kNote, ErrorCode::kOk, "n" + std::to_string(i));
+  de.set_capacity(2);
+  EXPECT_EQ(de.size(), 2u);
+  EXPECT_EQ(de.dropped(), 3u);
+  EXPECT_EQ(de.diagnostics().back().message, "n1");
+}
+
+TEST(DiagnosticCapTest, ClearResetsDropCounter) {
+  DiagnosticEngine de;
+  de.set_capacity(1);
+  de.report(Severity::kError, ErrorCode::kIo, "a");
+  de.report(Severity::kError, ErrorCode::kIo, "b");
+  EXPECT_EQ(de.dropped(), 1u);
+  de.clear();
+  EXPECT_EQ(de.dropped(), 0u);
+  EXPECT_EQ(de.size(), 0u);
+  // Capacity survives clear(); retention is a property of the engine.
+  de.report(Severity::kError, ErrorCode::kIo, "c");
+  de.report(Severity::kError, ErrorCode::kIo, "d");
+  EXPECT_EQ(de.size(), 1u);
+  EXPECT_EQ(de.dropped(), 1u);
+}
+
+TEST(DiagnosticCapTest, ConcurrentReportingStaysBounded) {
+  DiagnosticEngine de;
+  de.set_capacity(16);
+  parallel_for(4, 400, [&](std::size_t i) {
+    de.report(Severity::kWarning, ErrorCode::kLint,
+              "w" + std::to_string(i));
+  });
+  EXPECT_EQ(de.size(), 16u);
+  EXPECT_EQ(de.dropped(), 384u);
+}
+
 }  // namespace
 }  // namespace gap::common

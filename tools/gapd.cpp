@@ -1,0 +1,18 @@
+/// \file gapd.cpp
+/// Resident timing-service daemon. All logic lives in
+/// gap::serve::run_gapd (src/serve/serve_cli.cpp) so the test suite can
+/// exercise it in-process; this file only binds it to the process:
+/// SIGPIPE is ignored and a broken stdout exits 5 with a diagnostic
+/// (common/io_guard.hpp).
+
+#include <iostream>
+
+#include "common/io_guard.hpp"
+#include "serve/serve_cli.hpp"
+
+int main(int argc, char** argv) {
+  gap::common::ignore_sigpipe();
+  const int code = gap::serve::run_gapd(argc - 1, argv + 1, std::cin,
+                                        std::cout, std::cerr);
+  return gap::common::finish_stdout(code, std::cout, std::cerr, "gapd");
+}

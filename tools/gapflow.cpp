@@ -10,12 +10,17 @@
 ///
 /// All logic lives in core/driver.{hpp,cpp} so the argument handling and
 /// exit codes are covered by tests/driver_test.cpp; this file only binds
-/// it to the process.
+/// it to the process: SIGPIPE is ignored and a broken stdout (reader
+/// closed the pipe mid-report) exits 5 with a diagnostic instead of a
+/// silent signal death (common/io_guard.hpp).
 
 #include <iostream>
 
+#include "common/io_guard.hpp"
 #include "core/driver.hpp"
 
 int main(int argc, char** argv) {
-  return gap::core::cli::run(argc, argv, std::cout, std::cerr);
+  gap::common::ignore_sigpipe();
+  const int code = gap::core::cli::run(argc, argv, std::cout, std::cerr);
+  return gap::common::finish_stdout(code, std::cout, std::cerr, "gapflow");
 }

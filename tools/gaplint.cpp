@@ -1,12 +1,17 @@
 /// \file gaplint.cpp
 /// Design static-analysis CLI. All logic lives in gap::lint::run_gaplint
 /// (src/lint/lint_cli.cpp) so the test suite can exercise it in-process;
-/// this file is only the process entry point.
+/// this file only binds it to the process: SIGPIPE is ignored and a
+/// broken stdout exits 5 with a diagnostic (common/io_guard.hpp).
 
 #include <iostream>
 
+#include "common/io_guard.hpp"
 #include "lint/lint_cli.hpp"
 
 int main(int argc, char** argv) {
-  return gap::lint::run_gaplint(argc - 1, argv + 1, std::cout, std::cerr);
+  gap::common::ignore_sigpipe();
+  const int code =
+      gap::lint::run_gaplint(argc - 1, argv + 1, std::cout, std::cerr);
+  return gap::common::finish_stdout(code, std::cout, std::cerr, "gaplint");
 }

@@ -1,12 +1,18 @@
 /// \file gapreport.cpp
 /// QoR manifest viewer and differ. All logic lives in
 /// gap::qor::run_gapreport (src/qor/report_cli.cpp) so the test suite can
-/// exercise it in-process; this file is only the process entry point.
+/// exercise it in-process; this file only binds it to the process:
+/// SIGPIPE is ignored and a broken stdout exits 5 with a diagnostic
+/// (common/io_guard.hpp).
 
 #include <iostream>
 
+#include "common/io_guard.hpp"
 #include "qor/report_cli.hpp"
 
 int main(int argc, char** argv) {
-  return gap::qor::run_gapreport(argc - 1, argv + 1, std::cout, std::cerr);
+  gap::common::ignore_sigpipe();
+  const int code =
+      gap::qor::run_gapreport(argc - 1, argv + 1, std::cout, std::cerr);
+  return gap::common::finish_stdout(code, std::cout, std::cerr, "gapreport");
 }

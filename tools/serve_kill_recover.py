@@ -1,0 +1,146 @@
+#!/usr/bin/env python3
+"""SIGKILL crash-recovery differential for gapd.
+
+Drives a real gapd subprocess with a journaled session, SIGKILLs it at an
+arbitrary point while a burst of edits is in flight, restarts it against
+the same journal directory, and requires that every timing query answers
+byte-identically to an uninterrupted twin that applied exactly the edits
+the journal preserved. Run as: serve_kill_recover.py <path-to-gapd>
+"""
+
+import json
+import shutil
+import subprocess
+import sys
+import tempfile
+import time
+
+DESIGN = "mac8"
+EDITS = 100
+QUERIES = ["timing", "slacks", "top_paths", "qor"]
+
+
+def frame(obj):
+    return json.dumps(obj, separators=(",", ":")) + "\n"
+
+
+def edit_frame(i):
+    return frame({
+        "cmd": "edit",
+        "session": "s1",
+        "edit": {
+            "op": "set_drive",
+            "inst": (7 * i + 3) % 400,
+            "drive": 0.5 + 0.125 * (i % 40),
+        },
+    })
+
+
+def start(gapd, journal_dir, threads=1):
+    argv = [gapd, "--threads", str(threads)]
+    if journal_dir:
+        argv += ["--journal-dir", journal_dir]
+    return subprocess.Popen(argv, stdin=subprocess.PIPE,
+                            stdout=subprocess.PIPE, text=True)
+
+
+def ask(proc, line):
+    proc.stdin.write(line)
+    proc.stdin.flush()
+    reply = proc.stdout.readline()
+    if not reply.endswith("\n"):
+        raise AssertionError("truncated reply: %r" % reply)
+    return reply.rstrip("\n")
+
+
+def ask_ok(proc, line):
+    reply = ask(proc, line)
+    parsed = json.loads(reply)
+    if not parsed.get("ok"):
+        raise AssertionError("request failed: %s -> %s" % (line.strip(), reply))
+    return reply
+
+
+def shutdown(proc):
+    try:
+        ask(proc, frame({"cmd": "shutdown"}))
+    finally:
+        proc.stdin.close()
+        proc.wait(timeout=60)
+
+
+def run_round(gapd, kill_delay_s):
+    journal_dir = tempfile.mkdtemp(prefix="gap_serve_kill_")
+    try:
+        # Victim: load, then fire the whole edit burst without reading
+        # replies, and SIGKILL mid-flight.
+        victim = start(gapd, journal_dir)
+        ask_ok(victim, frame({"cmd": "load", "session": "s1",
+                              "design": DESIGN}))
+        for i in range(EDITS):
+            victim.stdin.write(edit_frame(i))
+        victim.stdin.flush()
+        time.sleep(kill_delay_s)
+        victim.kill()
+        victim.wait(timeout=60)
+
+        # Recovered server: replays the journal. Its stats reveal how many
+        # edits survived (everything fsync'd before the kill).
+        recovered = start(gapd, journal_dir)
+        stats = json.loads(ask_ok(recovered, frame({"cmd": "stats"})))
+        sessions = stats["result"]["sessions"]
+        if len(sessions) != 1 or sessions[0]["name"] != "s1":
+            raise AssertionError("recovery lost the session: %s" % stats)
+        if sessions[0]["degraded"]:
+            raise AssertionError("recovery degraded the session: %s" % stats)
+        seq = int(sessions[0]["seq"])
+        if not 0 <= seq <= EDITS:
+            raise AssertionError("implausible recovered seq %d" % seq)
+        answers = [ask_ok(recovered, frame({"cmd": q, "session": "s1"}))
+                   for q in QUERIES]
+        shutdown(recovered)
+
+        # Twin: an uninterrupted journal-less run of exactly those edits.
+        twin = start(gapd, None)
+        ask_ok(twin, frame({"cmd": "load", "session": "s1",
+                            "design": DESIGN}))
+        for i in range(seq):
+            ask_ok(twin, edit_frame(i))
+        for q, expect in zip(QUERIES, answers):
+            got = ask_ok(twin, frame({"cmd": q, "session": "s1"}))
+            if got != expect:
+                raise AssertionError(
+                    "%s diverged after recovery (seq %d)\n  recovered: %s\n"
+                    "  twin:      %s" % (q, seq, expect, got))
+        shutdown(twin)
+
+        # Thread-count invariance: recover the same journal at 4 threads.
+        wide = start(gapd, journal_dir, threads=4)
+        for q, expect in zip(QUERIES, answers):
+            got = ask_ok(wide, frame({"cmd": q, "session": "s1"}))
+            if got != expect:
+                raise AssertionError(
+                    "%s diverged at 4 threads (seq %d)" % (q, seq))
+        shutdown(wide)
+        return seq
+    finally:
+        shutil.rmtree(journal_dir, ignore_errors=True)
+
+
+def main():
+    if len(sys.argv) != 2:
+        print("usage: serve_kill_recover.py <path-to-gapd>", file=sys.stderr)
+        return 2
+    gapd = sys.argv[1]
+    # Two kill points: almost immediately (little or none of the burst is
+    # journaled) and after a grace period (most or all of it is).
+    for delay in (0.002, 0.25):
+        seq = run_round(gapd, delay)
+        print("kill after %.3fs: recovered %d/%d edits, replies identical"
+              % (delay, seq, EDITS))
+    print("serve_kill_recover: OK")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
