@@ -10,6 +10,7 @@ Netlist::Netlist(std::string name, const CellLibrary* lib)
 }
 
 NetId Netlist::add_net(std::string name) {
+  ++version_;
   const NetId id{static_cast<std::uint32_t>(nets_.size())};
   Net n;
   n.name = std::move(name);
@@ -18,6 +19,7 @@ NetId Netlist::add_net(std::string name) {
 }
 
 PortId Netlist::add_input(std::string name, double ext_drive) {
+  ++version_;
   const NetId net_id = add_net(name);
   const PortId id{static_cast<std::uint32_t>(ports_.size())};
   ports_.push_back(Port{std::move(name), net_id, true, ext_drive});
@@ -28,6 +30,7 @@ PortId Netlist::add_input(std::string name, double ext_drive) {
 }
 
 PortId Netlist::add_output(std::string name, NetId net, double load_units) {
+  ++version_;
   GAP_EXPECTS(net.valid() && net.index() < nets_.size());
   const PortId id{static_cast<std::uint32_t>(ports_.size())};
   ports_.push_back(Port{std::move(name), net, false, 0.0});
@@ -42,6 +45,7 @@ PortId Netlist::add_output(std::string name, NetId net, double load_units) {
 
 InstanceId Netlist::add_instance(std::string name, CellId cell,
                                  std::vector<NetId> inputs, NetId output) {
+  ++version_;
   const library::Cell& c = lib_->cell(cell);
   GAP_EXPECTS(static_cast<int>(inputs.size()) == c.num_inputs());
   GAP_EXPECTS(output.valid() && output.index() < nets_.size());
@@ -71,6 +75,7 @@ InstanceId Netlist::add_instance(std::string name, CellId cell,
 }
 
 void Netlist::rewire_input(InstanceId inst, int pin, NetId net) {
+  ++version_;
   Instance& i = instance(inst);
   GAP_EXPECTS(pin >= 0 && pin < static_cast<int>(i.inputs.size()));
   GAP_EXPECTS(net.valid() && net.index() < nets_.size());
@@ -87,6 +92,7 @@ void Netlist::rewire_input(InstanceId inst, int pin, NetId net) {
 }
 
 void Netlist::rewire_output(InstanceId inst, NetId net) {
+  ++version_;
   Instance& i = instance(inst);
   GAP_EXPECTS(net.valid() && net.index() < nets_.size());
   GAP_EXPECTS(nets_[net.index()].driver.kind == NetDriver::Kind::kNone);
@@ -97,6 +103,7 @@ void Netlist::rewire_output(InstanceId inst, NetId net) {
 }
 
 void Netlist::replace_cell(InstanceId inst, CellId cell) {
+  ++version_;
   Instance& i = instance(inst);
   const library::Cell& old_cell = lib_->cell(i.cell);
   const library::Cell& new_cell = lib_->cell(cell);

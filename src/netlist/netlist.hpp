@@ -159,6 +159,16 @@ class Netlist {
   /// Make a unique net/instance name with the given prefix.
   [[nodiscard]] std::string fresh_name(const std::string& prefix);
 
+  /// Structural version: bumped by every mutator that changes what the
+  /// netlist *is* — adding nets/ports/instances, rewiring pins, swapping
+  /// cells. Derived index structures (sta::CompactGraph) record the
+  /// version they were built at and detect staleness by comparison.
+  /// Value-only writes through the non-const instance()/net() accessors
+  /// (drive overrides, placement, wire lengths) do not bump it; callers
+  /// making those must refresh derived values themselves (the incremental
+  /// timer's apply() path does).
+  [[nodiscard]] std::uint64_t version() const { return version_; }
+
  private:
   std::string name_;
   const CellLibrary* lib_;
@@ -166,6 +176,7 @@ class Netlist {
   std::vector<Net> nets_;
   std::vector<Port> ports_;
   std::uint64_t fresh_counter_ = 0;
+  std::uint64_t version_ = 0;
 };
 
 }  // namespace gap::netlist

@@ -8,6 +8,7 @@
 ///   gapd [--journal-dir DIR] [--threads N] [--max-sessions N]
 ///        [--max-frame-bytes N] [--max-journal-edits N]
 ///        [--max-session-diags N] [--deadline-us F] [--no-recover]
+///        [--graph compact|pointer]
 ///
 /// Exit codes (the same vocabulary as the other tools):
 ///   0  clean EOF or an acknowledged shutdown request

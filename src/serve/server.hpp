@@ -35,6 +35,7 @@
 
 #include "common/status.hpp"
 #include "serve/protocol.hpp"
+#include "sta/sta.hpp"
 
 namespace gap::serve {
 
@@ -55,6 +56,10 @@ struct ServerOptions {
   std::size_t max_undo_depth = 64;
   /// Default per-request budget in microseconds (0 = no deadline).
   double default_deadline_us = 0.0;
+  /// Timing-graph layout for every session's resident timer: the flat
+  /// structure-of-arrays graph (default) or the pointer netlist walk.
+  /// Replies are byte-identical either way (docs/data-layout.md).
+  sta::GraphKind graph = sta::GraphKind::kCompact;
 };
 
 /// Per-Server counters, mirrored into common::metrics() under "serve.*".

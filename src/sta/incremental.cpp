@@ -4,11 +4,14 @@
 #include <bit>
 #include <cmath>
 #include <limits>
+#include <span>
+#include <type_traits>
 #include <utility>
 
 #include "common/metrics.hpp"
 #include "common/trace.hpp"
 #include "netlist/checks.hpp"
+#include "sta/kernels.hpp"
 
 namespace gap::sta {
 namespace {
@@ -76,7 +79,8 @@ IncrementalTimer::IncrementalTimer(netlist::Netlist& nl, StaOptions options,
     : nl_(&nl),
       options_(options),
       threads_(common::resolve_threads(threads)),
-      pool_(threads_) {
+      pool_(threads_),
+      use_compact_(options.graph == GraphKind::kCompact) {
   GAP_EXPECTS(options_.clock.skew_fraction >= 0.0 &&
               options_.clock.skew_fraction < 1.0);
 }
@@ -231,12 +235,20 @@ common::Status IncrementalTimer::apply(const Edit& e) {
       CellId cell = e.cell;
       if (!e.cell_name.empty()) cell = *nl_->lib().find(e.cell_name);
       nl_->replace_cell(e.inst, cell);
-      if (track) mark_resize_cones(e.inst);
+      if (track) {
+        mark_resize_cones(e.inst);
+        // Value-only edit: patch the compact graph's flat cell arrays in
+        // place so the next flush reads current drives/pin caps.
+        if (use_compact_) cg_.refresh_instance(*nl_, e.inst);
+      }
       break;
     }
     case Edit::Kind::kSetDriveOverride:
       nl_->instance(e.inst).drive_override = e.drive;
-      if (track) mark_resize_cones(e.inst);
+      if (track) {
+        mark_resize_cones(e.inst);
+        if (use_compact_) cg_.refresh_instance(*nl_, e.inst);
+      }
       break;
     case Edit::Kind::kRewireInput: {
       const NetId old = nl_->instance(e.inst).inputs[e.pin];
@@ -318,6 +330,16 @@ std::size_t IncrementalTimer::pending_dirty() const {
 }
 
 void IncrementalTimer::rebuild_levels() {
+  if (use_compact_) {
+    // Structural edits invalidated the CSR adjacency too; the graph
+    // recomputes both it and the schedule, and the timer mirrors the
+    // schedule (its bucketing uses the same arrays either way).
+    cg_.rebuild_structure(*nl_);
+    order_ = cg_.order();
+    level_ = cg_.levels();
+    max_level_ = cg_.max_level();
+    return;
+  }
   order_ = netlist::topo_order(*nl_);
   GAP_EXPECTS(order_.size() == nl_->num_instances());
   level_.assign(nl_->num_instances(), 0);
@@ -333,6 +355,76 @@ void IncrementalTimer::rebuild_levels() {
     }
     level_[id.index()] = lvl;
     max_level_ = std::max(max_level_, lvl);
+  }
+}
+
+template <class G>
+void IncrementalTimer::rebuild_state(const G& g) {
+  const std::size_t nets = g.num_nets();
+  const std::size_t insts = g.num_instances();
+  st_.arrival.assign(nets, kNegInf);
+  st_.wire_delay.assign(nets, 0.0);
+  st_.driver_load.assign(nets, 0.0);
+  st_.crit_input.assign(insts, NetId{});
+  const double k = options_.corner_delay_factor;
+  constexpr bool kOnCompact = std::is_same_v<G, CompactGraph>;
+
+  // Wire models: pure per-net computations with disjoint writes, fanned
+  // out over the resident lanes on the compact path (the pointer path
+  // keeps the legacy serial loop; the values are identical either way).
+  const auto wire_at = [&](std::size_t i) {
+    const NetId n{static_cast<std::uint32_t>(i)};
+    const WireModel m = kern::wire_model(g, n, options_);
+    st_.wire_delay[i] = k * m.delay_tau;
+    st_.driver_load[i] = m.driver_load_units;
+  };
+  if (kOnCompact && pool_.size() > 1) {
+    pool_.parallel_for(nets, wire_at);
+  } else {
+    for (std::size_t i = 0; i < nets; ++i) wire_at(i);
+  }
+
+  for (std::uint32_t i = 0; i < g.num_ports(); ++i) {
+    const PortId pid{i};
+    if (!g.port_is_input(pid)) continue;
+    st_.arrival[g.port_net(pid).index()] =
+        kern::pi_arrival(g, options_, st_, pid);
+  }
+
+  // Full forward relaxation. On the compact path this is the levelized
+  // wavefront over the pool (a level only reads arrivals from strictly
+  // lower levels, so in-level parallelism is race-free and lane-count
+  // invariant); the pointer path keeps the serial topological loop.
+  if constexpr (kOnCompact) {
+    if (pool_.size() > 1) {
+      for (int lvl = 0; lvl < g.num_levels(); ++lvl) {
+        const std::span<const InstanceId> wave = g.wave(lvl);
+        pool_.parallel_for(wave.size(), [&](std::size_t i) {
+          kern::relax_instance(g, options_, st_, wave[i]);
+        });
+      }
+    } else {
+      for (InstanceId id : order_) kern::relax_instance(g, options_, st_, id);
+    }
+  } else {
+    for (InstanceId id : order_) kern::relax_instance(g, options_, st_, id);
+  }
+
+  ep_path_.assign(nets, kNegInf);
+  ep_count_.assign(nets, 0);
+  for (std::uint32_t i = 0; i < nets; ++i) {
+    const NetId n{i};
+    if (st_.arrival[n.index()] == kNegInf) continue;
+    for (const NetSink& s : g.sinks(n)) {
+      if (s.kind != NetSink::Kind::kPrimaryOutput &&
+          !(s.kind == NetSink::Kind::kInstancePin &&
+            g.is_sequential(s.inst)))
+        continue;
+      ++ep_count_[n.index()];
+      ep_path_[n.index()] =
+          std::max(ep_path_[n.index()],
+                   kern::endpoint_path_tau(g, options_, st_, n, s));
+    }
   }
 }
 
@@ -353,39 +445,15 @@ void IncrementalTimer::full_rebuild() {
 
   const std::size_t nets = nl_->num_nets();
   const std::size_t insts = nl_->num_instances();
-  st_.arrival.assign(nets, kNegInf);
-  st_.wire_delay.assign(nets, 0.0);
-  st_.driver_load.assign(nets, 0.0);
-  st_.crit_input.assign(insts, NetId{});
-  const double k = options_.corner_delay_factor;
-
-  for (NetId n : nl_->all_nets()) {
-    const WireModel m = wire_model(*nl_, n, options_);
-    st_.wire_delay[n.index()] = k * m.delay_tau;
-    st_.driver_load[n.index()] = m.driver_load_units;
-  }
-  for (PortId pid : nl_->all_ports()) {
-    const netlist::Port& port = nl_->port(pid);
-    if (!port.is_input) continue;
-    st_.arrival[port.net.index()] = detail::pi_arrival(options_, st_, port);
-  }
-  rebuild_levels();
-  for (InstanceId id : order_) detail::relax_instance(*nl_, options_, st_, id);
-
-  ep_path_.assign(nets, kNegInf);
-  ep_count_.assign(nets, 0);
-  for (NetId n : nl_->all_nets()) {
-    if (st_.arrival[n.index()] == kNegInf) continue;
-    for (const NetSink& s : nl_->net(n).sinks) {
-      if (s.kind != NetSink::Kind::kPrimaryOutput &&
-          !(s.kind == NetSink::Kind::kInstancePin &&
-            nl_->is_sequential(s.inst)))
-        continue;
-      ++ep_count_[n.index()];
-      ep_path_[n.index()] =
-          std::max(ep_path_[n.index()],
-                   detail::endpoint_path_tau(*nl_, options_, st_, n, s));
-    }
+  if (use_compact_) {
+    cg_.build(*nl_);
+    order_ = cg_.order();
+    level_ = cg_.levels();
+    max_level_ = cg_.max_level();
+    rebuild_state(cg_);
+  } else {
+    rebuild_levels();
+    rebuild_state(NetlistView(*nl_));
   }
 
   wire_dirty_flag_.assign(nets, 0);
@@ -402,13 +470,22 @@ void IncrementalTimer::full_rebuild() {
 }
 
 void IncrementalTimer::flush_wire_models() {
+  if (use_compact_) {
+    flush_wire_models_on(cg_);
+  } else {
+    flush_wire_models_on(NetlistView(*nl_));
+  }
+}
+
+template <class G>
+void IncrementalTimer::flush_wire_models_on(const G& g) {
   if (wire_dirty_.empty()) return;
   std::sort(wire_dirty_.begin(), wire_dirty_.end(),
             [](NetId a, NetId b) { return a.index() < b.index(); });
   const double k = options_.corner_delay_factor;
   for (NetId n : wire_dirty_) {
     wire_dirty_flag_[n.index()] = 0;
-    const WireModel m = wire_model(*nl_, n, options_);
+    const WireModel m = kern::wire_model(g, n, options_);
     const double wd = k * m.delay_tau;
     const double dl = m.driver_load_units;
     const bool wd_changed = !same_bits(wd, st_.wire_delay[n.index()]);
@@ -419,21 +496,20 @@ void IncrementalTimer::flush_wire_models() {
     mark_ep_dirty(n);
     mark_req_dirty(n);
 
-    const NetDriver& d = nl_->net(n).driver;
+    const NetDriver& d = g.driver(n);
     if (dl_changed) {
       if (d.kind == NetDriver::Kind::kInstance) {
         // The driver's arc delay sees the new load; the arc term in its
         // input nets' required times does too.
         mark_inst_dirty(d.inst);
-        for (NetId in : nl_->instance(d.inst).inputs) mark_req_dirty(in);
+        for (NetId in : g.inputs(d.inst)) mark_req_dirty(in);
       } else if (d.kind == NetDriver::Kind::kPrimaryInput) {
-        const double a = detail::pi_arrival(options_, st_,
-                                            nl_->port(d.port));
+        const double a = kern::pi_arrival(g, options_, st_, d.port);
         if (!same_bits(a, st_.arrival[n.index()])) {
           st_.arrival[n.index()] = a;
-          for (const NetSink& s : nl_->net(n).sinks)
+          for (const NetSink& s : g.sinks(n))
             if (s.kind == NetSink::Kind::kInstancePin &&
-                !nl_->is_sequential(s.inst))
+                !g.is_sequential(s.inst))
               mark_inst_dirty(s.inst);
         }
       }
@@ -442,9 +518,9 @@ void IncrementalTimer::flush_wire_models() {
       // Wire delay is added at every sink: combinational sinks' input
       // arrivals change (sequential sinks launch at the clock and only
       // their endpoint term moves, which mark_ep_dirty covered).
-      for (const NetSink& s : nl_->net(n).sinks)
+      for (const NetSink& s : g.sinks(n))
         if (s.kind == NetSink::Kind::kInstancePin &&
-            !nl_->is_sequential(s.inst))
+            !g.is_sequential(s.inst))
           mark_inst_dirty(s.inst);
     }
   }
@@ -452,6 +528,15 @@ void IncrementalTimer::flush_wire_models() {
 }
 
 void IncrementalTimer::flush_arrivals() {
+  if (use_compact_) {
+    flush_arrivals_on(cg_);
+  } else {
+    flush_arrivals_on(NetlistView(*nl_));
+  }
+}
+
+template <class G>
+void IncrementalTimer::flush_arrivals_on(const G& g) {
   if (inst_dirty_.empty()) return;
   static common::Counter& reprops =
       common::metrics().counter("sta.incremental.nodes_repropagated");
@@ -481,7 +566,7 @@ void IncrementalTimer::flush_arrivals() {
     new_crit.resize(wave.size());
     pool_.parallel_for(wave.size(), [&](std::size_t i) {
       new_arr[i] =
-          detail::instance_arrival(*nl_, options_, st_, wave[i], &new_crit[i]);
+          kern::instance_arrival(g, options_, st_, wave[i], &new_crit[i]);
     });
 
     // Phase 2 (serial, index order): commit and extend the wavefront on
@@ -490,13 +575,13 @@ void IncrementalTimer::flush_arrivals() {
       const InstanceId id = wave[i];
       inst_dirty_flag_[id.index()] = 0;
       st_.crit_input[id.index()] = new_crit[i];
-      const NetId out = nl_->instance(id).output;
+      const NetId out = g.output(id);
       if (same_bits(new_arr[i], st_.arrival[out.index()])) continue;
       st_.arrival[out.index()] = new_arr[i];
       mark_ep_dirty(out);
-      for (const NetSink& s : nl_->net(out).sinks) {
+      for (const NetSink& s : g.sinks(out)) {
         if (s.kind != NetSink::Kind::kInstancePin) continue;
-        if (nl_->is_sequential(s.inst)) continue;
+        if (g.is_sequential(s.inst)) continue;
         if (inst_dirty_flag_[s.inst.index()]) continue;
         inst_dirty_flag_[s.inst.index()] = 1;
         buckets[static_cast<std::size_t>(level_[s.inst.index()])].push_back(
@@ -508,6 +593,15 @@ void IncrementalTimer::flush_arrivals() {
 }
 
 void IncrementalTimer::refresh_endpoints() {
+  if (use_compact_) {
+    refresh_endpoints_on(cg_);
+  } else {
+    refresh_endpoints_on(NetlistView(*nl_));
+  }
+}
+
+template <class G>
+void IncrementalTimer::refresh_endpoints_on(const G& g) {
   if (ep_dirty_.empty()) return;
   std::sort(ep_dirty_.begin(), ep_dirty_.end(),
             [](NetId a, NetId b) { return a.index() < b.index(); });
@@ -516,14 +610,14 @@ void IncrementalTimer::refresh_endpoints() {
     double path = kNegInf;
     std::size_t count = 0;
     if (st_.arrival[n.index()] != kNegInf) {
-      for (const NetSink& s : nl_->net(n).sinks) {
+      for (const NetSink& s : g.sinks(n)) {
         if (s.kind != NetSink::Kind::kPrimaryOutput &&
             !(s.kind == NetSink::Kind::kInstancePin &&
-              nl_->is_sequential(s.inst)))
+              g.is_sequential(s.inst)))
           continue;
         ++count;
         path = std::max(path,
-                        detail::endpoint_path_tau(*nl_, options_, st_, n, s));
+                        kern::endpoint_path_tau(g, options_, st_, n, s));
       }
     }
     ep_path_[n.index()] = path;
@@ -552,14 +646,22 @@ void IncrementalTimer::flush() {
 // --- required-time cache ---------------------------------------------------
 
 void IncrementalTimer::refresh_required(double period_tau) {
+  if (use_compact_) {
+    refresh_required_on(cg_, period_tau);
+  } else {
+    refresh_required_on(NetlistView(*nl_), period_tau);
+  }
+}
+
+template <class G>
+void IncrementalTimer::refresh_required_on(const G& g, double period_tau) {
   static common::Counter& req_recomputed =
       common::metrics().counter("sta.incremental.required_recomputed");
   const double budget = detail::cycle_budget(options_, period_tau);
 
   if (!req_valid_ || !same_bits(period_tau, req_period_tau_)) {
-    required_ =
-        detail::compute_required(*nl_, options_, st_, order_, budget);
-    req_recomputed.add(nl_->num_nets());
+    required_ = kern::compute_required(g, options_, st_, order_, budget);
+    req_recomputed.add(g.num_nets());
     for (NetId n : req_dirty_) req_dirty_flag_[n.index()] = 0;
     req_dirty_.clear();
     req_period_tau_ = period_tau;
@@ -575,9 +677,9 @@ void IncrementalTimer::refresh_required(double period_tau) {
   std::vector<std::vector<NetId>> buckets(
       static_cast<std::size_t>(max_level_) + 2);
   const auto bucket_of = [&](NetId n) -> std::size_t {
-    const NetDriver& d = nl_->net(n).driver;
+    const NetDriver& d = g.driver(n);
     if (d.kind != NetDriver::Kind::kInstance) return 0;
-    if (nl_->is_sequential(d.inst)) return 1;
+    if (g.is_sequential(d.inst)) return 1;
     return static_cast<std::size_t>(level_[d.inst.index()]) + 1;
   };
   for (NetId n : req_dirty_) buckets[bucket_of(n)].push_back(n);
@@ -593,8 +695,8 @@ void IncrementalTimer::refresh_required(double period_tau) {
     total += wave.size();
     scratch.resize(wave.size());
     pool_.parallel_for(wave.size(), [&](std::size_t i) {
-      scratch[i] = detail::required_of_net(*nl_, options_, st_, required_,
-                                           budget, wave[i]);
+      scratch[i] = kern::required_of_net(g, options_, st_, required_,
+                                         budget, wave[i]);
     });
     for (std::size_t i = 0; i < wave.size(); ++i) {
       const NetId n = wave[i];
@@ -602,10 +704,10 @@ void IncrementalTimer::refresh_required(double period_tau) {
       if (same_bits(scratch[i], required_[n.index()])) continue;
       required_[n.index()] = scratch[i];
       // Propagate into the nets feeding this net's combinational driver.
-      const NetDriver& d = nl_->net(n).driver;
+      const NetDriver& d = g.driver(n);
       if (d.kind != NetDriver::Kind::kInstance) continue;
-      if (nl_->is_sequential(d.inst)) continue;
-      for (NetId in : nl_->instance(d.inst).inputs) {
+      if (g.is_sequential(d.inst)) continue;
+      for (NetId in : g.inputs(d.inst)) {
         if (req_dirty_flag_[in.index()]) continue;
         req_dirty_flag_[in.index()] = 1;
         buckets[bucket_of(in)].push_back(in);
@@ -625,6 +727,7 @@ const std::vector<double>& IncrementalTimer::arrivals() {
 std::vector<double> IncrementalTimer::slacks(double period_tau) {
   flush();
   refresh_required(period_tau);
+  if (use_compact_) return kern::slacks_from_state(cg_, st_, required_);
   return detail::slacks_from_state(*nl_, st_, required_);
 }
 
@@ -646,12 +749,15 @@ TimingResult IncrementalTimer::timing() {
   analyses.add();
   flush();
   const detail::WorstEndpoint e = scan_worst_endpoint();
+  if (use_compact_)
+    return kern::timing_result_from_state(cg_, options_, st_, e);
   return detail::timing_result_from_state(*nl_, options_, st_, e);
 }
 
 std::vector<CriticalPath> IncrementalTimer::top_paths(int k) {
   if (k <= 0) return {};
   flush();
+  if (use_compact_) return kern::top_paths_from_state(cg_, options_, st_, k);
   return detail::top_paths_from_state(*nl_, options_, st_, k);
 }
 

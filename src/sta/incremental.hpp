@@ -38,6 +38,7 @@
 #include "common/status.hpp"
 #include "common/thread_pool.hpp"
 #include "netlist/netlist.hpp"
+#include "sta/compact_graph.hpp"
 #include "sta/propagation.hpp"
 #include "sta/sta.hpp"
 
@@ -153,10 +154,32 @@ class IncrementalTimer {
   void refresh_required(double period_tau);
   [[nodiscard]] detail::WorstEndpoint scan_worst_endpoint() const;
 
+  // View-templated bodies of the flush pipeline, instantiated with
+  // NetlistView (pointer path) or the resident CompactGraph. The
+  // non-template drivers above dispatch on options_.graph; the arithmetic
+  // inside is the shared kernels of sta/kernels.hpp either way.
+  template <class G>
+  void rebuild_state(const G& g);
+  template <class G>
+  void flush_wire_models_on(const G& g);
+  template <class G>
+  void flush_arrivals_on(const G& g);
+  template <class G>
+  void refresh_endpoints_on(const G& g);
+  template <class G>
+  void refresh_required_on(const G& g, double period_tau);
+
   netlist::Netlist* nl_;
   StaOptions options_;
   int threads_;
   common::ThreadPool pool_;  ///< resident lanes for the wavefronts
+
+  /// The flat graph all timing reads go through when options_.graph ==
+  /// GraphKind::kCompact. apply() patches values in place on resizes;
+  /// rewires rebuild its adjacency on flush; invalidate_all() rebuilds it
+  /// entirely. Empty (and ignored) on the pointer path.
+  CompactGraph cg_;
+  bool use_compact_ = true;
 
   detail::ArrivalState st_;
   std::vector<InstanceId> order_;  ///< topo order (seed of the levels)

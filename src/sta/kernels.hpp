@@ -1,0 +1,444 @@
+#pragma once
+/// \file kernels.hpp
+/// The timing arithmetic of both STA engines, templated over a *graph
+/// view*. A view is anything that answers the read-only accessor
+/// vocabulary below; two implementations exist:
+///
+///   - NetlistView — a zero-cost adapter over netlist::Netlist (the
+///     pointer path; every accessor inlines to the Netlist call the
+///     kernels historically made), and
+///   - sta::CompactGraph — flat structure-of-arrays storage with
+///     CSR adjacency and a levelized wavefront schedule.
+///
+/// **The byte-identity contract.** sta::analyze / net_slacks /
+/// top_critical_paths and the incremental timer must agree bit-for-bit on
+/// every query regardless of StaOptions::graph and thread count. The only
+/// way to guarantee that across two data layouts is to evaluate every
+/// formula through one *source* definition: each kernel is written once
+/// here and instantiated per view. Both instantiations execute the same
+/// expression trees over the same doubles (views return stored or
+/// identically-computed values, never re-derived ones), so IEEE-754
+/// evaluation is identical. tests/soa_graph_test.cpp enforces this
+/// differentially; tests/incremental_sta_test.cpp enforces the
+/// batch-vs-incremental half of the contract.
+///
+/// View vocabulary (all const, all cheap):
+///   num_nets() num_instances() num_ports()
+///   is_sequential(i) parasitic(i) drive(i) clk_to_q(i) setup(i) pin_cap(i)
+///   inputs(i) -> span<const NetId>      output(i) -> NetId
+///   sinks(n) -> span<const NetSink>     driver(n) -> const NetDriver&
+///   net_length_um(n) net_width_multiple(n) net_extra_cap_units(n)
+///   port_net(p) port_is_input(p) port_ext_drive(p)
+///   technology() -> const tech::Technology&
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <span>
+#include <vector>
+
+#include "netlist/netlist.hpp"
+#include "sta/propagation.hpp"
+#include "sta/sta.hpp"
+#include "wire/repeaters.hpp"
+
+namespace gap::sta {
+
+/// Pointer-path view: thin inline wrapper over netlist::Netlist giving it
+/// the kernel accessor vocabulary. Copying is free (one pointer).
+class NetlistView {
+ public:
+  explicit NetlistView(const netlist::Netlist& nl) : nl_(&nl) {}
+
+  [[nodiscard]] std::size_t num_nets() const { return nl_->num_nets(); }
+  [[nodiscard]] std::size_t num_instances() const {
+    return nl_->num_instances();
+  }
+  [[nodiscard]] std::size_t num_ports() const { return nl_->num_ports(); }
+
+  [[nodiscard]] bool is_sequential(InstanceId id) const {
+    return nl_->is_sequential(id);
+  }
+  [[nodiscard]] double parasitic(InstanceId id) const {
+    return nl_->cell_of(id).parasitic;
+  }
+  [[nodiscard]] double drive(InstanceId id) const { return nl_->drive_of(id); }
+  [[nodiscard]] double clk_to_q(InstanceId id) const {
+    return nl_->cell_of(id).clk_to_q_tau;
+  }
+  [[nodiscard]] double setup(InstanceId id) const {
+    return nl_->cell_of(id).setup_tau;
+  }
+  [[nodiscard]] double pin_cap(InstanceId id) const {
+    return nl_->pin_cap(id);
+  }
+
+  [[nodiscard]] std::span<const NetId> inputs(InstanceId id) const {
+    return nl_->instance(id).inputs;
+  }
+  [[nodiscard]] NetId output(InstanceId id) const {
+    return nl_->instance(id).output;
+  }
+
+  [[nodiscard]] std::span<const netlist::NetSink> sinks(NetId n) const {
+    return nl_->net(n).sinks;
+  }
+  [[nodiscard]] const netlist::NetDriver& driver(NetId n) const {
+    return nl_->net(n).driver;
+  }
+  [[nodiscard]] double net_length_um(NetId n) const {
+    return nl_->net(n).length_um;
+  }
+  [[nodiscard]] double net_width_multiple(NetId n) const {
+    return nl_->net(n).width_multiple;
+  }
+  [[nodiscard]] double net_extra_cap_units(NetId n) const {
+    return nl_->net(n).extra_cap_units;
+  }
+
+  [[nodiscard]] NetId port_net(PortId p) const { return nl_->port(p).net; }
+  [[nodiscard]] bool port_is_input(PortId p) const {
+    return nl_->port(p).is_input;
+  }
+  [[nodiscard]] double port_ext_drive(PortId p) const {
+    return nl_->port(p).ext_drive;
+  }
+
+  [[nodiscard]] const tech::Technology& technology() const {
+    return nl_->lib().technology();
+  }
+
+ private:
+  const netlist::Netlist* nl_;
+};
+
+namespace kern {
+
+inline constexpr double kNegInf = -std::numeric_limits<double>::infinity();
+inline constexpr double kPosInf = std::numeric_limits<double>::infinity();
+
+/// Arc delay of an instance driving the given load, in tau (pre-corner).
+template <class G>
+[[nodiscard]] double arc_delay(const G& g, InstanceId id, double load_units) {
+  double d = g.parasitic(id) + load_units / g.drive(id);
+  if (g.is_sequential(id)) d += g.clk_to_q(id);
+  return d;
+}
+
+/// The primary-input arrival formula on raw operands, shared by the
+/// PortId-addressed template below and the Port&-addressed legacy entry
+/// point in propagation.cpp.
+[[nodiscard]] inline double pi_arrival_value(const StaOptions& opt,
+                                             double driver_load,
+                                             double ext_drive) {
+  return opt.corner_delay_factor * driver_load / ext_drive;
+}
+
+template <class G>
+[[nodiscard]] double pi_arrival(const G& g, const StaOptions& opt,
+                                const detail::ArrivalState& st, PortId pid) {
+  return pi_arrival_value(opt, st.driver_load[g.port_net(pid).index()],
+                          g.port_ext_drive(pid));
+}
+
+template <class G>
+[[nodiscard]] double instance_arrival(const G& g, const StaOptions& opt,
+                                      const detail::ArrivalState& st,
+                                      InstanceId id, NetId* crit_out) {
+  NetId crit;
+  double in_arr = 0.0;
+  if (!g.is_sequential(id)) {  // sequential: launched by the clock edge
+    in_arr = kNegInf;
+    for (NetId in : g.inputs(id)) {
+      const double a = st.arrival[in.index()] + st.wire_delay[in.index()];
+      if (a > in_arr) {
+        in_arr = a;
+        crit = in;
+      }
+    }
+    if (in_arr == kNegInf) in_arr = 0.0;  // undriven (floating) inputs
+  }
+  if (crit_out != nullptr) *crit_out = crit;
+  return in_arr +
+         opt.corner_delay_factor * detail::inst_factor(opt, id) *
+             arc_delay(g, id, st.driver_load[g.output(id).index()]);
+}
+
+template <class G>
+void relax_instance(const G& g, const StaOptions& opt,
+                    detail::ArrivalState& st, InstanceId id) {
+  NetId crit;
+  const double a = instance_arrival(g, opt, st, id, &crit);
+  st.crit_input[id.index()] = crit;
+  st.arrival[g.output(id).index()] = a;
+}
+
+template <class G>
+[[nodiscard]] double endpoint_path_tau(const G& g, const StaOptions& opt,
+                                       const detail::ArrivalState& st,
+                                       NetId net,
+                                       const netlist::NetSink& sink) {
+  if (st.arrival[net.index()] == kNegInf) return kNegInf;
+  if (sink.kind == netlist::NetSink::Kind::kPrimaryOutput)
+    return st.arrival[net.index()] + st.wire_delay[net.index()];
+  if (g.is_sequential(sink.inst))
+    return st.arrival[net.index()] + st.wire_delay[net.index()] +
+           opt.corner_delay_factor * detail::inst_factor(opt, sink.inst) *
+               g.setup(sink.inst);
+  return kNegInf;
+}
+
+template <class G>
+[[nodiscard]] double required_of_net(const G& g, const StaOptions& opt,
+                                     const detail::ArrivalState& st,
+                                     const std::vector<double>& required,
+                                     double budget, NetId net) {
+  const double k = opt.corner_delay_factor;
+  double out = kPosInf;
+  for (const netlist::NetSink& s : g.sinks(net)) {
+    double req = kPosInf;
+    if (s.kind == netlist::NetSink::Kind::kPrimaryOutput) {
+      req = budget - st.wire_delay[net.index()];
+    } else if (g.is_sequential(s.inst)) {
+      req = budget - k * g.setup(s.inst) - st.wire_delay[net.index()];
+    } else {
+      const NetId sink_out = g.output(s.inst);
+      const double req_out = required[sink_out.index()];
+      if (req_out != kPosInf) {
+        const double req_in =
+            req_out - k * detail::inst_factor(opt, s.inst) *
+                          arc_delay(g, s.inst,
+                                    st.driver_load[sink_out.index()]);
+        req = req_in - st.wire_delay[net.index()];
+      }
+    }
+    out = std::min(out, req);
+  }
+  return out;
+}
+
+template <class G>
+[[nodiscard]] std::vector<double> compute_required(
+    const G& g, const StaOptions& opt, const detail::ArrivalState& st,
+    const std::vector<InstanceId>& order, double budget) {
+  std::vector<double> required(g.num_nets(), kPosInf);
+  // Reverse topological order: every combinational sink's output net is
+  // final before the nets feeding it are computed. Sequential instances
+  // sit at the front of `order`, so their output nets come last here —
+  // after every combinational consumer has a final requirement.
+  for (auto it = order.rbegin(); it != order.rend(); ++it) {
+    const NetId out = g.output(*it);
+    required[out.index()] =
+        required_of_net(g, opt, st, required, budget, out);
+  }
+  // Nets without an instance driver (primary inputs, floating nets) feed
+  // nothing upstream; compute them last, in net order.
+  for (std::uint32_t i = 0; i < g.num_nets(); ++i) {
+    const NetId nid{i};
+    if (g.driver(nid).kind == netlist::NetDriver::Kind::kInstance) continue;
+    required[nid.index()] =
+        required_of_net(g, opt, st, required, budget, nid);
+  }
+  return required;
+}
+
+template <class G>
+[[nodiscard]] std::vector<double> slacks_from_state(
+    const G& g, const detail::ArrivalState& st,
+    const std::vector<double>& required) {
+  std::vector<double> slack(g.num_nets(), kPosInf);
+  for (std::uint32_t i = 0; i < g.num_nets(); ++i) {
+    const NetId nid{i};
+    if (st.arrival[nid.index()] == kNegInf ||
+        required[nid.index()] == kPosInf)
+      continue;
+    slack[nid.index()] = required[nid.index()] - st.arrival[nid.index()];
+  }
+  return slack;
+}
+
+template <class G>
+[[nodiscard]] detail::WorstEndpoint worst_endpoint_from_state(
+    const G& g, const StaOptions& opt, const detail::ArrivalState& st) {
+  detail::WorstEndpoint e{kNegInf, NetId{}, 0};
+  for (std::uint32_t i = 0; i < g.num_nets(); ++i) {
+    const NetId nid{i};
+    if (st.arrival[nid.index()] == kNegInf) continue;
+    for (const netlist::NetSink& s : g.sinks(nid)) {
+      if (s.kind != netlist::NetSink::Kind::kPrimaryOutput &&
+          !(s.kind == netlist::NetSink::Kind::kInstancePin &&
+            g.is_sequential(s.inst)))
+        continue;
+      const double path = endpoint_path_tau(g, opt, st, nid, s);
+      ++e.count;
+      if (path > e.path_tau) {
+        e.path_tau = path;
+        e.net = nid;
+      }
+    }
+  }
+  return e;
+}
+
+template <class G>
+[[nodiscard]] TimingResult timing_result_from_state(
+    const G& g, const StaOptions& opt, const detail::ArrivalState& st,
+    const detail::WorstEndpoint& worst) {
+  TimingResult r;
+  r.num_endpoints = worst.count;
+  if (worst.count == 0 || worst.path_tau == kNegInf) return r;
+  r.worst_path_tau = worst.path_tau;
+  r.min_period_tau = (worst.path_tau + opt.clock.extra_skew_tau) /
+                     (1.0 - opt.clock.skew_fraction);
+  const tech::Technology& t = g.technology();
+  r.min_period_ps = t.tau_to_ps(r.min_period_tau);
+  r.min_period_fo4 = t.tau_to_fo4(r.min_period_tau);
+
+  // Trace the critical path back from the worst endpoint.
+  NetId net = worst.net;
+  while (net.valid()) {
+    const netlist::NetDriver& d = g.driver(net);
+    if (d.kind != netlist::NetDriver::Kind::kInstance) break;
+    r.critical_path.push_back(d.inst);
+    if (g.is_sequential(d.inst)) break;  // launch point
+    net = st.crit_input[d.inst.index()];
+  }
+  std::reverse(r.critical_path.begin(), r.critical_path.end());
+  return r;
+}
+
+template <class G>
+[[nodiscard]] std::vector<CriticalPath> top_paths_from_state(
+    const G& g, const StaOptions& opt, const detail::ArrivalState& st,
+    int k) {
+  using netlist::NetSink;
+  std::vector<CriticalPath> out;
+  if (k <= 0) return out;
+
+  // Every timing endpoint with its full path delay.
+  struct Candidate {
+    double path_tau;
+    NetId net;
+    NetSink sink;
+  };
+  std::vector<Candidate> candidates;
+  for (std::uint32_t i = 0; i < g.num_nets(); ++i) {
+    const NetId nid{i};
+    if (st.arrival[nid.index()] == kNegInf) continue;
+    for (const NetSink& s : g.sinks(nid)) {
+      if (s.kind != NetSink::Kind::kPrimaryOutput &&
+          !(s.kind == NetSink::Kind::kInstancePin &&
+            g.is_sequential(s.inst)))
+        continue;
+      candidates.push_back({endpoint_path_tau(g, opt, st, nid, s), nid, s});
+    }
+  }
+  std::sort(candidates.begin(), candidates.end(),
+            [](const Candidate& a, const Candidate& b) {
+              if (a.path_tau != b.path_tau) return a.path_tau > b.path_tau;
+              if (a.net.index() != b.net.index())
+                return a.net.index() < b.net.index();
+              if (a.sink.kind != b.sink.kind) return a.sink.kind < b.sink.kind;
+              if (a.sink.kind == NetSink::Kind::kInstancePin) {
+                if (a.sink.inst.index() != b.sink.inst.index())
+                  return a.sink.inst.index() < b.sink.inst.index();
+                return a.sink.pin < b.sink.pin;
+              }
+              return a.sink.port.index() < b.sink.port.index();
+            });
+  if (candidates.size() > static_cast<std::size_t>(k))
+    candidates.resize(static_cast<std::size_t>(k));
+
+  for (const Candidate& c : candidates) {
+    CriticalPath path;
+    path.endpoint_net = c.net;
+    path.endpoint = c.sink;
+    path.path_tau = c.path_tau;
+    // Backtrack through the worst-input chain, as analyze() does.
+    NetId net = c.net;
+    while (net.valid()) {
+      const netlist::NetDriver& d = g.driver(net);
+      if (d.kind != netlist::NetDriver::Kind::kInstance) break;
+      PathNode node;
+      node.inst = d.inst;
+      node.arrival_tau = st.arrival[g.output(d.inst).index()];
+      if (!g.is_sequential(d.inst))
+        node.input_net = st.crit_input[d.inst.index()];
+      path.nodes.push_back(node);
+      if (g.is_sequential(d.inst)) break;  // launch point
+      net = st.crit_input[d.inst.index()];
+    }
+    std::reverse(path.nodes.begin(), path.nodes.end());
+    out.push_back(std::move(path));
+  }
+  return out;
+}
+
+/// Total capacitive load on a net (pins + wire + extra), in unit caps —
+/// the view-templated twin of netlist::Netlist::net_load.
+template <class G>
+[[nodiscard]] double net_load(const G& g, NetId id) {
+  double load = g.net_extra_cap_units(id);
+  for (const netlist::NetSink& s : g.sinks(id))
+    if (s.kind == netlist::NetSink::Kind::kInstancePin)
+      load += g.pin_cap(s.inst);
+  // Widening multiplies the area component of wire capacitance (~60%).
+  const double width_scale = 0.6 * g.net_width_multiple(id) + 0.4;
+  load += g.technology().cap_to_units(
+      g.technology().wire_c_ff_per_um * g.net_length_um(id) * width_scale);
+  return load;
+}
+
+/// Wire modeling of one net: delay added at every sink, and the load the
+/// driver actually sees. For a long net with optimal repeaters, the first
+/// repeater sits adjacent to the driver, so the driver is unloaded from
+/// the wire and the repeated-line delay covers everything to the sinks.
+template <class G>
+[[nodiscard]] WireModel wire_model(const G& g, NetId id,
+                                   const StaOptions& opt) {
+  WireModel m;
+  m.driver_load_units = net_load(g, id);
+  if (!opt.include_wire_delay || g.net_length_um(id) <= 0.0) return m;
+  const tech::Technology& t = g.technology();
+
+  double sink_units = g.net_extra_cap_units(id);
+  for (const netlist::NetSink& s : g.sinks(id))
+    if (s.kind == netlist::NetSink::Kind::kInstancePin)
+      sink_units += g.pin_cap(s.inst);
+
+  wire::WireSegment seg;
+  seg.length_um = g.net_length_um(id);
+  seg.width_multiple = g.net_width_multiple(id);
+  m.delay_tau = wire::elmore_delay_tau(t, seg, sink_units);
+
+  if (opt.optimal_repeaters && g.net_length_um(id) > opt.repeater_threshold_um) {
+    // "Proper driving" (section 5): a fanout-of-4 buffer chain ramps up
+    // from the net's driver to the plan's repeater size, then the
+    // optimally repeated line carries the signal to the sinks. Pick
+    // whichever model (raw RC vs ramp + repeated line) is faster,
+    // including the driver's own effort delay in the comparison.
+    double drv = 1.0;
+    const netlist::NetDriver& d = g.driver(id);
+    if (d.kind == netlist::NetDriver::Kind::kInstance)
+      drv = g.drive(d.inst);
+    else if (d.kind == netlist::NetDriver::Kind::kPrimaryInput)
+      drv = g.port_ext_drive(d.port);
+
+    const wire::RepeaterPlan plan =
+        wire::plan_repeaters(t, seg, sink_units * t.unit_inv_cin_ff);
+    const double ratio = std::max(1.0, plan.repeater_size / drv);
+    const double ramp_stages = std::ceil(std::log(ratio) / std::log(4.0));
+    const double ramp_tau = ramp_stages * 5.0;  // FO4 per chain stage
+    const double repeated_total =
+        4.0 + ramp_tau + t.ps_to_tau(plan.delay_ps);  // 4.0 = driver FO4 load
+    const double raw_total = m.driver_load_units / drv + m.delay_tau;
+    if (repeated_total < raw_total) {
+      m.delay_tau = ramp_tau + t.ps_to_tau(plan.delay_ps);
+      m.driver_load_units = 4.0 * drv;  // first chain buffer
+    }
+  }
+  return m;
+}
+
+}  // namespace kern
+}  // namespace gap::sta

@@ -1,80 +1,46 @@
 #include "sta/propagation.hpp"
 
-#include <algorithm>
-#include <limits>
+#include "sta/kernels.hpp"
+
+// The Netlist-addressed kernel entry points both engines historically
+// called. Since the kernels were templated over a graph view
+// (sta/kernels.hpp), each function here is the NetlistView instantiation
+// of the corresponding kernel — the arithmetic has exactly one source
+// definition, shared bit-for-bit with the CompactGraph instantiation.
 
 namespace gap::sta::detail {
-namespace {
-
-using netlist::NetDriver;
-using netlist::Netlist;
-using netlist::NetSink;
-
-constexpr double kNegInf = -std::numeric_limits<double>::infinity();
-constexpr double kPosInf = std::numeric_limits<double>::infinity();
-
-}  // namespace
 
 double inst_factor(const StaOptions& opt, InstanceId id) {
   if (opt.instance_delay_factors == nullptr) return 1.0;
   return (*opt.instance_delay_factors)[id.index()];
 }
 
-double arc_delay(const Netlist& nl, InstanceId id, double load_units) {
-  const library::Cell& c = nl.cell_of(id);
-  double d = c.parasitic + load_units / nl.drive_of(id);
-  if (c.is_sequential()) d += c.clk_to_q_tau;
-  return d;
+double arc_delay(const netlist::Netlist& nl, InstanceId id,
+                 double load_units) {
+  return kern::arc_delay(NetlistView(nl), id, load_units);
 }
 
 double pi_arrival(const StaOptions& opt, const ArrivalState& st,
                   const netlist::Port& port) {
-  return opt.corner_delay_factor * st.driver_load[port.net.index()] /
-         port.ext_drive;
+  return kern::pi_arrival_value(opt, st.driver_load[port.net.index()],
+                                port.ext_drive);
 }
 
-double instance_arrival(const Netlist& nl, const StaOptions& opt,
+double instance_arrival(const netlist::Netlist& nl, const StaOptions& opt,
                         const ArrivalState& st, InstanceId id,
                         NetId* crit_out) {
-  const netlist::Instance& inst = nl.instance(id);
-  NetId crit;
-  double in_arr = 0.0;
-  if (!nl.is_sequential(id)) {  // sequential: launched by the clock edge
-    in_arr = kNegInf;
-    for (NetId in : inst.inputs) {
-      const double a = st.arrival[in.index()] + st.wire_delay[in.index()];
-      if (a > in_arr) {
-        in_arr = a;
-        crit = in;
-      }
-    }
-    if (in_arr == kNegInf) in_arr = 0.0;  // undriven (floating) inputs
-  }
-  if (crit_out != nullptr) *crit_out = crit;
-  return in_arr +
-         opt.corner_delay_factor * inst_factor(opt, id) *
-             arc_delay(nl, id, st.driver_load[inst.output.index()]);
+  return kern::instance_arrival(NetlistView(nl), opt, st, id, crit_out);
 }
 
-void relax_instance(const Netlist& nl, const StaOptions& opt,
+void relax_instance(const netlist::Netlist& nl, const StaOptions& opt,
                     ArrivalState& st, InstanceId id) {
-  NetId crit;
-  const double a = instance_arrival(nl, opt, st, id, &crit);
-  st.crit_input[id.index()] = crit;
-  st.arrival[nl.instance(id).output.index()] = a;
+  kern::relax_instance(NetlistView(nl), opt, st, id);
 }
 
-double endpoint_path_tau(const Netlist& nl, const StaOptions& opt,
+double endpoint_path_tau(const netlist::Netlist& nl, const StaOptions& opt,
                          const ArrivalState& st, NetId net,
-                         const NetSink& sink) {
-  if (st.arrival[net.index()] == kNegInf) return kNegInf;
-  if (sink.kind == NetSink::Kind::kPrimaryOutput)
-    return st.arrival[net.index()] + st.wire_delay[net.index()];
-  if (nl.is_sequential(sink.inst))
-    return st.arrival[net.index()] + st.wire_delay[net.index()] +
-           opt.corner_delay_factor * inst_factor(opt, sink.inst) *
-               nl.cell_of(sink.inst).setup_tau;
-  return kNegInf;
+                         const netlist::NetSink& sink) {
+  return kern::endpoint_path_tau(NetlistView(nl), opt, st, net, sink);
 }
 
 double cycle_budget(const StaOptions& opt, double period_tau) {
@@ -82,185 +48,46 @@ double cycle_budget(const StaOptions& opt, double period_tau) {
          opt.clock.extra_skew_tau;
 }
 
-double required_of_net(const Netlist& nl, const StaOptions& opt,
+double required_of_net(const netlist::Netlist& nl, const StaOptions& opt,
                        const ArrivalState& st,
                        const std::vector<double>& required, double budget,
                        NetId net) {
-  const double k = opt.corner_delay_factor;
-  double out = kPosInf;
-  for (const NetSink& s : nl.net(net).sinks) {
-    double req = kPosInf;
-    if (s.kind == NetSink::Kind::kPrimaryOutput) {
-      req = budget - st.wire_delay[net.index()];
-    } else if (nl.is_sequential(s.inst)) {
-      req = budget - k * nl.cell_of(s.inst).setup_tau -
-            st.wire_delay[net.index()];
-    } else {
-      const NetId sink_out = nl.instance(s.inst).output;
-      const double req_out = required[sink_out.index()];
-      if (req_out != kPosInf) {
-        const double req_in =
-            req_out - k * inst_factor(opt, s.inst) *
-                          arc_delay(nl, s.inst,
-                                    st.driver_load[sink_out.index()]);
-        req = req_in - st.wire_delay[net.index()];
-      }
-    }
-    out = std::min(out, req);
-  }
-  return out;
+  return kern::required_of_net(NetlistView(nl), opt, st, required, budget,
+                               net);
 }
 
-std::vector<double> compute_required(const Netlist& nl,
+std::vector<double> compute_required(const netlist::Netlist& nl,
                                      const StaOptions& opt,
                                      const ArrivalState& st,
                                      const std::vector<InstanceId>& order,
                                      double budget) {
-  std::vector<double> required(nl.num_nets(), kPosInf);
-  // Reverse topological order: every combinational sink's output net is
-  // final before the nets feeding it are computed. Sequential instances
-  // sit at the front of `order`, so their output nets come last here —
-  // after every combinational consumer has a final requirement.
-  for (auto it = order.rbegin(); it != order.rend(); ++it) {
-    const NetId out = nl.instance(*it).output;
-    required[out.index()] =
-        required_of_net(nl, opt, st, required, budget, out);
-  }
-  // Nets without an instance driver (primary inputs, floating nets) feed
-  // nothing upstream; compute them last, in net order.
-  for (NetId nid : nl.all_nets()) {
-    if (nl.net(nid).driver.kind == NetDriver::Kind::kInstance) continue;
-    required[nid.index()] =
-        required_of_net(nl, opt, st, required, budget, nid);
-  }
-  return required;
+  return kern::compute_required(NetlistView(nl), opt, st, order, budget);
 }
 
-std::vector<double> slacks_from_state(const Netlist& nl,
+std::vector<double> slacks_from_state(const netlist::Netlist& nl,
                                       const ArrivalState& st,
                                       const std::vector<double>& required) {
-  std::vector<double> slack(nl.num_nets(), kPosInf);
-  for (NetId nid : nl.all_nets()) {
-    if (st.arrival[nid.index()] == kNegInf ||
-        required[nid.index()] == kPosInf)
-      continue;
-    slack[nid.index()] = required[nid.index()] - st.arrival[nid.index()];
-  }
-  return slack;
+  return kern::slacks_from_state(NetlistView(nl), st, required);
 }
 
-WorstEndpoint worst_endpoint_from_state(const Netlist& nl,
+WorstEndpoint worst_endpoint_from_state(const netlist::Netlist& nl,
                                         const StaOptions& opt,
                                         const ArrivalState& st) {
-  WorstEndpoint e{kNegInf, NetId{}, 0};
-  for (NetId nid : nl.all_nets()) {
-    if (st.arrival[nid.index()] == kNegInf) continue;
-    for (const NetSink& s : nl.net(nid).sinks) {
-      if (s.kind != NetSink::Kind::kPrimaryOutput &&
-          !(s.kind == NetSink::Kind::kInstancePin &&
-            nl.is_sequential(s.inst)))
-        continue;
-      const double path = endpoint_path_tau(nl, opt, st, nid, s);
-      ++e.count;
-      if (path > e.path_tau) {
-        e.path_tau = path;
-        e.net = nid;
-      }
-    }
-  }
-  return e;
+  return kern::worst_endpoint_from_state(NetlistView(nl), opt, st);
 }
 
-TimingResult timing_result_from_state(const Netlist& nl,
+TimingResult timing_result_from_state(const netlist::Netlist& nl,
                                       const StaOptions& opt,
                                       const ArrivalState& st,
                                       const WorstEndpoint& worst) {
-  TimingResult r;
-  r.num_endpoints = worst.count;
-  if (worst.count == 0 || worst.path_tau == kNegInf) return r;
-  r.worst_path_tau = worst.path_tau;
-  r.min_period_tau = (worst.path_tau + opt.clock.extra_skew_tau) /
-                     (1.0 - opt.clock.skew_fraction);
-  const tech::Technology& t = nl.lib().technology();
-  r.min_period_ps = t.tau_to_ps(r.min_period_tau);
-  r.min_period_fo4 = t.tau_to_fo4(r.min_period_tau);
-
-  // Trace the critical path back from the worst endpoint.
-  NetId net = worst.net;
-  while (net.valid()) {
-    const NetDriver& d = nl.net(net).driver;
-    if (d.kind != NetDriver::Kind::kInstance) break;
-    r.critical_path.push_back(d.inst);
-    if (nl.is_sequential(d.inst)) break;  // launch point
-    net = st.crit_input[d.inst.index()];
-  }
-  std::reverse(r.critical_path.begin(), r.critical_path.end());
-  return r;
+  return kern::timing_result_from_state(NetlistView(nl), opt, st, worst);
 }
 
-std::vector<CriticalPath> top_paths_from_state(const Netlist& nl,
+std::vector<CriticalPath> top_paths_from_state(const netlist::Netlist& nl,
                                                const StaOptions& opt,
                                                const ArrivalState& st,
                                                int k) {
-  std::vector<CriticalPath> out;
-  if (k <= 0) return out;
-
-  // Every timing endpoint with its full path delay.
-  struct Candidate {
-    double path_tau;
-    NetId net;
-    NetSink sink;
-  };
-  std::vector<Candidate> candidates;
-  for (NetId nid : nl.all_nets()) {
-    if (st.arrival[nid.index()] == kNegInf) continue;
-    for (const NetSink& s : nl.net(nid).sinks) {
-      if (s.kind != NetSink::Kind::kPrimaryOutput &&
-          !(s.kind == NetSink::Kind::kInstancePin &&
-            nl.is_sequential(s.inst)))
-        continue;
-      candidates.push_back({endpoint_path_tau(nl, opt, st, nid, s), nid, s});
-    }
-  }
-  std::sort(candidates.begin(), candidates.end(),
-            [](const Candidate& a, const Candidate& b) {
-              if (a.path_tau != b.path_tau) return a.path_tau > b.path_tau;
-              if (a.net.index() != b.net.index())
-                return a.net.index() < b.net.index();
-              if (a.sink.kind != b.sink.kind) return a.sink.kind < b.sink.kind;
-              if (a.sink.kind == NetSink::Kind::kInstancePin) {
-                if (a.sink.inst.index() != b.sink.inst.index())
-                  return a.sink.inst.index() < b.sink.inst.index();
-                return a.sink.pin < b.sink.pin;
-              }
-              return a.sink.port.index() < b.sink.port.index();
-            });
-  if (candidates.size() > static_cast<std::size_t>(k))
-    candidates.resize(static_cast<std::size_t>(k));
-
-  for (const Candidate& c : candidates) {
-    CriticalPath path;
-    path.endpoint_net = c.net;
-    path.endpoint = c.sink;
-    path.path_tau = c.path_tau;
-    // Backtrack through the worst-input chain, as analyze() does.
-    NetId net = c.net;
-    while (net.valid()) {
-      const NetDriver& d = nl.net(net).driver;
-      if (d.kind != NetDriver::Kind::kInstance) break;
-      PathNode node;
-      node.inst = d.inst;
-      node.arrival_tau = st.arrival[nl.instance(d.inst).output.index()];
-      if (!nl.is_sequential(d.inst))
-        node.input_net = st.crit_input[d.inst.index()];
-      path.nodes.push_back(node);
-      if (nl.is_sequential(d.inst)) break;  // launch point
-      net = st.crit_input[d.inst.index()];
-    }
-    std::reverse(path.nodes.begin(), path.nodes.end());
-    out.push_back(std::move(path));
-  }
-  return out;
+  return kern::top_paths_from_state(NetlistView(nl), opt, st, k);
 }
 
 }  // namespace gap::sta::detail

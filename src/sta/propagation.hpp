@@ -1,13 +1,15 @@
 #pragma once
 /// \file propagation.hpp
-/// Shared per-node arithmetic of the two STA engines. The batch engine
-/// (sta.cpp) and the incremental engine (incremental.cpp) must produce
-/// *byte-identical* arrivals, required times, slacks and critical paths —
-/// that is the contract the differential harness in
-/// tests/incremental_sta_test.cpp enforces. The only way to guarantee it
-/// is to evaluate every timing quantity through one compiled definition,
-/// so the kernels live out-of-line in propagation.cpp and both engines
-/// call them; neither engine owns a private copy of the arithmetic.
+/// Shared per-node arithmetic of the two STA engines, addressed by
+/// netlist::Netlist. The batch engine (sta.cpp) and the incremental
+/// engine (incremental.cpp) must produce *byte-identical* arrivals,
+/// required times, slacks and critical paths — that is the contract the
+/// differential harness in tests/incremental_sta_test.cpp enforces. The
+/// formulas themselves live once, templated over a graph view, in
+/// sta/kernels.hpp; every function here is the NetlistView instantiation
+/// (compiled out-of-line in propagation.cpp), so the pointer path and the
+/// CompactGraph path share one source definition of every quantity and
+/// neither engine owns a private copy of the arithmetic.
 ///
 /// All functions are pure: they read the netlist and the per-net arrays
 /// and never touch engine bookkeeping (dirty sets, counters, caches).

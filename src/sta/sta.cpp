@@ -7,6 +7,8 @@
 #include "common/metrics.hpp"
 #include "common/trace.hpp"
 #include "netlist/checks.hpp"
+#include "sta/compact_graph.hpp"
+#include "sta/kernels.hpp"
 #include "sta/propagation.hpp"
 #include "wire/repeaters.hpp"
 
@@ -31,52 +33,10 @@ struct Propagation {
 
 }  // namespace
 
-/// Wire modeling of one net: delay added at every sink, and the load the
-/// driver actually sees. For a long net with optimal repeaters, the first
-/// repeater sits adjacent to the driver, so the driver is unloaded from
-/// the wire and the repeated-line delay covers everything to the sinks.
+/// Wire modeling of one net — the NetlistView instantiation of
+/// kern::wire_model (see kernels.hpp for the model description).
 WireModel wire_model(const Netlist& nl, NetId id, const StaOptions& opt) {
-  const netlist::Net& n = nl.net(id);
-  WireModel m;
-  m.driver_load_units = nl.net_load(id);
-  if (!opt.include_wire_delay || n.length_um <= 0.0) return m;
-  const tech::Technology& t = nl.lib().technology();
-
-  double sink_units = n.extra_cap_units;
-  for (const NetSink& s : n.sinks)
-    if (s.kind == NetSink::Kind::kInstancePin) sink_units += nl.pin_cap(s.inst);
-
-  wire::WireSegment seg;
-  seg.length_um = n.length_um;
-  seg.width_multiple = n.width_multiple;
-  m.delay_tau = wire::elmore_delay_tau(t, seg, sink_units);
-
-  if (opt.optimal_repeaters && n.length_um > opt.repeater_threshold_um) {
-    // "Proper driving" (section 5): a fanout-of-4 buffer chain ramps up
-    // from the net's driver to the plan's repeater size, then the
-    // optimally repeated line carries the signal to the sinks. Pick
-    // whichever model (raw RC vs ramp + repeated line) is faster,
-    // including the driver's own effort delay in the comparison.
-    double drv = 1.0;
-    if (n.driver.kind == NetDriver::Kind::kInstance)
-      drv = nl.drive_of(n.driver.inst);
-    else if (n.driver.kind == NetDriver::Kind::kPrimaryInput)
-      drv = nl.port(n.driver.port).ext_drive;
-
-    const wire::RepeaterPlan plan =
-        wire::plan_repeaters(t, seg, sink_units * t.unit_inv_cin_ff);
-    const double ratio = std::max(1.0, plan.repeater_size / drv);
-    const double ramp_stages = std::ceil(std::log(ratio) / std::log(4.0));
-    const double ramp_tau = ramp_stages * 5.0;  // FO4 per chain stage
-    const double repeated_total =
-        4.0 + ramp_tau + t.ps_to_tau(plan.delay_ps);  // 4.0 = driver FO4 load
-    const double raw_total = m.driver_load_units / drv + m.delay_tau;
-    if (repeated_total < raw_total) {
-      m.delay_tau = ramp_tau + t.ps_to_tau(plan.delay_ps);
-      m.driver_load_units = 4.0 * drv;  // first chain buffer
-    }
-  }
-  return m;
+  return kern::wire_model(NetlistView(nl), id, opt);
 }
 
 namespace {
@@ -93,6 +53,15 @@ Propagation propagate(const Netlist& nl, const StaOptions& opt) {
   props.add(nl.num_instances());
 
   Propagation p;
+  if (opt.graph == GraphKind::kCompact) {
+    // One-shot analysis on the flat layout: build, propagate, keep the
+    // order for the backward pass. Resident consumers (IncrementalTimer,
+    // MC-STA) cache the graph instead of rebuilding per call.
+    const CompactGraph g(nl);
+    compact_propagate(g, opt, p.st);
+    p.order = g.order();
+    return p;
+  }
   p.st.arrival.assign(nl.num_nets(), kNegInf);
   p.st.wire_delay.resize(nl.num_nets());
   p.st.driver_load.resize(nl.num_nets());

@@ -1,0 +1,426 @@
+/// \file soa_graph_test.cpp
+/// Differential + structural suite for the flat SoA timing graph
+/// (sta/compact_graph.hpp), run under `ctest -L soa`. Three concerns:
+///
+///  1. **Byte-identity across layouts.** Every batch query (analyze,
+///     net_arrivals, net_slacks, top_critical_paths) and every resident
+///     IncrementalTimer query must return bit-identical doubles whether
+///     StaOptions::graph is kPointer or kCompact, at 1 and at N threads.
+///     Both layouts instantiate the same kernels (sta/kernels.hpp), so
+///     any difference is a transcription bug, not a rounding debate.
+///
+///  2. **Construction round-trips.** For every designs::registry entry:
+///     node/edge/port counts match the netlist, ids are positional and
+///     stable across rebuilds, the levelization is a valid wavefront
+///     schedule, and rebuild-after-edit lands on the same bytes as a
+///     fresh build from the edited netlist.
+///
+///  3. **Staleness bookkeeping.** built_version() tracks structural
+///     (re)builds of Netlist::version(); value patches refresh in place.
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <optional>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "designs/registry.hpp"
+#include "library/builders.hpp"
+#include "pipeline/pipeline.hpp"
+#include "sizing/tilos.hpp"
+#include "sta/compact_graph.hpp"
+#include "sta/incremental.hpp"
+#include "sta/statistical.hpp"
+#include "sta/sta.hpp"
+#include "synth/mapper.hpp"
+#include "tech/technology.hpp"
+
+namespace gap {
+namespace {
+
+using netlist::Netlist;
+using sta::CompactGraph;
+using sta::Edit;
+using sta::GraphKind;
+using sta::IncrementalTimer;
+
+/// Map + pipeline one registry design into the register-bounded netlist
+/// the timing engines see in the real flow.
+Netlist implemented(const std::string& name,
+                    const library::CellLibrary& lib) {
+  Netlist mapped = synth::map_to_netlist(
+      designs::make_design(name, designs::DatapathStyle::kSynthesized), lib,
+      synth::MapOptions{}, name + "_impl");
+  pipeline::PipelineOptions popt;
+  popt.stages = 1;
+  Netlist nl = pipeline::pipeline_insert(mapped, popt).nl;
+  sizing::initial_drive_assignment(nl);
+  return nl;
+}
+
+[[nodiscard]] sta::StaOptions options_variant(int v, GraphKind graph) {
+  sta::StaOptions opt;
+  opt.graph = graph;
+  opt.optimal_repeaters = v % 2 == 1;
+  opt.corner_delay_factor = v % 3 == 0 ? 1.0 : 1.15;
+  return opt;
+}
+
+void expect_bytes_equal(const std::vector<double>& got,
+                        const std::vector<double>& want, const char* what) {
+  ASSERT_EQ(got.size(), want.size()) << what;
+  EXPECT_EQ(
+      std::memcmp(got.data(), want.data(), got.size() * sizeof(double)), 0)
+      << what << " differ between graph layouts";
+}
+
+void expect_timing_equal(const sta::TimingResult& a,
+                         const sta::TimingResult& b) {
+  EXPECT_EQ(
+      std::memcmp(&a.worst_path_tau, &b.worst_path_tau, sizeof(double)), 0);
+  EXPECT_EQ(
+      std::memcmp(&a.min_period_tau, &b.min_period_tau, sizeof(double)), 0);
+  EXPECT_EQ(std::memcmp(&a.min_period_ps, &b.min_period_ps, sizeof(double)),
+            0);
+  EXPECT_EQ(a.num_endpoints, b.num_endpoints);
+  EXPECT_EQ(a.critical_path, b.critical_path);
+}
+
+void expect_paths_equal(const std::vector<sta::CriticalPath>& a,
+                        const std::vector<sta::CriticalPath>& b) {
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t p = 0; p < a.size(); ++p) {
+    EXPECT_EQ(a[p].endpoint_net, b[p].endpoint_net) << p;
+    EXPECT_EQ(a[p].endpoint.kind, b[p].endpoint.kind) << p;
+    EXPECT_EQ(
+        std::memcmp(&a[p].path_tau, &b[p].path_tau, sizeof(double)), 0)
+        << p;
+    ASSERT_EQ(a[p].nodes.size(), b[p].nodes.size()) << p;
+    for (std::size_t i = 0; i < a[p].nodes.size(); ++i) {
+      EXPECT_EQ(a[p].nodes[i].inst, b[p].nodes[i].inst) << p << ":" << i;
+      EXPECT_EQ(std::memcmp(&a[p].nodes[i].arrival_tau,
+                            &b[p].nodes[i].arrival_tau, sizeof(double)),
+                0)
+          << p << ":" << i;
+    }
+  }
+}
+
+class SoaGraph : public ::testing::Test {
+ protected:
+  SoaGraph() : lib_(library::make_rich_asic_library(tech::asic_025um())) {}
+  library::CellLibrary lib_;
+};
+
+// --- 1. batch queries: pointer vs compact -----------------------------------
+
+/// Every batch query, over every registry design, across the option
+/// variants that flip the repeater branch and the corner factor.
+TEST_F(SoaGraph, BatchQueriesMatchPointerPath) {
+  int v = 0;
+  for (const std::string& name : designs::design_names()) {
+    const Netlist nl = implemented(name, lib_);
+    const sta::StaOptions po = options_variant(v, GraphKind::kPointer);
+    const sta::StaOptions co = options_variant(v, GraphKind::kCompact);
+    ++v;
+
+    const sta::TimingResult pr = sta::analyze(nl, po);
+    const sta::TimingResult cr = sta::analyze(nl, co);
+    expect_timing_equal(pr, cr);
+
+    expect_bytes_equal(sta::net_arrivals(nl, co), sta::net_arrivals(nl, po),
+                       "arrivals");
+    expect_bytes_equal(sta::net_slacks(nl, co, pr.min_period_tau),
+                       sta::net_slacks(nl, po, pr.min_period_tau), "slacks");
+    expect_paths_equal(sta::top_critical_paths(nl, co, 5),
+                       sta::top_critical_paths(nl, po, 5));
+    if (HasFatalFailure()) return;
+  }
+}
+
+/// Monte Carlo signoff reuses one shared graph across samples on the
+/// compact path; every sampled period (so every quantile) must still be
+/// the bytes the per-sample pointer analyses produce.
+TEST_F(SoaGraph, MonteCarloMatchesPointerPath) {
+  const Netlist nl = implemented("mac8", lib_);
+  for (int threads : {1, 4}) {
+    sta::McStaOptions pm;
+    pm.base = options_variant(1, GraphKind::kPointer);
+    pm.samples = 32;
+    pm.threads = threads;
+    sta::McStaOptions cm = pm;
+    cm.base.graph = GraphKind::kCompact;
+
+    const sta::McStaResult pr = sta::monte_carlo_sta(nl, pm);
+    const sta::McStaResult cr = sta::monte_carlo_sta(nl, cm);
+    EXPECT_EQ(std::memcmp(&pr.nominal_period_tau, &cr.nominal_period_tau,
+                          sizeof(double)),
+              0);
+    for (double q : {0.05, 0.5, 0.95}) {
+      const double a = pr.period_tau.quantile(q);
+      const double b = cr.period_tau.quantile(q);
+      EXPECT_EQ(std::memcmp(&a, &b, sizeof(double)), 0) << "quantile " << q;
+    }
+  }
+}
+
+// --- 2. construction round-trips --------------------------------------------
+
+/// Counts, per-element values, and adjacency all round-trip the netlist,
+/// for every registry entry.
+TEST_F(SoaGraph, ConstructionRoundTripsEveryRegistryDesign) {
+  for (const std::string& name : designs::design_names()) {
+    const Netlist nl = implemented(name, lib_);
+    const CompactGraph g(nl);
+
+    EXPECT_EQ(g.num_nets(), nl.num_nets()) << name;
+    EXPECT_EQ(g.num_instances(), nl.num_instances()) << name;
+    EXPECT_EQ(g.num_ports(), nl.num_ports()) << name;
+
+    std::size_t pins = 0;
+    for (InstanceId id : nl.all_instances()) {
+      const netlist::Instance& inst = nl.instance(id);
+      pins += inst.inputs.size();
+      EXPECT_EQ(g.output(id), inst.output);
+      EXPECT_EQ(g.is_sequential(id), nl.is_sequential(id));
+      // Value arrays hold the exact bytes the pointer path derives.
+      const double want_drive = nl.drive_of(id);
+      const double got_drive = g.drive(id);
+      const double want_cap = nl.pin_cap(id);
+      const double got_cap = g.pin_cap(id);
+      EXPECT_EQ(std::memcmp(&got_drive, &want_drive, sizeof(double)), 0);
+      EXPECT_EQ(std::memcmp(&got_cap, &want_cap, sizeof(double)), 0);
+      const auto in = g.inputs(id);
+      ASSERT_EQ(in.size(), inst.inputs.size());
+      for (std::size_t p = 0; p < in.size(); ++p)
+        EXPECT_EQ(in[p], inst.inputs[p]) << name << " pin order";
+    }
+    EXPECT_EQ(g.num_edges(), pins) << name;
+
+    for (NetId n : nl.all_nets()) {
+      const netlist::Net& net = nl.net(n);
+      EXPECT_EQ(g.driver(n).kind, net.driver.kind);
+      const auto sinks = g.sinks(n);
+      ASSERT_EQ(sinks.size(), net.sinks.size());
+      for (std::size_t s = 0; s < sinks.size(); ++s) {
+        EXPECT_EQ(sinks[s].kind, net.sinks[s].kind) << name << " sink order";
+        EXPECT_EQ(sinks[s].inst, net.sinks[s].inst);
+      }
+    }
+    if (HasFatalFailure()) return;
+  }
+}
+
+/// The schedule is a valid wavefront: order() is a topological order,
+/// every combinational instance sits strictly above the combinational
+/// drivers of its instance-driven inputs, sequentials sit at level 0, and
+/// the wave CSR partitions the instances in ascending id per level.
+TEST_F(SoaGraph, LevelizationIsValidTopologicalOrder) {
+  for (const std::string& name : designs::design_names()) {
+    const Netlist nl = implemented(name, lib_);
+    const CompactGraph g(nl);
+    const std::vector<int>& level = g.levels();
+
+    ASSERT_EQ(g.order().size(), nl.num_instances());
+    std::vector<std::size_t> pos(nl.num_instances());
+    std::vector<char> seen(nl.num_instances(), 0);
+    for (std::size_t i = 0; i < g.order().size(); ++i) {
+      const std::size_t idx = g.order()[i].index();
+      EXPECT_EQ(seen[idx], 0) << name << ": duplicate in order()";
+      seen[idx] = 1;
+      pos[idx] = i;
+    }
+
+    for (InstanceId id : nl.all_instances()) {
+      if (nl.is_sequential(id)) {
+        EXPECT_EQ(level[id.index()], 0) << name;
+        continue;
+      }
+      for (NetId in : nl.instance(id).inputs) {
+        const netlist::NetDriver& d = nl.net(in).driver;
+        if (d.kind != netlist::NetDriver::Kind::kInstance) continue;
+        // Topological: combinational drivers precede their readers.
+        if (!nl.is_sequential(d.inst))
+          EXPECT_LT(pos[d.inst.index()], pos[id.index()]) << name;
+        // Wavefront: a level reads only arrivals from strictly below it.
+        const int dl = nl.is_sequential(d.inst) ? 0 : level[d.inst.index()];
+        EXPECT_LT(dl, level[id.index()]) << name;
+      }
+    }
+
+    std::size_t waved = 0;
+    for (int l = 0; l < g.num_levels(); ++l) {
+      const auto wave = g.wave(l);
+      waved += wave.size();
+      for (std::size_t i = 0; i < wave.size(); ++i) {
+        EXPECT_EQ(level[wave[i].index()], l) << name;
+        if (i > 0) EXPECT_LT(wave[i - 1].index(), wave[i].index()) << name;
+      }
+    }
+    EXPECT_EQ(waved, nl.num_instances()) << name;
+    if (HasFatalFailure()) return;
+  }
+}
+
+/// Two builds from the same netlist agree element for element, and a
+/// rebuild after an edit lands on the same bytes as a fresh build from
+/// the edited netlist — ids are positional, so they never shift.
+TEST_F(SoaGraph, StableIdsAndRebuildAfterEditEqualsFreshBuild) {
+  Netlist nl = implemented("alu16", lib_);
+  CompactGraph a(nl);
+  const CompactGraph b(nl);
+  EXPECT_EQ(a.order(), b.order());
+  EXPECT_EQ(a.levels(), b.levels());
+  EXPECT_EQ(a.num_edges(), b.num_edges());
+
+  // A value edit patched in place equals the fresh-build value array.
+  const InstanceId target(0);
+  const library::Cell& c = nl.cell_of(target);
+  const auto& ladder = nl.lib().cells_of(c.func, c.family);
+  nl.replace_cell(target, ladder.back());
+  a.refresh_instance(nl, target);
+  const CompactGraph after_value(nl);
+  const double want_drive = after_value.drive(target);
+  const double got_drive = a.drive(target);
+  EXPECT_EQ(std::memcmp(&got_drive, &want_drive, sizeof(double)), 0);
+
+  // A structural edit + rebuild_structure equals a fresh build. Rewire a
+  // combinational input to a primary-input net: that can never create a
+  // combinational cycle, so the raw netlist mutation stays well-formed.
+  NetId pi_net;
+  for (PortId p : nl.all_ports())
+    if (nl.port(p).is_input) {
+      pi_net = nl.port(p).net;
+      break;
+    }
+  ASSERT_TRUE(pi_net.valid());
+  InstanceId rewired;
+  for (InstanceId id : nl.all_instances())
+    if (!nl.is_sequential(id) && !nl.instance(id).inputs.empty()) {
+      rewired = id;
+      break;
+    }
+  ASSERT_TRUE(rewired.valid());
+  nl.rewire_input(rewired, 0, pi_net);
+  a.rebuild_structure(nl);
+  const CompactGraph fresh(nl);
+  EXPECT_EQ(a.order(), fresh.order());
+  EXPECT_EQ(a.levels(), fresh.levels());
+  EXPECT_EQ(a.built_version(), fresh.built_version());
+  for (InstanceId id : nl.all_instances()) {
+    const auto ga = a.inputs(id);
+    const auto gf = fresh.inputs(id);
+    ASSERT_EQ(ga.size(), gf.size());
+    for (std::size_t p = 0; p < ga.size(); ++p) EXPECT_EQ(ga[p], gf[p]);
+  }
+  // Propagation over both graphs is byte-identical.
+  const sta::StaOptions opt = options_variant(0, GraphKind::kCompact);
+  sta::detail::ArrivalState sa, sf;
+  sta::compact_propagate(a, opt, sa);
+  sta::compact_propagate(fresh, opt, sf);
+  expect_bytes_equal(sa.arrival, sf.arrival, "arrivals after rebuild");
+}
+
+// --- 3. staleness bookkeeping -----------------------------------------------
+
+/// built_version() records the netlist version at (re)build time; value
+/// patches deliberately do not advance it.
+TEST_F(SoaGraph, BuiltVersionTracksStructuralRebuilds) {
+  Netlist nl = implemented("alu16", lib_);
+  CompactGraph g(nl);
+  EXPECT_EQ(g.built_version(), nl.version());
+
+  const InstanceId target(0);
+  const library::Cell& c = nl.cell_of(target);
+  nl.replace_cell(target, nl.lib().cells_of(c.func, c.family).front());
+  EXPECT_LT(g.built_version(), nl.version());  // value patch: not a rebuild
+  g.refresh_instance(nl, target);
+  EXPECT_LT(g.built_version(), nl.version());
+  g.rebuild_structure(nl);
+  EXPECT_EQ(g.built_version(), nl.version());
+}
+
+// --- incremental timer: pointer vs compact ----------------------------------
+
+Edit random_edit(Rng& rng, const Netlist& nl) {
+  const auto pick_inst = [&] {
+    return InstanceId(
+        static_cast<std::uint32_t>(rng.uniform_index(nl.num_instances())));
+  };
+  switch (rng.uniform_index(8)) {
+    case 0:
+    case 1:
+    case 2: {
+      const InstanceId id = pick_inst();
+      const library::Cell& c = nl.cell_of(id);
+      const auto& ladder = nl.lib().cells_of(c.func, c.family);
+      return Edit::replace_cell(id, ladder[rng.uniform_index(ladder.size())]);
+    }
+    case 3:
+    case 4:
+    case 5:
+      return Edit::set_drive(
+          pick_inst(), rng.bernoulli(0.2) ? 0.0 : rng.uniform(1.0, 24.0));
+    case 6: {
+      const InstanceId id = pick_inst();
+      const auto& inputs = nl.instance(id).inputs;
+      if (inputs.empty()) return Edit::set_drive(id, 4.0);
+      return Edit::rewire(
+          id, static_cast<int>(rng.uniform_index(inputs.size())),
+          NetId(static_cast<std::uint32_t>(rng.uniform_index(nl.num_nets()))));
+    }
+    default: {
+      sta::ClockSpec ck;
+      ck.skew_fraction = rng.uniform(0.0, 0.3);
+      ck.extra_skew_tau = rng.uniform(0.0, 2.0);
+      return Edit::set_clock(ck);
+    }
+  }
+}
+
+/// Twin resident timers — one per layout, driven by the same randomized
+/// edit scripts at alternating 1/4 lanes — answer every query with
+/// identical bytes, mid-script and at the end. This is the differential
+/// contract the flow, gapd and TILOS lean on when they flip --graph.
+TEST_F(SoaGraph, IncrementalTimersMatchAcrossLayoutsAndThreads) {
+  const Netlist base = implemented("alu16", lib_);
+  constexpr std::uint64_t kSeed = 0x50A0ull;
+  constexpr int kScripts = 24;
+  constexpr int kEdits = 12;
+  int applied = 0;
+  for (int script = 0; script < kScripts; ++script) {
+    Netlist np = base;
+    Netlist nc = base;
+    IncrementalTimer tp(np, options_variant(script, GraphKind::kPointer),
+                        script % 2 == 0 ? 1 : 4);
+    IncrementalTimer tc(nc, options_variant(script, GraphKind::kCompact),
+                        script % 2 == 0 ? 4 : 1);
+    Rng rp = Rng::stream(kSeed, static_cast<std::uint64_t>(script));
+    Rng rc = Rng::stream(kSeed, static_cast<std::uint64_t>(script));
+    for (int e = 0; e < kEdits; ++e) {
+      const common::Status sp = tp.apply(random_edit(rp, np));
+      const common::Status sc = tc.apply(random_edit(rc, nc));
+      ASSERT_EQ(sp.ok(), sc.ok());
+      if (sp.ok()) ++applied;
+      if (e % 5 == 4) {
+        expect_bytes_equal(tc.arrivals(), tp.arrivals(), "arrivals");
+        if (HasFatalFailure()) return;
+      }
+    }
+    expect_timing_equal(tc.timing(), tp.timing());
+    const double period = tp.timing().min_period_tau;
+    expect_bytes_equal(tc.slacks(period), tp.slacks(period), "slacks");
+    expect_paths_equal(tc.top_paths(5), tp.top_paths(5));
+    // invalidate_all(): the full-rebuild path of both layouts.
+    tp.invalidate_all();
+    tc.invalidate_all();
+    expect_bytes_equal(tc.arrivals(), tp.arrivals(),
+                       "arrivals after invalidate_all");
+    if (HasFatalFailure()) return;
+  }
+  EXPECT_GT(applied, kScripts * kEdits / 2);
+}
+
+}  // namespace
+}  // namespace gap

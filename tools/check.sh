@@ -5,7 +5,8 @@
 #   tools/check.sh          # TSan pass + ASan/UBSan pass
 #   tools/check.sh tsan     # ThreadSanitizer pass only
 #   tools/check.sh asan     # ASan/UBSan fault-injection pass only
-#   tools/check.sh all      # both passes + regular build + full ctest suite
+#   tools/check.sh bench    # quick benchmarks + strict gate vs BENCH_baseline.json
+#   tools/check.sh all      # both sanitizer passes + regular build + full ctest
 #
 # The ThreadSanitizer pass: gap::common::ThreadPool and its consumers
 # (MC-STA, parameter sweeps, variation binning, incremental-STA
@@ -26,9 +27,9 @@ cd "$(dirname "$0")/.."
 
 MODE="${1:-sanitizers}"
 case "$MODE" in
-  sanitizers|tsan|asan|all) ;;
+  sanitizers|tsan|asan|bench|all) ;;
   *)
-    echo "check.sh: unknown mode '$MODE' (expected: tsan | asan | all)" >&2
+    echo "check.sh: unknown mode '$MODE' (expected: tsan | asan | bench | all)" >&2
     exit 2
     ;;
 esac
@@ -51,13 +52,14 @@ fi
 JOBS="${JOBS:-$(nproc)}"
 BUILD_TSAN="${GAP_BUILD_TSAN:-build-tsan}"
 BUILD_ASAN="${GAP_BUILD_ASAN:-build-asan}"
+BUILD_BENCH="${GAP_BUILD_BENCH:-build-bench}"
 
 run_tsan() {
   echo "== ThreadSanitizer build ($BUILD_TSAN) =="
   cmake -B "$BUILD_TSAN" -S . -DGAP_SANITIZE=thread \
     -DCMAKE_BUILD_TYPE=RelWithDebInfo
   cmake --build "$BUILD_TSAN" -j "$JOBS" \
-    --target parallel_test sta_test incremental_sta_test
+    --target parallel_test sta_test incremental_sta_test soa_graph_test
 
   echo "== parallel_test under TSan =="
   TSAN_OPTIONS="${TSAN_OPTIONS:-halt_on_error=1}" \
@@ -70,6 +72,10 @@ run_tsan() {
   echo "== incremental_sta_test under TSan =="
   TSAN_OPTIONS="${TSAN_OPTIONS:-halt_on_error=1}" \
     "$BUILD_TSAN/tests/incremental_sta_test"
+
+  echo "== soa_graph_test under TSan =="
+  TSAN_OPTIONS="${TSAN_OPTIONS:-halt_on_error=1}" \
+    "$BUILD_TSAN/tests/soa_graph_test"
 }
 
 run_asan() {
@@ -92,9 +98,34 @@ run_asan() {
     "$BUILD_ASAN/tests/diagnostics_test"
 }
 
+# The bench gate, exactly as CI runs it: quick-mode microbenchmarks in a
+# Release tree, compared strictly against the committed baseline. A >15%
+# regression on any benchmark exits non-zero. After an intentional perf
+# change, refresh the baseline (docs/benchmarks.md):
+#
+#   python3 tools/bench_compare.py build-bench/BENCH_local.json \
+#     --baseline BENCH_baseline.json --write-baseline
+run_bench() {
+  require python3 "needed by tools/bench_compare.py"
+  echo "== bench gate build ($BUILD_BENCH) =="
+  cmake -B "$BUILD_BENCH" -S . -DCMAKE_BUILD_TYPE=Release
+  cmake --build "$BUILD_BENCH" -j "$JOBS" --target bench_perf_tools
+
+  echo "== bench_perf_tools (quick mode) =="
+  GAP_BENCH_QUICK=1 "$BUILD_BENCH/bench/bench_perf_tools" \
+    --benchmark_format=json \
+    --benchmark_out="$BUILD_BENCH/BENCH_local.json" \
+    --benchmark_out_format=json
+
+  echo "== strict compare vs BENCH_baseline.json =="
+  python3 tools/bench_compare.py "$BUILD_BENCH/BENCH_local.json" \
+    --baseline BENCH_baseline.json --threshold 0.15 --strict
+}
+
 case "$MODE" in
   tsan) run_tsan ;;
   asan) run_asan ;;
+  bench) run_bench ;;
   sanitizers) run_tsan; run_asan ;;
   all)
     run_tsan
