@@ -24,29 +24,52 @@ void update_extreme(std::atomic<std::uint64_t>& slot, double v, Cmp cmp) {
 
 }  // namespace
 
-int Histogram::bucket_of(double v) {
-  if (!(v > 0.0)) return 0;  // zero, negatives, NaN
-  int exp = 0;
-  (void)std::frexp(v, &exp);  // v = m * 2^exp, m in [0.5, 1)
-  // v in [1, 2) has exp == 1 and must land in kUnitBucket.
-  const int idx = kUnitBucket + exp - 1;
-  if (idx < 0) return 0;
-  if (idx >= kNumBuckets) return kNumBuckets - 1;
-  return idx;
-}
-
 void Histogram::record(double v) {
   if (!std::isfinite(v)) return;  // NaN / inf samples are dropped
-  if (v < 0.0) v = 0.0;
+  if (v < 0.0) {
+    v = 0.0;
+    clamped_.fetch_add(1, std::memory_order_relaxed);
+  }
   buckets_[bucket_of(v)].fetch_add(1, std::memory_order_relaxed);
   count_.fetch_add(1, std::memory_order_release);
   update_extreme(min_bits_, v, [](double a, double b) { return a < b; });
   update_extreme(max_bits_, v, [](double a, double b) { return a > b; });
 }
 
+void Histogram::record_batch(const HistogramData& d) {
+  if (d.count == 0 && d.clamped == 0) return;
+  for (std::size_t i = 0; i < d.buckets.size(); ++i)
+    if (d.buckets[i] != 0)
+      buckets_[i].fetch_add(d.buckets[i], std::memory_order_relaxed);
+  if (d.clamped != 0) clamped_.fetch_add(d.clamped, std::memory_order_relaxed);
+  if (d.count != 0) {
+    count_.fetch_add(d.count, std::memory_order_release);
+    update_extreme(min_bits_, d.min, [](double a, double b) { return a < b; });
+    update_extreme(max_bits_, d.max, [](double a, double b) { return a > b; });
+  }
+}
+
+void Histogram::drain_batch(HistogramData& d) {
+  if (d.count == 0 && d.clamped == 0) return;
+  for (std::size_t i = 0; i < d.buckets.size(); ++i) {
+    if (d.buckets[i] == 0) continue;
+    buckets_[i].fetch_add(d.buckets[i], std::memory_order_relaxed);
+    d.buckets[i] = 0;
+  }
+  if (d.clamped != 0) clamped_.fetch_add(d.clamped, std::memory_order_relaxed);
+  if (d.count != 0) {
+    count_.fetch_add(d.count, std::memory_order_release);
+    update_extreme(min_bits_, d.min, [](double a, double b) { return a < b; });
+    update_extreme(max_bits_, d.max, [](double a, double b) { return a > b; });
+  }
+  d.count = 0;
+  d.clamped = 0;
+}
+
 HistogramData Histogram::data() const {
   HistogramData d;
   d.count = count_.load(std::memory_order_acquire);
+  d.clamped = clamped_.load(std::memory_order_relaxed);
   if (d.count > 0) {
     d.min = std::bit_cast<double>(min_bits_.load(std::memory_order_acquire));
     d.max = std::bit_cast<double>(max_bits_.load(std::memory_order_acquire));
@@ -60,6 +83,7 @@ HistogramData Histogram::data() const {
 
 void Histogram::reset() {
   count_.store(0, std::memory_order_relaxed);
+  clamped_.store(0, std::memory_order_relaxed);
   min_bits_.store(kMinInit, std::memory_order_relaxed);
   max_bits_.store(0, std::memory_order_relaxed);
   for (auto& b : buckets_) b.store(0, std::memory_order_relaxed);
@@ -114,11 +138,19 @@ MetricsSnapshot MetricsRegistry::snapshot() const {
   return s;
 }
 
-void MetricsRegistry::write_json(std::ostream& os) const {
+bool MetricsRegistry::is_wall_metric(const std::string& name) {
+  return name.rfind("wall.", 0) == 0;
+}
+
+void MetricsRegistry::write_json(std::ostream& os, bool include_wall) const {
   const MetricsSnapshot s = snapshot();
+  const auto skip = [&](const std::string& name) {
+    return !include_wall && is_wall_metric(name);
+  };
   os << "{\"counters\":{";
   bool first = true;
   for (const auto& [name, v] : s.counters) {
+    if (skip(name)) continue;
     if (!first) os << ',';
     first = false;
     os << '"' << json::escape(name) << "\":" << v;
@@ -126,6 +158,7 @@ void MetricsRegistry::write_json(std::ostream& os) const {
   os << "},\"gauges\":{";
   first = true;
   for (const auto& [name, v] : s.gauges) {
+    if (skip(name)) continue;
     if (!first) os << ',';
     first = false;
     const double safe = std::isfinite(v) ? v : 0.0;
@@ -134,10 +167,11 @@ void MetricsRegistry::write_json(std::ostream& os) const {
   os << "},\"histograms\":{";
   first = true;
   for (const auto& [name, h] : s.histograms) {
+    if (skip(name)) continue;
     if (!first) os << ',';
     first = false;
     os << '"' << json::escape(name) << "\":{\"count\":" << h.count
-       << ",\"min\":" << json::number(h.min)
+       << ",\"clamped\":" << h.clamped << ",\"min\":" << json::number(h.min)
        << ",\"max\":" << json::number(h.max) << ",\"buckets\":[";
     bool bfirst = true;
     for (std::size_t i = 0; i < h.buckets.size(); ++i) {
@@ -151,9 +185,9 @@ void MetricsRegistry::write_json(std::ostream& os) const {
   os << "}}\n";
 }
 
-std::string MetricsRegistry::json() const {
+std::string MetricsRegistry::json(bool include_wall) const {
   std::ostringstream os;
-  write_json(os);
+  write_json(os, include_wall);
   return os.str();
 }
 

@@ -68,10 +68,12 @@ void ThreadPool::worker_loop(int lane) {
 
 namespace {
 
-/// Counted at dispatch (not per lane) so the total is the same at any
-/// thread count, including the serial fallback paths.
+/// Counted at dispatch (not per lane). Callers gate their parallel_for
+/// calls on pool size, so how many items reach here depends on the
+/// thread count — a wall metric by convention (docs/observability.md),
+/// excluded from deterministic metric dumps.
 void count_dispatched(std::size_t n) {
-  static Counter& items = metrics().counter("pool.items_dispatched");
+  static Counter& items = metrics().counter("wall.pool.items_dispatched");
   items.add(n);
 }
 

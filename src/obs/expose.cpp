@@ -1,0 +1,155 @@
+#include "obs/expose.hpp"
+
+#include <cerrno>
+#include <cmath>
+#include <cstdio>
+#include <string>
+
+#if defined(__unix__) || defined(__APPLE__)
+#define GAP_OBS_POSIX_IO 1
+#include <fcntl.h>
+#include <unistd.h>
+#else
+#define GAP_OBS_POSIX_IO 0
+#include <fstream>
+#endif
+
+#include "common/json.hpp"
+
+namespace gap::obs {
+
+namespace json = gap::common::json;
+using gap::common::Histogram;
+using gap::common::HistogramData;
+using gap::common::MetricsRegistry;
+using gap::common::MetricsSnapshot;
+
+std::string prometheus_name(const std::string& name) {
+  std::string out = "gap_";
+  out.reserve(name.size() + 4);
+  for (char c : name) {
+    const bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                    (c >= '0' && c <= '9') || c == '_';
+    out.push_back(ok ? c : '_');
+  }
+  return out;
+}
+
+std::string bucket_upper_edge(int index) {
+  if (index >= Histogram::kNumBuckets - 1) return "+Inf";
+  return json::number(std::ldexp(1.0, index - Histogram::kUnitBucket + 1));
+}
+
+namespace {
+
+void render_histogram(std::string& out, const std::string& name,
+                      const HistogramData& h) {
+  const std::string p = prometheus_name(name);
+  out += "# TYPE " + p + " histogram\n";
+  std::uint64_t cum = 0;
+  for (std::size_t i = 0; i < h.buckets.size(); ++i) {
+    if (h.buckets[i] == 0) continue;
+    cum += h.buckets[i];
+    out += p + "_bucket{le=\"" + bucket_upper_edge(static_cast<int>(i)) +
+           "\"} " + std::to_string(cum) + '\n';
+  }
+  // The +Inf line is unconditional so `_count` is always reconstructable
+  // from the bucket series alone.
+  if (h.buckets.empty() || h.buckets.back() == 0)
+    out += p + "_bucket{le=\"+Inf\"} " + std::to_string(cum) + '\n';
+  out += p + "_count " + std::to_string(h.count) + '\n';
+  out += p + "_clamped " + std::to_string(h.clamped) + '\n';
+  out += p + "_min " + json::number(h.min) + '\n';
+  out += p + "_max " + json::number(h.max) + '\n';
+}
+
+/// One pass over the snapshot, emitting either the deterministic or the
+/// wall-prefixed metrics; both passes share the section order
+/// counters -> gauges -> histograms, each name-sorted (std::map order).
+void render_section(std::string& out, const MetricsSnapshot& s, bool wall) {
+  for (const auto& [name, v] : s.counters) {
+    if (MetricsRegistry::is_wall_metric(name) != wall) continue;
+    const std::string p = prometheus_name(name);
+    out += "# TYPE " + p + " counter\n";
+    out += p + ' ' + std::to_string(v) + '\n';
+  }
+  for (const auto& [name, v] : s.gauges) {
+    if (MetricsRegistry::is_wall_metric(name) != wall) continue;
+    const std::string p = prometheus_name(name);
+    const double safe = std::isfinite(v) ? v : 0.0;
+    out += "# TYPE " + p + " gauge\n";
+    out += p + ' ' + json::number(safe) + '\n';
+  }
+  for (const auto& [name, h] : s.histograms) {
+    if (MetricsRegistry::is_wall_metric(name) != wall) continue;
+    render_histogram(out, name, h);
+  }
+}
+
+}  // namespace
+
+std::string expose_text(const MetricsRegistry& reg) {
+  const MetricsSnapshot s = reg.snapshot();
+  std::string out = kExposeHeader;
+  out += '\n';
+  render_section(out, s, /*wall=*/false);
+  out += kWallMarker;
+  out += '\n';
+  render_section(out, s, /*wall=*/true);
+  return out;
+}
+
+std::string deterministic_section(const std::string& exposition) {
+  const std::string marker = kWallMarker;
+  // Match the marker only at a line start.
+  std::size_t pos = exposition.find(marker);
+  while (pos != std::string::npos && pos != 0 &&
+         exposition[pos - 1] != '\n')
+    pos = exposition.find(marker, pos + 1);
+  if (pos == std::string::npos) return exposition;
+  return exposition.substr(0, pos);
+}
+
+bool write_file_atomic(const std::string& path, const std::string& content) {
+  const std::string tmp = path + ".tmp";
+#if GAP_OBS_POSIX_IO
+  const int fd = ::open(tmp.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
+  if (fd < 0) return false;
+  std::size_t off = 0;
+  while (off < content.size()) {
+    const ::ssize_t n =
+        ::write(fd, content.data() + off, content.size() - off);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      ::close(fd);
+      ::unlink(tmp.c_str());
+      return false;
+    }
+    off += static_cast<std::size_t>(n);
+  }
+  // A snapshot is advisory (the journal is the durability story), but the
+  // rename must still never expose a short file: flush before swapping.
+  if (::fsync(fd) != 0 || ::close(fd) != 0 ||
+      std::rename(tmp.c_str(), path.c_str()) != 0) {
+    ::unlink(tmp.c_str());
+    return false;
+  }
+  return true;
+#else
+  {
+    std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
+    out << content << std::flush;
+    if (!out) {
+      std::remove(tmp.c_str());
+      return false;
+    }
+  }
+  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+    std::remove(tmp.c_str());
+    return false;
+  }
+  return true;
+#endif
+}
+
+}  // namespace gap::obs

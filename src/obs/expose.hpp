@@ -1,0 +1,61 @@
+#pragma once
+/// \file expose.hpp
+/// Prometheus-text exposition over common::MetricsRegistry, plus the
+/// atomic snapshot writer behind `gapd --expose-out`. The renderer is
+/// deliberately boring: stable sorted output, no timestamps, no HELP
+/// lines — so two runs that recorded the same metric content produce
+/// byte-identical text.
+///
+/// The one sanctioned exception to the determinism contract
+/// (docs/observability.md) is the wall section: metrics whose registry
+/// name starts with "wall." (latency histograms, pool dispatch tallies)
+/// are emitted *after* a fixed marker line, so consumers that byte-compare
+/// exposition across `--threads` values strip everything from the marker
+/// on (deterministic_section()).
+///
+/// Name mapping: registry names are dotted ("serve.req.frame_bytes");
+/// exposition names are the Prometheus-safe "gap_" + name with every
+/// non-[A-Za-z0-9_] byte replaced by '_' (prometheus_name()). Histograms
+/// expand to the conventional series: cumulative `_bucket{le="..."}`
+/// lines (upper edges are exact powers of two — bucket_upper_edge()),
+/// `_count`, `_clamped` (negative samples clamped to zero), and `_min` /
+/// `_max` gauges. There is no `_sum`: a float running sum would depend on
+/// addition order and break the thread-count byte-identity contract.
+
+#include <string>
+
+#include "common/metrics.hpp"
+
+namespace gap::obs {
+
+/// First line of every exposition dump; identifies the format to gapstat.
+inline constexpr const char* kExposeHeader = "# gap-expose-v1";
+
+/// Marker separating deterministic metrics from the wall-clock section.
+inline constexpr const char* kWallMarker =
+    "# --- wall section (non-deterministic) ---";
+
+/// Prometheus-safe metric name: "gap_" + name, non-[A-Za-z0-9_] -> '_'.
+[[nodiscard]] std::string prometheus_name(const std::string& name);
+
+/// Upper bucket edge (the `le` label) for histogram bucket `index`:
+/// 2^(index - kUnitBucket + 1), rendered exactly; the last bucket is
+/// "+Inf". Matches common::Histogram::bucket_of.
+[[nodiscard]] std::string bucket_upper_edge(int index);
+
+/// Render the registry in Prometheus text format: deterministic metrics
+/// first (sorted by name within counters, gauges, histograms), then the
+/// wall marker, then the "wall." metrics in the same order.
+[[nodiscard]] std::string expose_text(const common::MetricsRegistry& reg);
+
+/// Everything up to (excluding) the wall marker line: the byte-comparable
+/// part of an exposition dump. Text without a marker passes through.
+[[nodiscard]] std::string deterministic_section(const std::string& exposition);
+
+/// Write `content` to `path` atomically: a same-directory temp file,
+/// flushed, then rename()d over the target, so a reader never observes a
+/// half-written snapshot. False on any I/O failure (temp file removed).
+[[nodiscard]] bool write_file_atomic(const std::string& path,
+                                     const std::string& content);
+
+}  // namespace gap::obs

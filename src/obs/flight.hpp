@@ -1,0 +1,117 @@
+#pragma once
+/// \file flight.hpp
+/// Always-on flight recorder: a fixed-size lock-free ring of recent
+/// structured events (request begin/end, edit rejections, journal fsyncs,
+/// degradations, watchdog trips), kept cheap enough to run in production
+/// and dumped atomically as `gap-flight-v1` JSON when something goes
+/// wrong — on degradation, on SIGTERM, or on an explicit `dump` protocol
+/// request (docs/gapd.md). A crashed or misbehaving server thereby leaves
+/// evidence beyond the journal.
+///
+/// Concurrency: record() is wait-free (one fetch_add to claim a slot,
+/// then relaxed word stores + a release stamp). snapshot() validates each
+/// slot's sequence stamp before and after reading it and skips slots a
+/// concurrent writer is overwriting, so readers never block writers and
+/// every surviving event is internally consistent. All slot state lives
+/// in std::atomic words — clean under ThreadSanitizer by construction.
+///
+/// Determinism: everything in an event except its wall-clock timestamp is
+/// a pure function of the request stream, and flight_json() segregates
+/// the timestamps into a trailing "wall" member so the rest of the dump
+/// is byte-identical across `--threads` values
+/// (flight_deterministic_section()).
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace gap::obs {
+
+/// What happened. Renderable names in flight_kind_name().
+enum class FlightEventKind : std::uint8_t {
+  kRequestBegin = 0,
+  kRequestEnd,
+  kEditRejected,
+  kJournalFsync,
+  kDegraded,
+  kDeadline,
+  kOverloaded,
+  kRecovered,
+  kDump,
+};
+
+/// Stable lower_snake name for a kind ("request_begin", ...).
+[[nodiscard]] const char* flight_kind_name(FlightEventKind kind);
+
+/// One decoded ring entry. `detail` is a short label (session name,
+/// command) truncated to kDetailBytes.
+struct FlightEvent {
+  static constexpr std::size_t kDetailBytes = 24;
+
+  std::uint64_t seq = 0;     ///< global record order, from 0
+  std::uint64_t req_id = 0;  ///< 0 when outside any request
+  FlightEventKind kind = FlightEventKind::kRequestBegin;
+  std::uint32_t code = 0;   ///< error/reply code when relevant
+  std::uint64_t value = 0;  ///< payload: bytes, counts, ...
+  double wall_us = 0.0;     ///< non-deterministic; segregated in dumps
+  char detail[kDetailBytes] = {};
+
+  [[nodiscard]] std::string_view detail_view() const;
+};
+
+/// The ring. Capacity is rounded up to a power of two; once full, new
+/// events overwrite the oldest (dropped() counts the casualties).
+class FlightRecorder {
+ public:
+  static constexpr std::size_t kDefaultCapacity = 256;
+
+  explicit FlightRecorder(std::size_t capacity = kDefaultCapacity);
+  FlightRecorder(const FlightRecorder&) = delete;
+  FlightRecorder& operator=(const FlightRecorder&) = delete;
+
+  void record(FlightEventKind kind, std::uint64_t req_id = 0,
+              std::uint32_t code = 0, std::uint64_t value = 0,
+              std::string_view detail = {}, double wall_us = 0.0);
+
+  /// Decoded surviving events in ascending seq order. Slots mid-overwrite
+  /// are skipped, never torn.
+  [[nodiscard]] std::vector<FlightEvent> snapshot() const;
+
+  /// Events ever recorded / overwritten by ring wraparound.
+  [[nodiscard]] std::uint64_t total() const;
+  [[nodiscard]] std::uint64_t dropped() const;
+  [[nodiscard]] std::size_t capacity() const { return mask_ + 1; }
+
+  /// Forget everything (test hook; not safe against concurrent record()).
+  void clear();
+
+ private:
+  static constexpr std::size_t kWordsPerSlot = 8;
+
+  std::vector<std::atomic<std::uint64_t>> words_;
+  std::atomic<std::uint64_t> seq_{0};
+  std::size_t mask_ = 0;
+};
+
+/// Render events as one line of `gap-flight-v1` JSON (no trailing
+/// newline):
+///
+///   {"flight":"gap-flight-v1","capacity":C,"total":N,"dropped":D,
+///    "events":[{"seq":..,"req":..,"kind":"..","code":..,"value":..,
+///               "detail":".."},...],"wall":{"us":[..]}}
+///
+/// "wall".us[i] is events[i]'s timestamp; it is the last member so
+/// flight_deterministic_section() can strip it without parsing.
+[[nodiscard]] std::string flight_json(const std::vector<FlightEvent>& events,
+                                      std::size_t capacity,
+                                      std::uint64_t total,
+                                      std::uint64_t dropped);
+[[nodiscard]] std::string flight_json(const FlightRecorder& rec);
+
+/// A dump minus its trailing "wall" member: the byte-comparable part.
+[[nodiscard]] std::string flight_deterministic_section(
+    const std::string& dump);
+
+}  // namespace gap::obs

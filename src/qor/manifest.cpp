@@ -50,6 +50,12 @@ void emit_snapshot(Emitter& e, int ind, const QorSnapshot& s) {
                               json::number(s.critical_wirelength_um)) + ",");
   e.line(ind + 1, Emitter::kv("sizing_headroom_tau",
                               json::number(s.sizing_headroom_tau)) + ",");
+  e.line(ind + 1, "\"wave\": {");
+  e.line(ind + 2, Emitter::kv("levels", std::to_string(s.wave_levels)) + ",");
+  e.line(ind + 2, Emitter::kv("widest", std::to_string(s.wave_widest)) + ",");
+  e.line(ind + 2, Emitter::kv("narrow_fraction",
+                              json::number(s.wave_narrow_fraction)));
+  e.line(ind + 1, "},");
   // The histogram object comes from sta::slack_histogram_json so the
   // bucket semantics stay single-sourced with the text rendering.
   const bool mc = s.mc_samples > 0;

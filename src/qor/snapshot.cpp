@@ -1,14 +1,51 @@
 #include "qor/snapshot.hpp"
 
+#include <algorithm>
 #include <unordered_set>
 #include <utility>
+#include <vector>
 
+#include "netlist/checks.hpp"
 #include "sizing/tilos.hpp"
+#include "sta/compact_graph.hpp"
 #include "sta/statistical.hpp"
 #include "variation/variation.hpp"
 
 namespace gap::qor {
 namespace {
+
+/// Levelize the netlist exactly as the timing kernels do (sequential and
+/// PI-fed cones at level 0; a combinational gate one past its deepest
+/// combinational driver) and summarize the wavefront shape. Computed
+/// directly from the netlist so both capture() overloads — and both
+/// graph layouts — report identical bytes.
+void wave_profile(const netlist::Netlist& nl, QorSnapshot& s) {
+  const std::vector<InstanceId> order = netlist::topo_order(nl);
+  std::vector<int> level(nl.num_instances(), 0);
+  int max_level = 0;
+  for (InstanceId id : order) {
+    if (nl.is_sequential(id)) continue;
+    int lvl = 0;
+    for (NetId in : nl.instance(id).inputs) {
+      const netlist::NetDriver& d = nl.net(in).driver;
+      if (d.kind != netlist::NetDriver::Kind::kInstance) continue;
+      const int dl = nl.is_sequential(d.inst) ? 0 : level[d.inst.index()];
+      lvl = std::max(lvl, dl + 1);
+    }
+    level[id.index()] = lvl;
+    max_level = std::max(max_level, lvl);
+  }
+  std::vector<std::size_t> width(static_cast<std::size_t>(max_level) + 1, 0);
+  for (int lvl : level) ++width[static_cast<std::size_t>(lvl)];
+  s.wave_levels = width.size();
+  std::size_t narrow = 0;
+  for (std::size_t w : width) {
+    s.wave_widest = std::max(s.wave_widest, w);
+    if (w < sta::kWaveDispatchHint) ++narrow;
+  }
+  s.wave_narrow_fraction =
+      static_cast<double>(narrow) / static_cast<double>(width.size());
+}
 
 /// Everything in a snapshot besides the arrival/slack analysis itself:
 /// both capture() overloads feed their (identical, by the incremental
@@ -42,6 +79,8 @@ QorSnapshot assemble(const netlist::Netlist& nl, const SnapshotOptions& options,
   sopt.continuous = options.continuous_sizing;
   s.sizing_headroom_tau =
       sizing::path_upsize_headroom_tau(nl, timing.critical_path, sopt);
+
+  wave_profile(nl, s);
 
   if (options.mc_samples > 0) {
     sta::McStaOptions mc;

@@ -64,6 +64,16 @@ struct QorSnapshot {
   /// Positive TILOS gain estimates left on the critical path.
   double sizing_headroom_tau = 0.0;
 
+  // --- wavefront schedule ---
+  /// Shape of the levelized wavefront schedule the parallel timing
+  /// kernels sweep (docs/observability.md): level count, widest wave,
+  /// and the share of waves narrower than sta::kWaveDispatchHint. A pure
+  /// function of the netlist — identical on the pointer and compact
+  /// graph paths and at any thread count.
+  std::size_t wave_levels = 0;
+  std::size_t wave_widest = 0;
+  double wave_narrow_fraction = 0.0;
+
   // --- statistical (mc_samples > 0 only) ---
   int mc_samples = 0;                ///< 0 = section absent
   double mc_relative_spread = 0.0;   ///< (q95-q05)/median of the period

@@ -5,6 +5,8 @@
 #include <cstring>
 #include <utility>
 
+#include "common/trace.hpp"
+
 #if defined(__unix__) || defined(__APPLE__)
 #define GAP_SERVE_POSIX_IO 1
 #include <fcntl.h>
@@ -43,6 +45,7 @@ std::string journal_line(const std::string& rec_json) {
 }
 
 Replay replay_journal(const std::string& text) {
+  GAP_TRACE_SPAN("serve::journal_replay");
   Replay r;
   std::size_t pos = 0;
   std::size_t line_no = 0;
@@ -98,9 +101,11 @@ Journal::~Journal() { close(); }
 Journal::Journal(Journal&& other) noexcept
     : fd_(other.fd_),
       path_(std::move(other.path_)),
-      appended_(other.appended_) {
+      appended_(other.appended_),
+      bytes_appended_(other.bytes_appended_) {
   other.fd_ = -1;
   other.appended_ = 0;
+  other.bytes_appended_ = 0;
 }
 
 Journal& Journal::operator=(Journal&& other) noexcept {
@@ -109,8 +114,10 @@ Journal& Journal::operator=(Journal&& other) noexcept {
     fd_ = other.fd_;
     path_ = std::move(other.path_);
     appended_ = other.appended_;
+    bytes_appended_ = other.bytes_appended_;
     other.fd_ = -1;
     other.appended_ = 0;
+    other.bytes_appended_ = 0;
   }
   return *this;
 }
@@ -145,6 +152,7 @@ Result<Journal> Journal::open(const std::string& path) {
 }
 
 Status Journal::append(const std::string& rec_json) {
+  GAP_TRACE_SPAN("serve::journal_append");
   if (!is_open())
     return Status::error(ErrorCode::kIo, "journal is not open", {}, "serve");
   const std::string line = journal_line(rec_json) + '\n';
@@ -161,11 +169,14 @@ Status Journal::append(const std::string& rec_json) {
     }
     off += static_cast<std::size_t>(n);
   }
-  if (::fsync(fd_) != 0)
-    return Status::error(ErrorCode::kIo,
-                         "journal fsync failed: " +
-                             std::string(std::strerror(errno)),
-                         {}, "serve");
+  {
+    GAP_TRACE_SPAN("serve::journal_fsync");
+    if (::fsync(fd_) != 0)
+      return Status::error(ErrorCode::kIo,
+                           "journal fsync failed: " +
+                               std::string(std::strerror(errno)),
+                           {}, "serve");
+  }
 #else
   std::ofstream out(path_, std::ios::app);
   out << line << std::flush;
@@ -173,6 +184,7 @@ Status Journal::append(const std::string& rec_json) {
     return Status::error(ErrorCode::kIo, "journal write failed", {}, "serve");
 #endif
   ++appended_;
+  bytes_appended_ += line.size();
   return {};
 }
 

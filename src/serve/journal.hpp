@@ -78,6 +78,10 @@ class Journal {
   [[nodiscard]] const std::string& path() const { return path_; }
   /// Records appended through this writer (not counting replayed ones).
   [[nodiscard]] std::uint64_t appended() const { return appended_; }
+  /// Bytes appended through this writer (checksum framing included).
+  [[nodiscard]] std::uint64_t bytes_appended() const {
+    return bytes_appended_;
+  }
 
   /// Checksum-wrap `rec_json`, append the line, and sync it to disk.
   /// On failure nothing may be assumed durable; the caller must not
@@ -90,6 +94,7 @@ class Journal {
   int fd_ = -1;
   std::string path_;
   std::uint64_t appended_ = 0;
+  std::uint64_t bytes_appended_ = 0;
 };
 
 }  // namespace gap::serve

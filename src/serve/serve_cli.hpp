@@ -8,10 +8,11 @@
 ///   gapd [--journal-dir DIR] [--threads N] [--max-sessions N]
 ///        [--max-frame-bytes N] [--max-journal-edits N]
 ///        [--max-session-diags N] [--deadline-us F] [--no-recover]
-///        [--graph compact|pointer]
+///        [--graph compact|pointer] [--trace-out FILE]
+///        [--expose-out FILE] [--expose-interval N] [--flight-capacity N]
 ///
 /// Exit codes (the same vocabulary as the other tools):
-///   0  clean EOF or an acknowledged shutdown request
+///   0  clean EOF, an acknowledged shutdown request, or a SIGTERM drain
 ///   2  malformed command line (unknown flag, missing or bad value)
 ///   5  I/O failure: journal directory unscannable, or stdout broke
 ///      mid-serve (client closed the pipe)
@@ -26,6 +27,29 @@ namespace gap::serve {
 inline constexpr int kExitOk = 0;
 inline constexpr int kExitUsage = 2;
 inline constexpr int kExitIo = 5;
+
+/// Install the SIGTERM latch. On POSIX, SIGTERM is *blocked*
+/// process-wide — pool workers spawned later inherit the mask, so the
+/// signal can never fire a handler on a thread that isn't watching for
+/// it — and a dedicated watcher thread consumes it with sigwait(), sets
+/// the latch, and writes a self-pipe that wakes sigterm_stdin()'s
+/// select. A SIGTERM sent at any moment (even mid-request) therefore
+/// ends the serve loop at the next between-requests wait, and run_gapd
+/// dumps the flight recorder next to the journals before exiting 0
+/// (docs/gapd.md). Call from main() before spawning any threads; tests
+/// that drive run_gapd in-process simply skip it.
+void install_sigterm_dump();
+
+/// Whether SIGTERM arrived since install_sigterm_dump().
+[[nodiscard]] bool sigterm_received();
+
+/// Stdin as an istream whose blocking wait is interruptible by the
+/// SIGTERM latch (POSIX: a streambuf over fd 0 that selects on stdin
+/// plus the latch's self-pipe; elsewhere just std::cin). Only meaningful
+/// after install_sigterm_dump(); pass it to run_gapd as `in` so a
+/// SIGTERM between requests ends the serve loop instead of leaving the
+/// daemon blocked in read(2).
+[[nodiscard]] std::istream& sigterm_stdin();
 
 /// Run the daemon over explicit streams. `argv` excludes the program
 /// name (pass argc-1/argv+1 from main). Frames are read from `in`,

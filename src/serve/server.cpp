@@ -20,6 +20,7 @@
 #include "designs/registry.hpp"
 #include "lint/lint.hpp"
 #include "lint/report.hpp"
+#include "obs/expose.hpp"
 #include "qor/snapshot.hpp"
 #include "serve/journal.hpp"
 #include "sta/report.hpp"
@@ -117,6 +118,8 @@ struct Server::Session {
   std::vector<sta::Edit> undo;
   bool degraded = false;
   bool recovered = false;
+  std::uint64_t edits_applied = 0;  ///< through this process (not replay)
+  std::uint64_t degradations = 0;   ///< 0 or 1 today; counted for stats
   common::DiagnosticEngine diags;
 
   [[nodiscard]] std::string header_record() const {
@@ -141,13 +144,51 @@ struct Server::Session {
   }
 };
 
-Server::Server(ServerOptions options) : options_(std::move(options)) {}
+Server::Server(ServerOptions options)
+    : options_(std::move(options)), flight_(options_.flight_capacity) {}
 Server::~Server() = default;
 
 void Server::bump(std::uint64_t ServerCounters::* field, const char* metric,
                   std::uint64_t n) {
   counters_.*field += n;
   common::metrics().counter(metric).add(n);
+}
+
+void Server::flight_event(obs::FlightEventKind kind, std::uint32_t code,
+                          std::uint64_t value, std::string_view detail) {
+  flight_.record(kind, cur_req_id_, code, value, detail,
+                 common::tracer().now_us());
+}
+
+void Server::write_expose() const {
+  if (options_.expose_out.empty()) return;
+  // Best-effort: a failed snapshot write must never fail a request (the
+  // journal, not the exposition file, is the durability story).
+  (void)obs::write_file_atomic(options_.expose_out,
+                               obs::expose_text(common::metrics()));
+}
+
+std::vector<std::string> Server::dump_flight(const std::string& session) {
+  std::vector<std::string> written;
+  if (options_.journal_dir.empty()) return written;
+  // A named session is trusted (degrade() calls this before the session
+  // is registered during recover()); the empty form walks the residents.
+  std::vector<std::string> names;
+  if (!session.empty()) {
+    names.push_back(session);
+  } else {
+    for (const auto& [name, s] : sessions_) {
+      (void)s;
+      names.push_back(name);
+    }
+  }
+  const std::string dump = obs::flight_json(flight_);
+  for (const std::string& name : names) {
+    const std::string path =
+        options_.journal_dir + "/" + name + ".flight.json";
+    if (obs::write_file_atomic(path, dump)) written.push_back(path);
+  }
+  return written;
 }
 
 std::string Server::journal_path(const std::string& session) const {
@@ -165,14 +206,19 @@ bool Server::deadline_expired(const Request& req, double t0_us) const {
 void Server::degrade(Session& s, const std::string& why) {
   if (s.degraded) return;
   s.degraded = true;
+  ++s.degradations;
   bump(&ServerCounters::degraded, "serve.degraded");
   s.diags.report(common::Severity::kWarning, ErrorCode::kContract,
                  "session degraded to from-scratch analysis: " + why, {},
                  "serve");
+  flight_event(obs::FlightEventKind::kDegraded, 0, s.seq, s.name);
   // Whatever cached state the incremental engine holds is suspect; make
   // the timer rebuild if it is ever consulted again.
   const Status st = run_guarded([&] { s.timer->invalidate_all(); });
   (void)st;  // a timer too broken to invalidate stays bypassed anyway
+  // Leave evidence next to the journal: the flight ring as of the moment
+  // things went wrong (docs/observability.md).
+  (void)dump_flight(s.name);
 }
 
 Server::Session* Server::find_session(const Request& req,
@@ -302,6 +348,8 @@ std::string Server::cmd_load(const Request& req, double t0_us) {
   if (sessions_.size() >= options_.max_sessions) {
     bump(&ServerCounters::errors, "serve.errors");
     bump(&ServerCounters::overloaded, "serve.overloaded");
+    flight_event(obs::FlightEventKind::kOverloaded, 0, sessions_.size(),
+                 "load");
     return error_reply(req.id_json, ReplyCode::kOverloaded,
                        "session limit (" +
                            std::to_string(options_.max_sessions) +
@@ -333,6 +381,7 @@ std::string Server::cmd_load(const Request& req, double t0_us) {
     // session so a retry sees a clean slate, and say what happened.
     bump(&ServerCounters::errors, "serve.errors");
     bump(&ServerCounters::deadline_exceeded, "serve.deadline_exceeded");
+    flight_event(obs::FlightEventKind::kDeadline, 0, 0, "load");
     return error_reply(req.id_json, ReplyCode::kDeadline,
                        "load exceeded the request deadline");
   }
@@ -453,6 +502,7 @@ Status Server::recover() {
     auto journal = Journal::open(path);
     if (journal.ok()) s->journal = std::move(journal).value();
     bump(&ServerCounters::recovered_sessions, "serve.recovered_sessions");
+    flight_event(obs::FlightEventKind::kRecovered, 0, s->seq, name);
     sessions_[name] = std::move(s);
   }
   return {};
@@ -484,6 +534,9 @@ std::string Server::cmd_edit(const Request& req, bool undo, double t0_us) {
     if (!parsed.ok()) {
       bump(&ServerCounters::errors, "serve.errors");
       bump(&ServerCounters::edits_rejected, "serve.edits_rejected");
+      flight_event(obs::FlightEventKind::kEditRejected,
+                   static_cast<std::uint32_t>(parsed.status().code()),
+                   s->seq, s->name);
       s->diags.report(parsed.status());
       return error_reply(req.id_json, reply_code(parsed.status().code()),
                          parsed.status().message());
@@ -504,6 +557,9 @@ std::string Server::cmd_edit(const Request& req, bool undo, double t0_us) {
   if (!check_st.ok()) {
     bump(&ServerCounters::errors, "serve.errors");
     bump(&ServerCounters::edits_rejected, "serve.edits_rejected");
+    flight_event(obs::FlightEventKind::kEditRejected,
+                 static_cast<std::uint32_t>(check_st.code()), s->seq,
+                 s->name);
     s->diags.report(check_st);
     return error_reply(req.id_json, reply_code(check_st.code()),
                        check_st.message(), check_st.loc());
@@ -513,6 +569,7 @@ std::string Server::cmd_edit(const Request& req, bool undo, double t0_us) {
   if (deadline_expired(req, t0_us)) {
     bump(&ServerCounters::errors, "serve.errors");
     bump(&ServerCounters::deadline_exceeded, "serve.deadline_exceeded");
+    flight_event(obs::FlightEventKind::kDeadline, 0, s->seq, "edit");
     return error_reply(req.id_json, ReplyCode::kDeadline,
                        "deadline expired before the edit was committed");
   }
@@ -520,6 +577,7 @@ std::string Server::cmd_edit(const Request& req, bool undo, double t0_us) {
     bump(&ServerCounters::errors, "serve.errors");
     bump(&ServerCounters::overloaded, "serve.overloaded");
     bump(&ServerCounters::journal_overflow, "serve.journal_overflow");
+    flight_event(obs::FlightEventKind::kOverloaded, 0, s->seq, s->name);
     return error_reply(req.id_json, ReplyCode::kOverloaded,
                        "session journal is full (" +
                            std::to_string(options_.max_journal_edits) +
@@ -540,6 +598,8 @@ std::string Server::cmd_edit(const Request& req, bool undo, double t0_us) {
       s->diags.report(jst);
       return error_reply(req.id_json, ReplyCode::kIo, jst.message());
     }
+    flight_event(obs::FlightEventKind::kJournalFsync, 0,
+                 s->journal.bytes_appended(), s->name);
   }
   ++s->seq;
 
@@ -556,6 +616,7 @@ std::string Server::cmd_edit(const Request& req, bool undo, double t0_us) {
     return error_reply(req.id_json, reply_code(why.code()), why.message());
   }
   bump(&ServerCounters::edits_applied, "serve.edits_applied");
+  ++s->edits_applied;
 
   std::string result = "{\"seq\":" + std::to_string(s->seq);
   if (undo) {
@@ -809,6 +870,22 @@ std::string Server::cmd_lint(const Request& req) {
 // --- stats / shutdown ----------------------------------------------------
 
 std::string Server::cmd_stats(const Request& req) {
+  const std::string format = req.frame.member_string("format", "json");
+  if (format != "json" && format != "text") {
+    bump(&ServerCounters::errors, "serve.errors");
+    return error_reply(req.id_json, ReplyCode::kInvalidValue,
+                       "\"format\" must be \"json\" or \"text\"");
+  }
+  if (format == "text") {
+    // The Prometheus exposition (docs/observability.md) embedded as one
+    // JSON string, so the reply stays a single gap-serve-v1 line. Note
+    // the wall section makes this the one non-deterministic reply.
+    return ok_reply(req.id_json,
+                    "{\"format\":\"text\",\"exposition\":\"" +
+                        json::escape(obs::expose_text(common::metrics())) +
+                        "\"}");
+  }
+
   std::uint64_t dropped = 0;
   std::string sessions = "[";
   bool first = true;
@@ -824,7 +901,12 @@ std::string Server::cmd_stats(const Request& req) {
                 std::to_string(s->undo.size()) + ",\"diags\":" +
                 std::to_string(s->diags.size()) + ",\"diags_dropped\":" +
                 std::to_string(s->diags.dropped()) + ",\"journal\":" +
-                bool_json(s->journal.is_open()) + '}';
+                bool_json(s->journal.is_open()) + ",\"instances\":" +
+                std::to_string(s->nl->num_instances()) + ",\"nets\":" +
+                std::to_string(s->nl->num_nets()) + ",\"journal_bytes\":" +
+                std::to_string(s->journal.bytes_appended()) +
+                ",\"edits_applied\":" + std::to_string(s->edits_applied) +
+                ",\"degradations\":" + std::to_string(s->degradations) + '}';
   }
   sessions += ']';
   counters_.diags_dropped = dropped;
@@ -846,12 +928,51 @@ std::string Server::cmd_stats(const Request& req) {
   return ok_reply(req.id_json, result);
 }
 
+std::string Server::cmd_dump(const Request& req) {
+  if (options_.journal_dir.empty()) {
+    bump(&ServerCounters::errors, "serve.errors");
+    return error_reply(req.id_json, ReplyCode::kInvalidValue,
+                       "dump needs a journal directory (gapd --journal-dir)");
+  }
+  std::string session;
+  if (const json::Value* name = req.frame.find("session")) {
+    if (!name->is_string()) {
+      bump(&ServerCounters::errors, "serve.errors");
+      return error_reply(req.id_json, ReplyCode::kInvalidValue,
+                         "\"session\" must be a string");
+    }
+    if (sessions_.count(name->str) == 0) {
+      bump(&ServerCounters::errors, "serve.errors");
+      return error_reply(req.id_json, ReplyCode::kUnknownName,
+                         "no session named '" + name->str + "'");
+    }
+    session = name->str;
+  }
+  // The dump request itself is the newest event in the ring, so the file
+  // records why it exists.
+  flight_event(obs::FlightEventKind::kDump, 0, flight_.total());
+  const std::vector<std::string> written = dump_flight(session);
+  std::string result = "{\"dumped\":[";
+  for (std::size_t i = 0; i < written.size(); ++i) {
+    if (i != 0) result += ',';
+    result += '"' + json::escape(written[i]) + '"';
+  }
+  result += "],\"events\":" +
+            std::to_string(std::min<std::uint64_t>(flight_.total(),
+                                                   flight_.capacity())) +
+            ",\"dropped\":" + std::to_string(flight_.dropped()) + '}';
+  return ok_reply(req.id_json, result);
+}
+
 // --- dispatch loop -------------------------------------------------------
 
 std::string Server::dispatch(const Request& req, double t0_us) {
   if (req.cmd == "load") return cmd_load(req, t0_us);
   if (req.cmd == "edit") return cmd_edit(req, /*undo=*/false, t0_us);
   if (req.cmd == "undo") return cmd_edit(req, /*undo=*/true, t0_us);
+  // dump writes files as it goes, so (like load) it handles its own
+  // budget story rather than joining the discard-the-reply path below.
+  if (req.cmd == "dump") return cmd_dump(req);
 
   std::string reply;
   if (req.cmd == "timing") reply = cmd_timing(req);
@@ -874,6 +995,7 @@ std::string Server::dispatch(const Request& req, double t0_us) {
   if (deadline_expired(req, t0_us)) {
     bump(&ServerCounters::errors, "serve.errors");
     bump(&ServerCounters::deadline_exceeded, "serve.deadline_exceeded");
+    flight_event(obs::FlightEventKind::kDeadline, 0, 0, req.cmd);
     return error_reply(req.id_json, ReplyCode::kDeadline,
                        "request exceeded its deadline");
   }
@@ -882,24 +1004,60 @@ std::string Server::dispatch(const Request& req, double t0_us) {
 
 std::string Server::handle_line(const std::string& line) {
   const double t0_us = common::tracer().now_us();
+  const std::uint64_t req_id = ++next_req_id_;
+  cur_req_id_ = req_id;
+  // The span name carries the monotonic request id, so a chrome trace
+  // (gapd --trace-out) correlates with flight events and the journal.
+  const common::TraceSpan span("serve::request#", std::to_string(req_id));
+
+  // Deterministic request-shape histograms (docs/observability.md): all
+  // pure functions of the request stream, never of the clock.
+  static common::Histogram& h_resident =
+      common::metrics().histogram("serve.req.sessions_resident");
+  static common::Histogram& h_frame =
+      common::metrics().histogram("serve.req.frame_bytes");
+  static common::Histogram& h_edits =
+      common::metrics().histogram("serve.req.edits");
+  static common::Histogram& h_waves =
+      common::metrics().histogram("serve.req.wavefronts");
+  static common::Histogram& h_wall =
+      common::metrics().histogram("wall.serve.req.latency_us");
+  static common::Counter& c_waves =
+      common::metrics().counter("sta.wave.levels_touched");
+  h_resident.record(static_cast<double>(sessions_.size()));
+  h_frame.record(static_cast<double>(line.size()));
+  flight_event(obs::FlightEventKind::kRequestBegin, 0, line.size());
+  const std::uint64_t edits0 = counters_.edits_applied;
+  const std::uint64_t waves0 = c_waves.value();
+
   bump(&ServerCounters::requests, "serve.requests");
+  std::string reply;
   auto req = parse_request(line, options_.max_frame_bytes);
   if (!req.ok()) {
     if (options_.max_frame_bytes != 0 &&
         line.size() > options_.max_frame_bytes)
       bump(&ServerCounters::oversized_frames, "serve.oversized_frames");
     bump(&ServerCounters::errors, "serve.errors");
-    return error_reply("null", reply_code(req.status().code()),
-                       req.status().message(), req.status().loc());
+    reply = error_reply("null", reply_code(req.status().code()),
+                        req.status().message(), req.status().loc());
+  } else {
+    // The dispatch itself runs under one more guard: whatever slips
+    // through the per-command handling still becomes a reply, never an
+    // abort.
+    const Status st = run_guarded([&] { reply = dispatch(*req, t0_us); });
+    if (!st.ok()) {
+      bump(&ServerCounters::errors, "serve.errors");
+      reply = error_reply(req->id_json, reply_code(st.code()), st.message());
+    }
   }
-  // The dispatch itself runs under one more guard: whatever slips through
-  // the per-command handling still becomes a reply, never an abort.
-  std::string reply;
-  const Status st = run_guarded([&] { reply = dispatch(*req, t0_us); });
-  if (!st.ok()) {
-    bump(&ServerCounters::errors, "serve.errors");
-    return error_reply(req->id_json, reply_code(st.code()), st.message());
-  }
+
+  h_edits.record(static_cast<double>(counters_.edits_applied - edits0));
+  h_waves.record(static_cast<double>(c_waves.value() - waves0));
+  flight_event(obs::FlightEventKind::kRequestEnd, 0, reply.size());
+  h_wall.record(common::tracer().now_us() - t0_us);
+  if (options_.expose_every != 0 && req_id % options_.expose_every == 0)
+    write_expose();
+  cur_req_id_ = 0;
   return reply;
 }
 
@@ -924,12 +1082,19 @@ namespace {
 
 int Server::serve(std::istream& in, std::ostream& out) {
   std::string line;
+  int rc = 0;
   while (!shutdown_ &&
          read_frame_line(in, line, options_.max_frame_bytes)) {
     out << handle_line(line) << '\n' << std::flush;
-    if (!out) return 5;  // reader closed the pipe; exit code for I/O
+    if (!out) {
+      rc = 5;  // reader closed the pipe; exit code for I/O
+      break;
+    }
   }
-  return 0;
+  // One final snapshot on the way out, so a run shorter than
+  // --expose-interval still leaves an exposition file behind.
+  write_expose();
+  return rc;
 }
 
 }  // namespace gap::serve

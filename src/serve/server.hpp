@@ -32,8 +32,11 @@
 #include <map>
 #include <memory>
 #include <string>
+#include <string_view>
+#include <vector>
 
 #include "common/status.hpp"
+#include "obs/flight.hpp"
 #include "serve/protocol.hpp"
 #include "sta/sta.hpp"
 
@@ -60,6 +63,15 @@ struct ServerOptions {
   /// structure-of-arrays graph (default) or the pointer netlist walk.
   /// Replies are byte-identical either way (docs/data-layout.md).
   sta::GraphKind graph = sta::GraphKind::kCompact;
+  /// Prometheus exposition snapshot target (gapd --expose-out). Empty
+  /// disables; otherwise the file is rewritten atomically when serve()
+  /// exits, and additionally every `expose_every` requests when that is
+  /// nonzero (gapd --expose-interval). A request count — not a timer —
+  /// so snapshot contents stay deterministic (docs/observability.md).
+  std::string expose_out;
+  std::uint64_t expose_every = 0;
+  /// Flight-recorder ring capacity (rounded up to a power of two).
+  std::size_t flight_capacity = obs::FlightRecorder::kDefaultCapacity;
 };
 
 /// Per-Server counters, mirrored into common::metrics() under "serve.*".
@@ -113,6 +125,16 @@ class Server {
   [[nodiscard]] const ServerOptions& options() const { return options_; }
   [[nodiscard]] std::size_t session_count() const { return sessions_.size(); }
 
+  /// The always-on event ring (docs/observability.md, gap-flight-v1).
+  [[nodiscard]] const obs::FlightRecorder& flight() const { return flight_; }
+
+  /// Dump the flight recorder to "<journal_dir>/<session>.flight.json"
+  /// for `session` (or every resident session when empty), atomically.
+  /// Returns the paths written; empty when journaling is disabled or
+  /// every write failed. Also invoked on degradation and by the `dump`
+  /// protocol request, so a misbehaving server leaves evidence.
+  std::vector<std::string> dump_flight(const std::string& session);
+
  private:
   std::string dispatch(const Request& req, double t0_us);
   std::string cmd_load(const Request& req, double t0_us);
@@ -123,6 +145,7 @@ class Server {
   std::string cmd_qor(const Request& req);
   std::string cmd_lint(const Request& req);
   std::string cmd_stats(const Request& req);
+  std::string cmd_dump(const Request& req);
 
   /// Resolve the request's "session" member; nullptr + error reply set.
   Session* find_session(const Request& req, std::string& error_out);
@@ -132,11 +155,19 @@ class Server {
   [[nodiscard]] bool deadline_expired(const Request& req, double t0_us) const;
   void bump(std::uint64_t ServerCounters::* field, const char* metric,
             std::uint64_t n = 1);
+  /// Record a flight event stamped with the in-flight request id.
+  void flight_event(obs::FlightEventKind kind, std::uint32_t code = 0,
+                    std::uint64_t value = 0, std::string_view detail = {});
+  /// Rewrite options_.expose_out atomically (no-op when unset).
+  void write_expose() const;
 
   ServerOptions options_;
   ServerCounters counters_;
   std::map<std::string, std::unique_ptr<Session>> sessions_;
   bool shutdown_ = false;
+  obs::FlightRecorder flight_;
+  std::uint64_t next_req_id_ = 0;  ///< monotonic; threaded through spans
+  std::uint64_t cur_req_id_ = 0;   ///< id of the request being dispatched
 };
 
 }  // namespace gap::serve

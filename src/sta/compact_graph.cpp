@@ -4,6 +4,7 @@
 #include <limits>
 
 #include "common/check.hpp"
+#include "common/metrics.hpp"
 #include "netlist/checks.hpp"
 #include "sta/kernels.hpp"
 
@@ -131,6 +132,40 @@ void CompactGraph::rebuild_structure(const netlist::Netlist& nl) {
   std::vector<std::uint32_t> cursor(wave_off_.begin(), wave_off_.end() - 1);
   for (std::uint32_t i = 0; i < insts; ++i)
     wave_inst_[cursor[static_cast<std::size_t>(level_[i])]++] = InstanceId{i};
+
+  // Prebin the width profile once per schedule so every sweep's
+  // profile_wave_sweep is a handful of atomic adds, not O(levels).
+  wave_width_profile_ = common::HistogramData{};
+  narrow_levels_ = 0;
+  for (int lvl = 0; lvl < num_levels(); ++lvl) {
+    const std::size_t w = wave(lvl).size();
+    common::Histogram::accumulate(wave_width_profile_,
+                                  static_cast<double>(w));
+    if (w < kWaveDispatchHint) ++narrow_levels_;
+  }
+}
+
+void profile_wave_sweep(const CompactGraph& g, bool pooled_dispatch) {
+  static common::Counter& sweeps =
+      common::metrics().counter("sta.wave.sweeps");
+  static common::Counter& levels =
+      common::metrics().counter("sta.wave.levels_touched");
+  static common::Counter& relaxed =
+      common::metrics().counter("sta.wave.instances_relaxed");
+  static common::Counter& narrow =
+      common::metrics().counter("sta.wave.levels_below_dispatch_hint");
+  static common::Histogram& width =
+      common::metrics().histogram("sta.wave.instances_per_level");
+  static common::Counter& pooled =
+      common::metrics().counter("wall.sta.wave.pooled_sweeps");
+  static common::Counter& serial =
+      common::metrics().counter("wall.sta.wave.serial_sweeps");
+  sweeps.add();
+  levels.add(static_cast<std::uint64_t>(g.num_levels()));
+  relaxed.add(g.num_instances());
+  narrow.add(g.narrow_levels());
+  width.record_batch(g.wave_width_profile());
+  (pooled_dispatch ? pooled : serial).add();
 }
 
 void compact_propagate(const CompactGraph& g, const StaOptions& opt,
@@ -143,6 +178,8 @@ void compact_propagate(const CompactGraph& g, const StaOptions& opt,
   st.crit_input.assign(g.num_instances(), NetId{});
   const double k = opt.corner_delay_factor;
   const bool par = pool != nullptr && pool->size() > 1;
+
+  profile_wave_sweep(g, par);
 
   // Wire models: each net's model is a pure function of the graph, and
   // every lane writes only its own net's slots.

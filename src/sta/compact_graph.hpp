@@ -32,12 +32,21 @@
 #include <vector>
 
 #include "common/ids.hpp"
+#include "common/metrics.hpp"
 #include "common/thread_pool.hpp"
 #include "netlist/netlist.hpp"
 #include "sta/propagation.hpp"
 #include "sta/sta.hpp"
 
 namespace gap::sta {
+
+/// Nominal wavefront width below which per-level pool dispatch is
+/// expected to lose to serial relaxation (the open tuning problem in
+/// ROADMAP.md). The propagation kernels do NOT branch on this today —
+/// they go parallel per sweep, not per level — but the wavefront profile
+/// (docs/observability.md, "sta.wave.*") classifies levels against it so
+/// the crossover can be sized from production telemetry.
+inline constexpr std::size_t kWaveDispatchHint = 64;
 
 class CompactGraph {
  public:
@@ -139,6 +148,16 @@ class CompactGraph {
   /// Total fanin edges (instance input pins).
   [[nodiscard]] std::size_t num_edges() const { return fanin_.size(); }
 
+  /// Per-level wavefront widths, prebinned into histogram form at
+  /// rebuild_structure() time — a pure function of the schedule, so
+  /// profile_wave_sweep can merge it per sweep with one record_batch
+  /// instead of O(levels) per-sample records on the hot path.
+  [[nodiscard]] const common::HistogramData& wave_width_profile() const {
+    return wave_width_profile_;
+  }
+  /// Levels narrower than kWaveDispatchHint, from the same precompute.
+  [[nodiscard]] std::uint64_t narrow_levels() const { return narrow_levels_; }
+
  private:
   const tech::Technology* tech_ = nullptr;
   std::uint64_t built_version_ = 0;
@@ -170,6 +189,10 @@ class CompactGraph {
   int max_level_ = 0;
   std::vector<std::uint32_t> wave_off_;
   std::vector<InstanceId> wave_inst_;
+
+  // Schedule-derived wave profile, cached for profile_wave_sweep.
+  common::HistogramData wave_width_profile_;
+  std::uint64_t narrow_levels_ = 0;
 };
 
 /// Forward arrival propagation over a compact graph into `st` (arrays are
@@ -181,5 +204,16 @@ class CompactGraph {
 void compact_propagate(const CompactGraph& g, const StaOptions& opt,
                        detail::ArrivalState& st,
                        common::ThreadPool* pool = nullptr);
+
+/// Record one full wavefront sweep over `g` into the "sta.wave.*"
+/// metrics (docs/observability.md): sweep/level/instance totals and the
+/// per-level width histogram, all derived from the schedule itself —
+/// never from what a pool actually did — so metric content is identical
+/// at any lane count. The one thread-dependent fact, whether the sweep
+/// dispatched to a pool, goes to the segregated wall section
+/// ("wall.sta.wave.{pooled,serial}_sweeps"). Called by every engine that
+/// walks the levelized schedule end to end (compact_propagate and the
+/// resident timer's full rebuild).
+void profile_wave_sweep(const CompactGraph& g, bool pooled_dispatch);
 
 }  // namespace gap::sta

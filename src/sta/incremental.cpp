@@ -396,6 +396,7 @@ void IncrementalTimer::rebuild_state(const G& g) {
   // lower levels, so in-level parallelism is race-free and lane-count
   // invariant); the pointer path keeps the serial topological loop.
   if constexpr (kOnCompact) {
+    profile_wave_sweep(g, pool_.size() > 1);
     if (pool_.size() > 1) {
       for (int lvl = 0; lvl < g.num_levels(); ++lvl) {
         const std::span<const InstanceId> wave = g.wave(lvl);
@@ -540,6 +541,18 @@ void IncrementalTimer::flush_arrivals_on(const G& g) {
   if (inst_dirty_.empty()) return;
   static common::Counter& reprops =
       common::metrics().counter("sta.incremental.nodes_repropagated");
+  // Incremental wavefront profile: which levels an edit's cone actually
+  // touched and how wide each wave was. Wave contents are thread-count
+  // invariant (the commit phase is serial and extends buckets
+  // deterministically), so these stay in the deterministic section.
+  static common::Counter& levels_touched =
+      common::metrics().counter("sta.wave.levels_touched");
+  static common::Counter& inc_waves =
+      common::metrics().counter("sta.wave.incremental_waves");
+  static common::Counter& changed =
+      common::metrics().counter("sta.wave.arrivals_changed");
+  static common::Histogram& inc_width =
+      common::metrics().histogram("sta.wave.incremental_wave_width");
 
   // Bucket the wavefront by level; commits at level L may push newly
   // dirty instances into strictly higher buckets.
@@ -552,12 +565,23 @@ void IncrementalTimer::flush_arrivals_on(const G& g) {
   std::vector<double> new_arr;
   std::vector<NetId> new_crit;
   std::uint64_t total = 0;
+  // Batched-counting idiom (docs/observability.md): accumulate locally,
+  // merge once after the loop — the flush runs per edit on the hot path.
+  // The batch is thread_local so a single-edit flush doesn't pay a heap
+  // allocation for the bucket array; drain_batch below leaves it zeroed
+  // for the next flush.
+  std::uint64_t n_waves = 0;
+  std::uint64_t n_changed = 0;
+  thread_local common::HistogramData width_batch;
   for (std::size_t lvl = 0; lvl < buckets.size(); ++lvl) {
     std::vector<InstanceId>& wave = buckets[lvl];
     if (wave.empty()) continue;
     std::sort(wave.begin(), wave.end(),
               [](InstanceId a, InstanceId b) { return a.index() < b.index(); });
     total += wave.size();
+    ++n_waves;
+    common::Histogram::accumulate(width_batch,
+                                  static_cast<double>(wave.size()));
 
     // Phase 1 (parallel): pure recompute into scratch. Lanes read the
     // committed state and write disjoint scratch slots — race-free and
@@ -577,6 +601,7 @@ void IncrementalTimer::flush_arrivals_on(const G& g) {
       st_.crit_input[id.index()] = new_crit[i];
       const NetId out = g.output(id);
       if (same_bits(new_arr[i], st_.arrival[out.index()])) continue;
+      ++n_changed;
       st_.arrival[out.index()] = new_arr[i];
       mark_ep_dirty(out);
       for (const NetSink& s : g.sinks(out)) {
@@ -590,6 +615,10 @@ void IncrementalTimer::flush_arrivals_on(const G& g) {
     }
   }
   reprops.add(total);
+  levels_touched.add(n_waves);
+  inc_waves.add(n_waves);
+  changed.add(n_changed);
+  inc_width.drain_batch(width_batch);
 }
 
 void IncrementalTimer::refresh_endpoints() {

@@ -117,6 +117,37 @@ TEST_F(MetricsTest, HistogramContentIndependentOfThreadCount) {
   EXPECT_EQ(serial.data().count, kSamples);
 }
 
+/// The batching API contract: accumulate + record_batch produces content
+/// identical to per-sample record(), and drain_batch leaves the local
+/// batch zeroed and reusable.
+TEST_F(MetricsTest, HistogramBatchMatchesPerSampleRecord) {
+  const std::vector<double> samples = {
+      2.0, 0.5, 8.0, -3.0, 0.0, 1.5,
+      std::numeric_limits<double>::quiet_NaN(),
+      std::numeric_limits<double>::infinity(), 1e-12, 1e12};
+
+  Histogram& direct = metrics().histogram("test.batch.direct");
+  for (double v : samples) direct.record(v);
+
+  Histogram& batched = metrics().histogram("test.batch.merged");
+  HistogramData batch;
+  for (double v : samples) Histogram::accumulate(batch, v);
+  batched.record_batch(batch);
+  EXPECT_EQ(direct.data(), batched.data());
+
+  // drain_batch: same merge, and the batch comes back empty so a second
+  // drain is a no-op and the batch can be refilled in place.
+  Histogram& drained = metrics().histogram("test.batch.drained");
+  drained.drain_batch(batch);
+  EXPECT_EQ(direct.data(), drained.data());
+  EXPECT_EQ(batch.count, 0u);
+  EXPECT_EQ(batch.clamped, 0u);
+  drained.drain_batch(batch);  // empty batch: no change
+  EXPECT_EQ(direct.data(), drained.data());
+  Histogram::accumulate(batch, 4.0);
+  EXPECT_EQ(batch.count, 1u);
+}
+
 TEST_F(MetricsTest, CounterTotalsIndependentOfThreadCount) {
   // Batched per-work-unit counting (the convention every engine follows)
   // gives bit-equal totals at any lane count.

@@ -6,7 +6,11 @@
 #   tools/check.sh tsan     # ThreadSanitizer pass only
 #   tools/check.sh asan     # ASan/UBSan fault-injection pass only
 #   tools/check.sh bench    # quick benchmarks + strict gate vs BENCH_baseline.json
+#   tools/check.sh obs      # observability suite (ctest -L obs) under TSan
 #   tools/check.sh all      # both sanitizer passes + regular build + full ctest
+#
+# Each mode's wall-clock duration is printed at exit, so slow gates are
+# visible at a glance (and CI log triage doesn't need timestamps).
 #
 # The ThreadSanitizer pass: gap::common::ThreadPool and its consumers
 # (MC-STA, parameter sweeps, variation binning, incremental-STA
@@ -17,8 +21,9 @@
 # mutated Liberty/Verilog inputs without aborting AND without any latent
 # memory or UB errors masked by a clean exit.
 #
-# Build trees default to build-tsan / build-asan next to the primary
-# build/, overridable so CI and local runs never collide:
+# Build trees default to build-tsan / build-asan / build-bench /
+# build-obs next to the primary build/, overridable so CI and local runs
+# never collide:
 #
 #   GAP_BUILD_TSAN=/tmp/ci-tsan GAP_BUILD_ASAN=/tmp/ci-asan tools/check.sh
 
@@ -27,9 +32,9 @@ cd "$(dirname "$0")/.."
 
 MODE="${1:-sanitizers}"
 case "$MODE" in
-  sanitizers|tsan|asan|bench|all) ;;
+  sanitizers|tsan|asan|bench|obs|all) ;;
   *)
-    echo "check.sh: unknown mode '$MODE' (expected: tsan | asan | bench | all)" >&2
+    echo "check.sh: unknown mode '$MODE' (expected: tsan | asan | bench | obs | all)" >&2
     exit 2
     ;;
 esac
@@ -53,6 +58,24 @@ JOBS="${JOBS:-$(nproc)}"
 BUILD_TSAN="${GAP_BUILD_TSAN:-build-tsan}"
 BUILD_ASAN="${GAP_BUILD_ASAN:-build-asan}"
 BUILD_BENCH="${GAP_BUILD_BENCH:-build-bench}"
+BUILD_OBS="${GAP_BUILD_OBS:-build-obs}"
+
+# Per-mode wall clock, printed even when a gate fails partway through.
+MODE_TIMES=""
+print_mode_times() {
+  if [ -n "$MODE_TIMES" ]; then
+    echo "== wall durations =="
+    printf '%b' "$MODE_TIMES"
+  fi
+}
+trap print_mode_times EXIT
+timed() {
+  local label="$1"
+  shift
+  local start=$SECONDS
+  "$@"
+  MODE_TIMES="${MODE_TIMES}  ${label}: $((SECONDS - start))s\n"
+}
 
 run_tsan() {
   echo "== ThreadSanitizer build ($BUILD_TSAN) =="
@@ -122,18 +145,44 @@ run_bench() {
     --baseline BENCH_baseline.json --threshold 0.15 --strict
 }
 
+# The observability gate: the obs-labeled suite (exposition rendering,
+# flight-recorder wraparound and concurrent-writer snapshots, gapstat,
+# wavefront profiling, gapd telemetry determinism, the out-of-process
+# SIGTERM drain) under ThreadSanitizer. The flight recorder's seqlock
+# ring and the telemetry counters on the STA hot path claim race-freedom,
+# not just determinism — TSan is what makes that claim load-bearing
+# (docs/observability.md).
+run_obs() {
+  echo "== observability build ($BUILD_OBS, TSan) =="
+  cmake -B "$BUILD_OBS" -S . -DGAP_SANITIZE=thread \
+    -DCMAKE_BUILD_TYPE=RelWithDebInfo
+  cmake --build "$BUILD_OBS" -j "$JOBS" --target obs_test gapd
+
+  echo "== obs-labeled suite under TSan (ctest -L obs) =="
+  TSAN_OPTIONS="${TSAN_OPTIONS:-halt_on_error=1}" \
+    ctest --test-dir "$BUILD_OBS" -L obs --output-on-failure -j "$JOBS"
+}
+
 case "$MODE" in
-  tsan) run_tsan ;;
-  asan) run_asan ;;
-  bench) run_bench ;;
-  sanitizers) run_tsan; run_asan ;;
+  tsan) timed tsan run_tsan ;;
+  asan) timed asan run_asan ;;
+  bench) timed bench run_bench ;;
+  obs) timed obs run_obs ;;
+  sanitizers)
+    timed tsan run_tsan
+    timed asan run_asan
+    ;;
   all)
-    run_tsan
-    run_asan
-    echo "== regular build + full test suite =="
-    cmake -B build -S .
-    cmake --build build -j "$JOBS"
-    ctest --test-dir build --output-on-failure -j "$JOBS"
+    timed tsan run_tsan
+    timed asan run_asan
+    timed obs run_obs
+    run_full() {
+      echo "== regular build + full test suite =="
+      cmake -B build -S .
+      cmake --build build -j "$JOBS"
+      ctest --test-dir build --output-on-failure -j "$JOBS"
+    }
+    timed full run_full
     ;;
 esac
 

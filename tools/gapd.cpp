@@ -2,8 +2,9 @@
 /// Resident timing-service daemon. All logic lives in
 /// gap::serve::run_gapd (src/serve/serve_cli.cpp) so the test suite can
 /// exercise it in-process; this file only binds it to the process:
-/// SIGPIPE is ignored and a broken stdout exits 5 with a diagnostic
-/// (common/io_guard.hpp).
+/// SIGPIPE is ignored, a broken stdout exits 5 with a diagnostic
+/// (common/io_guard.hpp), and SIGTERM drains through the interruptible
+/// stdin stream (serve_cli.hpp).
 
 #include <iostream>
 
@@ -12,7 +13,9 @@
 
 int main(int argc, char** argv) {
   gap::common::ignore_sigpipe();
-  const int code = gap::serve::run_gapd(argc - 1, argv + 1, std::cin,
-                                        std::cout, std::cerr);
+  gap::serve::install_sigterm_dump();
+  const int code =
+      gap::serve::run_gapd(argc - 1, argv + 1, gap::serve::sigterm_stdin(),
+                           std::cout, std::cerr);
   return gap::common::finish_stdout(code, std::cout, std::cerr, "gapd");
 }

@@ -1,0 +1,153 @@
+#!/usr/bin/env python3
+"""SIGTERM graceful-drain check for gapd (docs/observability.md).
+
+Drives a real gapd subprocess with a journaled session plus telemetry
+outputs, sends SIGTERM, and requires the documented drain behavior:
+exit code 0, a valid gap-flight-v1 dump next to the journal, a final
+Prometheus exposition snapshot, and a chrome trace with the per-request
+spans. Also exercises the in-protocol `dump` request and checks the
+flight dump's deterministic section is byte-identical at --threads 1
+vs 4. Run as: obs_sigterm_dump.py <path-to-gapd>
+"""
+
+import json
+import shutil
+import signal
+import subprocess
+import sys
+import tempfile
+
+DESIGN = "mac8"
+EDITS = 12
+
+EXPOSE_HEADER = "# gap-expose-v1"
+WALL_MARKER = "# --- wall section (non-deterministic) ---"
+
+
+def frame(obj):
+    return json.dumps(obj, separators=(",", ":")) + "\n"
+
+
+def edit_frame(i):
+    return frame({
+        "cmd": "edit",
+        "session": "s1",
+        "edit": {
+            "op": "set_drive",
+            "inst": (7 * i + 3) % 400,
+            "drive": 0.5 + 0.125 * (i % 40),
+        },
+    })
+
+
+def start(gapd, workdir, threads):
+    argv = [
+        gapd, "--threads", str(threads),
+        "--journal-dir", workdir,
+        "--expose-out", workdir + "/metrics.prom",
+        "--expose-interval", "4",
+        "--trace-out", workdir + "/trace.json",
+    ]
+    return subprocess.Popen(argv, stdin=subprocess.PIPE,
+                            stdout=subprocess.PIPE, text=True)
+
+
+def ask_ok(proc, line):
+    proc.stdin.write(line)
+    proc.stdin.flush()
+    reply = proc.stdout.readline()
+    parsed = json.loads(reply)
+    if not parsed.get("ok"):
+        raise AssertionError("request failed: %s -> %s" % (line.strip(), reply))
+    return parsed
+
+
+def flight_deterministic(text):
+    """The dump minus its trailing non-deterministic "wall" member."""
+    cut = text.rfind(',"wall":{')
+    return text[:cut] + "}" if cut >= 0 else text
+
+
+def run_round(gapd, threads):
+    workdir = tempfile.mkdtemp(prefix="gap_obs_sigterm_")
+    try:
+        proc = start(gapd, workdir, threads)
+        ask_ok(proc, frame({"cmd": "load", "session": "s1",
+                            "design": DESIGN}))
+        for i in range(EDITS):
+            ask_ok(proc, edit_frame(i))
+        ask_ok(proc, frame({"cmd": "timing", "session": "s1"}))
+
+        # In-protocol dump: must name the file it wrote.
+        dumped = ask_ok(proc, frame({"cmd": "dump"}))["result"]["dumped"]
+        if len(dumped) != 1:
+            raise AssertionError("dump wrote %r" % dumped)
+        with open(dumped[0]) as f:
+            mid_dump = json.load(f)
+        if mid_dump.get("flight") != "gap-flight-v1":
+            raise AssertionError("bad flight schema: %s" % mid_dump)
+
+        # SIGTERM: the daemon drains, dumps, snapshots, and exits 0.
+        proc.send_signal(signal.SIGTERM)
+        code = proc.wait(timeout=120)
+        if code != 0:
+            raise AssertionError("SIGTERM exit code %d (want 0)" % code)
+
+        flight_path = workdir + "/s1.flight.json"
+        with open(flight_path) as f:
+            flight_text = f.read()
+        flight = json.loads(flight_text)
+        if flight.get("flight") != "gap-flight-v1":
+            raise AssertionError("bad flight dump: %s" % flight_text[:200])
+        kinds = [e["kind"] for e in flight["events"]]
+        for expected in ("request_begin", "request_end", "journal_fsync"):
+            if expected not in kinds:
+                raise AssertionError("missing %r in flight events: %s"
+                                     % (expected, kinds))
+        if len(flight["wall"]["us"]) != len(flight["events"]):
+            raise AssertionError("wall/event length mismatch")
+
+        with open(workdir + "/metrics.prom") as f:
+            expose = f.read()
+        if not expose.startswith(EXPOSE_HEADER + "\n"):
+            raise AssertionError("bad exposition header: %r" % expose[:80])
+        if WALL_MARKER not in expose:
+            raise AssertionError("exposition lost its wall marker")
+        if "gap_serve_requests" not in expose:
+            raise AssertionError("exposition lost serve counters")
+
+        with open(workdir + "/trace.json") as f:
+            trace = json.load(f)
+        names = {ev.get("name", "") for ev in trace.get("traceEvents", [])}
+        if not any(n.startswith("serve::request#") for n in names):
+            raise AssertionError("trace lost request spans: %s" % sorted(names))
+        if "serve::journal_fsync" not in names:
+            raise AssertionError("trace lost journal spans: %s" % sorted(names))
+
+        det = flight_deterministic(flight_text)
+        expose_det = expose.split(WALL_MARKER)[0]
+        return det, expose_det
+    finally:
+        shutil.rmtree(workdir, ignore_errors=True)
+
+
+def main():
+    if len(sys.argv) != 2:
+        print("usage: obs_sigterm_dump.py <path-to-gapd>", file=sys.stderr)
+        return 2
+    gapd = sys.argv[1]
+    flight_1, expose_1 = run_round(gapd, threads=1)
+    flight_4, expose_4 = run_round(gapd, threads=4)
+    if flight_1 != flight_4:
+        raise AssertionError("flight deterministic section differs at "
+                             "--threads 1 vs 4")
+    if expose_1 != expose_4:
+        raise AssertionError("exposition deterministic section differs at "
+                             "--threads 1 vs 4")
+    print("obs_sigterm_dump: OK (flight %d bytes, exposition %d bytes "
+          "deterministic)" % (len(flight_1), len(expose_1)))
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
