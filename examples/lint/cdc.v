@@ -1,0 +1,55 @@
+// gaplint example: clock-domain-crossing patterns for the dataflow rule
+// family. With cdc.toml declaring domain "a" (phase 0) and domain "b"
+// (phase 1), `gaplint cdc.v --config cdc.toml` reports exactly one
+// finding per GL-D rule:
+//
+//   GL-D001 on ra1  - captures phase-1 data with no synchronizer
+//                     (its output fans out, so it is not a sync head)
+//   GL-D002 on rc   - captures a nand of phase-0 and phase-1 data
+//   GL-D003 on rd   - captures the unannotated input din
+//   GL-D004 on re   - reached by reset rst_b, declared in domain "b"
+//
+// The s1/s2 pair is a recognized 2-flop synchronizer and stays silent.
+module cdc_core (da, db, din, rst_b, qo1, qo2, qo3, qo4, qo5);
+  input da;
+  input db;
+  input din;
+  input rst_b;
+  output qo1;
+  output qo2;
+  output qo3;
+  output qo4;
+  output qo5;
+  wire qa;
+  wire qb;
+  wire qra1;
+  wire qs1;
+  wire qs2;
+  wire n1;
+  wire n2;
+  dff_x2 src_a (.d(da), .q(qa));
+  dff_x2 src_b (.d(db), .q(qb));
+  dff_x2 ra1 (.d(qb), .q(qra1));
+  dff_x2 s1 (.d(qb), .q(qs1));
+  dff_x2 s2 (.d(qs1), .q(qs2));
+  nand2_x1 g1 (.a(qa), .b(qb), .y(n1));
+  dff_x2 rc (.d(n1), .q(qo3));
+  dff_x2 rd (.d(din), .q(qo4));
+  and2_x1 g2 (.a(rst_b), .b(qa), .y(n2));
+  dff_x2 re (.d(n2), .q(qo5));
+  inv_x2 ga (.a(qra1), .y(qo1));
+  nand2_x1 gm (.a(qra1), .b(qs2), .y(qo2));
+endmodule
+// gap: domain da a
+// gap: domain db b
+// gap: domain rst_b b
+// gap: reset rst_b 1
+// gap: phase src_b 1
+// gap: hasreset src_a 1
+// gap: hasreset src_b 1
+// gap: hasreset ra1 1
+// gap: hasreset s1 1
+// gap: hasreset s2 1
+// gap: hasreset rc 1
+// gap: hasreset rd 1
+// gap: hasreset re 1

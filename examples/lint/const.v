@@ -1,0 +1,30 @@
+// gaplint example: constant / dead-logic / X-reachability patterns for
+// the dataflow rule family. `gaplint const.v --config const.toml`
+// reports exactly one finding per GL-X rule:
+//
+//   GL-X001 on c1  - inverting the tie-low input is provably constant 1
+//   GL-X002 on g2  - the mux select is tied low, so the newdata leg
+//                    (and the inverter driving it) is dead logic
+//   GL-X003 on rh  - the same tied select makes rh recirculate its own
+//                    output forever; it can never load
+//   GL-X004 on rk  - rh declares a reset (hasreset) so the design has a
+//                    reset discipline, and rk powers up undefined
+module const_core (tie0, data1, data3, qo1, qo2);
+  input tie0;
+  input data1;
+  input data3;
+  output qo1;
+  output qo2;
+  wire c1;
+  wire newdata;
+  wire md;
+  wire k;
+  inv_x2 g1 (.a(tie0), .y(c1));
+  inv_x2 g2 (.a(data3), .y(newdata));
+  mux2_x1 gm (.a(qo2), .b(newdata), .c(tie0), .y(md));
+  dff_x2 rh (.d(md), .q(qo2));
+  and2_x1 gk (.a(c1), .b(data1), .y(k));
+  dff_x2 rk (.d(k), .q(qo1));
+endmodule
+// gap: tie tie0 0
+// gap: hasreset rh 1

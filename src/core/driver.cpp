@@ -64,6 +64,9 @@ void print_help(std::ostream& os) {
         "  --lint                 run the gap::lint gate on the mapped\n"
         "                         netlist (error findings fail the flow;\n"
         "                         see gaplint for the standalone tool)\n"
+        "  --lint-dataflow        run the dataflow rule families (clock/\n"
+        "                         reset domains, constants, dead logic)\n"
+        "                         on the sized netlist before signoff\n"
         "  --trace-out FILE       write a Chrome trace_event JSON of the\n"
         "                         run (chrome://tracing / Perfetto)\n"
         "  --metrics-out FILE     write engine counters/histograms as\n"
@@ -296,6 +299,7 @@ Result<DriverArgs> parse_args(const std::vector<std::string>& argv) {
     else if (flag == "--scan") a.scan = true;
     else if (flag == "--diagnostics") a.diagnostics = true;
     else if (flag == "--lint") a.lint = true;
+    else if (flag == "--lint-dataflow") a.lint_dataflow = true;
     else if (flag == "--design") bad = string_arg(a.design);
     else if (flag == "--methodology") bad = string_arg(a.methodology);
     else if (flag == "--tech") bad = string_arg(a.tech);
@@ -449,6 +453,7 @@ int run(const std::vector<std::string>& argv, std::ostream& out,
   const auto design = designs::make_design(args.design, m->datapath);
   FlowOptions fopt;
   fopt.lint = args.lint;
+  fopt.lint_dataflow = args.lint_dataflow;
   fopt.incremental_sta = args.sta_incremental;
   fopt.graph = args.graph_compact ? sta::GraphKind::kCompact
                                   : sta::GraphKind::kPointer;

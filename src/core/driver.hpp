@@ -50,7 +50,8 @@ struct DriverArgs {
   bool graph_compact = true;
   bool list_designs = false;
   bool diagnostics = false;  ///< dump the per-stage FlowReport
-  bool lint = false;         ///< run the gap::lint gate after mapping
+  bool lint = false;          ///< run the gap::lint gate after mapping
+  bool lint_dataflow = false;  ///< run the GL-D/GL-X gate after sizing
   bool help = false;
 };
 

@@ -147,7 +147,7 @@ std::string FlowReport::format_with_metrics() const {
   std::ostringstream os;
   for (const StageReport& s : stages) {
     os << "  " << s.name;
-    for (std::size_t i = s.name.size(); i < 10; ++i) os << ' ';
+    for (std::size_t i = s.name.size(); i < 15; ++i) os << ' ';
     os << to_string(s.status);
     if (s.status != StageStatus::kSkipped) {
       char buf[32];
@@ -167,7 +167,7 @@ std::string FlowReport::format() const {
   std::ostringstream os;
   for (const StageReport& s : stages) {
     os << "  " << s.name;
-    for (std::size_t i = s.name.size(); i < 10; ++i) os << ' ';
+    for (std::size_t i = s.name.size(); i < 15; ++i) os << ' ';
     os << to_string(s.status);
     if (s.status != StageStatus::kSkipped) {
       char buf[32];
@@ -371,6 +371,41 @@ FlowResult Flow::run(const logic::Aig& design, const Methodology& m,
                stages.verify_into(sr, nl, "size");
              });
   capture_qor(ok, result.nl.get());
+
+  // 4b. Optional post-sizing dataflow gate: clock/reset-domain and
+  // constant/dead-logic rules on the final netlist, where every register
+  // and its clock phase is settled. Only the dataflow families run —
+  // the structural/electrical catalog already had its pre-flow gate.
+  if (opt.lint_dataflow) {
+    stages.run("lint-dataflow", have_nl, [&](StageReport& sr) {
+      const lint::RuleRegistry registry = lint::default_registry();
+      lint::LintConfig config;
+      for (std::size_t i = 0; i < registry.size(); ++i) {
+        const lint::RuleInfo& info = registry.rule(i).info();
+        if (info.category != lint::Category::kDomain &&
+            info.category != lint::Category::kDataflow) {
+          config.rule_levels.emplace_back(info.id,
+                                          lint::SeverityOverride::kOff);
+        }
+      }
+      lint::LintContext ctx;
+      ctx.nl = result.nl.get();
+      ctx.limits = tech::default_electrical_limits();
+      ctx.constraints.skew_fraction = m.skew_fraction;
+      const lint::LintReport rep = lint::run_lint(registry, ctx, config);
+      for (const lint::Finding& f : rep.findings) {
+        if (f.waived) continue;
+        common::Diagnostic d;
+        d.severity = f.severity;
+        d.code = common::ErrorCode::kLint;
+        d.message = "[" + f.rule + "] " +
+                    std::string(lint::to_string(f.anchor)) + " '" +
+                    f.anchor_name + "': " + f.message;
+        d.where = "flow:lint-dataflow";
+        sr.diagnostics.push_back(std::move(d));
+      }
+    });
+  }
 
   // 5. Sign-off timing, answered by the resident timer when the size
   // stage left one (byte-identical to the from-scratch analysis).

@@ -111,6 +111,12 @@ struct FlowOptions {
   /// default: the stage is absent entirely, so existing reports and QoR
   /// manifests are unchanged.
   bool lint = false;
+  /// Run the dataflow rule families (GL-D clock/reset domains, GL-X
+  /// constants and dead logic) on the sized netlist as a "lint-dataflow"
+  /// stage between size and signoff — the point where the netlist is
+  /// final and register clocking is settled. Off by default, same
+  /// report-compatibility contract as `lint`.
+  bool lint_dataflow = false;
 };
 
 struct FlowResult {

@@ -1,6 +1,7 @@
 /// \file config.cpp
 /// Parser for the gaplint.toml-subset configuration: `[rules]` severity
-/// overrides, `[constraints]` numbers, and `[[waive]]` blocks. This is an
+/// overrides, `[constraints]` numbers, `[[waive]]` blocks, and
+/// `[[domain]]` clock-domain declarations. This is an
 /// untrusted-input path: every malformed line becomes a located Status,
 /// never an abort.
 
@@ -61,6 +62,14 @@ struct WaiverDraft {
   int line = 0;  ///< line of the opening [[waive]]
 };
 
+/// A pending [[domain]] block being accumulated.
+struct DomainDraft {
+  DomainDecl d;
+  bool has_name = false;
+  bool has_phase = false;
+  int line = 0;  ///< line of the opening [[domain]]
+};
+
 class Parser {
  public:
   Parser(const std::string& text, const RuleRegistry& registry)
@@ -81,11 +90,19 @@ class Parser {
     }
     Status s = finish_waiver(line_no);
     if (!s.ok()) return s;
+    s = finish_domain(line_no);
+    if (!s.ok()) return s;
     return std::move(config_);
   }
 
  private:
-  enum class Section : std::uint8_t { kNone, kRules, kConstraints, kWaive };
+  enum class Section : std::uint8_t {
+    kNone,
+    kRules,
+    kConstraints,
+    kWaive,
+    kDomain,
+  };
 
   Status parse_line(const std::string& line, int line_no) {
     if (line.empty()) return Status{};
@@ -110,6 +127,7 @@ class Parser {
       case Section::kConstraints:
         return constraint_line(key, value, line_no, vcol);
       case Section::kWaive: return waive_line(key, value, line_no, vcol);
+      case Section::kDomain: return domain_line(key, value, line_no, vcol);
       case Section::kNone:
         return err(ErrorCode::kParse,
                    "'" + key + "' appears before any section header",
@@ -121,6 +139,8 @@ class Parser {
   Status enter_section(const std::string& line, int line_no) {
     Status s = finish_waiver(line_no);
     if (!s.ok()) return s;
+    s = finish_domain(line_no);
+    if (!s.ok()) return s;
     if (line == "[rules]") {
       section_ = Section::kRules;
     } else if (line == "[constraints]") {
@@ -129,6 +149,10 @@ class Parser {
       section_ = Section::kWaive;
       draft_ = WaiverDraft{};
       draft_->line = line_no;
+    } else if (line == "[[domain]]") {
+      section_ = Section::kDomain;
+      domain_draft_ = DomainDraft{};
+      domain_draft_->line = line_no;
     } else {
       return err(ErrorCode::kUnknownName, "unknown section '" + line + "'",
                  line_no, 1);
@@ -215,6 +239,73 @@ class Parser {
     return Status{};
   }
 
+  Status domain_line(const std::string& key, const std::string& value,
+                     int line_no, int vcol) {
+    DomainDraft& d = *domain_draft_;
+    if (key == "name") {
+      Result<std::string> text = string_value(value, line_no, vcol);
+      if (!text.ok()) return text.status();
+      if (trim(text.value()).empty()) {
+        return err(ErrorCode::kInvalidValue,
+                   "domain name must not be empty", line_no, vcol);
+      }
+      for (const DomainDecl& prior : config_.domains) {
+        if (prior.name == text.value()) {
+          return err(ErrorCode::kDuplicate,
+                     "domain '" + text.value() + "' declared twice",
+                     line_no, vcol);
+        }
+      }
+      d.d.name = text.value();
+      d.has_name = true;
+    } else if (key == "phase") {
+      char* end = nullptr;
+      const long v = std::strtol(value.c_str(), &end, 10);
+      if (end == value.c_str() || *end != '\0') {
+        return err(ErrorCode::kParse,
+                   "expected an integer phase, got '" + value + "'",
+                   line_no, vcol);
+      }
+      if (v < 0 || v > 255) {
+        return err(ErrorCode::kInvalidValue,
+                   "clock phase " + value + " out of range [0, 255]",
+                   line_no, vcol);
+      }
+      d.d.phase = static_cast<int>(v);
+      d.has_phase = true;
+    } else {
+      return err(ErrorCode::kUnknownName, "unknown domain key '" + key + "'",
+                 line_no, 1);
+    }
+    return Status{};
+  }
+
+  /// Close out a pending [[domain]] block, enforcing the required keys.
+  Status finish_domain(int line_no) {
+    if (!domain_draft_.has_value()) return Status{};
+    const DomainDraft d = *domain_draft_;
+    domain_draft_.reset();
+    if (!d.has_name) {
+      return err(ErrorCode::kMissingValue,
+                 "domain declaration is missing its 'name'", d.line, 1);
+    }
+    if (!d.has_phase) {
+      return err(ErrorCode::kMissingValue,
+                 "domain declaration is missing its 'phase'", d.line, 1);
+    }
+    for (const DomainDecl& prior : config_.domains) {
+      if (prior.phase == d.d.phase) {
+        return err(ErrorCode::kDuplicate,
+                   "clock phase " + std::to_string(d.d.phase) +
+                       " already bound to domain '" + prior.name + "'",
+                   d.line, 1);
+      }
+    }
+    (void)line_no;
+    config_.domains.push_back(d.d);
+    return Status{};
+  }
+
   /// Close out a pending [[waive]] block, enforcing the required keys.
   Status finish_waiver(int line_no) {
     if (!draft_.has_value()) return Status{};
@@ -252,6 +343,7 @@ class Parser {
   LintConfig config_;
   Section section_ = Section::kNone;
   std::optional<WaiverDraft> draft_;
+  std::optional<DomainDraft> domain_draft_;
 };
 
 }  // namespace

@@ -1,0 +1,85 @@
+#include "lint/domains.hpp"
+
+#include <set>
+
+namespace gap::lint {
+
+int DomainTable::add(const std::string& name) {
+  const auto it = name_bit_.find(name);
+  if (it != name_bit_.end()) return it->second;
+  if (static_cast<int>(names_.size()) >= kMaxNamedDomains)
+    return kMaxNamedDomains;  // overflow: caller maps to the unknown bit
+  const int bit = static_cast<int>(names_.size());
+  names_.push_back(name);
+  name_bit_.emplace(name, bit);
+  return bit;
+}
+
+DomainTable DomainTable::build(const netlist::Netlist& nl,
+                               const std::vector<DomainDecl>& decls) {
+  DomainTable t;
+
+  // 1. Config declarations, in declaration order; the first declaration
+  //    of a phase wins the phase->bit binding.
+  for (const DomainDecl& d : decls) {
+    t.declared_ = true;
+    const int bit = t.add(d.name);
+    if (bit < kMaxNamedDomains) t.phase_bit_.emplace(d.phase, bit);
+  }
+
+  // 2. Port annotations, in port-id order. Domain names new to the table
+  //    get fresh bits; they bind no phase (data domains, not clocks).
+  for (PortId pid : nl.all_ports()) {
+    const netlist::Port& p = nl.port(pid);
+    if (!p.is_input) continue;
+    if (!p.domain.empty()) {
+      t.declared_ = true;
+      t.add(p.domain);
+    }
+    if (p.is_reset) t.reset_discipline_ = true;
+  }
+
+  // 3. Phases in actual use: collect from sequential instances, then
+  //    auto-name the undeclared ones in ascending phase order.
+  std::set<int> phases;
+  for (InstanceId id : nl.all_instances()) {
+    if (nl.is_sequential(id)) phases.insert(nl.instance(id).clock_phase);
+    if (nl.instance(id).has_reset) t.reset_discipline_ = true;
+  }
+  t.multi_phase_ = phases.size() > 1;
+  for (int phase : phases) {
+    if (t.phase_bit_.count(phase)) continue;
+    const int bit = t.add("phase" + std::to_string(phase));
+    if (bit < kMaxNamedDomains) t.phase_bit_.emplace(phase, bit);
+  }
+
+  return t;
+}
+
+std::uint32_t DomainTable::mask_of_phase(int phase) const {
+  const auto it = phase_bit_.find(phase);
+  if (it == phase_bit_.end()) return kUnknownDomainBit;
+  return 1u << it->second;
+}
+
+std::uint32_t DomainTable::mask_of_name(const std::string& name) const {
+  const auto it = name_bit_.find(name);
+  if (it == name_bit_.end()) return kUnknownDomainBit;
+  return 1u << it->second;
+}
+
+std::string DomainTable::describe(std::uint32_t mask) const {
+  std::string out;
+  for (int bit = 0; bit < static_cast<int>(names_.size()); ++bit) {
+    if ((mask & (1u << bit)) == 0) continue;
+    if (!out.empty()) out += '|';
+    out += names_[bit];
+  }
+  if ((mask & kUnknownDomainBit) != 0) {
+    if (!out.empty()) out += '|';
+    out += '?';
+  }
+  return out;
+}
+
+}  // namespace gap::lint

@@ -3,8 +3,11 @@
 #include <algorithm>
 #include <tuple>
 
+#include <optional>
+
 #include "common/check.hpp"
 #include "common/thread_pool.hpp"
+#include "lint/dataflow.hpp"
 
 namespace gap::lint {
 
@@ -14,6 +17,8 @@ const char* to_string(Category c) {
     case Category::kElectrical: return "electrical";
     case Category::kClock: return "clock";
     case Category::kConstraint: return "constraint";
+    case Category::kDomain: return "domain";
+    case Category::kDataflow: return "dataflow";
   }
   return "?";
 }
@@ -95,6 +100,25 @@ LintReport run_lint(const RuleRegistry& registry, const LintContext& ctx,
     }
   }
 
+  // The GL-D/GL-X rules read the dataflow lattice. Build it on demand
+  // when the caller did not supply a cached engine; a failed analysis
+  // (combinational cycle — GL-S004 already owns that) leaves ctx.dataflow
+  // null and those rules silent.
+  LintContext eval_ctx = ctx;
+  std::optional<DataflowEngine> local_engine;
+  bool wants_dataflow = false;
+  for (std::size_t i = 0; i < registry.size(); ++i) {
+    const Category cat = registry.rule(i).info().category;
+    wants_dataflow |= enabled[i] && (cat == Category::kDomain ||
+                                     cat == Category::kDataflow);
+  }
+  if (wants_dataflow && ctx.dataflow == nullptr) {
+    local_engine.emplace();
+    if (local_engine->analyze(*ctx.nl, config.domains, threads).ok()) {
+      eval_ctx.dataflow = &*local_engine;
+    }
+  }
+
   // Fan the rules out; each worker fills an independent vector, so the
   // merge order below (registry order, then a full sort) is identical at
   // any thread count.
@@ -102,7 +126,7 @@ LintReport run_lint(const RuleRegistry& registry, const LintContext& ctx,
       threads, registry.size(), [&](std::size_t i) {
         std::vector<Finding> out;
         if (!enabled[i]) return out;
-        registry.rule(i).run(ctx, out);
+        registry.rule(i).run(eval_ctx, out);
         for (Finding& f : out) {
           f.rule = registry.rule(i).info().id;
           f.severity = severity[i];
@@ -121,6 +145,39 @@ LintReport run_lint(const RuleRegistry& registry, const LintContext& ctx,
                             std::tie(b.rule, b.anchor, b.anchor_name,
                                      b.loc.line, b.loc.column, b.message);
                    });
+
+  // Deduplicate same-(rule, net) findings: the structural scan and the
+  // lenient reader's repair pass can each report the same defect (e.g.
+  // GL-S001 on one net, once by id and once by source location). The
+  // sort above groups duplicates and puts located copies (line > 0)
+  // last, so keeping the last located copy — or the group head when none
+  // carries a location — is stable and thread-count-invariant.
+  // Instance-anchored rules legitimately fire once per pin and are left
+  // alone.
+  if (!report.findings.empty()) {
+    std::vector<Finding> unique;
+    unique.reserve(report.findings.size());
+    std::size_t i = 0;
+    while (i < report.findings.size()) {
+      std::size_t j = i;
+      if (report.findings[i].anchor == AnchorKind::kNet) {
+        while (j + 1 < report.findings.size() &&
+               report.findings[j + 1].anchor == AnchorKind::kNet &&
+               report.findings[j + 1].rule == report.findings[i].rule &&
+               report.findings[j + 1].anchor_name ==
+                   report.findings[i].anchor_name) {
+          ++j;
+        }
+      }
+      std::size_t pick = i;
+      for (std::size_t k = i; k <= j; ++k) {
+        if (report.findings[k].loc.line > 0) pick = k;
+      }
+      unique.push_back(std::move(report.findings[pick]));
+      i = j + 1;
+    }
+    report.findings = std::move(unique);
+  }
 
   for (Finding& f : report.findings) {
     for (const Waiver& w : config.waivers) {

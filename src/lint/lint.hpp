@@ -24,17 +24,22 @@
 #include <vector>
 
 #include "common/status.hpp"
+#include "lint/domains.hpp"
 #include "netlist/verilog.hpp"
 #include "tech/technology.hpp"
 
 namespace gap::lint {
 
-/// Rule category (the four families of the catalog).
+class DataflowEngine;  // dataflow.hpp
+
+/// Rule category (the six families of the catalog).
 enum class Category : std::uint8_t {
   kStructural,   ///< connectivity: drivers, sinks, cycles
   kElectrical,   ///< fanout / load / transition / wire limits
   kClock,        ///< clocking and register style
   kConstraint,   ///< timing constraints and I/O assumptions
+  kDomain,       ///< clock/reset-domain propagation (dataflow engine)
+  kDataflow,     ///< constants, dead logic, X-reachability (dataflow engine)
 };
 [[nodiscard]] const char* to_string(Category c);
 
@@ -78,6 +83,10 @@ struct LintContext {
   tech::ElectricalLimits limits;
   LintConstraints constraints;
   const std::vector<netlist::VerilogViolation>* parse_violations = nullptr;
+  /// Precomputed dataflow lattice for the GL-D/GL-X rules. When null,
+  /// run_lint() builds one on demand if any such rule is enabled; a
+  /// resident service (gapd) passes its cached per-session engine here.
+  const DataflowEngine* dataflow = nullptr;
 };
 
 /// One rule. Implementations must be pure functions of the context:
@@ -129,6 +138,8 @@ struct LintConfig {
   std::vector<std::pair<std::string, SeverityOverride>> rule_levels;
   std::vector<Waiver> waivers;
   LintConstraints constraints;
+  /// `[[domain]]` declarations naming clock domains, in file order.
+  std::vector<DomainDecl> domains;
 };
 
 /// Parse a config text. Validates rule ids against `registry`, requires

@@ -36,7 +36,8 @@ constexpr const char* kUsage =
     "config)\n"
     "  --skew-fraction F  clock skew as a fraction of the period "
     "(overrides config)\n"
-    "  --list-rules       print the rule catalog and exit\n"
+    "  --list-rules       print the rule catalog and exit (honors\n"
+    "                     --format text or json)\n"
     "  --help             this text\n"
     "\n"
     "exit codes: 0 clean or warnings only, 1 error findings, 2 usage,\n"
@@ -165,6 +166,21 @@ void list_rules(const RuleRegistry& registry, std::ostream& out) {
   }
 }
 
+/// Machine-readable catalog; the same id/category/severity triples the
+/// SARIF driver.rules block carries (lint_test pins them together).
+void list_rules_json(const RuleRegistry& registry, std::ostream& out) {
+  out << "{\n  \"schema\": \"gap-lint-rules-v1\",\n  \"rules\": [";
+  for (std::size_t i = 0; i < registry.size(); ++i) {
+    const RuleInfo& info = registry.rule(i).info();
+    out << (i == 0 ? "\n" : ",\n");
+    out << "    { \"id\": \"" << info.id << "\", \"category\": \""
+        << to_string(info.category) << "\", \"default_severity\": \""
+        << common::to_string(info.default_severity) << "\", \"title\": \""
+        << info.title << "\" }";
+  }
+  out << (registry.empty() ? "]\n" : "\n  ]\n") << "}\n";
+}
+
 }  // namespace
 
 int run_gaplint(int argc, const char* const* argv, std::ostream& out,
@@ -178,7 +194,16 @@ int run_gaplint(int argc, const char* const* argv, std::ostream& out,
 
   const RuleRegistry registry = default_registry();
   if (opt.list_rules) {
-    list_rules(registry, out);
+    if (opt.format == Format::kSarif) {
+      err << "gaplint: --list-rules supports --format text or json (the "
+             "SARIF catalog is part of every sarif report)\n";
+      return kExitUsage;
+    }
+    if (opt.format == Format::kJson) {
+      list_rules_json(registry, out);
+    } else {
+      list_rules(registry, out);
+    }
     return kExitOk;
   }
   if (opt.file.empty()) {

@@ -9,6 +9,9 @@
 #include <queue>
 #include <utility>
 
+#include <bit>
+
+#include "lint/dataflow.hpp"
 #include "lint/lint.hpp"
 #include "netlist/checks.hpp"
 
@@ -402,6 +405,212 @@ void rule_port_model(const LintContext& ctx, std::vector<Finding>& out) {
   }
 }
 
+// --- domain (dataflow engine) --------------------------------------------
+
+/// The dataflow lattice, if run_lint (or gapd) computed one. Null — e.g.
+/// on a combinational cycle — silences the whole GL-D/GL-X family;
+/// GL-S004 already reports the cycle itself.
+const DataflowEngine* engine(const LintContext& ctx) {
+  if (ctx.dataflow == nullptr || !ctx.dataflow->valid()) return nullptr;
+  return ctx.dataflow;
+}
+
+/// Union lattice state over a register's data inputs (flops and latches
+/// have exactly one, but stay general).
+NetState data_state(const DataflowEngine& e, const Netlist& nl,
+                    InstanceId id) {
+  NetState s{ConstVal::kVarying, 0, 0, 0};
+  for (NetId in : nl.instance(id).inputs) {
+    if (!in.valid()) continue;
+    const NetState& is = e.state(in);
+    s.taint |= is.taint;
+    s.doms |= is.doms;
+    s.rsts |= is.rsts;
+  }
+  return s;
+}
+
+/// First stage of a recognized 2-flop synchronizer: the register's output
+/// feeds exactly one sink, the data pin of another register on the same
+/// clock phase. The second stage never trips GL-D001 itself — its data
+/// arrives from the first stage's (own-domain) output.
+bool is_sync_head(const Netlist& nl, InstanceId id) {
+  const netlist::Instance& inst = nl.instance(id);
+  if (!inst.output.valid()) return false;
+  const netlist::Net& n = nl.net(inst.output);
+  if (n.sinks.size() != 1) return false;
+  const netlist::NetSink& s = n.sinks.front();
+  if (s.kind != netlist::NetSink::Kind::kInstancePin) return false;
+  if (!nl.is_sequential(s.inst)) return false;
+  return nl.instance(s.inst).clock_phase == inst.clock_phase;
+}
+
+void rule_domain_crossing(const LintContext& ctx, std::vector<Finding>& out) {
+  const DataflowEngine* e = engine(ctx);
+  if (e == nullptr || !e->domains().enabled()) return;
+  const Netlist& nl = *ctx.nl;
+  const DomainTable& t = e->domains();
+  for (InstanceId id : nl.all_instances()) {
+    if (!nl.is_sequential(id)) continue;
+    const netlist::Instance& inst = nl.instance(id);
+    const std::uint32_t own = t.mask_of_phase(inst.clock_phase);
+    if ((own & kUnknownDomainBit) != 0) continue;
+    const std::uint32_t doms = data_state(*e, nl, id).doms;
+    if ((doms & kUnknownDomainBit) != 0) continue;  // GL-D003 owns this
+    // Exactly one domain, and not the register's own: a clean crossing.
+    if (std::popcount(doms) != 1 || (doms & own) != 0) continue;
+    if (is_sync_head(nl, id)) continue;
+    out.push_back(make(AnchorKind::kInstance, inst.name,
+                       "register '" + inst.name +
+                           "' captures data from clock domain '" +
+                           t.describe(doms) +
+                           "' without a recognized 2-flop synchronizer"));
+  }
+}
+
+void rule_mixed_domains(const LintContext& ctx, std::vector<Finding>& out) {
+  const DataflowEngine* e = engine(ctx);
+  if (e == nullptr || !e->domains().enabled()) return;
+  const Netlist& nl = *ctx.nl;
+  const DomainTable& t = e->domains();
+  for (InstanceId id : nl.all_instances()) {
+    if (!nl.is_sequential(id)) continue;
+    const netlist::Instance& inst = nl.instance(id);
+    const std::uint32_t own = t.mask_of_phase(inst.clock_phase);
+    if ((own & kUnknownDomainBit) != 0) continue;
+    const std::uint32_t doms = data_state(*e, nl, id).doms;
+    if ((doms & kUnknownDomainBit) != 0) continue;  // GL-D003 owns this
+    if ((doms & ~own) == 0) continue;               // own-domain only
+    if (std::popcount(doms) < 2) continue;          // single foreign: GL-D001
+    out.push_back(make(AnchorKind::kInstance, inst.name,
+                       "register '" + inst.name +
+                           "' captures data converging from clock domains '" +
+                           t.describe(doms) + "'"));
+  }
+}
+
+void rule_unknown_domain(const LintContext& ctx, std::vector<Finding>& out) {
+  const DataflowEngine* e = engine(ctx);
+  if (e == nullptr || !e->domains().enabled() || !e->domains().declared())
+    return;
+  const Netlist& nl = *ctx.nl;
+  for (InstanceId id : nl.all_instances()) {
+    if (!nl.is_sequential(id)) continue;
+    const std::uint32_t doms = data_state(*e, nl, id).doms;
+    if ((doms & kUnknownDomainBit) == 0) continue;
+    const netlist::Instance& inst = nl.instance(id);
+    out.push_back(make(AnchorKind::kInstance, inst.name,
+                       "register '" + inst.name +
+                           "' captures data of unresolved clock domain; "
+                           "annotate its source ports (// gap: domain)"));
+  }
+}
+
+void rule_reset_crossing(const LintContext& ctx, std::vector<Finding>& out) {
+  const DataflowEngine* e = engine(ctx);
+  if (e == nullptr || !e->domains().enabled()) return;
+  const Netlist& nl = *ctx.nl;
+  const DomainTable& t = e->domains();
+  for (InstanceId id : nl.all_instances()) {
+    if (!nl.is_sequential(id)) continue;
+    const netlist::Instance& inst = nl.instance(id);
+    const std::uint32_t own = t.mask_of_phase(inst.clock_phase);
+    const std::uint32_t rsts = data_state(*e, nl, id).rsts;
+    const std::uint32_t foreign = rsts & ~own & ~kUnknownDomainBit;
+    if (foreign == 0) continue;
+    out.push_back(make(AnchorKind::kInstance, inst.name,
+                       "register '" + inst.name +
+                           "' is reached by reset domain '" +
+                           t.describe(foreign) +
+                           "' foreign to its own clock domain '" +
+                           t.describe(own) + "'"));
+  }
+}
+
+// --- dataflow (constants, dead logic, X) ---------------------------------
+
+void rule_constant_net(const LintContext& ctx, std::vector<Finding>& out) {
+  const DataflowEngine* e = engine(ctx);
+  if (e == nullptr) return;
+  const Netlist& nl = *ctx.nl;
+  for (NetId id : nl.all_nets()) {
+    const netlist::Net& n = nl.net(id);
+    if (n.driver.kind != netlist::NetDriver::Kind::kInstance) continue;
+    const ConstVal v = e->state(id).cval;
+    if (v == ConstVal::kVarying) continue;
+    if (is_synthetic(n.name)) continue;
+    out.push_back(make(AnchorKind::kNet, n.name,
+                       "net '" + n.name + "' is provably constant " +
+                           (v == ConstVal::kOne ? "1" : "0") +
+                           "; fold the driving logic away"));
+  }
+}
+
+void rule_dead_logic(const LintContext& ctx, std::vector<Finding>& out) {
+  const DataflowEngine* e = engine(ctx);
+  if (e == nullptr) return;
+  const Netlist& nl = *ctx.nl;
+  for (InstanceId id : nl.all_instances()) {
+    if (nl.is_sequential(id)) continue;
+    const netlist::Instance& inst = nl.instance(id);
+    if (!inst.output.valid()) continue;
+    const NetId o = inst.output;
+    if (e->state(o).cval != ConstVal::kVarying) continue;  // GL-X001 owns it
+    if (e->observed(o)) continue;
+    // Structurally dead logic is GL-S006's finding; this rule reports
+    // only value-dead cones (shadowed by a constant mux select).
+    if (!e->reaches_po(o)) continue;
+    if (is_synthetic(nl.net(o).name)) continue;
+    out.push_back(make(AnchorKind::kInstance, inst.name,
+                       "instance '" + inst.name +
+                           "' drives dead logic: a constant mux select "
+                           "makes its output unobservable"));
+  }
+}
+
+void rule_disabled_enable(const LintContext& ctx, std::vector<Finding>& out) {
+  const DataflowEngine* e = engine(ctx);
+  if (e == nullptr) return;
+  const Netlist& nl = *ctx.nl;
+  for (InstanceId id : nl.all_instances()) {
+    if (!nl.is_sequential(id)) continue;
+    const netlist::Instance& inst = nl.instance(id);
+    if (inst.inputs.empty() || !inst.inputs.front().valid()) continue;
+    const netlist::Net& d = nl.net(inst.inputs.front());
+    if (d.driver.kind != netlist::NetDriver::Kind::kInstance) continue;
+    const InstanceId mux = d.driver.inst;
+    if (nl.cell_of(mux).func != library::Func::kMux2) continue;
+    const std::vector<NetId>& mins = nl.instance(mux).inputs;
+    if (mins.size() != 3 || !mins[2].valid()) continue;
+    const ConstVal sel = e->state(mins[2]).cval;
+    if (sel == ConstVal::kVarying) continue;
+    const NetId picked = mins[sel == ConstVal::kOne ? 1 : 0];
+    if (picked != inst.output) continue;
+    out.push_back(make(AnchorKind::kInstance, inst.name,
+                       "register '" + inst.name +
+                           "' can never load: its input mux select is "
+                           "constant and recirculates the register's own "
+                           "output"));
+  }
+}
+
+void rule_no_reset(const LintContext& ctx, std::vector<Finding>& out) {
+  const DataflowEngine* e = engine(ctx);
+  if (e == nullptr || !e->domains().reset_discipline()) return;
+  const Netlist& nl = *ctx.nl;
+  for (InstanceId id : nl.all_instances()) {
+    if (!nl.is_sequential(id)) continue;
+    const netlist::Instance& inst = nl.instance(id);
+    if (inst.has_reset) continue;
+    std::string msg = "register '" + inst.name +
+                      "' has no reset; its power-up state is undefined";
+    if (data_state(*e, nl, id).taint != 0) {
+      msg += " and recirculates uninitialized state";
+    }
+    out.push_back(make(AnchorKind::kInstance, inst.name, std::move(msg)));
+  }
+}
+
 }  // namespace
 
 RuleRegistry default_registry() {
@@ -435,12 +644,33 @@ RuleRegistry default_registry() {
   add_rule(reg, "GL-C003", Category::kClock, Severity::kWarning,
            "register unreachable from any primary input",
            rule_unreachable_register);
+  add_rule(reg, "GL-D001", Category::kDomain, Severity::kError,
+           "clock-domain crossing without a synchronizer",
+           rule_domain_crossing);
+  add_rule(reg, "GL-D002", Category::kDomain, Severity::kWarning,
+           "register captures data from multiple clock domains",
+           rule_mixed_domains);
+  add_rule(reg, "GL-D003", Category::kDomain, Severity::kWarning,
+           "register captures data of unresolved clock domain",
+           rule_unknown_domain);
+  add_rule(reg, "GL-D004", Category::kDomain, Severity::kWarning,
+           "foreign reset domain reaches a register", rule_reset_crossing);
   add_rule(reg, "GL-K001", Category::kConstraint, Severity::kWarning,
            "no clock period constraint supplied", rule_no_period);
   add_rule(reg, "GL-K002", Category::kConstraint, Severity::kError,
            "non-positive clock period constraint", rule_bad_period);
   add_rule(reg, "GL-K003", Category::kConstraint, Severity::kWarning,
            "port with unmodeled external drive or load", rule_port_model);
+  add_rule(reg, "GL-X001", Category::kDataflow, Severity::kWarning,
+           "net is provably constant", rule_constant_net);
+  add_rule(reg, "GL-X002", Category::kDataflow, Severity::kWarning,
+           "dead logic cone behind a constant mux select", rule_dead_logic);
+  add_rule(reg, "GL-X003", Category::kDataflow, Severity::kWarning,
+           "register recirculates through a constant mux select",
+           rule_disabled_enable);
+  add_rule(reg, "GL-X004", Category::kDataflow, Severity::kWarning,
+           "register without a reset in a reset-disciplined design",
+           rule_no_reset);
   return reg;
 }
 

@@ -49,6 +49,11 @@ struct Instance {
   /// Clock phase for sequential instances (multi-phase latch clocking).
   int clock_phase = 0;
 
+  /// Reset-discipline annotation (`// gap: hasreset <inst> 1`): the
+  /// register has a reset and powers up in a defined state. Consumed by
+  /// the lint dataflow engine (GL-X004); value-only, never structural.
+  bool has_reset = false;
+
   /// Placement annotation (um); negative = unplaced.
   double x_um = -1.0;
   double y_um = -1.0;
@@ -81,6 +86,18 @@ struct Port {
 
   /// Drive strength modeled for primary inputs (unit-inverter multiples).
   double ext_drive = 8.0;
+
+  /// Clock-domain annotation (`// gap: domain <port> <name>`): the named
+  /// domain this input's data is synchronous to. Empty = undeclared.
+  std::string domain;
+
+  /// Tie annotation (`// gap: tie <port> 0|1`): the input is a constant
+  /// tie-low/tie-high rail. -1 = not a tie.
+  int tie = -1;
+
+  /// Reset annotation (`// gap: reset <port> 1`): the input is a reset
+  /// root; its domain (if named) seeds reset-domain propagation.
+  bool is_reset = false;
 };
 
 /// The netlist. Instances/nets/ports are stable, index-addressed arrays;

@@ -14,6 +14,10 @@
 ///   // gap: load <output-port> <unit input capacitances>
 ///   // gap: length <net> <um>
 ///   // gap: phase <instance> <clock phase index>
+///   // gap: domain <input-port> <clock-domain name>
+///   // gap: tie <input-port> 0|1
+///   // gap: reset <input-port> 0|1
+///   // gap: hasreset <instance> 0|1
 ///
 /// Plain comments are still skipped; only comments whose first word is
 /// `gap:` are interpreted (and rejected with a located error when

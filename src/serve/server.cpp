@@ -18,6 +18,7 @@
 #include "core/flow.hpp"
 #include "core/methodology.hpp"
 #include "designs/registry.hpp"
+#include "lint/dataflow.hpp"
 #include "lint/lint.hpp"
 #include "lint/report.hpp"
 #include "obs/expose.hpp"
@@ -112,6 +113,13 @@ struct Server::Session {
   std::unique_ptr<core::Flow> flow;
   std::shared_ptr<netlist::Netlist> nl;
   std::unique_ptr<sta::IncrementalTimer> timer;
+
+  /// Dataflow lattice for `lint` mode=dataflow, built lazily on first
+  /// use and kept in sync per edit kind: an input rewire re-evaluates
+  /// only the edited instance's forward cone, every other edit is a pure
+  /// version resync (clock *phases* are not editable over the wire — the
+  /// set_clock edit moves the STA clock constraint, not a phase).
+  std::unique_ptr<lint::DataflowEngine> dataflow;
 
   Journal journal;  ///< !is_open() when journaling is disabled
   std::uint64_t seq = 0;
@@ -618,6 +626,21 @@ std::string Server::cmd_edit(const Request& req, bool undo, double t0_us) {
   bump(&ServerCounters::edits_applied, "serve.edits_applied");
   ++s->edits_applied;
 
+  // 5. Keep the session's dataflow lattice (if one was ever built) in
+  // sync with the edit just applied. Only an input rewire changes the
+  // lattice structurally; a failed cone update invalidates the engine
+  // and the next dataflow lint rebuilds it from scratch.
+  if (s->dataflow != nullptr && s->dataflow->valid()) {
+    if (edit.kind == sta::Edit::Kind::kRewireInput) {
+      (void)run_guarded([&] {
+        (void)s->dataflow->update_rewire(*s->nl, edit.inst,
+                                         options_.threads);
+      });
+    } else {
+      s->dataflow->resync_value(*s->nl);
+    }
+  }
+
   std::string result = "{\"seq\":" + std::to_string(s->seq);
   if (undo) {
     s->undo.pop_back();
@@ -834,17 +857,58 @@ std::string Server::cmd_lint(const Request& req) {
   Session* s = find_session(req, err);
   if (s == nullptr) return err;
 
+  const std::string mode = req.frame.member_string("mode", "scan");
+  if (mode != "scan" && mode != "dataflow") {
+    bump(&ServerCounters::errors, "serve.errors");
+    return error_reply(req.id_json, ReplyCode::kInvalidValue,
+                       "\"mode\" must be \"scan\" or \"dataflow\"");
+  }
+
+  // mode=dataflow: make sure the cached per-session lattice is current.
+  // A no-op refresh (counted on lint.dataflow.reuses) is the common case
+  // — value edits and rewires were already folded in at edit time. On
+  // analysis failure (combinational cycle) the engine stays invalid and
+  // the GL-D/GL-X rules are silent, like the batch CLI.
+  if (mode == "dataflow") {
+    if (s->dataflow == nullptr)
+      s->dataflow = std::make_unique<lint::DataflowEngine>();
+    const Status refresh_st = run_guarded(
+        [&] { (void)s->dataflow->refresh(*s->nl, {}, options_.threads); });
+    if (!refresh_st.ok()) {
+      bump(&ServerCounters::errors, "serve.errors");
+      return error_reply(req.id_json, reply_code(refresh_st.code()),
+                         refresh_st.message());
+    }
+  }
+
   std::string lint_json;
   bool degraded_now = false;
   const auto run = [&](double period_tau) {
     const lint::RuleRegistry registry = lint::default_registry();
+    lint::LintConfig config;
+    if (mode == "scan") {
+      // Scan mode keeps the pre-dataflow reply surface: the GL-D/GL-X
+      // families stay off so existing clients see identical reports.
+      for (std::size_t i = 0; i < registry.size(); ++i) {
+        const lint::RuleInfo& info = registry.rule(i).info();
+        if (info.category == lint::Category::kDomain ||
+            info.category == lint::Category::kDataflow) {
+          config.rule_levels.emplace_back(info.id,
+                                          lint::SeverityOverride::kOff);
+        }
+      }
+    }
     lint::LintContext ctx;
     ctx.nl = s->nl.get();
     ctx.limits = tech::default_electrical_limits();
     ctx.constraints.period_tau = period_tau;
     ctx.constraints.skew_fraction = s->timer->options().clock.skew_fraction;
+    if (mode == "dataflow" && s->dataflow != nullptr &&
+        s->dataflow->valid()) {
+      ctx.dataflow = s->dataflow.get();
+    }
     const lint::LintReport report =
-        lint::run_lint(registry, ctx, lint::LintConfig{}, options_.threads);
+        lint::run_lint(registry, ctx, config, options_.threads);
     lint_json = lint::write_json(registry, report, s->name);
   };
   const Status st = query(

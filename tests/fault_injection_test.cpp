@@ -173,8 +173,34 @@ VerilogCorpus verilog_corpus() {
   pipeline::PipelineOptions popt;
   popt.stages = 2;
   auto piped = pipeline::pipeline_insert(nl1, popt).nl;
+
+  // A small design carrying every annotation directive (domain/tie/reset
+  // on ports, phase/hasreset on registers), so the mutation and
+  // round-trip corpora cover the dataflow engine's input surface.
+  netlist::Netlist anno("anno", &c.lib);
+  const PortId d0 = anno.add_input("d0");
+  anno.port(d0).domain = "core";
+  const PortId t0 = anno.add_input("t0");
+  anno.port(t0).tie = 0;
+  const PortId rst = anno.add_input("rst");
+  anno.port(rst).is_reset = true;
+  anno.port(rst).domain = "io";
+  const NetId q0 = anno.add_net("q0");
+  const auto dff = c.lib.smallest(library::Func::kDff, library::Family::kStatic);
+  const auto and2 =
+      c.lib.smallest(library::Func::kAnd2, library::Family::kStatic);
+  const InstanceId r0 =
+      anno.add_instance("r0", *dff, {anno.port(d0).net}, q0);
+  anno.instance(r0).clock_phase = 1;
+  anno.instance(r0).has_reset = true;
+  const NetId g0 = anno.add_net("g0");
+  anno.add_instance("g1", *and2, {q0, anno.port(rst).net}, g0);
+  const NetId g2n = anno.add_net("g2n");
+  anno.add_instance("g2", *and2, {g0, anno.port(t0).net}, g2n);
+  anno.add_output("y", g2n);
+
   c.texts = {netlist::to_verilog(nl1), netlist::to_verilog(nl2),
-             netlist::to_verilog(piped)};
+             netlist::to_verilog(piped), netlist::to_verilog(anno)};
   return c;
 }
 
@@ -358,6 +384,14 @@ TEST(FaultInjectionTest, MutatedLintConfigNeverAborts) {
       "period_tau = 40\n"
       "skew_fraction = 0.1\n"
       "\n"
+      "[[domain]]\n"
+      "name = \"core\"\n"
+      "phase = 0\n"
+      "\n"
+      "[[domain]]\n"
+      "name = \"io\"\n"
+      "phase = 1\n"
+      "\n"
       "[[waive]]\n"
       "rule = \"GL-S001\"\n"
       "net = \"dbg_*\"\n"
@@ -437,6 +471,72 @@ TEST(FaultInjectionTest, MutatedLenientVerilogNeverAbortsAndLintsSafely) {
     ++linted;
   }
   EXPECT_GT(linted, 50);
+}
+
+TEST(FaultInjectionTest, DomainConfigFaultsCarrySpecificCodes) {
+  const lint::RuleRegistry registry = lint::default_registry();
+  struct Case {
+    const char* text;
+    ErrorCode code;
+  };
+  const Case cases[] = {
+      // A domain needs both halves of the name<->phase binding.
+      {"[[domain]]\nname = \"a\"\n", ErrorCode::kMissingValue},
+      {"[[domain]]\nphase = 1\n", ErrorCode::kMissingValue},
+      // Empty names declare nothing.
+      {"[[domain]]\nname = \"\"\nphase = 0\n", ErrorCode::kInvalidValue},
+      // Phases are small non-negative integers.
+      {"[[domain]]\nname = \"a\"\nphase = fast\n", ErrorCode::kParse},
+      {"[[domain]]\nname = \"a\"\nphase = 700\n", ErrorCode::kInvalidValue},
+      // One name, one phase, each bound once.
+      {"[[domain]]\nname = \"a\"\nphase = 0\n"
+       "[[domain]]\nname = \"a\"\nphase = 1\n",
+       ErrorCode::kDuplicate},
+      {"[[domain]]\nname = \"a\"\nphase = 0\n"
+       "[[domain]]\nname = \"b\"\nphase = 0\n",
+       ErrorCode::kDuplicate},
+      // Unknown keys are typos, not extensions.
+      {"[[domain]]\nname = \"a\"\nphase = 0\ncolor = \"red\"\n",
+       ErrorCode::kUnknownName},
+  };
+  for (const Case& c : cases) {
+    const auto cfg = lint::parse_config(c.text, registry);
+    ASSERT_FALSE(cfg.ok()) << c.text;
+    EXPECT_EQ(cfg.status().code(), c.code) << c.text;
+    expect_well_formed_rejection(cfg.status(), "gaplint-config");
+  }
+}
+
+TEST(FaultInjectionTest, AnnotationDirectiveFaultsCarrySpecificCodes) {
+  const CellLibrary lib = library::make_rich_asic_library(tech::asic_025um());
+  const std::string good =
+      "module t (a, y);\n"
+      "  input a;\n"
+      "  output y;\n"
+      "  dff_x2 r0 (.d(a), .q(y));\n"
+      "endmodule\n";
+
+  struct Case {
+    const char* directive;
+    ErrorCode code;
+  };
+  const Case cases[] = {
+      {"// gap: domain nosuch a\n", ErrorCode::kUnknownName},
+      {"// gap: domain a b@d\n", ErrorCode::kInvalidValue},
+      {"// gap: tie a 2\n", ErrorCode::kInvalidValue},
+      {"// gap: tie nosuch 0\n", ErrorCode::kUnknownName},
+      {"// gap: reset a 7\n", ErrorCode::kInvalidValue},
+      {"// gap: hasreset nosuch 1\n", ErrorCode::kUnknownName},
+      {"// gap: hasreset r0 2\n", ErrorCode::kInvalidValue},
+      // Output ports carry loads, not domains.
+      {"// gap: domain y a\n", ErrorCode::kUnknownName},
+  };
+  for (const Case& c : cases) {
+    const auto nl = netlist::read_verilog(good + c.directive, lib);
+    ASSERT_FALSE(nl.ok()) << c.directive;
+    EXPECT_EQ(nl.status().code(), c.code) << c.directive;
+    expect_well_formed_rejection(nl.status(), "verilog");
+  }
 }
 
 // --- incremental-timer edits: malformed edits reject, never abort ----------

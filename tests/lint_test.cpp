@@ -7,6 +7,7 @@
 #include <string>
 #include <vector>
 
+#include "common/json.hpp"
 #include "json_lint.hpp"
 #include "library/builders.hpp"
 #include "lint/lint.hpp"
@@ -503,6 +504,14 @@ TEST_F(LintTest, ConfigParsesFullExample) {
       "period_tau = 40\n"
       "skew_fraction = 0.1\n"
       "\n"
+      "[[domain]]\n"
+      "name = \"core\"\n"
+      "phase = 0\n"
+      "\n"
+      "[[domain]]\n"
+      "name = \"io\"\n"
+      "phase = 1\n"
+      "\n"
       "[[waive]]\n"
       "rule = \"GL-S006\"\n"
       "instance = \"dbg_*\"\n"
@@ -517,6 +526,11 @@ TEST_F(LintTest, ConfigParsesFullExample) {
   EXPECT_DOUBLE_EQ(*cfg->constraints.period_tau, 40.0);
   ASSERT_TRUE(cfg->constraints.skew_fraction.has_value());
   EXPECT_DOUBLE_EQ(*cfg->constraints.skew_fraction, 0.1);
+  ASSERT_EQ(cfg->domains.size(), 2u);
+  EXPECT_EQ(cfg->domains[0].name, "core");
+  EXPECT_EQ(cfg->domains[0].phase, 0);
+  EXPECT_EQ(cfg->domains[1].name, "io");
+  EXPECT_EQ(cfg->domains[1].phase, 1);
   ASSERT_EQ(cfg->waivers.size(), 1u);
   EXPECT_EQ(cfg->waivers[0].rule, "GL-S006");
   EXPECT_EQ(cfg->waivers[0].kind, AnchorKind::kInstance);
@@ -609,6 +623,80 @@ TEST_F(LintTest, TextReportCarriesSummaryAndWaivers) {
   EXPECT_NE(text.find("1 waived"), std::string::npos);
 }
 
+// --- finding deduplication -----------------------------------------------
+
+TEST_F(LintTest, DuplicateNetFindingsCollapseToTheLocatedCopy) {
+  // The structural scan and the lenient reader's repair pass can both
+  // report the same defect on the same net; the report must carry it
+  // once, preferring the copy with a source location.
+  Netlist nl("t", &lib_);
+  const PortId a = nl.add_input("a");
+  const PortId b = nl.add_input("b");
+  const NetId out = nl.add_net("out");
+  nl.add_instance("u1", cell(Func::kInv), {nl.port(a).net}, out);
+  nl.add_output("y", out);
+  nl.port(b).net = out;  // contention: the scan rule fires on "out"
+
+  netlist::VerilogViolation v;
+  v.kind = netlist::VerilogViolation::Kind::kMultiplyDriven;
+  v.net = "out";
+  v.loc.line = 5;
+  v.message = "net 'out' is multiply driven";
+  const std::vector<netlist::VerilogViolation> violations = {v};
+
+  LintContext c = ctx(nl);
+  c.parse_violations = &violations;
+  for (int threads : {1, 4}) {
+    const LintReport r = run_lint(registry_, c, {}, threads);
+    int hits = 0;
+    for (const Finding& f : r.findings)
+      if (f.rule == "GL-S001") {
+        ++hits;
+        EXPECT_EQ(f.loc.line, 5);  // the located copy survives
+      }
+    EXPECT_EQ(hits, 1) << "threads=" << threads;
+  }
+}
+
+// --- catalog self-consistency --------------------------------------------
+
+TEST_F(LintTest, SarifRuleCatalogStaysInSyncWithTheRegistry) {
+  const LintReport empty;
+  const std::string sarif = write_sarif(registry_, empty, "x.v");
+  const auto doc = common::json::Value::parse(sarif);
+  ASSERT_TRUE(doc.has_value());
+  const auto* runs = doc->find("runs");
+  ASSERT_NE(runs, nullptr);
+  ASSERT_EQ(runs->array.size(), 1u);
+  const auto* tool = runs->array[0].find("tool");
+  ASSERT_NE(tool, nullptr);
+  const auto* driver = tool->find("driver");
+  ASSERT_NE(driver, nullptr);
+  const auto* rules = driver->find("rules");
+  ASSERT_NE(rules, nullptr);
+
+  ASSERT_EQ(rules->array.size(), registry_.size());
+  for (std::size_t i = 0; i < registry_.size(); ++i) {
+    const RuleInfo& info = registry_.rule(i).info();
+    const common::json::Value& r = rules->array[i];
+    EXPECT_EQ(r.member_string("id", ""), info.id);
+    const auto* sd = r.find("shortDescription");
+    ASSERT_NE(sd, nullptr) << info.id;
+    EXPECT_EQ(sd->member_string("text", ""), info.title);
+    const auto* dc = r.find("defaultConfiguration");
+    ASSERT_NE(dc, nullptr) << info.id;
+    const char* level =
+        info.default_severity == common::Severity::kNote      ? "note"
+        : info.default_severity == common::Severity::kWarning ? "warning"
+                                                              : "error";
+    EXPECT_EQ(dc->member_string("level", ""), level) << info.id;
+    const auto* props = r.find("properties");
+    ASSERT_NE(props, nullptr) << info.id;
+    EXPECT_EQ(props->member_string("category", ""), to_string(info.category))
+        << info.id;
+  }
+}
+
 // --- the gaplint CLI, driven in-process ----------------------------------
 
 struct CliResult {
@@ -652,6 +740,31 @@ TEST(LintCliTest, ListRulesShowsWholeCatalog) {
   for (std::size_t i = 0; i < reg.size(); ++i)
     EXPECT_NE(r.out.find(reg.rule(i).info().id), std::string::npos)
         << reg.rule(i).info().id;
+}
+
+TEST(LintCliTest, ListRulesJsonMatchesTheRegistry) {
+  const CliResult r = cli({"--list-rules", "--format", "json"});
+  EXPECT_EQ(r.code, kExitOk);
+  const auto doc = common::json::Value::parse(r.out);
+  ASSERT_TRUE(doc.has_value()) << r.out;
+  EXPECT_EQ(doc->member_string("schema", ""), "gap-lint-rules-v1");
+  const auto* rules = doc->find("rules");
+  ASSERT_NE(rules, nullptr);
+  const RuleRegistry reg = default_registry();
+  ASSERT_EQ(rules->array.size(), reg.size());
+  for (std::size_t i = 0; i < reg.size(); ++i) {
+    const RuleInfo& info = reg.rule(i).info();
+    EXPECT_EQ(rules->array[i].member_string("id", ""), info.id);
+    EXPECT_EQ(rules->array[i].member_string("category", ""),
+              to_string(info.category));
+    EXPECT_EQ(rules->array[i].member_string("default_severity", ""),
+              common::to_string(info.default_severity));
+    EXPECT_EQ(rules->array[i].member_string("title", ""), info.title);
+  }
+
+  // The SARIF catalog is part of every sarif report; --list-rules only
+  // speaks text and json.
+  EXPECT_EQ(cli({"--list-rules", "--format", "sarif"}).code, kExitUsage);
 }
 
 TEST(LintCliTest, CleanDesignExitsZero) {
